@@ -1,0 +1,413 @@
+//! Grouping and aggregation.
+//!
+//! `group_by` assigns dense group ids in first-appearance order (the
+//! MonetDB `group` operator); `grouped_aggregate` then folds a value column
+//! per group in one tight pass. Like everything in the BAT Algebra the two
+//! phases are separate bulk operators, not a single streaming pipeline.
+
+use mammoth_storage::{Bat, TailHeap};
+use mammoth_types::{Error, NativeType, Oid, Result, Value};
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Count of non-nil values.
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// `group(b)`: a BAT mapping each row to a dense group id (0-based, in
+/// first-appearance order), plus the number of groups and one representative
+/// row position per group ("extents").
+pub fn group_by(b: &Bat) -> Result<(Bat, usize, Vec<usize>)> {
+    let n = b.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut extents = Vec::new();
+
+    match b.tail() {
+        TailHeap::Str(h) => {
+            // within one heap, dedup guarantees equal strings share their
+            // offset, so the offset is an exact group key; nil gets its own
+            // group like any other value (SQL GROUP BY semantics)
+            let mut seen: HashMap<u64, u32> = HashMap::new();
+            for i in 0..n {
+                let key = h.offset(i);
+                let next = seen.len() as u32;
+                let id = *seen.entry(key).or_insert_with(|| {
+                    extents.push(i);
+                    next
+                });
+                ids.push(id as Oid);
+            }
+        }
+        _ => {
+            let jk = crate::radix::mix_key_bat(b)?;
+            let mut seen: HashMap<Option<u64>, u32> = HashMap::new();
+            for i in 0..n {
+                let key = if jk.nils[i] { None } else { Some(jk.keys[i]) };
+                let next = seen.len() as u32;
+                let id = *seen.entry(key).or_insert_with(|| {
+                    extents.push(i);
+                    next
+                });
+                ids.push(id as Oid);
+            }
+        }
+    }
+    let ngroups = extents.len();
+    Ok((Bat::dense(0, TailHeap::from_vec(ids)), ngroups, extents))
+}
+
+/// Refine an existing grouping by a second column: rows are in the same
+/// output group iff they agree on both the old group and `b`'s value.
+/// This is how multi-column GROUP BY composes out of unary operators.
+pub fn group_refine(groups: &Bat, b: &Bat) -> Result<(Bat, usize, Vec<usize>)> {
+    if groups.len() != b.len() {
+        return Err(Error::LengthMismatch {
+            left: groups.len(),
+            right: b.len(),
+        });
+    }
+    let gid = groups.tail_slice::<Oid>()?;
+    let jk = crate::radix::mix_key_bat(b)?;
+    let mut seen: HashMap<(Oid, Option<u64>), u32> = HashMap::new();
+    let mut ids = Vec::with_capacity(b.len());
+    let mut extents = Vec::new();
+    // strings: refine on heap offset (exact within one heap)
+    let str_heap = b.tail().as_str_heap();
+    #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
+    for i in 0..b.len() {
+        let key = match str_heap {
+            Some(h) => Some(h.offset(i)),
+            None => {
+                if jk.nils[i] {
+                    None
+                } else {
+                    Some(jk.keys[i])
+                }
+            }
+        };
+        let next = seen.len() as u32;
+        let id = *seen.entry((gid[i], key)).or_insert_with(|| {
+            extents.push(i);
+            next
+        });
+        ids.push(id as Oid);
+    }
+    let n = extents.len();
+    Ok((Bat::dense(0, TailHeap::from_vec(ids)), n, extents))
+}
+
+#[derive(Clone, Copy)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    sum_i: i64,
+    min: f64,
+    max: f64,
+    min_i: i64,
+    max_i: i64,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            sum_i: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            min_i: i64::MAX,
+            max_i: i64::MIN,
+        }
+    }
+
+    #[inline]
+    fn add_i(&mut self, v: i64) {
+        self.count += 1;
+        self.sum_i = self.sum_i.wrapping_add(v);
+        self.sum += v as f64;
+        self.min_i = self.min_i.min(v);
+        self.max_i = self.max_i.max(v);
+    }
+
+    #[inline]
+    fn add_f(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+fn accumulate(values: &Bat, gid: &[Oid], ngroups: usize) -> Result<(Vec<Acc>, bool)> {
+    let mut accs = vec![Acc::new(); ngroups];
+    let float = match values.tail() {
+        TailHeap::I8(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if !x.is_nil() {
+                    accs[gid[i] as usize].add_i(*x as i64);
+                }
+            }
+            false
+        }
+        TailHeap::I16(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if !x.is_nil() {
+                    accs[gid[i] as usize].add_i(*x as i64);
+                }
+            }
+            false
+        }
+        TailHeap::I32(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if !x.is_nil() {
+                    accs[gid[i] as usize].add_i(*x as i64);
+                }
+            }
+            false
+        }
+        TailHeap::I64(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if !x.is_nil() {
+                    accs[gid[i] as usize].add_i(*x);
+                }
+            }
+            false
+        }
+        TailHeap::F64(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if !x.is_nil() {
+                    accs[gid[i] as usize].add_f(*x);
+                }
+            }
+            true
+        }
+        TailHeap::Oid(v) => {
+            // oids aggregate as unsigned integers (used for COUNT(*) via
+            // the never-nil group-id column)
+            for (i, x) in v.iter().enumerate() {
+                if !x.is_nil() {
+                    accs[gid[i] as usize].add_i(*x as i64);
+                }
+            }
+            false
+        }
+        TailHeap::Str(h) => {
+            // only COUNT is meaningful on strings
+            for i in 0..h.len() {
+                if h.get(i).is_some() {
+                    accs[gid[i] as usize].count += 1;
+                }
+            }
+            false
+        }
+        other => {
+            return Err(Error::Unsupported(format!(
+                "aggregation over {} columns",
+                other.ty().name()
+            )))
+        }
+    };
+    Ok((accs, float))
+}
+
+/// `agg(kind, values, groups, ngroups)`: one output row per group.
+///
+/// `groups` must be aligned with `values` (same length). SUM/MIN/MAX over
+/// integers stay integral (i64); AVG is always f64; empty groups yield nil.
+pub fn grouped_aggregate(
+    kind: AggKind,
+    values: &Bat,
+    groups: &Bat,
+    ngroups: usize,
+) -> Result<Bat> {
+    if values.len() != groups.len() {
+        return Err(Error::LengthMismatch {
+            left: values.len(),
+            right: groups.len(),
+        });
+    }
+    let gid = groups.tail_slice::<Oid>()?;
+    if let Some(&bad) = gid.iter().find(|&&g| g as usize >= ngroups) {
+        return Err(Error::OutOfRange {
+            index: bad,
+            len: ngroups as u64,
+        });
+    }
+    let (accs, float) = accumulate(values, gid, ngroups)?;
+
+    let heap = match kind {
+        AggKind::Count => {
+            TailHeap::from_vec(accs.iter().map(|a| a.count as i64).collect::<Vec<_>>())
+        }
+        AggKind::Avg => TailHeap::from_vec(
+            accs.iter()
+                .map(|a| {
+                    if a.count == 0 {
+                        f64::NIL
+                    } else {
+                        a.sum / a.count as f64
+                    }
+                })
+                .collect::<Vec<_>>(),
+        ),
+        AggKind::Sum => {
+            if float {
+                TailHeap::from_vec(
+                    accs.iter()
+                        .map(|a| if a.count == 0 { f64::NIL } else { a.sum })
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                TailHeap::from_vec(
+                    accs.iter()
+                        .map(|a| if a.count == 0 { i64::NIL } else { a.sum_i })
+                        .collect::<Vec<_>>(),
+                )
+            }
+        }
+        AggKind::Min => {
+            if float {
+                TailHeap::from_vec(
+                    accs.iter()
+                        .map(|a| if a.count == 0 { f64::NIL } else { a.min })
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                TailHeap::from_vec(
+                    accs.iter()
+                        .map(|a| if a.count == 0 { i64::NIL } else { a.min_i })
+                        .collect::<Vec<_>>(),
+                )
+            }
+        }
+        AggKind::Max => {
+            if float {
+                TailHeap::from_vec(
+                    accs.iter()
+                        .map(|a| if a.count == 0 { f64::NIL } else { a.max })
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                TailHeap::from_vec(
+                    accs.iter()
+                        .map(|a| if a.count == 0 { i64::NIL } else { a.max_i })
+                        .collect::<Vec<_>>(),
+                )
+            }
+        }
+    };
+    Ok(Bat::dense(0, heap))
+}
+
+/// Aggregate a whole column to a single value.
+pub fn aggregate_scalar(kind: AggKind, values: &Bat) -> Result<Value> {
+    let groups = Bat::dense(0, TailHeap::from_vec(vec![0 as Oid; values.len()]));
+    let out = grouped_aggregate(kind, values, &groups, 1)?;
+    Ok(out.value_at(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_ids_first_appearance() {
+        let b = Bat::from_vec(vec![7i32, 3, 7, 9, 3]);
+        let (g, n, extents) = group_by(&b).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(g.tail_slice::<Oid>().unwrap(), &[0, 1, 0, 2, 1]);
+        assert_eq!(extents, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn nil_forms_its_own_group() {
+        let b = Bat::from_vec(vec![1i32, i32::NIL, 1, i32::NIL]);
+        let (g, n, _) = group_by(&b).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(g.tail_slice::<Oid>().unwrap(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn string_groups_use_heap_dedup() {
+        let b = Bat::from_strings([Some("x"), Some("y"), Some("x"), None, None]);
+        let (g, n, _) = group_by(&b).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(g.tail_slice::<Oid>().unwrap(), &[0, 1, 0, 2, 2]);
+    }
+
+    #[test]
+    fn refine_composes_multi_column() {
+        let a = Bat::from_vec(vec![1i32, 1, 2, 2, 1]);
+        let b = Bat::from_vec(vec![9i32, 8, 9, 9, 9]);
+        let (g1, _, _) = group_by(&a).unwrap();
+        let (g2, n, _) = group_refine(&g1, &b).unwrap();
+        // groups: (1,9) (1,8) (2,9) (2,9) (1,9)
+        assert_eq!(n, 3);
+        assert_eq!(g2.tail_slice::<Oid>().unwrap(), &[0, 1, 2, 2, 0]);
+    }
+
+    #[test]
+    fn aggregates_per_group() {
+        let v = Bat::from_vec(vec![10i32, 20, 30, 40]);
+        let g = Bat::from_vec(vec![0 as Oid, 1, 0, 1]);
+        let sum = grouped_aggregate(AggKind::Sum, &v, &g, 2).unwrap();
+        assert_eq!(sum.tail_slice::<i64>().unwrap(), &[40, 60]);
+        let min = grouped_aggregate(AggKind::Min, &v, &g, 2).unwrap();
+        assert_eq!(min.tail_slice::<i64>().unwrap(), &[10, 20]);
+        let max = grouped_aggregate(AggKind::Max, &v, &g, 2).unwrap();
+        assert_eq!(max.tail_slice::<i64>().unwrap(), &[30, 40]);
+        let avg = grouped_aggregate(AggKind::Avg, &v, &g, 2).unwrap();
+        assert_eq!(avg.tail_slice::<f64>().unwrap(), &[20.0, 30.0]);
+        let cnt = grouped_aggregate(AggKind::Count, &v, &g, 2).unwrap();
+        assert_eq!(cnt.tail_slice::<i64>().unwrap(), &[2, 2]);
+    }
+
+    #[test]
+    fn nils_skipped_and_empty_groups_nil() {
+        use mammoth_types::NativeType;
+        let v = Bat::from_vec(vec![10i32, i32::NIL]);
+        let g = Bat::from_vec(vec![0 as Oid, 1]);
+        let sum = grouped_aggregate(AggKind::Sum, &v, &g, 3).unwrap();
+        let s = sum.tail_slice::<i64>().unwrap();
+        assert_eq!(s[0], 10);
+        assert!(s[1].is_nil(), "group of only nil");
+        assert!(s[2].is_nil(), "empty group");
+        let cnt = grouped_aggregate(AggKind::Count, &v, &g, 3).unwrap();
+        assert_eq!(cnt.tail_slice::<i64>().unwrap(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn float_aggregates() {
+        let v = Bat::from_vec(vec![1.5f64, 2.5, f64::NAN]);
+        let s = aggregate_scalar(AggKind::Sum, &v).unwrap();
+        assert_eq!(s, Value::F64(4.0));
+        let a = aggregate_scalar(AggKind::Avg, &v).unwrap();
+        assert_eq!(a, Value::F64(2.0));
+        let m = aggregate_scalar(AggKind::Max, &v).unwrap();
+        assert_eq!(m, Value::F64(2.5));
+    }
+
+    #[test]
+    fn scalar_count_on_strings() {
+        let b = Bat::from_strings([Some("a"), None, Some("b")]);
+        assert_eq!(
+            aggregate_scalar(AggKind::Count, &b).unwrap(),
+            Value::I64(2)
+        );
+    }
+
+    #[test]
+    fn errors() {
+        let v = Bat::from_vec(vec![1i32]);
+        let g = Bat::from_vec(vec![0 as Oid, 1]);
+        assert!(grouped_aggregate(AggKind::Sum, &v, &g, 2).is_err());
+        let g = Bat::from_vec(vec![5 as Oid]);
+        assert!(grouped_aggregate(AggKind::Sum, &v, &g, 2).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! Bulk selections.
+//!
+//! The C-level sketch in §3 is the contract:
+//!
+//! ```c
+//! for (i = j = 0; i < n; i++)
+//!     if (B.tail[i] == V) R.tail[j++] = i;
+//! ```
+//!
+//! — a tight, branch-predictable loop over a native array with no expression
+//! interpreter in sight. Results are candidate BATs (void head, ascending
+//! oid tail). When the input's `sorted` property holds, range selections
+//! switch to binary search (§3.1: properties "gear the selection of
+//! subsequent algorithms").
+
+use mammoth_storage::{Bat, FixedTail, Properties, TailHeap};
+use mammoth_types::{Error, NativeType, Oid, Result, Value};
+
+/// Comparison operators supported by [`select_cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Wrap qualifying positions into a candidate BAT with full properties.
+fn candidates(b: &Bat, positions: Vec<Oid>) -> Bat {
+    // positions are produced in scan order, hence strictly ascending
+    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    let void_head = b.head().is_void();
+    let oids: Vec<Oid> = match b.head() {
+        mammoth_storage::HeadColumn::Void { seqbase } => {
+            positions.into_iter().map(|p| p + seqbase).collect()
+        }
+        // with a materialized head, candidates carry the head oids (not the
+        // physical positions), and ascending order is no longer guaranteed
+        mammoth_storage::HeadColumn::Oids(_) => positions
+            .into_iter()
+            .map(|p| b.oid_at(p as usize))
+            .collect(),
+    };
+    let mut out = Bat::dense(0, TailHeap::from_vec(oids));
+    out.set_props(Properties {
+        sorted: void_head,
+        revsorted: out.len() <= 1,
+        key: void_head,
+        nonil: true,
+        min: None,
+        max: None,
+    });
+    out
+}
+
+fn scan_select<T: NativeType + FixedTail>(
+    data: &[T],
+    pred: impl Fn(&T) -> bool,
+) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for (i, v) in data.iter().enumerate() {
+        // nil never qualifies (SQL three-valued logic collapses to false)
+        if !v.is_nil() && pred(v) {
+            out.push(i as Oid);
+        }
+    }
+    out
+}
+
+fn typed_const<T: NativeType>(v: &Value) -> Result<T> {
+    T::from_value(v)
+        .or_else(|| v.coerce(T::LOGICAL).as_ref().and_then(T::from_value))
+        .ok_or_else(|| Error::TypeMismatch {
+            expected: T::LOGICAL.name().into(),
+            found: format!("{v:?}"),
+        })
+}
+
+fn select_cmp_fixed<T: NativeType + FixedTail>(b: &Bat, op: CmpOp, v: &Value) -> Result<Bat> {
+    let c: T = typed_const(v)?;
+    if c.is_nil() {
+        // comparisons with NULL select nothing
+        return Ok(candidates(b, Vec::new()));
+    }
+    let data = b.tail_slice::<T>()?;
+    use std::cmp::Ordering::*;
+    let pos = match op {
+        CmpOp::Eq => scan_select(data, |x| x.nil_cmp(&c) == Equal),
+        CmpOp::Ne => scan_select(data, |x| x.nil_cmp(&c) != Equal),
+        CmpOp::Lt => scan_select(data, |x| x.nil_cmp(&c) == Less),
+        CmpOp::Le => scan_select(data, |x| x.nil_cmp(&c) != Greater),
+        CmpOp::Gt => scan_select(data, |x| x.nil_cmp(&c) == Greater),
+        CmpOp::Ge => scan_select(data, |x| x.nil_cmp(&c) != Less),
+    };
+    Ok(candidates(b, pos))
+}
+
+/// `select(b, op, v)`: candidate positions where `tail op v` holds.
+pub fn select_cmp(b: &Bat, op: CmpOp, v: &Value) -> Result<Bat> {
+    match b.tail() {
+        TailHeap::Bool(_) => select_cmp_fixed::<bool>(b, op, v),
+        TailHeap::I8(_) => select_cmp_fixed::<i8>(b, op, v),
+        TailHeap::I16(_) => select_cmp_fixed::<i16>(b, op, v),
+        TailHeap::I32(_) => select_cmp_fixed::<i32>(b, op, v),
+        TailHeap::I64(_) => select_cmp_fixed::<i64>(b, op, v),
+        TailHeap::F64(_) => select_cmp_fixed::<f64>(b, op, v),
+        TailHeap::Oid(_) => select_cmp_fixed::<Oid>(b, op, v),
+        TailHeap::Str(h) => {
+            let needle = match v {
+                Value::Null => return Ok(candidates(b, Vec::new())),
+                Value::Str(s) => s.as_str(),
+                other => {
+                    return Err(Error::TypeMismatch {
+                        expected: "string".into(),
+                        found: format!("{other:?}"),
+                    })
+                }
+            };
+            let mut pos = Vec::new();
+            for i in 0..h.len() {
+                if let Some(s) = h.get(i) {
+                    let keep = match op {
+                        CmpOp::Eq => s == needle,
+                        CmpOp::Ne => s != needle,
+                        CmpOp::Lt => s < needle,
+                        CmpOp::Le => s <= needle,
+                        CmpOp::Gt => s > needle,
+                        CmpOp::Ge => s >= needle,
+                    };
+                    if keep {
+                        pos.push(i as Oid);
+                    }
+                }
+            }
+            Ok(candidates(b, pos))
+        }
+    }
+}
+
+/// `select(b, v)`: equality selection, the canonical §3 example.
+pub fn select_eq(b: &Bat, v: &Value) -> Result<Bat> {
+    select_cmp(b, CmpOp::Eq, v)
+}
+
+fn range_fixed<T: NativeType + FixedTail>(
+    b: &Bat,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    lo_incl: bool,
+    hi_incl: bool,
+) -> Result<Bat> {
+    let data = b.tail_slice::<T>()?;
+    let lo_t: Option<T> = lo.map(typed_const).transpose()?;
+    let hi_t: Option<T> = hi.map(typed_const).transpose()?;
+
+    // Binary-search fast path on sorted, nil-free tails.
+    if b.props().sorted && b.props().nonil {
+        use std::cmp::Ordering::*;
+        let from = match &lo_t {
+            None => 0,
+            Some(c) => data.partition_point(|x| {
+                let ord = x.nil_cmp(c);
+                ord == Less || (!lo_incl && ord == Equal)
+            }),
+        };
+        let to = match &hi_t {
+            None => data.len(),
+            Some(c) => data.partition_point(|x| {
+                let ord = x.nil_cmp(c);
+                ord == Less || (hi_incl && ord == Equal)
+            }),
+        };
+        let positions: Vec<Oid> = (from.min(to) as Oid..to as Oid).collect();
+        return Ok(candidates(b, positions));
+    }
+
+    use std::cmp::Ordering::*;
+    let pos = scan_select(data, |x| {
+        let lo_ok = match &lo_t {
+            None => true,
+            Some(c) => {
+                let ord = x.nil_cmp(c);
+                ord == Greater || (lo_incl && ord == Equal)
+            }
+        };
+        let hi_ok = match &hi_t {
+            None => true,
+            Some(c) => {
+                let ord = x.nil_cmp(c);
+                ord == Less || (hi_incl && ord == Equal)
+            }
+        };
+        lo_ok && hi_ok
+    });
+    Ok(candidates(b, pos))
+}
+
+/// Range selection `lo .. hi` with open bounds expressed as `None`.
+pub fn select_range(
+    b: &Bat,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+    lo_incl: bool,
+    hi_incl: bool,
+) -> Result<Bat> {
+    if matches!(lo, Some(Value::Null)) || matches!(hi, Some(Value::Null)) {
+        return Ok(candidates(b, Vec::new()));
+    }
+    match b.tail() {
+        TailHeap::Bool(_) => range_fixed::<bool>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::I8(_) => range_fixed::<i8>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::I16(_) => range_fixed::<i16>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::I32(_) => range_fixed::<i32>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::I64(_) => range_fixed::<i64>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::F64(_) => range_fixed::<f64>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::Oid(_) => range_fixed::<Oid>(b, lo, hi, lo_incl, hi_incl),
+        TailHeap::Str(h) => {
+            let lo_s = match lo {
+                None => None,
+                Some(Value::Str(s)) => Some(s.as_str()),
+                Some(other) => {
+                    return Err(Error::TypeMismatch {
+                        expected: "string".into(),
+                        found: format!("{other:?}"),
+                    })
+                }
+            };
+            let hi_s = match hi {
+                None => None,
+                Some(Value::Str(s)) => Some(s.as_str()),
+                Some(other) => {
+                    return Err(Error::TypeMismatch {
+                        expected: "string".into(),
+                        found: format!("{other:?}"),
+                    })
+                }
+            };
+            let mut pos = Vec::new();
+            for i in 0..h.len() {
+                if let Some(s) = h.get(i) {
+                    let lo_ok = lo_s.is_none_or(|c| if lo_incl { s >= c } else { s > c });
+                    let hi_ok = hi_s.is_none_or(|c| if hi_incl { s <= c } else { s < c });
+                    if lo_ok && hi_ok {
+                        pos.push(i as Oid);
+                    }
+                }
+            }
+            Ok(candidates(b, pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_storage::Bat;
+
+    #[test]
+    fn figure1_select() {
+        // Figure 1: select(age, 1927) over [1907, 1927, 1927, 1968] -> {1, 2}
+        let age = Bat::from_vec(vec![1907i32, 1927, 1927, 1968]);
+        let r = select_eq(&age, &Value::I32(1927)).unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[1, 2]);
+        assert!(r.props().sorted && r.props().key);
+    }
+
+    #[test]
+    fn comparison_ops() {
+        let b = Bat::from_vec(vec![5i64, 1, 3, 5, 9]);
+        let pos =
+            |op| select_cmp(&b, op, &Value::I64(5)).unwrap().tail_slice::<Oid>().unwrap().to_vec();
+        assert_eq!(pos(CmpOp::Eq), vec![0, 3]);
+        assert_eq!(pos(CmpOp::Ne), vec![1, 2, 4]);
+        assert_eq!(pos(CmpOp::Lt), vec![1, 2]);
+        assert_eq!(pos(CmpOp::Le), vec![0, 1, 2, 3]);
+        assert_eq!(pos(CmpOp::Gt), vec![4]);
+        assert_eq!(pos(CmpOp::Ge), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn nil_never_matches() {
+        let b = Bat::from_vec(vec![1i32, i32::NIL, 3]);
+        assert_eq!(
+            select_cmp(&b, CmpOp::Ne, &Value::I32(99)).unwrap().len(),
+            2
+        );
+        assert_eq!(select_cmp(&b, CmpOp::Lt, &Value::I32(99)).unwrap().len(), 2);
+        // comparing against NULL selects nothing
+        assert_eq!(select_eq(&b, &Value::Null).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn range_scan_and_bounds() {
+        let b = Bat::from_vec(vec![10i32, 20, 30, 40, 50]);
+        let r = select_range(&b, Some(&Value::I32(20)), Some(&Value::I32(40)), true, true)
+            .unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[1, 2, 3]);
+        let r = select_range(&b, Some(&Value::I32(20)), Some(&Value::I32(40)), false, false)
+            .unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[2]);
+        let r = select_range(&b, None, Some(&Value::I32(25)), true, true).unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[0, 1]);
+        let r = select_range(&b, Some(&Value::I32(45)), None, true, true).unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[4]);
+    }
+
+    #[test]
+    fn sorted_fast_path_equals_scan() {
+        let mut sorted = Bat::from_vec((0..1000i64).map(|i| i / 3).collect::<Vec<_>>());
+        sorted.compute_props();
+        assert!(sorted.props().sorted);
+        let unsorted = Bat::from_vec(sorted.tail_slice::<i64>().unwrap().to_vec());
+        for (lo, hi, li, hi_i) in [(10, 50, true, true), (0, 0, true, false), (5, 7, false, true)]
+        {
+            let a = select_range(
+                &sorted,
+                Some(&Value::I64(lo)),
+                Some(&Value::I64(hi)),
+                li,
+                hi_i,
+            )
+            .unwrap();
+            let b = select_range(
+                &unsorted,
+                Some(&Value::I64(lo)),
+                Some(&Value::I64(hi)),
+                li,
+                hi_i,
+            )
+            .unwrap();
+            assert_eq!(
+                a.tail_slice::<Oid>().unwrap(),
+                b.tail_slice::<Oid>().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn string_selects() {
+        let b = Bat::from_strings([Some("apple"), Some("pear"), None, Some("fig")]);
+        let r = select_eq(&b, &Value::Str("pear".into())).unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[1]);
+        let r = select_range(
+            &b,
+            Some(&Value::Str("a".into())),
+            Some(&Value::Str("g".into())),
+            true,
+            true,
+        )
+        .unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[0, 3]);
+        assert!(select_eq(&b, &Value::I32(3)).is_err());
+    }
+
+    #[test]
+    fn seqbase_offsets_candidates() {
+        let b = Bat::from_vec(vec![7i32, 8, 7]).slice(1, 3).unwrap(); // seqbase 1
+        let r = select_eq(&b, &Value::I32(7)).unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn coercion_of_constants() {
+        let b = Bat::from_vec(vec![1i32, 2, 3]);
+        // i64 constant against i32 column coerces
+        let r = select_eq(&b, &Value::I64(2)).unwrap();
+        assert_eq!(r.tail_slice::<Oid>().unwrap(), &[1]);
+        // out-of-range constant cannot coerce
+        assert!(select_eq(&b, &Value::I64(i64::MAX)).is_err());
+    }
+}

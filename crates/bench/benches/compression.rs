@@ -1,0 +1,35 @@
+//! Criterion bench for E10: codec decode throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mammoth_compression::{compress, decompress, Scheme};
+use mammoth_workload::{sorted_i64, uniform_i64, zipf_i64};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 18;
+    let datasets = vec![
+        ("sorted", sorted_i64(n, 0, 3, 1)),
+        ("zipf", zipf_i64(n, 1 << 16, 1.1, 3)),
+        ("uniform_narrow", uniform_i64(n, 0, 100_000, 4)),
+    ];
+
+    let mut g = c.benchmark_group("decode");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+    for (dname, data) in &datasets {
+        for scheme in [Scheme::Rle, Scheme::Dict, Scheme::Pfor, Scheme::PforDelta] {
+            let enc = compress(data, scheme);
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), dname),
+                &enc,
+                |b, enc| {
+                    b.iter(|| black_box(decompress(enc)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

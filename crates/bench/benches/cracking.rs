@@ -1,0 +1,54 @@
+//! Criterion bench for E12: a cracking query sequence vs scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mammoth_cracking::{Bound, CrackerColumn};
+use mammoth_workload::{range_query_log, uniform_i64, QueryPattern};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 19;
+    let domain = 10_000_000;
+    let data = uniform_i64(n, 0, domain, 21);
+    let queries = range_query_log(64, domain, 0.001, QueryPattern::Random, 22);
+
+    let mut g = c.benchmark_group("cracking");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((n * queries.len()) as u64));
+    g.bench_function("scan_64_queries", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += data.iter().filter(|&&v| v >= q.lo && v < q.hi).count();
+            }
+            black_box(hits)
+        });
+    });
+    g.bench_function("crack_64_queries_cold", |b| {
+        // includes the copy: cracking owns its column
+        b.iter(|| {
+            let mut cracker = CrackerColumn::new(data.clone());
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += cracker.select_count(Bound::Incl(q.lo), Bound::Excl(q.hi));
+            }
+            black_box(hits)
+        });
+    });
+    g.bench_function("crack_64_queries_warm", |b| {
+        let mut cracker = CrackerColumn::new(data.clone());
+        for q in &queries {
+            cracker.select_count(Bound::Incl(q.lo), Bound::Excl(q.hi));
+        }
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += cracker.select_count(Bound::Incl(q.lo), Bound::Excl(q.hi));
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

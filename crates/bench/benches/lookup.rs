@@ -1,0 +1,66 @@
+//! Criterion bench for E09: positional vs indexed lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mammoth_index::{BPlusTree, CssTree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 19;
+    let keys: Vec<i64> = (0..n as i64).map(|i| i * 2).collect();
+    let css = CssTree::build(keys.clone());
+    let pairs: Vec<(i64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let btree = BPlusTree::bulk_load(&pairs);
+    let mut rng = StdRng::seed_from_u64(77);
+    let probes: Vec<(usize, i64)> = (0..(1 << 14))
+        .map(|_| {
+            let p = rng.random_range(0..n);
+            (p, p as i64 * 2)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("lookup");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("positional_array", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(p, _) in &probes {
+                acc = acc.wrapping_add(keys[p]);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(_, k) in &probes {
+                acc = acc.wrapping_add(keys[keys.partition_point(|&x| x < k)]);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("css_tree", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(_, k) in &probes {
+                acc = acc.wrapping_add(keys[css.get(k).unwrap()]);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("bplus_tree", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(_, k) in &probes {
+                acc = acc.wrapping_add(keys[btree.get(k).unwrap() as usize]);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

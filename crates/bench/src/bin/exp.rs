@@ -1,0 +1,58 @@
+//! The experiment harness binary.
+//!
+//! ```text
+//! cargo run -p mammoth-bench --release --bin exp -- list
+//! cargo run -p mammoth-bench --release --bin exp -- e03 e07
+//! cargo run -p mammoth-bench --release --bin exp -- all
+//! cargo run -p mammoth-bench --release --bin exp -- --quick all
+//! ```
+//!
+//! Every experiment prints the table recorded in EXPERIMENTS.md.
+
+use mammoth_bench::{all_experiments, Scale};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    args.retain(|a| {
+        if a == "--quick" {
+            scale = Scale::Quick;
+            false
+        } else {
+            true
+        }
+    });
+    let experiments = all_experiments();
+
+    if args.is_empty() || args[0] == "list" {
+        println!("usage: exp [--quick] <id...|all>\n\nexperiments:");
+        for (id, desc, _) in &experiments {
+            println!("  {id}  {desc}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let mut unknown = Vec::new();
+    for want in &selected {
+        match experiments.iter().find(|(id, _, _)| id == want) {
+            None => unknown.push(want.to_string()),
+            Some((id, _, run)) => {
+                println!("{}", "=".repeat(78));
+                let t0 = std::time::Instant::now();
+                let report = run(scale);
+                println!("{report}");
+                println!("[{id} took {:.1?}]\n", t0.elapsed());
+            }
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiments: {unknown:?} (try `exp list`)");
+        std::process::exit(1);
+    }
+}

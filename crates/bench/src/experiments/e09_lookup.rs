@@ -1,0 +1,131 @@
+//! E09 — Positional lookup vs index lookup (§3).
+//!
+//! "In effect, this use of arrays in virtual memory … provide[s] an O(1)
+//! positional database lookup mechanism. From a CPU overhead point of view
+//! this compares favorably to B-tree lookup into slotted pages." Plus the
+//! related-work CSS-tree (Rao & Ross) and plain binary search.
+
+use crate::table::TextTable;
+use crate::{ns_per, timed, Scale};
+use mammoth_index::{BPlusTree, CssTree};
+use mammoth_storage::Bat;
+use mammoth_types::{ColumnDef, LogicalType, TableSchema, Value};
+use mammoth_volcano::NsmTable;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(1 << 16, 1 << 21);
+    let probes = scale.pick(1 << 14, 1 << 20);
+    // a sorted key column: key = 2*i, so misses are exercised too
+    let keys: Vec<i64> = (0..n as i64).map(|i| i * 2).collect();
+    let bat = Bat::from_vec(keys.clone());
+    let mut rng = StdRng::seed_from_u64(77);
+    let lookups: Vec<(u64, i64)> = (0..probes)
+        .map(|_| {
+            let pos = rng.random_range(0..n as u64);
+            (pos, pos as i64 * 2)
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E09  {probes} random lookups into a {n}-row column\n"
+    ));
+    out.push_str("paper claim: void-head positional access is O(1) and beats B-tree lookup\n");
+    out.push_str("             into slotted pages by a wide margin\n\n");
+
+    // positional: oid -> value through the void head
+    let (acc_pos, t_pos) = timed(|| {
+        let data = bat.tail_slice::<i64>().unwrap();
+        let mut acc = 0i64;
+        for &(pos, _) in &lookups {
+            let p = bat.find_oid(pos).unwrap();
+            acc = acc.wrapping_add(data[p]);
+        }
+        acc
+    });
+
+    // binary search on the sorted column
+    let (acc_bin, t_bin) = timed(|| {
+        let mut acc = 0i64;
+        for &(_, key) in &lookups {
+            let p = keys.partition_point(|&k| k < key);
+            acc = acc.wrapping_add(keys[p]);
+        }
+        acc
+    });
+
+    // CSS-tree
+    let css = CssTree::build(keys.clone());
+    let (acc_css, t_css) = timed(|| {
+        let mut acc = 0i64;
+        for &(_, key) in &lookups {
+            let p = css.get(key).unwrap();
+            acc = acc.wrapping_add(keys[p]);
+        }
+        acc
+    });
+
+    // B+-tree over positions
+    let pairs: Vec<(i64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let btree = BPlusTree::bulk_load(&pairs);
+    let (acc_bt, t_bt) = timed(|| {
+        let mut acc = 0i64;
+        for &(_, key) in &lookups {
+            let p = btree.get(key).unwrap();
+            acc = acc.wrapping_add(keys[p as usize]);
+        }
+        acc
+    });
+
+    // the full traditional path: B+-tree into NSM slotted pages
+    let nsm = NsmTable::from_columns(
+        TableSchema::new("t", vec![ColumnDef::new("k", LogicalType::I64)]),
+        &[keys.iter().map(|&k| Value::I64(k)).collect()],
+    )
+    .unwrap();
+    let page_index = nsm.build_btree(0);
+    let (acc_page, t_page) = timed(|| {
+        let mut acc = 0i64;
+        for &(_, key) in &lookups {
+            let enc = page_index.get(key).unwrap();
+            let row = nsm.fetch_encoded(enc).unwrap();
+            acc = acc.wrapping_add(row[0].as_i64().unwrap());
+        }
+        acc
+    });
+
+    assert_eq!(acc_pos, acc_bin);
+    assert_eq!(acc_pos, acc_css);
+    assert_eq!(acc_pos, acc_bt);
+    assert_eq!(acc_pos, acc_page);
+
+    let mut t = TextTable::new(vec!["access path", "ns/lookup", "vs positional"]);
+    for (name, secs) in [
+        ("void-head positional (array)", t_pos),
+        ("CSS-tree (array layout)", t_css),
+        ("binary search", t_bin),
+        ("B+-tree (pointer nodes)", t_bt),
+        ("B+-tree into NSM slotted pages", t_page),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", ns_per(secs, probes)),
+            format!("{:.1}x slower", secs / t_pos),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paths_agree() {
+        let r = run(Scale::Quick);
+        assert!(r.contains("positional"));
+    }
+}

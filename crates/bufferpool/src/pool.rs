@@ -1,0 +1,238 @@
+//! A pin/unpin buffer manager with LRU replacement.
+
+use mammoth_types::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pool page size (distinct from the row-store page size on purpose —
+/// scans here are column chunks).
+pub const POOL_PAGE_SIZE: usize = 4096;
+
+/// A page number on the simulated device.
+pub type PageId = u64;
+
+/// A simulated disk: a byte store that counts physical I/O.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    pages: Mutex<HashMap<PageId, Vec<u8>>>,
+    reads: Mutex<u64>,
+    writes: Mutex<u64>,
+}
+
+impl SimDisk {
+    pub fn new() -> Arc<SimDisk> {
+        Arc::new(SimDisk::default())
+    }
+
+    pub fn write_page(&self, id: PageId, data: Vec<u8>) {
+        assert!(data.len() <= POOL_PAGE_SIZE);
+        *self.writes.lock() += 1;
+        self.pages.lock().insert(id, data);
+    }
+
+    pub fn read_page(&self, id: PageId) -> Result<Vec<u8>> {
+        *self.reads.lock() += 1;
+        self.pages
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::Io(format!("page {id} does not exist")))
+    }
+
+    /// Physical reads performed so far.
+    pub fn read_count(&self) -> u64 {
+        *self.reads.lock()
+    }
+
+    pub fn write_count(&self) -> u64 {
+        *self.writes.lock()
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: PageId,
+    data: Vec<u8>,
+    pins: u32,
+    last_used: u64,
+    dirty: bool,
+}
+
+/// A fixed-capacity buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: Arc<SimDisk>,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    pub fn new(disk: Arc<SimDisk>, capacity_pages: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            frames: Vec::with_capacity(capacity_pages),
+            map: HashMap::new(),
+            capacity: capacity_pages.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+
+    /// Pin a page, reading it from disk if absent. The returned data is a
+    /// copy; `unpin` releases the frame for replacement.
+    pub fn pin(&mut self, page: PageId) -> Result<Vec<u8>> {
+        self.clock += 1;
+        if let Some(&f) = self.map.get(&page) {
+            self.hits += 1;
+            self.frames[f].pins += 1;
+            self.frames[f].last_used = self.clock;
+            return Ok(self.frames[f].data.clone());
+        }
+        self.misses += 1;
+        let data = self.disk.read_page(page)?;
+        let idx = self.allocate_frame(page)?;
+        self.frames[idx] = Frame {
+            page,
+            data: data.clone(),
+            pins: 1,
+            last_used: self.clock,
+            dirty: false,
+        };
+        self.map.insert(page, idx);
+        Ok(data)
+    }
+
+    /// Release a pin; `dirty` writes back on eviction.
+    pub fn unpin(&mut self, page: PageId, dirty: bool) -> Result<()> {
+        let &f = self.map.get(&page).ok_or_else(|| {
+            Error::Internal(format!("unpin of unmapped page {page}"))
+        })?;
+        let frame = &mut self.frames[f];
+        if frame.pins == 0 {
+            return Err(Error::Internal(format!("unpin of unpinned page {page}")));
+        }
+        frame.pins -= 1;
+        frame.dirty |= dirty;
+        Ok(())
+    }
+
+    fn allocate_frame(&mut self, _for_page: PageId) -> Result<usize> {
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page: u64::MAX,
+                data: Vec::new(),
+                pins: 0,
+                last_used: 0,
+                dirty: false,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // LRU among unpinned frames
+        let victim = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, fr)| fr.pins == 0)
+            .min_by_key(|(_, fr)| fr.last_used)
+            .map(|(i, _)| i)
+            .ok_or_else(|| Error::Internal("all frames pinned".into()))?;
+        let old = &self.frames[victim];
+        if old.dirty {
+            self.disk.write_page(old.page, old.data.clone());
+        }
+        self.map.remove(&old.page);
+        Ok(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_disk(pages: u64) -> Arc<SimDisk> {
+        let d = SimDisk::new();
+        for p in 0..pages {
+            d.write_page(p, vec![p as u8; 16]);
+        }
+        d
+    }
+
+    #[test]
+    fn pin_reads_through_once() {
+        let disk = seeded_disk(4);
+        let base_reads = disk.read_count();
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
+        let d = pool.pin(1).unwrap();
+        assert_eq!(d, vec![1u8; 16]);
+        pool.unpin(1, false).unwrap();
+        pool.pin(1).unwrap();
+        pool.unpin(1, false).unwrap();
+        assert_eq!(disk.read_count() - base_reads, 1, "second pin is a hit");
+        assert_eq!(pool.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_unpinned() {
+        let disk = seeded_disk(4);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
+        pool.pin(0).unwrap();
+        pool.unpin(0, false).unwrap();
+        pool.pin(1).unwrap();
+        pool.unpin(1, false).unwrap();
+        pool.pin(1).unwrap(); // refresh page 1
+        pool.unpin(1, false).unwrap();
+        let r = disk.read_count();
+        pool.pin(2).unwrap(); // evicts page 0 (LRU)
+        pool.unpin(2, false).unwrap();
+        pool.pin(1).unwrap(); // still resident
+        pool.unpin(1, false).unwrap();
+        assert_eq!(disk.read_count(), r + 1);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let disk = seeded_disk(4);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 2);
+        pool.pin(0).unwrap();
+        pool.pin(1).unwrap();
+        // all frames pinned: next allocation fails
+        assert!(pool.pin(2).is_err());
+        pool.unpin(0, false).unwrap();
+        assert!(pool.pin(2).is_ok());
+    }
+
+    #[test]
+    fn dirty_pages_write_back() {
+        let disk = seeded_disk(4);
+        let mut pool = BufferPool::new(Arc::clone(&disk), 1);
+        pool.pin(0).unwrap();
+        pool.unpin(0, true).unwrap();
+        let w = disk.write_count();
+        pool.pin(1).unwrap(); // evicts dirty page 0
+        assert_eq!(disk.write_count(), w + 1);
+    }
+
+    #[test]
+    fn unpin_errors() {
+        let disk = seeded_disk(2);
+        let mut pool = BufferPool::new(disk, 2);
+        assert!(pool.unpin(0, false).is_err());
+        pool.pin(0).unwrap();
+        pool.unpin(0, false).unwrap();
+        assert!(pool.unpin(0, false).is_err(), "double unpin");
+        assert!(pool.pin(99).is_err(), "missing page");
+    }
+}

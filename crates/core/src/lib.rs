@@ -1,0 +1,213 @@
+//! The mammoth engine façade.
+//!
+//! [`Database`] is the one-object entry point a downstream user adopts: SQL
+//! in, tables out, with the column-store machinery of the paper underneath —
+//! BAT storage with void heads, the materializing BAT Algebra, the MAL
+//! optimizer pipeline and interpreter, optional recycling of intermediates,
+//! delta-based updates with snapshot isolation, raw-heap persistence, and
+//! the XML front-end sharing the same columnar back-end (Figure 1).
+//!
+//! ```
+//! use mammoth_core::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE people (name VARCHAR, age INT)").unwrap();
+//! db.execute("INSERT INTO people VALUES ('Roger Moore', 1927), ('Will Smith', 1968)").unwrap();
+//! let out = db.execute("SELECT name FROM people WHERE age = 1927").unwrap();
+//! println!("{}", out.to_text());
+//! ```
+
+use mammoth_mal::{parse_program, Interpreter, MalValue};
+use mammoth_sql::{QueryOutput, Session};
+use mammoth_storage::{persist, Bat, Catalog, Table};
+use mammoth_types::{ColumnDef, LogicalType, Result, TableSchema};
+use mammoth_xpath::{Doc, XmlNode};
+use std::path::Path;
+
+pub use mammoth_mal::ExecStats;
+pub use mammoth_sql::QueryOutput as Output;
+
+/// An embedded mammoth database.
+pub struct Database {
+    session: Session,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// A fresh in-memory database.
+    pub fn new() -> Database {
+        Database {
+            session: Session::new(),
+        }
+    }
+
+    /// A database with the recycler enabled (§6.1): materialized
+    /// intermediates are cached up to `capacity_bytes` and reused across
+    /// queries.
+    pub fn with_recycler(capacity_bytes: usize) -> Database {
+        Database {
+            session: Session::new().with_recycler(capacity_bytes),
+        }
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
+        self.session.execute(sql)
+    }
+
+    /// Execute a textual MAL program directly against the catalog (the
+    /// back-end interface of Figure 1).
+    pub fn execute_mal(&mut self, mal: &str) -> Result<Vec<MalValue>> {
+        let prog = parse_program(mal)?;
+        let mut interp = Interpreter::new(self.session.catalog());
+        interp.run(&prog)
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        self.session.catalog()
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.session.catalog_mut()
+    }
+
+    /// Recycler counters, when enabled.
+    pub fn recycler_stats(&self) -> Option<&mammoth_recycler::RecyclerStats> {
+        self.session.recycler_stats()
+    }
+
+    /// Register a table built from pre-existing BATs (bulk load path).
+    pub fn register_table(&mut self, schema: TableSchema, columns: Vec<Bat>) -> Result<()> {
+        let table = Table::from_bats(schema, columns)?;
+        self.catalog_mut().create_table(table)
+    }
+
+    /// Load an XML document as a relational table `<name>(post, level, tag)`
+    /// with the dense `pre` rank as the (void) row id — the §3.2 story of
+    /// one columnar back-end serving several data models.
+    pub fn register_xml(&mut self, name: &str, root: &XmlNode) -> Result<Doc> {
+        let doc = Doc::encode(root);
+        let (post, level, tag) = doc.to_bats();
+        let schema = TableSchema::new(
+            name,
+            vec![
+                ColumnDef::new("post", LogicalType::Oid),
+                ColumnDef::new("level", LogicalType::I32),
+                ColumnDef::new("tag", LogicalType::Str),
+            ],
+        );
+        self.register_table(schema, vec![post, level, tag])?;
+        Ok(doc)
+    }
+
+    /// Persist the whole catalog to a directory (raw-heap format).
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        persist::save_catalog(self.catalog(), dir)
+    }
+
+    /// Open a database persisted with [`Database::save`].
+    pub fn open(dir: &Path) -> Result<Database> {
+        let catalog = persist::load_catalog(dir)?;
+        let mut db = Database::new();
+        *db.catalog_mut() = catalog;
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_types::Value;
+    use mammoth_xpath::xml::parse_xml;
+
+    #[test]
+    fn sql_roundtrip() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        let out = db.execute("SELECT b FROM t WHERE a = 2").unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows, vec![vec![Value::Str("y".into())]]);
+    }
+
+    #[test]
+    fn mal_interface() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (5), (7), (5)").unwrap();
+        let out = db
+            .execute_mal(
+                r#"
+                a := sql.bind("t", "a");
+                c := algebra.thetaselect[==](a, 5);
+                io.result(c);
+            "#,
+            )
+            .unwrap();
+        assert_eq!(out[0].as_bat().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn xml_front_end_shares_backend() {
+        let mut db = Database::new();
+        let tree = parse_xml("<a><b/><b/><c/></a>").unwrap();
+        db.register_xml("doc", &tree).unwrap();
+        // query the encoding with plain SQL: how many nodes per tag?
+        let out = db
+            .execute("SELECT tag, COUNT(*) FROM doc GROUP BY tag ORDER BY tag")
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Str("a".into()), Value::I64(1)],
+                vec![Value::Str("b".into()), Value::I64(2)],
+                vec![Value::Str("c".into()), Value::I64(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mammoth-core-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Database::new();
+            db.execute("CREATE TABLE t (a INT NOT NULL)").unwrap();
+            db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+            db.execute("DELETE FROM t WHERE a = 2").unwrap();
+            db.save(&dir).unwrap();
+        }
+        let mut db = Database::open(&dir).unwrap();
+        let out = db.execute("SELECT a FROM t ORDER BY a").unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows, vec![vec![Value::I32(1)], vec![Value::I32(3)]]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recycler_enabled_database() {
+        use mammoth_storage::Bat;
+        let mut db = Database::with_recycler(64 << 20);
+        // large enough that the selects clear the admission cost floor
+        let data: Vec<i64> = (0..200_000).map(|i| i % 1000).collect();
+        db.register_table(
+            TableSchema::new("t", vec![ColumnDef::new("a", LogicalType::I64)]),
+            vec![Bat::from_vec(data)],
+        )
+        .unwrap();
+        db.execute("SELECT COUNT(a) FROM t WHERE a > 10 AND a < 900").unwrap();
+        db.execute("SELECT COUNT(a) FROM t WHERE a > 10 AND a < 900").unwrap();
+        let stats = db.recycler_stats().unwrap();
+        assert!(stats.exact_hits > 0, "{stats:?}");
+        // DML invalidates the cached intermediates
+        db.execute("INSERT INTO t VALUES (5)").unwrap();
+        let before = db.recycler_stats().unwrap().invalidations;
+        assert!(before > 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The MAL interpreter: §3.1's third tier.
+//!
+//! Executes a [`Program`] against a [`Catalog`] by calling the BAT Algebra
+//! operator library, materializing every intermediate (operator-at-a-time).
+//! With a [`Recycler`] attached, each pure instruction's result is memoized
+//! under its *provenance signature* — the canonical text of the whole
+//! expression tree that produced it — so repeated (sub)queries cherry-pick
+//! previous work instead of recomputing it (§6.1).
+
+use crate::program::{Arg, Instr, MalValue, OpCode, Program, VarId};
+use mammoth_algebra as alg;
+use mammoth_storage::{Bat, Catalog, TailHeap};
+use mammoth_types::{Error, Oid, Result, Value};
+use mammoth_recycler::Recycler;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters from one program execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions actually executed (excluding recycled ones).
+    pub executed: u64,
+    /// Instructions answered from the recycler.
+    pub recycled: u64,
+    /// Wall time of the whole run in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// The interpreter. Holds the catalog immutably; queries never mutate.
+pub struct Interpreter<'a> {
+    catalog: &'a Catalog,
+    recycler: Option<&'a mut Recycler>,
+    stats: ExecStats,
+}
+
+impl<'a> Interpreter<'a> {
+    pub fn new(catalog: &'a Catalog) -> Interpreter<'a> {
+        Interpreter {
+            catalog,
+            recycler: None,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Attach a recycler: pure instruction results will be memoized.
+    pub fn with_recycler(catalog: &'a Catalog, recycler: &'a mut Recycler) -> Interpreter<'a> {
+        Interpreter {
+            catalog,
+            recycler: Some(recycler),
+            stats: ExecStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Run a program; returns the values marked by `io.result`.
+    pub fn run(&mut self, prog: &Program) -> Result<Vec<MalValue>> {
+        let t0 = Instant::now();
+        let mut vars: Vec<Option<MalValue>> = vec![None; prog.nvars()];
+        let mut sigs: Vec<Option<String>> = vec![None; prog.nvars()];
+        let mut deps: Vec<Vec<String>> = vec![Vec::new(); prog.nvars()];
+        let mut outputs = Vec::new();
+
+        for instr in &prog.instrs {
+            if instr.op == OpCode::Result {
+                for a in &instr.args {
+                    outputs.push(self.arg_value(a, &vars)?);
+                }
+                continue;
+            }
+            // provenance signature of this instruction
+            let sig = self.instr_sig(instr, &sigs);
+            let instr_deps = self.instr_deps(instr, &deps);
+
+            // recycler lookup: all result slots must hit
+            if let (Some(sig), Some(r)) = (&sig, self.recycler.as_deref_mut()) {
+                let hits: Vec<Option<Arc<Bat>>> = (0..instr.op.result_arity())
+                    .map(|slot| r.lookup(&slot_sig(sig, slot)))
+                    .collect();
+                if hits.iter().all(|h| h.is_some()) && !hits.is_empty() {
+                    for (rv, h) in instr.results.iter().zip(hits) {
+                        vars[*rv] = Some(MalValue::Bat(h.unwrap()));
+                    }
+                    for rv in &instr.results {
+                        sigs[*rv] = Some(slot_sig(sig, position_of(instr, *rv)));
+                        deps[*rv] = instr_deps.clone();
+                    }
+                    self.stats.recycled += 1;
+                    continue;
+                }
+            }
+
+            let start = Instant::now();
+            let results = self.execute(instr, &vars)?;
+            let cost_ns = start.elapsed().as_nanos() as u64;
+            self.stats.executed += 1;
+
+            debug_assert_eq!(results.len(), instr.results.len());
+            for (slot, (rv, val)) in instr.results.iter().zip(results).enumerate() {
+                // admit BAT results to the recycler
+                if let (Some(sig), Some(r), MalValue::Bat(b)) =
+                    (&sig, self.recycler.as_deref_mut(), &val)
+                {
+                    if instr.op.is_pure() {
+                        r.admit(
+                            slot_sig(sig, slot),
+                            Arc::clone(b),
+                            instr_deps.clone(),
+                            cost_ns,
+                        );
+                    }
+                }
+                if let Some(s) = &sig {
+                    sigs[*rv] = Some(slot_sig(s, slot));
+                }
+                deps[*rv] = instr_deps.clone();
+                vars[*rv] = Some(val);
+            }
+        }
+        self.stats.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        Ok(outputs)
+    }
+
+    fn arg_value(&self, a: &Arg, vars: &[Option<MalValue>]) -> Result<MalValue> {
+        match a {
+            Arg::Const(c) => Ok(MalValue::Scalar(c.clone())),
+            Arg::Var(v) => vars
+                .get(*v)
+                .and_then(|x| x.clone())
+                .ok_or_else(|| Error::Internal(format!("use of unbound variable x{v}"))),
+        }
+    }
+
+    fn arg_bat(&self, a: &Arg, vars: &[Option<MalValue>]) -> Result<Arc<Bat>> {
+        match self.arg_value(a, vars)? {
+            MalValue::Bat(b) => Ok(b),
+            MalValue::Scalar(s) => Err(Error::TypeMismatch {
+                expected: "bat".into(),
+                found: format!("{s:?}"),
+            }),
+        }
+    }
+
+    fn arg_const(&self, a: &Arg, vars: &[Option<MalValue>]) -> Result<Value> {
+        match self.arg_value(a, vars)? {
+            MalValue::Scalar(v) => Ok(v),
+            MalValue::Bat(_) => Err(Error::TypeMismatch {
+                expected: "scalar".into(),
+                found: "bat".into(),
+            }),
+        }
+    }
+
+    /// Provenance signature (None when any input's provenance is unknown).
+    fn instr_sig(&self, instr: &Instr, sigs: &[Option<String>]) -> Option<String> {
+        if !instr.op.is_pure() {
+            return None;
+        }
+        let mut s = instr.op.name();
+        s.push('(');
+        for (k, a) in instr.args.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            match a {
+                Arg::Const(c) => s.push_str(&format!("{c:?}")),
+                Arg::Var(v) => s.push_str(sigs.get(*v)?.as_deref()?),
+            }
+        }
+        s.push(')');
+        Some(s)
+    }
+
+    fn instr_deps(&self, instr: &Instr, deps: &[Vec<String>]) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        if let OpCode::Bind = instr.op {
+            if let (Some(Arg::Const(Value::Str(t))), Some(Arg::Const(Value::Str(c)))) =
+                (instr.args.first(), instr.args.get(1))
+            {
+                out.push(format!("{t}.{c}"));
+            }
+        }
+        for a in &instr.args {
+            if let Arg::Var(v) = a {
+                for d in &deps[*v] {
+                    if !out.contains(d) {
+                        out.push(d.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn execute(&self, instr: &Instr, vars: &[Option<MalValue>]) -> Result<Vec<MalValue>> {
+        let bat = |b: Bat| MalValue::Bat(Arc::new(b));
+        Ok(match &instr.op {
+            OpCode::Bind => {
+                let t = self.arg_const(&instr.args[0], vars)?;
+                let c = self.arg_const(&instr.args[1], vars)?;
+                let (Value::Str(t), Value::Str(c)) = (t, c) else {
+                    return Err(Error::Bind("sql.bind expects string constants".into()));
+                };
+                let col = self.catalog.table(&t)?.column_by_name(&c)?;
+                // zero-copy when the column has no pending deltas
+                vec![MalValue::Bat(col.materialize_shared())]
+            }
+            OpCode::ThetaSelect(op) => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                let c = self.arg_const(&instr.args[1], vars)?;
+                vec![bat(alg::select_cmp(&b, *op, &c)?)]
+            }
+            OpCode::RangeSelect { lo_incl, hi_incl } => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                let lo = self.arg_const(&instr.args[1], vars)?;
+                let hi = self.arg_const(&instr.args[2], vars)?;
+                let lo_ref = (!lo.is_null()).then_some(&lo);
+                let hi_ref = (!hi.is_null()).then_some(&hi);
+                vec![bat(alg::select_range(&b, lo_ref, hi_ref, *lo_incl, *hi_incl)?)]
+            }
+            OpCode::Projection => {
+                let cands = self.arg_bat(&instr.args[0], vars)?;
+                let b = self.arg_bat(&instr.args[1], vars)?;
+                vec![bat(alg::fetch_join(&cands, &b)?)]
+            }
+            OpCode::Join => {
+                let l = self.arg_bat(&instr.args[0], vars)?;
+                let r = self.arg_bat(&instr.args[1], vars)?;
+                let ji = alg::hash_join(&l, &r)?;
+                vec![
+                    bat(Bat::dense(0, TailHeap::from_vec(ji.left))),
+                    bat(Bat::dense(0, TailHeap::from_vec(ji.right))),
+                ]
+            }
+            OpCode::Group => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                let (gids, _n, extents) = alg::group_by(&b)?;
+                let ext: Vec<Oid> = extents.iter().map(|&p| p as Oid).collect();
+                vec![bat(gids), bat(Bat::dense(0, TailHeap::from_vec(ext)))]
+            }
+            OpCode::GroupRefine => {
+                let gids = self.arg_bat(&instr.args[0], vars)?;
+                let b = self.arg_bat(&instr.args[1], vars)?;
+                let (gids2, _n, extents) = alg::group_refine(&gids, &b)?;
+                let ext: Vec<Oid> = extents.iter().map(|&p| p as Oid).collect();
+                vec![bat(gids2), bat(Bat::dense(0, TailHeap::from_vec(ext)))]
+            }
+            OpCode::Aggr(kind) => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                vec![MalValue::Scalar(alg::aggregate_scalar(*kind, &b)?)]
+            }
+            OpCode::AggrGrouped(kind) => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                let gids = self.arg_bat(&instr.args[1], vars)?;
+                let ext = self.arg_bat(&instr.args[2], vars)?;
+                vec![bat(alg::grouped_aggregate(*kind, &b, &gids, ext.len())?)]
+            }
+            OpCode::Calc(op) => {
+                let a = self.arg_bat(&instr.args[0], vars)?;
+                match self.arg_value(&instr.args[1], vars)? {
+                    MalValue::Bat(b2) => vec![bat(alg::arith_bat(*op, &a, &b2)?)],
+                    MalValue::Scalar(c) => vec![bat(alg::arith_const(*op, &a, &c)?)],
+                }
+            }
+            OpCode::Sort { desc } => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                let (sorted, order) = alg::sort_bat_dir(&b, *desc)?;
+                vec![bat(sorted), bat(order)]
+            }
+            OpCode::Slice => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                let lo = self
+                    .arg_const(&instr.args[1], vars)?
+                    .as_i64()
+                    .unwrap_or(0)
+                    .max(0) as usize;
+                let hi = self
+                    .arg_const(&instr.args[2], vars)?
+                    .as_i64()
+                    .unwrap_or(i64::MAX)
+                    .max(0) as usize;
+                let hi = hi.min(b.len());
+                let lo = lo.min(hi);
+                vec![bat(b.slice(lo, hi)?)]
+            }
+            OpCode::Count => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                vec![MalValue::Scalar(Value::I64(b.len() as i64))]
+            }
+            OpCode::Mirror => {
+                let b = self.arg_bat(&instr.args[0], vars)?;
+                vec![bat(b.mirror())]
+            }
+            OpCode::Result => unreachable!("handled by run()"),
+        })
+    }
+}
+
+fn slot_sig(sig: &str, slot: usize) -> String {
+    format!("{sig}#{slot}")
+}
+
+fn position_of(instr: &Instr, var: VarId) -> usize {
+    instr
+        .results
+        .iter()
+        .position(|&r| r == var)
+        .expect("var is a result of this instruction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_algebra::{AggKind, CmpOp};
+    use mammoth_storage::Table;
+    use mammoth_types::{ColumnDef, LogicalType, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "people",
+            vec![
+                ColumnDef::new("name", LogicalType::Str),
+                ColumnDef::new("age", LogicalType::I32),
+            ],
+        ))
+        .unwrap();
+        for (n, a) in [
+            ("John Wayne", 1907),
+            ("Roger Moore", 1927),
+            ("Bob Fosse", 1927),
+            ("Will Smith", 1968),
+        ] {
+            t.insert_row(&[Value::Str(n.into()), Value::I32(a)]).unwrap();
+        }
+        cat.create_table(t).unwrap();
+        cat
+    }
+
+    /// Figure 1's query as a MAL program: select(age, 1927), fetch names.
+    fn figure1_program() -> Program {
+        let mut p = Program::new();
+        let age = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[0];
+        let cands = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(age), Arg::Const(Value::I32(1927))],
+        )[0];
+        let name = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("name".into())),
+            ],
+        )[0];
+        let out = p.push(
+            OpCode::Projection,
+            vec![Arg::Var(cands), Arg::Var(name)],
+        )[0];
+        p.push_result(&[out]);
+        p
+    }
+
+    #[test]
+    fn figure1_end_to_end() {
+        let cat = catalog();
+        let mut interp = Interpreter::new(&cat);
+        let out = interp.run(&figure1_program()).unwrap();
+        assert_eq!(out.len(), 1);
+        let b = out[0].as_bat().unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.value_at(0), Value::Str("Roger Moore".into()));
+        assert_eq!(b.value_at(1), Value::Str("Bob Fosse".into()));
+        assert_eq!(interp.stats().executed, 4);
+    }
+
+    #[test]
+    fn recycler_avoids_double_work() {
+        let cat = catalog();
+        let mut rec = Recycler::new(1 << 20, mammoth_recycler::EvictPolicy::Lru);
+        {
+            let mut i1 = Interpreter::with_recycler(&cat, &mut rec);
+            i1.run(&figure1_program()).unwrap();
+            assert_eq!(i1.stats().recycled, 0);
+        }
+        {
+            let mut i2 = Interpreter::with_recycler(&cat, &mut rec);
+            let out = i2.run(&figure1_program()).unwrap();
+            assert_eq!(i2.stats().recycled, 4, "whole plan recycled");
+            assert_eq!(i2.stats().executed, 0);
+            assert_eq!(out[0].as_bat().unwrap().len(), 2);
+        }
+        // invalidation kills dependent entries
+        rec.invalidate("people.age");
+        {
+            let mut i3 = Interpreter::with_recycler(&cat, &mut rec);
+            i3.run(&figure1_program()).unwrap();
+            // name-bind survives; age-bind/select/projection recompute
+            assert_eq!(i3.stats().recycled, 1);
+            assert_eq!(i3.stats().executed, 3);
+        }
+    }
+
+    #[test]
+    fn grouped_aggregation_program() {
+        let cat = catalog();
+        let mut p = Program::new();
+        let age = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[0];
+        let g = p.push(OpCode::Group, vec![Arg::Var(age)]);
+        let cnt = p.push(
+            OpCode::AggrGrouped(AggKind::Count),
+            vec![Arg::Var(age), Arg::Var(g[0]), Arg::Var(g[1])],
+        )[0];
+        let keys = p.push(
+            OpCode::Projection,
+            vec![Arg::Var(g[1]), Arg::Var(age)],
+        )[0];
+        p.push_result(&[keys, cnt]);
+
+        let mut interp = Interpreter::new(&cat);
+        let out = interp.run(&p).unwrap();
+        let keys = out[0].as_bat().unwrap();
+        let counts = out[1].as_bat().unwrap();
+        assert_eq!(keys.tail_slice::<i32>().unwrap(), &[1907, 1927, 1968]);
+        assert_eq!(counts.tail_slice::<i64>().unwrap(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn scalar_aggregates_and_calc() {
+        let cat = catalog();
+        let mut p = Program::new();
+        let age = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[0];
+        let doubled = p.push(
+            OpCode::Calc(mammoth_algebra::ArithOp::Mul),
+            vec![Arg::Var(age), Arg::Const(Value::I32(2))],
+        )[0];
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(doubled)])[0];
+        let n = p.push(OpCode::Count, vec![Arg::Var(age)])[0];
+        p.push_result(&[s, n]);
+        let mut interp = Interpreter::new(&cat);
+        let out = interp.run(&p).unwrap();
+        assert_eq!(
+            out[0].as_scalar().unwrap(),
+            &Value::I64(2 * (1907 + 1927 + 1927 + 1968))
+        );
+        assert_eq!(out[1].as_scalar().unwrap(), &Value::I64(4));
+    }
+
+    #[test]
+    fn errors_are_propagated() {
+        let cat = catalog();
+        let mut p = Program::new();
+        p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("nonexistent".into())),
+                Arg::Const(Value::Str("x".into())),
+            ],
+        );
+        let mut interp = Interpreter::new(&cat);
+        assert!(interp.run(&p).is_err());
+
+        // unbound variable
+        let mut p = Program::new();
+        let ghost = p.var();
+        p.push(OpCode::Count, vec![Arg::Var(ghost)]);
+        assert!(Interpreter::new(&cat).run(&p).is_err());
+    }
+
+    #[test]
+    fn sort_and_slice() {
+        let cat = catalog();
+        let mut p = Program::new();
+        let age = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[0];
+        let s = p.push(OpCode::Sort { desc: false }, vec![Arg::Var(age)]);
+        let top2 = p.push(
+            OpCode::Slice,
+            vec![
+                Arg::Var(s[0]),
+                Arg::Const(Value::I64(0)),
+                Arg::Const(Value::I64(2)),
+            ],
+        )[0];
+        p.push_result(&[top2]);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(
+            out[0].as_bat().unwrap().tail_slice::<i32>().unwrap(),
+            &[1907, 1927]
+        );
+    }
+}

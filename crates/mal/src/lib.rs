@@ -1,0 +1,29 @@
+//! The MAL (MonetDB Assembler Language) layer (§3, §3.1).
+//!
+//! "Figure 1 shows the design of MonetDB as a back-end that acts as a BAT
+//! Algebra virtual machine programmed with the MonetDB Assembler Language
+//! (MAL). The top consists of a variety of query language compilers that
+//! produce MAL programs."
+//!
+//! * [`program`] — MAL programs: sequences of zero-degree-of-freedom
+//!   instructions over BAT-valued variables (an instruction may bind
+//!   multiple results, e.g. `(l, r) := algebra.join(a, b)`).
+//! * [`parser`] — the textual MAL form, for tests, examples and debugging.
+//! * [`optimizer`] — the second tier of §3.1: "a collection of optimizer
+//!   modules, which are assembled into optimization pipelines … The
+//!   approach breaks with the hitherto omnipresent cost-based optimizers."
+//!   Implemented modules: constant folding, common-subexpression
+//!   elimination, dead-code elimination.
+//! * [`interp`] — the third tier: the interpreter over the BAT Algebra,
+//!   with optional recycler integration (§6.1) that memoizes instruction
+//!   results keyed by their *provenance signature*.
+
+pub mod interp;
+pub mod optimizer;
+pub mod parser;
+pub mod program;
+
+pub use interp::{ExecStats, Interpreter};
+pub use optimizer::{default_pipeline, OptimizerPass, Pipeline};
+pub use parser::parse_program;
+pub use program::{Arg, Instr, MalValue, OpCode, Program, VarId};

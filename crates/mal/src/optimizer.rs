@@ -1,0 +1,339 @@
+//! The optimizer-module pipeline: §3.1's second tier.
+//!
+//! "The second tier consists of a collection of optimizer modules, which
+//! are assembled into optimization pipelines. … The approach breaks with
+//! the hitherto omnipresent cost-based optimizers by recognition that not
+//! all decisions can be cast together in a single cost formula."
+//!
+//! Each module is a standalone program→program rewrite. The default
+//! pipeline runs constant folding, common-subexpression elimination and
+//! dead-code elimination, in that order.
+
+use crate::program::{Arg, Instr, OpCode, Program};
+use mammoth_algebra::ArithOp;
+use mammoth_types::Value;
+use std::collections::HashMap;
+
+/// One optimizer module.
+pub trait OptimizerPass {
+    fn name(&self) -> &'static str;
+    fn run(&self, prog: Program) -> Program;
+}
+
+/// An ordered pipeline of modules.
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn OptimizerPass>>,
+}
+
+impl Pipeline {
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    pub fn with(mut self, pass: impl OptimizerPass + 'static) -> Pipeline {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    pub fn optimize(&self, mut prog: Program) -> Program {
+        for p in &self.passes {
+            prog = p.run(prog);
+        }
+        prog
+    }
+
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+}
+
+/// The default pipeline (mirrors MonetDB's default optimizer chain in
+/// spirit).
+pub fn default_pipeline() -> Pipeline {
+    Pipeline::new()
+        .with(ConstantFold)
+        .with(CommonSubexpr)
+        .with(DeadCode)
+}
+
+/// Fold `batcalc` instructions whose *both* operands are constants, and
+/// canonicalize constant-only arithmetic in arguments.
+pub struct ConstantFold;
+
+impl OptimizerPass for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant_fold"
+    }
+
+    fn run(&self, prog: Program) -> Program {
+        // In this instruction set only scalar+scalar Calc can fold; the SQL
+        // front-end already folds most of those, so the pass mainly
+        // normalizes `x := calc(const, const)` produced by generators.
+        let mut out = prog.clone();
+        let mut folded: HashMap<usize, Value> = HashMap::new();
+        out.instrs = prog
+            .instrs
+            .into_iter()
+            .filter_map(|mut i| {
+                // replace args that reference folded vars
+                for a in &mut i.args {
+                    if let Arg::Var(v) = a {
+                        if let Some(c) = folded.get(v) {
+                            *a = Arg::Const(c.clone());
+                        }
+                    }
+                }
+                if let OpCode::Calc(op) = &i.op {
+                    if let (Some(Arg::Const(a)), Some(Arg::Const(b))) =
+                        (i.args.first(), i.args.get(1))
+                    {
+                        if let Some(c) = fold_arith(*op, a, b) {
+                            folded.insert(i.results[0], c);
+                            return None; // instruction disappears
+                        }
+                    }
+                }
+                Some(i)
+            })
+            .collect();
+        out
+    }
+}
+
+fn fold_arith(op: ArithOp, a: &Value, b: &Value) -> Option<Value> {
+    if a.is_null() || b.is_null() {
+        return Some(Value::Null);
+    }
+    if let (Some(x), Some(y)) = (a.as_i64(), b.as_i64()) {
+        if a.logical_type() != Some(mammoth_types::LogicalType::F64)
+            && b.logical_type() != Some(mammoth_types::LogicalType::F64)
+        {
+            return Some(Value::I64(match op {
+                ArithOp::Add => x.wrapping_add(y),
+                ArithOp::Sub => x.wrapping_sub(y),
+                ArithOp::Mul => x.wrapping_mul(y),
+                ArithOp::Div => {
+                    if y == 0 {
+                        return Some(Value::Null);
+                    }
+                    x.wrapping_div(y)
+                }
+                ArithOp::Mod => {
+                    if y == 0 {
+                        return Some(Value::Null);
+                    }
+                    x.wrapping_rem(y)
+                }
+            }));
+        }
+    }
+    let (x, y) = (a.as_f64()?, b.as_f64()?);
+    Some(Value::F64(match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => x / y,
+        ArithOp::Mod => x % y,
+    }))
+}
+
+/// Replace instructions identical to an earlier one (same op, same args)
+/// with the earlier result — the materialize-everything paradigm makes this
+/// safe for all pure instructions.
+pub struct CommonSubexpr;
+
+impl OptimizerPass for CommonSubexpr {
+    fn name(&self) -> &'static str {
+        "common_subexpression"
+    }
+
+    fn run(&self, prog: Program) -> Program {
+        let mut seen: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut replace: HashMap<usize, usize> = HashMap::new(); // var -> var
+        let mut out = prog.clone();
+        out.instrs = prog
+            .instrs
+            .into_iter()
+            .filter_map(|mut i| {
+                for a in &mut i.args {
+                    if let Arg::Var(v) = a {
+                        if let Some(&r) = replace.get(v) {
+                            *a = Arg::Var(r);
+                        }
+                    }
+                }
+                if !i.op.is_pure() {
+                    return Some(i);
+                }
+                let key = format!("{:?}|{:?}", i.op, i.args);
+                match seen.get(&key) {
+                    Some(prev) => {
+                        for (mine, theirs) in i.results.iter().zip(prev) {
+                            replace.insert(*mine, *theirs);
+                        }
+                        None
+                    }
+                    None => {
+                        seen.insert(key, i.results.clone());
+                        Some(i)
+                    }
+                }
+            })
+            .collect();
+        out
+    }
+}
+
+/// Remove pure instructions none of whose results are ever used.
+pub struct DeadCode;
+
+impl OptimizerPass for DeadCode {
+    fn name(&self) -> &'static str {
+        "dead_code"
+    }
+
+    fn run(&self, prog: Program) -> Program {
+        // iterate to a fixed point (removing one instruction can orphan its
+        // inputs)
+        let mut instrs = prog.instrs.clone();
+        loop {
+            let mut used = vec![false; prog.nvars()];
+            for i in &instrs {
+                for a in &i.args {
+                    if let Arg::Var(v) = a {
+                        used[*v] = true;
+                    }
+                }
+            }
+            let before = instrs.len();
+            instrs.retain(|i: &Instr| {
+                !i.op.is_pure() || i.results.iter().any(|r| used[*r])
+            });
+            if instrs.len() == before {
+                break;
+            }
+        }
+        let mut out = prog.clone();
+        out.instrs = instrs;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_algebra::CmpOp;
+
+    fn bind(p: &mut Program, t: &str, c: &str) -> usize {
+        p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str(t.into())),
+                Arg::Const(Value::Str(c.into())),
+            ],
+        )[0]
+    }
+
+    #[test]
+    fn dead_code_removes_unused_chains() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let _unused_select = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(a), Arg::Const(Value::I32(1))],
+        );
+        let b = bind(&mut p, "t", "b");
+        p.push_result(&[b]);
+        let out = DeadCode.run(p);
+        // the select AND the bind feeding only it are gone
+        assert_eq!(out.instrs.len(), 2);
+        assert!(out
+            .instrs
+            .iter()
+            .all(|i| !matches!(&i.op, OpCode::ThetaSelect(_))));
+    }
+
+    #[test]
+    fn cse_merges_identical_instructions() {
+        let mut p = Program::new();
+        let a1 = bind(&mut p, "t", "a");
+        let a2 = bind(&mut p, "t", "a");
+        let s1 = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(a1), Arg::Const(Value::I32(1))],
+        )[0];
+        let s2 = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(a2), Arg::Const(Value::I32(1))],
+        )[0];
+        p.push_result(&[s1, s2]);
+        let out = CommonSubexpr.run(p);
+        // one bind + one select + result
+        assert_eq!(out.instrs.len(), 3);
+        // result now references the surviving select twice
+        let res = out.instrs.last().unwrap();
+        assert_eq!(res.args[0], res.args[1]);
+    }
+
+    #[test]
+    fn constant_folding_removes_scalar_calc() {
+        let mut p = Program::new();
+        let c = p.push(
+            OpCode::Calc(ArithOp::Add),
+            vec![Arg::Const(Value::I32(2)), Arg::Const(Value::I32(3))],
+        )[0];
+        let a = bind(&mut p, "t", "a");
+        let s = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(a), Arg::Var(c)],
+        )[0];
+        p.push_result(&[s]);
+        let out = ConstantFold.run(p);
+        assert_eq!(out.instrs.len(), 3);
+        let sel = &out.instrs[1];
+        assert_eq!(sel.args[1], Arg::Const(Value::I64(5)));
+    }
+
+    #[test]
+    fn fold_arith_rules() {
+        assert_eq!(
+            fold_arith(ArithOp::Mul, &Value::I32(6), &Value::I32(7)),
+            Some(Value::I64(42))
+        );
+        assert_eq!(
+            fold_arith(ArithOp::Div, &Value::I32(1), &Value::I32(0)),
+            Some(Value::Null)
+        );
+        assert_eq!(
+            fold_arith(ArithOp::Add, &Value::F64(0.5), &Value::I32(1)),
+            Some(Value::F64(1.5))
+        );
+        assert_eq!(
+            fold_arith(ArithOp::Add, &Value::Null, &Value::I32(1)),
+            Some(Value::Null)
+        );
+    }
+
+    #[test]
+    fn default_pipeline_composes() {
+        let pl = default_pipeline();
+        assert_eq!(
+            pl.pass_names(),
+            vec!["constant_fold", "common_subexpression", "dead_code"]
+        );
+        let mut p = Program::new();
+        let a1 = bind(&mut p, "t", "a");
+        let _dead = bind(&mut p, "t", "zzz");
+        let a2 = bind(&mut p, "t", "a"); // duplicate
+        let s = p.push(
+            OpCode::ThetaSelect(CmpOp::Lt),
+            vec![Arg::Var(a2), Arg::Const(Value::I32(9))],
+        )[0];
+        p.push_result(&[s]);
+        let _keep_a1_alive = a1;
+        let out = pl.optimize(p);
+        // bind(t.a) + select + result — dup bind and dead bind removed
+        assert_eq!(out.instrs.len(), 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! MAL program representation.
+
+use mammoth_algebra::{AggKind, ArithOp, CmpOp};
+use mammoth_storage::Bat;
+use mammoth_types::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A MAL variable id.
+pub type VarId = usize;
+
+/// A runtime value: a BAT or a scalar. BATs are shared so a recycler hit
+/// costs a pointer copy, exactly like MonetDB's reference-counted BATs.
+#[derive(Debug, Clone)]
+pub enum MalValue {
+    Bat(Arc<Bat>),
+    Scalar(Value),
+}
+
+impl MalValue {
+    pub fn as_bat(&self) -> Option<&Arc<Bat>> {
+        match self {
+            MalValue::Bat(b) => Some(b),
+            MalValue::Scalar(_) => None,
+        }
+    }
+
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            MalValue::Scalar(v) => Some(v),
+            MalValue::Bat(_) => None,
+        }
+    }
+}
+
+/// An instruction argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    Var(VarId),
+    Const(Value),
+}
+
+/// The zero-degrees-of-freedom instruction set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpCode {
+    /// `sql.bind(table, column)` — materialize a base column (live rows).
+    Bind,
+    /// `algebra.thetaselect(b, op, const)` — candidates where `tail op c`.
+    ThetaSelect(CmpOp),
+    /// `algebra.select(b, lo, hi, li, hi_i)` — range candidates. NULL
+    /// bounds are open.
+    RangeSelect { lo_incl: bool, hi_incl: bool },
+    /// `algebra.projection(cands, b)` — positional fetch.
+    Projection,
+    /// `(l, r) := algebra.join(a, b)` — equi-join producing two aligned
+    /// candidate BATs.
+    Join,
+    /// `(gids, ext) := group.group(b)`.
+    Group,
+    /// `(gids, ext) := group.refine(gids, b)`.
+    GroupRefine,
+    /// `aggr.<kind>(b)` — scalar aggregate.
+    Aggr(AggKind),
+    /// `aggr.sub<kind>(b, gids, ext)` — grouped aggregate (one row per
+    /// group; `ext` fixes the group count).
+    AggrGrouped(AggKind),
+    /// `batcalc.<op>(a, b)` — element-wise arithmetic (b may be a const).
+    Calc(ArithOp),
+    /// `(sorted, order) := algebra.sort(b)` (optionally descending).
+    Sort { desc: bool },
+    /// `bat.slice(b, lo, hi)` — positional slice.
+    Slice,
+    /// `aggr.count(b)` — BAT length as a scalar (counts rows, not nils).
+    Count,
+    /// `bat.mirror(b)` — dense identity candidates over b.
+    Mirror,
+    /// `io.result(b, ...)` — mark outputs (side effect; ends the plan).
+    Result,
+}
+
+impl OpCode {
+    /// Number of results the instruction binds.
+    pub fn result_arity(&self) -> usize {
+        match self {
+            OpCode::Join | OpCode::Group | OpCode::GroupRefine | OpCode::Sort { .. } => 2,
+            OpCode::Result => 0,
+            _ => 1,
+        }
+    }
+
+    /// The MonetDB-style `module.function` name.
+    pub fn name(&self) -> String {
+        match self {
+            OpCode::Bind => "sql.bind".into(),
+            OpCode::ThetaSelect(op) => format!("algebra.thetaselect[{}]", cmp_name(*op)),
+            OpCode::RangeSelect { .. } => "algebra.select".into(),
+            OpCode::Projection => "algebra.projection".into(),
+            OpCode::Join => "algebra.join".into(),
+            OpCode::Group => "group.group".into(),
+            OpCode::GroupRefine => "group.refine".into(),
+            OpCode::Aggr(k) => format!("aggr.{}", agg_name(*k)),
+            OpCode::AggrGrouped(k) => format!("aggr.sub{}", agg_name(*k)),
+            OpCode::Calc(op) => format!("batcalc.{}", arith_name(*op)),
+            OpCode::Sort { desc: false } => "algebra.sort".into(),
+            OpCode::Sort { desc: true } => "algebra.sort[desc]".into(),
+            OpCode::Slice => "bat.slice".into(),
+            OpCode::Count => "aggr.count".into(),
+            OpCode::Mirror => "bat.mirror".into(),
+            OpCode::Result => "io.result".into(),
+        }
+    }
+
+    /// Instructions without side effects whose unused results may be
+    /// removed, and whose results are recyclable.
+    pub fn is_pure(&self) -> bool {
+        !matches!(self, OpCode::Result)
+    }
+}
+
+pub(crate) fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+pub(crate) fn agg_name(k: AggKind) -> &'static str {
+    match k {
+        AggKind::Count => "count_nonnil",
+        AggKind::Sum => "sum",
+        AggKind::Min => "min",
+        AggKind::Max => "max",
+        AggKind::Avg => "avg",
+    }
+}
+
+pub(crate) fn arith_name(op: ArithOp) -> &'static str {
+    match op {
+        ArithOp::Add => "+",
+        ArithOp::Sub => "-",
+        ArithOp::Mul => "*",
+        ArithOp::Div => "/",
+        ArithOp::Mod => "%",
+    }
+}
+
+/// One MAL instruction: `results := op(args)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    pub results: Vec<VarId>,
+    pub op: OpCode,
+    pub args: Vec<Arg>,
+}
+
+/// A MAL program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub instrs: Vec<Instr>,
+    nvars: usize,
+}
+
+impl Program {
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn var(&mut self) -> VarId {
+        self.nvars += 1;
+        self.nvars - 1
+    }
+
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Reserve ids up to `n` (used by the parser).
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.nvars = self.nvars.max(n);
+    }
+
+    /// Append `results := op(args)` with fresh result vars; returns them.
+    pub fn push(&mut self, op: OpCode, args: Vec<Arg>) -> Vec<VarId> {
+        let results: Vec<VarId> = (0..op.result_arity()).map(|_| self.var()).collect();
+        self.instrs.push(Instr {
+            results: results.clone(),
+            op,
+            args,
+        });
+        results
+    }
+
+    /// Append an `io.result` marking the output variables.
+    pub fn push_result(&mut self, vars: &[VarId]) {
+        self.instrs.push(Instr {
+            results: vec![],
+            op: OpCode::Result,
+            args: vars.iter().map(|&v| Arg::Var(v)).collect(),
+        });
+    }
+
+    /// The variables marked as outputs.
+    pub fn outputs(&self) -> Vec<VarId> {
+        self.instrs
+            .iter()
+            .filter(|i| i.op == OpCode::Result)
+            .flat_map(|i| {
+                i.args.iter().filter_map(|a| match a {
+                    Arg::Var(v) => Some(*v),
+                    Arg::Const(_) => None,
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.instrs {
+            match i.results.len() {
+                0 => {}
+                1 => write!(f, "x{} := ", i.results[0])?,
+                _ => {
+                    write!(f, "(")?;
+                    for (k, r) in i.results.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "x{r}")?;
+                    }
+                    write!(f, ") := ")?;
+                }
+            }
+            write!(f, "{}(", i.op.name())?;
+            for (k, a) in i.args.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                match a {
+                    Arg::Var(v) => write!(f, "x{v}")?,
+                    Arg::Const(Value::Str(s)) => write!(f, "{s:?}")?,
+                    Arg::Const(c) => write!(f, "{c}")?,
+                }
+            }
+            writeln!(f, ");")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut p = Program::new();
+        let [b] = p.push(OpCode::Bind, vec![
+            Arg::Const(Value::Str("people".into())),
+            Arg::Const(Value::Str("age".into())),
+        ])[..] else {
+            panic!()
+        };
+        let [c] = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(b), Arg::Const(Value::I32(1927))],
+        )[..] else {
+            panic!()
+        };
+        p.push_result(&[c]);
+        let text = p.to_string();
+        assert!(text.contains("x0 := sql.bind(\"people\", \"age\");"));
+        assert!(text.contains("x1 := algebra.thetaselect[==](x0, 1927);"));
+        assert!(text.contains("io.result(x1);"));
+        assert_eq!(p.outputs(), vec![c]);
+    }
+
+    #[test]
+    fn multi_result_instr() {
+        let mut p = Program::new();
+        let a = p.var();
+        let b = p.var();
+        let rs = p.push(OpCode::Join, vec![Arg::Var(a), Arg::Var(b)]);
+        assert_eq!(rs.len(), 2);
+        assert!(p.to_string().contains(") := algebra.join("));
+    }
+
+    #[test]
+    fn purity() {
+        assert!(OpCode::Bind.is_pure());
+        assert!(!OpCode::Result.is_pure());
+        assert_eq!(OpCode::Result.result_arity(), 0);
+        assert_eq!(OpCode::Sort { desc: false }.result_arity(), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! The recycler: a cache of materialized intermediates (§6.1).
+//!
+//! "The operator-at-a-time paradigm with full materialization of all
+//! intermediates pursued in MonetDB provides a hook for easier materialized
+//! view capturing. The results of all relational operators can be
+//! maintained in a cache, which is also aware of their dependencies. Then,
+//! traditional cache replacement policies can be applied to avoid double
+//! work, cherry picking the cache for previously derived results."
+//!
+//! Entries are keyed by the instruction's canonical signature. The cache
+//! tracks which base columns each entry (transitively) depends on, so
+//! updates invalidate exactly the affected intermediates. Range selections
+//! additionally support *subsumption*: a query `σ[5,10](c)` can be computed
+//! from a cached `σ[0,20](c)` by refining the smaller intermediate instead
+//! of rescanning the base column.
+
+use mammoth_storage::Bat;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Replacement policies for a full cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictPolicy {
+    /// Evict the least recently used entry.
+    Lru,
+    /// Evict the entry with the lowest (saved cost × hits) per byte — the
+    /// recycler paper's "benefit" policy.
+    BenefitPerByte,
+}
+
+/// One cached intermediate.
+#[derive(Debug, Clone)]
+struct Entry {
+    bat: Arc<Bat>,
+    bytes: usize,
+    /// Base columns this result transitively depends on.
+    depends_on: Vec<String>,
+    /// What it cost to compute (ns), i.e. what a hit saves.
+    cost_ns: u64,
+    hits: u64,
+    last_used: u64,
+}
+
+/// A cached range selection over a base column, kept separately so covering
+/// queries can find it.
+#[derive(Debug, Clone)]
+struct RangeEntry {
+    lo: Option<i64>,
+    hi: Option<i64>,
+    sig: String,
+}
+
+/// Counters for the E13 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecyclerStats {
+    pub lookups: u64,
+    pub exact_hits: u64,
+    pub subsumption_hits: u64,
+    pub admissions: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+    pub resident_bytes: usize,
+}
+
+/// The intermediate-result cache.
+#[derive(Debug)]
+pub struct Recycler {
+    entries: HashMap<String, Entry>,
+    /// column id -> cached ranges over it
+    ranges: HashMap<String, Vec<RangeEntry>>,
+    capacity_bytes: usize,
+    policy: EvictPolicy,
+    /// Results cheaper than this (ns) are not worth caching (admission
+    /// policy; keeps zero-copy binds from thrashing the budget).
+    min_cost_ns: u64,
+    clock: u64,
+    stats: RecyclerStats,
+}
+
+impl Recycler {
+    pub fn new(capacity_bytes: usize, policy: EvictPolicy) -> Recycler {
+        Recycler {
+            entries: HashMap::new(),
+            ranges: HashMap::new(),
+            capacity_bytes,
+            policy,
+            min_cost_ns: 0,
+            clock: 0,
+            stats: RecyclerStats::default(),
+        }
+    }
+
+    /// Only admit results that cost at least `ns` to compute.
+    pub fn with_min_cost_ns(mut self, ns: u64) -> Recycler {
+        self.min_cost_ns = ns;
+        self
+    }
+
+    pub fn stats(&self) -> &RecyclerStats {
+        &self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact-match lookup by instruction signature.
+    pub fn lookup(&mut self, sig: &str) -> Option<Arc<Bat>> {
+        self.clock += 1;
+        self.stats.lookups += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.get_mut(sig) {
+            e.hits += 1;
+            e.last_used = clock;
+            self.stats.exact_hits += 1;
+            Some(Arc::clone(&e.bat))
+        } else {
+            None
+        }
+    }
+
+    /// Admit a computed intermediate.
+    ///
+    /// `depends_on` lists the base columns (e.g. `"lineitem.qty"`) the
+    /// result was derived from; `cost_ns` is what computing it cost.
+    pub fn admit(
+        &mut self,
+        sig: impl Into<String>,
+        bat: impl Into<Arc<Bat>>,
+        depends_on: Vec<String>,
+        cost_ns: u64,
+    ) {
+        let sig = sig.into();
+        if cost_ns < self.min_cost_ns {
+            return; // too cheap to be worth the budget
+        }
+        let bat: Arc<Bat> = bat.into();
+        let bytes = bat.tail().byte_size().max(1);
+        if bytes > self.capacity_bytes {
+            return; // larger than the whole cache: never admit
+        }
+        self.clock += 1;
+        while self.resident() + bytes > self.capacity_bytes {
+            if !self.evict_one() {
+                return;
+            }
+        }
+        self.stats.admissions += 1;
+        self.stats.resident_bytes = self.resident() + bytes;
+        self.entries.insert(
+            sig,
+            Entry {
+                bat,
+                bytes,
+                depends_on,
+                cost_ns,
+                hits: 0,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Admit a *range selection* `σ[lo,hi](column)` so later covering
+    /// queries can subsume it. Bounds are inclusive; `None` = unbounded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_range(
+        &mut self,
+        column: &str,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        sig: impl Into<String>,
+        bat: impl Into<Arc<Bat>>,
+        depends_on: Vec<String>,
+        cost_ns: u64,
+    ) {
+        let sig = sig.into();
+        self.admit(sig.clone(), bat, depends_on, cost_ns);
+        if self.entries.contains_key(&sig) {
+            self.ranges
+                .entry(column.to_string())
+                .or_default()
+                .push(RangeEntry { lo, hi, sig });
+        }
+    }
+
+    /// Find the smallest cached range over `column` that covers `[lo, hi]`.
+    /// Returns the covering intermediate; the caller refines it instead of
+    /// scanning the base column.
+    pub fn lookup_covering(
+        &mut self,
+        column: &str,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> Option<Arc<Bat>> {
+        self.clock += 1;
+        self.stats.lookups += 1;
+        let covers = |e: &RangeEntry| -> bool {
+            let lo_ok = match (e.lo, lo) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => a <= b,
+            };
+            let hi_ok = match (e.hi, hi) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => a >= b,
+            };
+            lo_ok && hi_ok
+        };
+        let list = self.ranges.get(column)?;
+        let mut best: Option<(&RangeEntry, usize)> = None;
+        for e in list {
+            if !covers(e) {
+                continue;
+            }
+            let size = self.entries.get(&e.sig)?.bytes;
+            if best.is_none() || size < best.unwrap().1 {
+                best = Some((e, size));
+            }
+        }
+        let sig = best?.0.sig.clone();
+        let clock = self.clock;
+        let e = self.entries.get_mut(&sig)?;
+        e.hits += 1;
+        e.last_used = clock;
+        self.stats.subsumption_hits += 1;
+        Some(Arc::clone(&e.bat))
+    }
+
+    /// Drop every intermediate that depends on `column` (called by DML).
+    pub fn invalidate(&mut self, column: &str) {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| !e.depends_on.iter().any(|d| d == column));
+        let sigs: std::collections::HashSet<String> =
+            self.entries.keys().cloned().collect();
+        for list in self.ranges.values_mut() {
+            list.retain(|r| sigs.contains(&r.sig));
+        }
+        self.ranges.retain(|_, l| !l.is_empty());
+        let dropped = before - self.entries.len();
+        self.stats.invalidations += dropped as u64;
+        self.stats.resident_bytes = self.resident();
+    }
+
+    /// Wipe everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.ranges.clear();
+        self.stats.resident_bytes = 0;
+    }
+
+    fn resident(&self) -> usize {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    fn evict_one(&mut self) -> bool {
+        let victim = match self.policy {
+            EvictPolicy::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone()),
+            EvictPolicy::BenefitPerByte => self
+                .entries
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    let ba = (a.cost_ns.saturating_mul(a.hits + 1)) as f64 / a.bytes as f64;
+                    let bb = (b.cost_ns.saturating_mul(b.hits + 1)) as f64 / b.bytes as f64;
+                    ba.total_cmp(&bb)
+                })
+                .map(|(k, _)| k.clone()),
+        };
+        let Some(k) = victim else {
+            return false;
+        };
+        self.entries.remove(&k);
+        for list in self.ranges.values_mut() {
+            list.retain(|r| r.sig != k);
+        }
+        self.stats.evictions += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bat(n: usize) -> Bat {
+        Bat::from_vec((0..n as i64).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn exact_hit_and_miss() {
+        let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
+        assert!(r.lookup("select(t.a, 5)").is_none());
+        r.admit("select(t.a, 5)", bat(10), vec!["t.a".into()], 1000);
+        let hit = r.lookup("select(t.a, 5)").unwrap();
+        assert_eq!(hit.len(), 10);
+        assert_eq!(r.stats().exact_hits, 1);
+        assert_eq!(r.stats().lookups, 2);
+    }
+
+    #[test]
+    fn capacity_forces_eviction_lru() {
+        // each bat(128) is 1 KiB of i64
+        let mut r = Recycler::new(3 * 1024, EvictPolicy::Lru);
+        r.admit("a", bat(128), vec![], 1);
+        r.admit("b", bat(128), vec![], 1);
+        r.admit("c", bat(128), vec![], 1);
+        // touch a and c so b is LRU
+        r.lookup("a");
+        r.lookup("c");
+        r.admit("d", bat(128), vec![], 1);
+        assert!(r.lookup("b").is_none(), "LRU victim");
+        assert!(r.lookup("a").is_some());
+        assert!(r.lookup("d").is_some());
+        assert_eq!(r.stats().evictions, 1);
+    }
+
+    #[test]
+    fn benefit_policy_keeps_expensive_entries() {
+        let mut r = Recycler::new(2 * 1024, EvictPolicy::BenefitPerByte);
+        r.admit("cheap", bat(128), vec![], 10);
+        r.admit("costly", bat(128), vec![], 1_000_000);
+        r.admit("new", bat(128), vec![], 500);
+        assert!(r.lookup("cheap").is_none(), "low benefit evicted first");
+        assert!(r.lookup("costly").is_some());
+    }
+
+    #[test]
+    fn min_cost_admission_policy() {
+        let mut r = Recycler::new(1 << 20, EvictPolicy::Lru).with_min_cost_ns(1000);
+        r.admit("cheap", bat(8), vec![], 10);
+        assert!(r.lookup("cheap").is_none());
+        r.admit("worth_it", bat(8), vec![], 5000);
+        assert!(r.lookup("worth_it").is_some());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        let mut r = Recycler::new(64, EvictPolicy::Lru);
+        r.admit("huge", bat(1000), vec![], 1);
+        assert!(r.lookup("huge").is_none());
+        assert_eq!(r.stats().admissions, 0);
+    }
+
+    #[test]
+    fn invalidation_follows_dependencies() {
+        let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
+        r.admit("q1", bat(8), vec!["t.a".into()], 1);
+        r.admit("q2", bat(8), vec!["t.b".into()], 1);
+        r.admit("q3", bat(8), vec!["t.a".into(), "t.b".into()], 1);
+        r.invalidate("t.a");
+        assert!(r.lookup("q1").is_none());
+        assert!(r.lookup("q2").is_some());
+        assert!(r.lookup("q3").is_none());
+        assert_eq!(r.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn subsumption_finds_smallest_cover() {
+        let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
+        r.admit_range("t.a", Some(0), Some(100), "sig_wide", bat(100), vec!["t.a".into()], 1);
+        r.admit_range("t.a", Some(0), Some(20), "sig_narrow", bat(20), vec!["t.a".into()], 1);
+        // covered by both; the narrow one is preferred
+        let hit = r.lookup_covering("t.a", Some(5), Some(10)).unwrap();
+        assert_eq!(hit.len(), 20);
+        assert_eq!(r.stats().subsumption_hits, 1);
+        // not covered
+        assert!(r.lookup_covering("t.a", Some(5), Some(500)).is_none());
+        assert!(r.lookup_covering("t.a", None, Some(10)).is_none());
+        // unbounded cache entry covers unbounded query
+        r.admit_range("t.a", None, None, "sig_all", bat(200), vec!["t.a".into()], 1);
+        assert!(r.lookup_covering("t.a", None, Some(10)).is_some());
+    }
+
+    #[test]
+    fn subsumption_respects_invalidation() {
+        let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
+        r.admit_range("t.a", Some(0), Some(100), "s", bat(100), vec!["t.a".into()], 1);
+        r.invalidate("t.a");
+        assert!(r.lookup_covering("t.a", Some(1), Some(2)).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
+        r.admit("x", bat(4), vec![], 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.stats().resident_bytes, 0);
+    }
+}

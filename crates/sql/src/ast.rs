@@ -1,0 +1,95 @@
+//! The SQL abstract syntax tree.
+
+use mammoth_algebra::{AggKind, CmpOp};
+use mammoth_types::{LogicalType, Value};
+
+/// A (possibly table-qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(table: Option<&str>, column: &str) -> ColumnRef {
+        ColumnRef {
+            table: table.map(|s| s.to_string()),
+            column: column.to_string(),
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column.
+    Column(ColumnRef),
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(col)`, `MIN(col)`, `MAX(col)`, `AVG(col)`, `COUNT(col)`.
+    Agg(AggKind, ColumnRef),
+}
+
+/// A conjunct of the WHERE clause: `col op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    pub col: ColumnRef,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+/// An inner equi-join: `JOIN <table> ON <left col> = <right col>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: String,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: String,
+    pub join: Option<JoinClause>,
+    /// AND-composed predicates.
+    pub where_: Vec<Predicate>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Option<(ColumnRef, bool)>, // (column, descending)
+    pub limit: Option<usize>,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // statements are built once per query
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, LogicalType, bool)>, // (name, type, nullable)
+    },
+    DropTable {
+        name: String,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    Delete {
+        table: String,
+        where_: Vec<Predicate>,
+    },
+    Select(SelectStmt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_builds() {
+        let c = ColumnRef::new(Some("t"), "a");
+        assert_eq!(c.table.as_deref(), Some("t"));
+        let c = ColumnRef::new(None, "a");
+        assert!(c.table.is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! SQL tokenizer.
+
+use mammoth_types::{Error, Result};
+
+/// SQL tokens. Keywords are uppercased idents, matched case-insensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `=`, `<>`, `<`, `<=`, `>`, `>=`
+    Op(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semi,
+    Eof,
+}
+
+pub struct SqlLexer<'a> {
+    src: &'a [u8],
+    pub pos: usize,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl<'a> SqlLexer<'a> {
+    pub fn new(src: &'a str) -> SqlLexer<'a> {
+        SqlLexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    pub fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'-' if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    pub fn next(&mut self) -> Result<Token> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(Token::Eof);
+        }
+        let c = self.src[self.pos];
+        Ok(match c {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            b';' => {
+                self.pos += 1;
+                Token::Semi
+            }
+            b'=' => {
+                self.pos += 1;
+                Token::Op("=".into())
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.src.get(self.pos) {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Token::Op("<=".into())
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Token::Op("<>".into())
+                    }
+                    _ => Token::Op("<".into()),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.src.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Token::Op(">=".into())
+                } else {
+                    Token::Op(">".into())
+                }
+            }
+            b'!' if self.src.get(self.pos + 1) == Some(&b'=') => {
+                self.pos += 2;
+                Token::Op("<>".into())
+            }
+            b'\'' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.src.get(self.pos) {
+                        None => return Err(self.err("unterminated string literal")),
+                        Some(b'\'') => {
+                            // '' escapes a quote
+                            if self.src.get(self.pos + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                self.pos += 2;
+                            } else {
+                                self.pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            self.pos += 1;
+                        }
+                    }
+                }
+                Token::Str(s)
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let start = self.pos;
+                self.pos += 1;
+                let mut float = false;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+                {
+                    float |= self.src[self.pos] == b'.';
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                if float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad float {text}")))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad integer {text}")))?,
+                    )
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Token::Ident(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap()
+                        .to_string(),
+                )
+            }
+            other => return Err(self.err(format!("unexpected character '{}'", other as char))),
+        })
+    }
+
+    pub fn peek(&mut self) -> Result<Token> {
+        let save = self.pos;
+        let t = self.next();
+        self.pos = save;
+        t
+    }
+}
+
+/// Case-insensitive keyword check.
+pub fn is_kw(t: &Token, kw: &str) -> bool {
+    matches!(t, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(src: &str) -> Vec<Token> {
+        let mut lex = SqlLexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lex.next().unwrap();
+            if t == Token::Eof {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn tokenizes_select() {
+        let toks = all("SELECT name, age FROM people WHERE age >= 1927;");
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = all("'it''s'");
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(SqlLexer::new("'oops").next().is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(all("42"), vec![Token::Int(42)]);
+        assert_eq!(all("-7"), vec![Token::Int(-7)]);
+        assert_eq!(all("2.5"), vec![Token::Float(2.5)]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = all("SELECT -- the works\n 1");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(all("<>"), all("!="));
+    }
+
+    #[test]
+    fn keyword_check() {
+        assert!(is_kw(&Token::Ident("select".into()), "SELECT"));
+        assert!(!is_kw(&Token::Int(1), "SELECT"));
+    }
+}

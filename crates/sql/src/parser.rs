@@ -1,0 +1,434 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{is_kw, SqlLexer, Token};
+use mammoth_algebra::{AggKind, CmpOp};
+use mammoth_types::{LogicalType, Result, Value};
+
+/// Parse one SQL statement (a trailing `;` is optional).
+pub fn parse_sql(src: &str) -> Result<Statement> {
+    let mut p = Parser {
+        lex: SqlLexer::new(src),
+    };
+    let stmt = p.statement()?;
+    // allow trailing semicolon and require EOF
+    if p.lex.peek()? == Token::Semi {
+        p.lex.next()?;
+    }
+    match p.lex.next()? {
+        Token::Eof => Ok(stmt),
+        t => Err(p.lex.err(format!("trailing input: {t:?}"))),
+    }
+}
+
+struct Parser<'a> {
+    lex: SqlLexer<'a>,
+}
+
+impl Parser<'_> {
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        let t = self.lex.next()?;
+        if is_kw(&t, kw) {
+            Ok(())
+        } else {
+            Err(self.lex.err(format!("expected {kw}, got {t:?}")))
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> Result<bool> {
+        if is_kw(&self.lex.peek()?, kw) {
+            self.lex.next()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<()> {
+        let got = self.lex.next()?;
+        if got == t {
+            Ok(())
+        } else {
+            Err(self.lex.err(format!("expected {t:?}, got {got:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.lex.next()? {
+            Token::Ident(s) => Ok(s),
+            t => Err(self.lex.err(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let t = self.lex.peek()?;
+        if is_kw(&t, "SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if is_kw(&t, "CREATE") {
+            self.create_table()
+        } else if is_kw(&t, "DROP") {
+            self.lex.next()?;
+            self.expect_kw("TABLE")?;
+            Ok(Statement::DropTable { name: self.ident()? })
+        } else if is_kw(&t, "INSERT") {
+            self.insert()
+        } else if is_kw(&t, "DELETE") {
+            self.delete()
+        } else {
+            Err(self.lex.err(format!("expected a statement, got {t:?}")))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("TABLE")?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let cname = self.ident()?;
+            let tyname = self.ident()?;
+            let ty = LogicalType::parse(&tyname)
+                .ok_or_else(|| self.lex.err(format!("unknown type {tyname}")))?;
+            let mut nullable = true;
+            if self.accept_kw("NOT")? {
+                self.expect_kw("NULL")?;
+                nullable = false;
+            }
+            columns.push((cname, ty, nullable));
+            match self.lex.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                t => return Err(self.lex.err(format!("expected ',' or ')', got {t:?}"))),
+            }
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        Ok(match self.lex.next()? {
+            Token::Int(x) => {
+                if let Ok(v) = i32::try_from(x) {
+                    Value::I32(v)
+                } else {
+                    Value::I64(x)
+                }
+            }
+            Token::Float(f) => Value::F64(f),
+            Token::Str(s) => Value::Str(s),
+            Token::Ident(s) if s.eq_ignore_ascii_case("NULL") => Value::Null,
+            Token::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Value::Bool(true),
+            Token::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Value::Bool(false),
+            t => return Err(self.lex.err(format!("expected a literal, got {t:?}"))),
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                match self.lex.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    t => return Err(self.lex.err(format!("expected ',' or ')', got {t:?}"))),
+                }
+            }
+            rows.push(row);
+            if self.lex.peek()? == Token::Comma {
+                self.lex.next()?;
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_ = if self.accept_kw("WHERE")? {
+            self.predicates()?
+        } else {
+            Vec::new()
+        };
+        Ok(Statement::Delete { table, where_ })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.lex.peek()? == Token::Dot {
+            self.lex.next()?;
+            let col = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Predicate>> {
+        let mut out = Vec::new();
+        loop {
+            let col = self.column_ref()?;
+            if self.accept_kw("BETWEEN")? {
+                let lo = self.literal()?;
+                self.expect_kw("AND")?;
+                let hi = self.literal()?;
+                out.push(Predicate {
+                    col: col.clone(),
+                    op: CmpOp::Ge,
+                    value: lo,
+                });
+                out.push(Predicate {
+                    col,
+                    op: CmpOp::Le,
+                    value: hi,
+                });
+            } else {
+                let op = match self.lex.next()? {
+                    Token::Op(o) => match o.as_str() {
+                        "=" => CmpOp::Eq,
+                        "<>" => CmpOp::Ne,
+                        "<" => CmpOp::Lt,
+                        "<=" => CmpOp::Le,
+                        ">" => CmpOp::Gt,
+                        ">=" => CmpOp::Ge,
+                        other => return Err(self.lex.err(format!("bad operator {other}"))),
+                    },
+                    t => return Err(self.lex.err(format!("expected operator, got {t:?}"))),
+                };
+                let value = self.literal()?;
+                out.push(Predicate { col, op, value });
+            }
+            if self.accept_kw("AND")? {
+                continue;
+            }
+            break;
+        }
+        Ok(out)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let t = self.lex.peek()?;
+        let agg = if is_kw(&t, "COUNT") {
+            Some(AggKind::Count)
+        } else if is_kw(&t, "SUM") {
+            Some(AggKind::Sum)
+        } else if is_kw(&t, "MIN") {
+            Some(AggKind::Min)
+        } else if is_kw(&t, "MAX") {
+            Some(AggKind::Max)
+        } else if is_kw(&t, "AVG") {
+            Some(AggKind::Avg)
+        } else {
+            None
+        };
+        if let Some(kind) = agg {
+            // aggregates require parentheses; a bare identifier named like
+            // an aggregate is treated as a column
+            let save = self.lex.pos;
+            self.lex.next()?; // the keyword
+            if self.lex.peek()? == Token::LParen {
+                self.lex.next()?;
+                if kind == AggKind::Count && self.lex.peek()? == Token::Star {
+                    self.lex.next()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(SelectItem::CountStar);
+                }
+                let col = self.column_ref()?;
+                self.expect(Token::RParen)?;
+                return Ok(SelectItem::Agg(kind, col));
+            }
+            self.lex.pos = save;
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if self.lex.peek()? == Token::Comma {
+                self.lex.next()?;
+                continue;
+            }
+            break;
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+        let join = if self.accept_kw("JOIN")? {
+            let table = self.ident()?;
+            self.expect_kw("ON")?;
+            let left = self.column_ref()?;
+            match self.lex.next()? {
+                Token::Op(o) if o == "=" => {}
+                t => return Err(self.lex.err(format!("JOIN requires '=', got {t:?}"))),
+            }
+            let right = self.column_ref()?;
+            Some(JoinClause { table, left, right })
+        } else {
+            None
+        };
+        let where_ = if self.accept_kw("WHERE")? {
+            self.predicates()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP")? {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.column_ref()?);
+                if self.lex.peek()? == Token::Comma {
+                    self.lex.next()?;
+                    continue;
+                }
+                break;
+            }
+        }
+        let order_by = if self.accept_kw("ORDER")? {
+            self.expect_kw("BY")?;
+            let col = self.column_ref()?;
+            let desc = if self.accept_kw("DESC")? {
+                true
+            } else {
+                let _ = self.accept_kw("ASC")?;
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.accept_kw("LIMIT")? {
+            match self.lex.next()? {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                t => return Err(self.lex.err(format!("LIMIT needs a count, got {t:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            join,
+            where_,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse_sql("SELECT name, age FROM people WHERE age = 1927").unwrap();
+        let Statement::Select(s) = s else { panic!() };
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from, "people");
+        assert_eq!(s.where_.len(), 1);
+        assert_eq!(s.where_[0].op, CmpOp::Eq);
+    }
+
+    #[test]
+    fn parses_aggregates_and_groups() {
+        let Statement::Select(s) = parse_sql(
+            "SELECT age, COUNT(*), SUM(age) FROM people GROUP BY age ORDER BY age DESC LIMIT 3;",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.items[1], SelectItem::CountStar);
+        assert!(matches!(s.items[2], SelectItem::Agg(AggKind::Sum, _)));
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.order_by.as_ref().unwrap().1);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn parses_between_as_two_preds() {
+        let Statement::Select(s) =
+            parse_sql("SELECT a FROM t WHERE a BETWEEN 5 AND 10 AND b = 'x'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.where_.len(), 3);
+        assert_eq!(s.where_[0].op, CmpOp::Ge);
+        assert_eq!(s.where_[1].op, CmpOp::Le);
+        assert_eq!(s.where_[2].value, Value::Str("x".into()));
+    }
+
+    #[test]
+    fn parses_join() {
+        let Statement::Select(s) =
+            parse_sql("SELECT p.name, c.title FROM p JOIN c ON p.id = c.pid WHERE p.age > 30")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let j = s.join.unwrap();
+        assert_eq!(j.table, "c");
+        assert_eq!(j.left.table.as_deref(), Some("p"));
+        assert_eq!(j.right.column, "pid");
+    }
+
+    #[test]
+    fn parses_ddl_dml() {
+        let s = parse_sql(
+            "CREATE TABLE t (a INT NOT NULL, b VARCHAR, c DOUBLE)",
+        )
+        .unwrap();
+        let Statement::CreateTable { name, columns } = s else {
+            panic!()
+        };
+        assert_eq!(name, "t");
+        assert_eq!(columns.len(), 3);
+        assert!(!columns[0].2);
+        assert_eq!(columns[1].1, LogicalType::Str);
+
+        let s = parse_sql("INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, 0.5)").unwrap();
+        let Statement::Insert { rows, .. } = s else { panic!() };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Value::Null);
+
+        let s = parse_sql("DELETE FROM t WHERE a < 5").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+        let s = parse_sql("DROP TABLE t").unwrap();
+        assert!(matches!(s, Statement::DropTable { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_sql("SELECT FROM").is_err());
+        assert!(parse_sql("NONSENSE").is_err());
+        assert!(parse_sql("SELECT a FROM t WHERE a ~ 3").is_err());
+        assert!(parse_sql("SELECT a FROM t extra").is_err());
+        assert!(parse_sql("CREATE TABLE t (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn count_as_column_name_is_allowed() {
+        // `count` without parens is an identifier
+        let Statement::Select(s) = parse_sql("SELECT count FROM t").unwrap() else {
+            panic!()
+        };
+        assert!(matches!(&s.items[0], SelectItem::Column(c) if c.column == "count"));
+    }
+}

@@ -1,0 +1,454 @@
+//! The SQL session: parse → compile → optimize → interpret.
+
+use crate::ast::{Predicate, Statement};
+use crate::compile::compile_select;
+use crate::parser::parse_sql;
+use mammoth_mal::{default_pipeline, Interpreter, MalValue, Pipeline};
+use mammoth_recycler::{EvictPolicy, Recycler};
+use mammoth_storage::{Catalog, Table, VersionedColumn};
+use mammoth_types::{ColumnDef, Error, Oid, Result, TableSchema, Value};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// A result table: column names and row-major values.
+    Table {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Rows affected by DML.
+    Affected(usize),
+    /// DDL succeeded.
+    Ok,
+}
+
+impl QueryOutput {
+    /// Render as simple aligned text (for examples and the REPL-ish demos).
+    pub fn to_text(&self) -> String {
+        match self {
+            QueryOutput::Ok => "ok".to_string(),
+            QueryOutput::Affected(n) => format!("{n} rows affected"),
+            QueryOutput::Table { columns, rows } => {
+                let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(|v| v.to_string()).collect())
+                    .collect();
+                for r in &rendered {
+                    for (i, cell) in r.iter().enumerate() {
+                        widths[i] = widths[i].max(cell.len());
+                    }
+                }
+                let mut out = String::new();
+                for (i, c) in columns.iter().enumerate() {
+                    out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+                }
+                out.push('\n');
+                for (i, _) in columns.iter().enumerate() {
+                    out.push_str(&"-".repeat(widths[i]));
+                    out.push_str("  ");
+                }
+                out.push('\n');
+                for r in &rendered {
+                    for (i, cell) in r.iter().enumerate() {
+                        out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+                    }
+                    out.push('\n');
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A database session: a catalog, an optimizer pipeline, and optionally the
+/// recycler.
+pub struct Session {
+    catalog: Catalog,
+    pipeline: Pipeline,
+    recycler: Option<Recycler>,
+    /// Delta merge threshold (rows) applied after DML.
+    merge_threshold: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session {
+            catalog: Catalog::new(),
+            pipeline: default_pipeline(),
+            recycler: None,
+            merge_threshold: 64 * 1024,
+        }
+    }
+
+    /// Enable the recycler with a budget in bytes.
+    pub fn with_recycler(mut self, capacity_bytes: usize) -> Session {
+        self.recycler = Some(
+            Recycler::new(capacity_bytes, EvictPolicy::BenefitPerByte)
+                // zero-copy binds recompute in microseconds; don't cache them
+                .with_min_cost_ns(20_000),
+        );
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub fn recycler_stats(&self) -> Option<&mammoth_recycler::RecyclerStats> {
+        self.recycler.as_ref().map(|r| r.stats())
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
+        match parse_sql(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let defs: Vec<ColumnDef> = columns
+                    .into_iter()
+                    .map(|(n, ty, nullable)| {
+                        let mut d = ColumnDef::new(n, ty);
+                        d.nullable = nullable;
+                        d
+                    })
+                    .collect();
+                let table = Table::new(TableSchema::new(name, defs))?;
+                self.catalog.create_table(table)?;
+                Ok(QueryOutput::Ok)
+            }
+            Statement::DropTable { name } => {
+                let t = self.catalog.drop_table(&name)?;
+                self.invalidate_table(&t);
+                Ok(QueryOutput::Ok)
+            }
+            Statement::Insert { table, rows } => {
+                let n = rows.len();
+                {
+                    let t = self.catalog.table_mut(&table)?;
+                    for row in &rows {
+                        t.insert_row(row)?;
+                    }
+                    t.maybe_merge_all(self.merge_threshold);
+                }
+                let t = self.catalog.table(&table)?.clone();
+                self.invalidate_table(&t);
+                Ok(QueryOutput::Affected(n))
+            }
+            Statement::Delete { table, where_ } => {
+                let victims = self.matching_positions(&table, &where_)?;
+                let n = victims.len();
+                {
+                    let t = self.catalog.table_mut(&table)?;
+                    for pos in victims {
+                        t.delete_row(pos);
+                    }
+                    t.maybe_merge_all(self.merge_threshold);
+                }
+                let t = self.catalog.table(&table)?.clone();
+                self.invalidate_table(&t);
+                Ok(QueryOutput::Affected(n))
+            }
+            Statement::Select(stmt) => {
+                let (prog, names) = compile_select(&self.catalog, &stmt)?;
+                let prog = self.pipeline.optimize(prog);
+                let outputs = match &mut self.recycler {
+                    Some(r) => {
+                        let mut interp = Interpreter::with_recycler(&self.catalog, r);
+                        interp.run(&prog)?
+                    }
+                    None => {
+                        let mut interp = Interpreter::new(&self.catalog);
+                        interp.run(&prog)?
+                    }
+                };
+                render_outputs(names, outputs)
+            }
+        }
+    }
+
+    /// Drop recycled intermediates that depend on any column of `t`.
+    fn invalidate_table(&mut self, t: &Table) {
+        if let Some(r) = &mut self.recycler {
+            for c in &t.schema.columns {
+                r.invalidate(&format!("{}.{}", t.schema.name.to_lowercase(), c.name));
+                r.invalidate(&format!("{}.{}", t.schema.name, c.name));
+            }
+        }
+    }
+
+    /// Positions (delta oids) of live rows matching the AND-ed predicates —
+    /// the DELETE path. Evaluated with the dynamic Value interpreter: DML is
+    /// not the hot path in this engine.
+    fn matching_positions(&self, table: &str, preds: &[Predicate]) -> Result<Vec<Oid>> {
+        let t = self.catalog.table(table)?;
+        // resolve predicate columns up-front
+        let mut resolved: Vec<(&VersionedColumn, &Predicate)> = Vec::new();
+        for p in preds {
+            if let Some(pt) = &p.col.table {
+                if !pt.eq_ignore_ascii_case(table) {
+                    return Err(Error::Bind(format!(
+                        "DELETE predicate references table {pt}"
+                    )));
+                }
+            }
+            resolved.push((t.column_by_name(&p.col.column)?, p));
+        }
+        let mut out = Vec::new();
+        'rows: for pos in 0..t.total_len() as Oid {
+            if !t.column(0).is_live(pos) {
+                continue;
+            }
+            for (col, p) in &resolved {
+                let v = col.get(pos).unwrap_or(Value::Null);
+                let keep = match v.sql_cmp(&p.value) {
+                    None => false,
+                    Some(ord) => match p.op {
+                        mammoth_algebra::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                        mammoth_algebra::CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                        mammoth_algebra::CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        mammoth_algebra::CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        mammoth_algebra::CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        mammoth_algebra::CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    },
+                };
+                if !keep {
+                    continue 'rows;
+                }
+            }
+            out.push(pos);
+        }
+        Ok(out)
+    }
+}
+
+fn render_outputs(names: Vec<String>, outputs: Vec<MalValue>) -> Result<QueryOutput> {
+    if names.len() != outputs.len() {
+        return Err(Error::Internal(format!(
+            "plan produced {} outputs for {} columns",
+            outputs.len(),
+            names.len()
+        )));
+    }
+    // scalar-only results form a single row
+    if outputs.iter().all(|o| o.as_scalar().is_some()) && !outputs.is_empty() {
+        let row: Vec<Value> = outputs
+            .iter()
+            .map(|o| o.as_scalar().unwrap().clone())
+            .collect();
+        return Ok(QueryOutput::Table {
+            columns: names,
+            rows: vec![row],
+        });
+    }
+    let mut nrows = None;
+    for o in &outputs {
+        if let Some(b) = o.as_bat() {
+            let l = b.len();
+            if *nrows.get_or_insert(l) != l {
+                return Err(Error::Internal("misaligned output columns".into()));
+            }
+        }
+    }
+    let nrows = nrows.unwrap_or(0);
+    let mut rows = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        let mut row = Vec::with_capacity(outputs.len());
+        for o in &outputs {
+            row.push(match o {
+                MalValue::Bat(b) => b.value_at(i),
+                MalValue::Scalar(v) => v.clone(),
+            });
+        }
+        rows.push(row);
+    }
+    Ok(QueryOutput::Table {
+        columns: names,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Session {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE people (name VARCHAR, age INT NOT NULL)")
+            .unwrap();
+        s.execute(
+            "INSERT INTO people VALUES ('John Wayne', 1907), ('Roger Moore', 1927), \
+             ('Bob Fosse', 1927), ('Will Smith', 1968)",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn figure1_in_sql() {
+        let mut s = seeded();
+        let out = s
+            .execute("SELECT name FROM people WHERE age = 1927")
+            .unwrap();
+        assert_eq!(
+            out,
+            QueryOutput::Table {
+                columns: vec!["name".into()],
+                rows: vec![
+                    vec![Value::Str("Roger Moore".into())],
+                    vec![Value::Str("Bob Fosse".into())],
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = seeded();
+        let out = s
+            .execute("SELECT COUNT(*), MIN(age), MAX(age), AVG(age) FROM people")
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows[0][0], Value::I64(4));
+        assert_eq!(rows[0][1], Value::I64(1907));
+        assert_eq!(rows[0][2], Value::I64(1968));
+        assert_eq!(rows[0][3], Value::F64((1907 + 1927 + 1927 + 1968) as f64 / 4.0));
+    }
+
+    #[test]
+    fn group_by_and_order() {
+        let mut s = seeded();
+        let out = s
+            .execute(
+                "SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age DESC",
+            )
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::I32(1968), Value::I64(1)],
+                vec![Value::I32(1927), Value::I64(2)],
+                vec![Value::I32(1907), Value::I64(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let mut s = seeded();
+        s.execute("CREATE TABLE films (star VARCHAR, title VARCHAR)")
+            .unwrap();
+        s.execute(
+            "INSERT INTO films VALUES ('Roger Moore', 'Moonraker'), \
+             ('Will Smith', 'Ali'), ('Roger Moore', 'Octopussy')",
+        )
+        .unwrap();
+        let out = s
+            .execute(
+                "SELECT name, title FROM people JOIN films ON people.name = films.star \
+                 WHERE age > 1920 ORDER BY name LIMIT 10",
+            )
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows.len(), 3);
+        assert!(rows
+            .iter()
+            .any(|r| r[1] == Value::Str("Moonraker".into())));
+        assert!(rows.iter().any(|r| r[1] == Value::Str("Ali".into())));
+    }
+
+    #[test]
+    fn dml_roundtrip() {
+        let mut s = seeded();
+        let out = s.execute("DELETE FROM people WHERE age = 1927").unwrap();
+        assert_eq!(out, QueryOutput::Affected(2));
+        let out = s.execute("SELECT COUNT(*) FROM people").unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows[0][0], Value::I64(2));
+        // delete with no predicate wipes the table
+        assert_eq!(
+            s.execute("DELETE FROM people").unwrap(),
+            QueryOutput::Affected(2)
+        );
+        s.execute("DROP TABLE people").unwrap();
+        assert!(s.execute("SELECT name FROM people").is_err());
+    }
+
+    #[test]
+    fn recycler_sees_repeats_and_invalidation() {
+        use mammoth_storage::Bat;
+        let mut s = Session::new().with_recycler(64 << 20);
+        // big enough to clear the recycler's admission cost floor
+        let data: Vec<i64> = (0..300_000).map(|i| i % 7).collect();
+        let table = Table::from_bats(
+            TableSchema::new("t", vec![ColumnDef::new("a", mammoth_types::LogicalType::I64)]),
+            vec![Bat::from_vec(data)],
+        )
+        .unwrap();
+        s.catalog_mut().create_table(table).unwrap();
+        s.execute("SELECT COUNT(a) FROM t WHERE a > 1").unwrap();
+        s.execute("SELECT COUNT(a) FROM t WHERE a > 1").unwrap();
+        let stats = s.recycler_stats().unwrap();
+        assert!(stats.exact_hits >= 1, "repeat hits: {stats:?}");
+        // DML invalidates: count changes after an insert
+        let out = s.execute("SELECT COUNT(a) FROM t WHERE a > 1").unwrap();
+        let QueryOutput::Table { rows: r1, .. } = out else { panic!() };
+        s.execute("INSERT INTO t VALUES (5)").unwrap();
+        let out = s.execute("SELECT COUNT(a) FROM t WHERE a > 1").unwrap();
+        let QueryOutput::Table { rows: r2, .. } = out else { panic!() };
+        assert_eq!(
+            r2[0][0].as_i64().unwrap(),
+            r1[0][0].as_i64().unwrap() + 1,
+            "stale cache must not be served"
+        );
+    }
+
+    #[test]
+    fn limit_and_empty_results() {
+        let mut s = seeded();
+        let out = s
+            .execute("SELECT name FROM people WHERE age = 1 LIMIT 3")
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert!(rows.is_empty());
+        let out = s.execute("SELECT name FROM people LIMIT 2").unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn text_rendering() {
+        let mut s = seeded();
+        let out = s
+            .execute("SELECT name, age FROM people WHERE age = 1907")
+            .unwrap();
+        let text = out.to_text();
+        assert!(text.contains("name"));
+        assert!(text.contains("John Wayne"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn nulls_in_dml_and_select() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, NULL), (NULL, 'x')")
+            .unwrap();
+        let out = s.execute("SELECT a, b FROM t WHERE a >= 0").unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::Null);
+        // NOT NULL violation
+        s.execute("CREATE TABLE u (a INT NOT NULL)").unwrap();
+        assert!(s.execute("INSERT INTO u VALUES (NULL)").is_err());
+    }
+}

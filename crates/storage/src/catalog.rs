@@ -1,0 +1,350 @@
+//! Tables and the catalog.
+//!
+//! Per the Decomposed Storage Model, a [`Table`] is nothing but a set of
+//! aligned [`VersionedColumn`]s plus a [`TableSchema`]. The [`Catalog`] maps
+//! names to tables and to free-standing named BATs (used by the MAL layer
+//! for join indices and other auxiliary structures).
+
+use crate::bat::Bat;
+use crate::delta::{Snapshot, VersionedColumn};
+use mammoth_types::{Error, Oid, Result, TableSchema, Value};
+use std::collections::BTreeMap;
+
+/// A vertically fragmented relational table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    columns: Vec<VersionedColumn>,
+}
+
+impl Table {
+    /// Create an empty table from a schema.
+    pub fn new(schema: TableSchema) -> Result<Table> {
+        schema.validate()?;
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| VersionedColumn::new(c.ty))
+            .collect();
+        Ok(Table { schema, columns })
+    }
+
+    /// Adopt pre-built aligned BATs as the table's columns.
+    pub fn from_bats(schema: TableSchema, bats: Vec<Bat>) -> Result<Table> {
+        schema.validate()?;
+        if bats.len() != schema.columns.len() {
+            return Err(Error::LengthMismatch {
+                left: bats.len(),
+                right: schema.columns.len(),
+            });
+        }
+        let len0 = bats.first().map_or(0, |b| b.len());
+        for (b, c) in bats.iter().zip(&schema.columns) {
+            // table columns are positional: dense heads starting at 0, so
+            // materialize_shared can hand out the base without renumbering
+            if !matches!(b.head(), crate::bat::HeadColumn::Void { seqbase: 0 }) {
+                return Err(Error::Unsupported(
+                    "table columns must have a void head with seqbase 0".into(),
+                ));
+            }
+            if b.ty() != c.ty {
+                return Err(Error::TypeMismatch {
+                    expected: c.ty.name().into(),
+                    found: b.ty().name().into(),
+                });
+            }
+            if b.len() != len0 {
+                return Err(Error::LengthMismatch {
+                    left: b.len(),
+                    right: len0,
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns: bats.into_iter().map(VersionedColumn::from_bat).collect(),
+        })
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Live row count (all columns are aligned).
+    pub fn live_len(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.live_len())
+    }
+
+    /// Total positions including deleted.
+    pub fn total_len(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.total_len())
+    }
+
+    pub fn column(&self, idx: usize) -> &VersionedColumn {
+        &self.columns[idx]
+    }
+
+    pub fn column_mut(&mut self, idx: usize) -> &mut VersionedColumn {
+        &mut self.columns[idx]
+    }
+
+    pub fn column_by_name(&self, name: &str) -> Result<&VersionedColumn> {
+        let (i, _) = self.schema.column(name)?;
+        Ok(&self.columns[i])
+    }
+
+    /// Insert a full row; values are coerced to the column types.
+    pub fn insert_row(&mut self, row: &[Value]) -> Result<Oid> {
+        if row.len() != self.arity() {
+            return Err(Error::LengthMismatch {
+                left: row.len(),
+                right: self.arity(),
+            });
+        }
+        for (c, def) in row.iter().zip(&self.schema.columns) {
+            if c.is_null() && !def.nullable {
+                return Err(Error::Bind(format!(
+                    "NULL not allowed in column {}",
+                    def.name
+                )));
+            }
+        }
+        let mut pos = 0;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            pos = col.insert(v)?;
+        }
+        Ok(pos)
+    }
+
+    /// Delete the row at position `pos` in every column.
+    pub fn delete_row(&mut self, pos: Oid) -> bool {
+        let mut any = false;
+        for col in &mut self.columns {
+            any |= col.delete(pos);
+        }
+        any
+    }
+
+    /// Point-in-time snapshots of all columns (a consistent table view,
+    /// assuming the caller holds the table borrow while snapshotting).
+    pub fn snapshot(&self) -> Vec<Snapshot> {
+        self.columns.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Merge all column deltas whose size exceeds `threshold_rows`.
+    pub fn maybe_merge_all(&mut self, threshold_rows: usize) -> bool {
+        // Merge is all-or-none so the columns stay position-aligned.
+        let need = self
+            .columns
+            .iter()
+            .any(|c| c.pending_inserts() + c.pending_deletes() > threshold_rows);
+        if need {
+            for c in &mut self.columns {
+                c.merge();
+            }
+        }
+        need
+    }
+
+    /// Read one full row (None if deleted/out of range).
+    pub fn get_row(&self, pos: Oid) -> Option<Vec<Value>> {
+        let mut row = Vec::with_capacity(self.arity());
+        for c in &self.columns {
+            row.push(c.get(pos)?);
+        }
+        Some(row)
+    }
+}
+
+/// The name → object map of a database instance.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    /// Free-standing named BATs (join indices, MAL scratch objects).
+    bats: BTreeMap<String, Bat>,
+}
+
+fn norm(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        let key = norm(&table.schema.name);
+        if self.tables.contains_key(&key) {
+            return Err(Error::AlreadyExists {
+                kind: "table",
+                name: table.schema.name.clone(),
+            });
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables.remove(&norm(name)).ok_or_else(|| Error::NotFound {
+            kind: "table",
+            name: name.to_string(),
+        })
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(&norm(name)).ok_or_else(|| Error::NotFound {
+            kind: "table",
+            name: name.to_string(),
+        })
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&norm(name))
+            .ok_or_else(|| Error::NotFound {
+                kind: "table",
+                name: name.to_string(),
+            })
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    pub fn register_bat(&mut self, name: &str, bat: Bat) {
+        self.bats.insert(norm(name), bat);
+    }
+
+    pub fn bat(&self, name: &str) -> Result<&Bat> {
+        self.bats.get(&norm(name)).ok_or_else(|| Error::NotFound {
+            kind: "bat",
+            name: name.to_string(),
+        })
+    }
+
+    pub fn unregister_bat(&mut self, name: &str) -> Option<Bat> {
+        self.bats.remove(&norm(name))
+    }
+
+    pub fn bat_names(&self) -> impl Iterator<Item = &str> {
+        self.bats.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_types::{ColumnDef, LogicalType};
+
+    fn people() -> Table {
+        Table::new(TableSchema::new(
+            "people",
+            vec![
+                ColumnDef::new("name", LogicalType::Str),
+                ColumnDef::new("age", LogicalType::I32).not_null(),
+            ],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_read_rows() {
+        let mut t = people();
+        let p = t
+            .insert_row(&[Value::Str("John Wayne".into()), Value::I32(1907)])
+            .unwrap();
+        t.insert_row(&[Value::Str("Roger Moore".into()), Value::I32(1927)])
+            .unwrap();
+        assert_eq!(t.live_len(), 2);
+        assert_eq!(
+            t.get_row(p),
+            Some(vec![Value::Str("John Wayne".into()), Value::I32(1907)])
+        );
+        assert!(t.delete_row(p));
+        assert_eq!(t.get_row(p), None);
+        assert_eq!(t.live_len(), 1);
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = people();
+        let e = t.insert_row(&[Value::Null, Value::Null]).unwrap_err();
+        assert!(e.to_string().contains("age"));
+        // nullable column accepts NULL
+        t.insert_row(&[Value::Null, Value::I32(2000)]).unwrap();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = people();
+        assert!(t.insert_row(&[Value::I32(1)]).is_err());
+    }
+
+    #[test]
+    fn from_bats_validates() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", LogicalType::I32),
+                ColumnDef::new("b", LogicalType::I64),
+            ],
+        );
+        let ok = Table::from_bats(
+            schema.clone(),
+            vec![Bat::from_vec(vec![1i32, 2]), Bat::from_vec(vec![1i64, 2])],
+        );
+        assert!(ok.is_ok());
+        // wrong type
+        assert!(Table::from_bats(
+            schema.clone(),
+            vec![Bat::from_vec(vec![1i32, 2]), Bat::from_vec(vec![1i32, 2])],
+        )
+        .is_err());
+        // misaligned lengths
+        assert!(Table::from_bats(
+            schema,
+            vec![Bat::from_vec(vec![1i32]), Bat::from_vec(vec![1i64, 2])],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn catalog_names_case_insensitive() {
+        let mut c = Catalog::new();
+        c.create_table(people()).unwrap();
+        assert!(c.table("PEOPLE").is_ok());
+        assert!(c.create_table(people()).is_err());
+        assert!(c.drop_table("People").is_ok());
+        assert!(c.table("people").is_err());
+    }
+
+    #[test]
+    fn named_bats() {
+        let mut c = Catalog::new();
+        c.register_bat("idx_people_age", Bat::from_vec(vec![1i32]));
+        assert!(c.bat("IDX_people_age").is_ok());
+        assert!(c.bat("missing").is_err());
+        assert!(c.unregister_bat("idx_people_age").is_some());
+        assert!(c.bat("idx_people_age").is_err());
+    }
+
+    #[test]
+    fn merge_keeps_alignment() {
+        let mut t = people();
+        for i in 0..50 {
+            t.insert_row(&[Value::Str(format!("p{i}")), Value::I32(i)])
+                .unwrap();
+        }
+        t.delete_row(10);
+        assert!(t.maybe_merge_all(8));
+        assert_eq!(t.live_len(), 49);
+        assert_eq!(t.column(0).pending_inserts(), 0);
+        assert_eq!(t.column(1).pending_inserts(), 0);
+        // row 10 (p10) is gone; position 10 now holds p11
+        assert_eq!(
+            t.get_row(10),
+            Some(vec![Value::Str("p11".into()), Value::I32(11)])
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Delta columns and snapshot isolation.
+//!
+//! §3.2: "For each table, a BAT with deleted positions is kept. Delta BATs
+//! are designed to delay updates to the main columns, and allow a relatively
+//! cheap snapshot isolation mechanism (only the delta BATs are copied)."
+//!
+//! A [`VersionedColumn`] is an immutable, shared base BAT plus two small
+//! deltas: appended rows and deleted positions. Taking a [`Snapshot`] copies
+//! only the deltas; the base is shared through an `Arc`. When the deltas
+//! grow past a threshold they are merged into a fresh base.
+
+use crate::bat::Bat;
+use crate::heap::TailHeap;
+use crate::properties::Properties;
+use mammoth_types::{LogicalType, Oid, Result, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The set of deleted positions of a column (MonetDB's "deleted BAT").
+#[derive(Debug, Clone, Default)]
+pub struct DeletionMap {
+    deleted: BTreeSet<Oid>,
+}
+
+impl DeletionMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn delete(&mut self, pos: Oid) -> bool {
+        self.deleted.insert(pos)
+    }
+
+    pub fn is_deleted(&self, pos: Oid) -> bool {
+        self.deleted.contains(&pos)
+    }
+
+    pub fn len(&self) -> usize {
+        self.deleted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty()
+    }
+
+    /// Deleted positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.deleted.iter().copied()
+    }
+}
+
+/// A column with an immutable shared base and mutable deltas.
+#[derive(Debug, Clone)]
+pub struct VersionedColumn {
+    base: Arc<Bat>,
+    inserts: TailHeap,
+    deleted: DeletionMap,
+}
+
+/// A read-only, point-in-time view of a [`VersionedColumn`].
+///
+/// Constructed by [`VersionedColumn::snapshot`]; shares the base heap and
+/// owns copies of the (small) deltas, so concurrent writers never disturb it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    inner: VersionedColumn,
+}
+
+impl VersionedColumn {
+    /// A fresh empty column of type `ty`.
+    pub fn new(ty: LogicalType) -> Self {
+        VersionedColumn {
+            base: Arc::new(Bat::empty(ty)),
+            inserts: TailHeap::new(ty),
+            deleted: DeletionMap::new(),
+        }
+    }
+
+    /// Adopt an existing BAT as the base.
+    pub fn from_bat(bat: Bat) -> Self {
+        let ty = bat.ty();
+        VersionedColumn {
+            base: Arc::new(bat),
+            inserts: TailHeap::new(ty),
+            deleted: DeletionMap::new(),
+        }
+    }
+
+    pub fn ty(&self) -> LogicalType {
+        self.inserts.ty()
+    }
+
+    /// Total positions (live + deleted): base rows then inserted rows.
+    pub fn total_len(&self) -> usize {
+        self.base.len() + self.inserts.len()
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn live_len(&self) -> usize {
+        self.total_len() - self.deleted.len()
+    }
+
+    /// Rows pending in the insert delta.
+    pub fn pending_inserts(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// Rows pending in the delete delta.
+    pub fn pending_deletes(&self) -> usize {
+        self.deleted.len()
+    }
+
+    pub fn base(&self) -> &Arc<Bat> {
+        &self.base
+    }
+
+    /// Append a row to the insert delta; returns its position oid.
+    pub fn insert(&mut self, v: &Value) -> Result<Oid> {
+        self.inserts.push_value(v)?;
+        Ok((self.base.len() + self.inserts.len() - 1) as Oid)
+    }
+
+    /// Mark position `pos` deleted. Returns false if it was already deleted
+    /// or out of range.
+    pub fn delete(&mut self, pos: Oid) -> bool {
+        if (pos as usize) >= self.total_len() {
+            return false;
+        }
+        self.deleted.delete(pos)
+    }
+
+    /// Value at position `pos`, reading through the deltas. `None` when
+    /// deleted or out of range.
+    pub fn get(&self, pos: Oid) -> Option<Value> {
+        let p = pos as usize;
+        if p >= self.total_len() || self.deleted.is_deleted(pos) {
+            return None;
+        }
+        Some(if p < self.base.len() {
+            self.base.value_at(p)
+        } else {
+            self.inserts.value(p - self.base.len())
+        })
+    }
+
+    /// True if the position exists and is not deleted.
+    pub fn is_live(&self, pos: Oid) -> bool {
+        (pos as usize) < self.total_len() && !self.deleted.is_deleted(pos)
+    }
+
+    /// Iterate `(position, value)` over live rows.
+    pub fn scan(&self) -> impl Iterator<Item = (Oid, Value)> + '_ {
+        (0..self.total_len() as Oid).filter_map(move |p| self.get(p).map(|v| (p, v)))
+    }
+
+    /// Point-in-time view: copies only the deltas (cheap snapshot isolation).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            inner: self.clone(),
+        }
+    }
+
+    /// Compact live rows into a dense BAT (positions are renumbered 0..n).
+    pub fn materialize(&self) -> Bat {
+        // fast path: nothing deleted — bulk-copy the base tail and append
+        // the insert delta with the typed extend
+        if self.deleted.is_empty() {
+            if self.inserts.is_empty() {
+                return (*self.base).clone();
+            }
+            let mut tail = self.base.tail().clone();
+            tail.extend_from(&self.inserts).expect("same type");
+            let mut b = Bat::dense(0, tail);
+            b.set_props(Properties::unknown());
+            return b;
+        }
+        let mut out = TailHeap::with_capacity(self.ty(), self.live_len());
+        for p in 0..self.total_len() as Oid {
+            if self.deleted.is_deleted(p) {
+                continue;
+            }
+            let v = if (p as usize) < self.base.len() {
+                self.base.value_at(p as usize)
+            } else {
+                self.inserts.value(p as usize - self.base.len())
+            };
+            out.push_value(&v).expect("same type");
+        }
+        let mut b = Bat::dense(0, out);
+        b.set_props(Properties::unknown());
+        b
+    }
+
+    /// Like [`VersionedColumn::materialize`], but returns the *shared* base
+    /// without any copy when there are no pending deltas — the common case
+    /// for read-mostly analytics, and what `sql.bind` uses. This is
+    /// MonetDB's zero-copy bind: queries read the same heap the table owns.
+    pub fn materialize_shared(&self) -> Arc<Bat> {
+        if self.inserts.is_empty() && self.deleted.is_empty() {
+            Arc::clone(&self.base)
+        } else {
+            Arc::new(self.materialize())
+        }
+    }
+
+    /// Fold the deltas into a new shared base if they exceed
+    /// `threshold_rows`. Returns true if a merge happened.
+    ///
+    /// This is the "delayed updates to the main columns": readers holding
+    /// old snapshots keep the old base alive via their `Arc`.
+    pub fn maybe_merge(&mut self, threshold_rows: usize) -> bool {
+        if self.inserts.len() + self.deleted.len() <= threshold_rows {
+            return false;
+        }
+        self.merge();
+        true
+    }
+
+    /// Unconditionally fold the deltas into a fresh base.
+    pub fn merge(&mut self) {
+        let merged = self.materialize();
+        let ty = self.ty();
+        self.base = Arc::new(merged);
+        self.inserts = TailHeap::new(ty);
+        self.deleted = DeletionMap::new();
+    }
+}
+
+impl Snapshot {
+    pub fn ty(&self) -> LogicalType {
+        self.inner.ty()
+    }
+
+    pub fn total_len(&self) -> usize {
+        self.inner.total_len()
+    }
+
+    pub fn live_len(&self) -> usize {
+        self.inner.live_len()
+    }
+
+    pub fn get(&self, pos: Oid) -> Option<Value> {
+        self.inner.get(pos)
+    }
+
+    pub fn is_live(&self, pos: Oid) -> bool {
+        self.inner.is_live(pos)
+    }
+
+    pub fn scan(&self) -> impl Iterator<Item = (Oid, Value)> + '_ {
+        self.inner.scan()
+    }
+
+    pub fn materialize(&self) -> Bat {
+        self.inner.materialize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col_with(values: &[i32]) -> VersionedColumn {
+        VersionedColumn::from_bat(Bat::from_vec(values.to_vec()))
+    }
+
+    #[test]
+    fn insert_delete_read_through() {
+        let mut c = col_with(&[10, 20, 30]);
+        assert_eq!(c.get(1), Some(Value::I32(20)));
+        let pos = c.insert(&Value::I32(40)).unwrap();
+        assert_eq!(pos, 3);
+        assert_eq!(c.get(3), Some(Value::I32(40)));
+        assert!(c.delete(1));
+        assert!(!c.delete(1)); // idempotent
+        assert!(!c.delete(99)); // out of range
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.live_len(), 3);
+        assert_eq!(c.total_len(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut c = col_with(&[1, 2, 3]);
+        let snap = c.snapshot();
+        c.insert(&Value::I32(4)).unwrap();
+        c.delete(0);
+        // the snapshot still sees the original state
+        assert_eq!(snap.live_len(), 3);
+        assert_eq!(snap.get(0), Some(Value::I32(1)));
+        assert_eq!(snap.get(3), None);
+        // while the column moved on
+        assert_eq!(c.live_len(), 3);
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.get(3), Some(Value::I32(4)));
+    }
+
+    #[test]
+    fn snapshot_shares_base_heap() {
+        let mut c = col_with(&[1; 1000]);
+        let base_ptr = Arc::as_ptr(c.base());
+        let snap = c.snapshot();
+        assert_eq!(Arc::as_ptr(snap.inner.base()), base_ptr);
+        // merging replaces the writer's base but the snapshot keeps the old
+        c.insert(&Value::I32(2)).unwrap();
+        c.merge();
+        assert_ne!(Arc::as_ptr(c.base()), base_ptr);
+        assert_eq!(Arc::as_ptr(snap.inner.base()), base_ptr);
+        assert_eq!(snap.live_len(), 1000);
+        assert_eq!(c.live_len(), 1001);
+    }
+
+    #[test]
+    fn merge_compacts_and_renumbers() {
+        let mut c = col_with(&[10, 20, 30]);
+        c.delete(0);
+        c.insert(&Value::I32(40)).unwrap();
+        c.merge();
+        assert_eq!(c.pending_inserts(), 0);
+        assert_eq!(c.pending_deletes(), 0);
+        assert_eq!(c.total_len(), 3);
+        let m = c.materialize();
+        assert_eq!(m.tail_slice::<i32>().unwrap(), &[20, 30, 40]);
+    }
+
+    #[test]
+    fn maybe_merge_respects_threshold() {
+        let mut c = col_with(&[1, 2, 3]);
+        c.insert(&Value::I32(4)).unwrap();
+        assert!(!c.maybe_merge(10));
+        assert_eq!(c.pending_inserts(), 1);
+        for i in 0..20 {
+            c.insert(&Value::I32(i)).unwrap();
+        }
+        assert!(c.maybe_merge(10));
+        assert_eq!(c.pending_inserts(), 0);
+    }
+
+    #[test]
+    fn materialize_shared_is_zero_copy_when_clean() {
+        let mut c = col_with(&[1, 2, 3]);
+        let base_ptr = Arc::as_ptr(c.base());
+        let m = c.materialize_shared();
+        assert_eq!(Arc::as_ptr(&m), base_ptr, "no deltas -> shared Arc");
+        // with deltas it must copy
+        c.insert(&Value::I32(4)).unwrap();
+        let m = c.materialize_shared();
+        assert_ne!(Arc::as_ptr(&m), base_ptr);
+        assert_eq!(m.tail_slice::<i32>().unwrap(), &[1, 2, 3, 4]);
+        // delete forces the slow path; contents still right
+        c.delete(0);
+        let m = c.materialize();
+        assert_eq!(m.tail_slice::<i32>().unwrap(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scan_skips_deleted() {
+        let mut c = col_with(&[5, 6, 7]);
+        c.delete(1);
+        let rows: Vec<_> = c.scan().collect();
+        assert_eq!(
+            rows,
+            vec![(0, Value::I32(5)), (2, Value::I32(7))]
+        );
+    }
+
+    #[test]
+    fn deletes_of_inserted_rows() {
+        let mut c = VersionedColumn::new(LogicalType::I32);
+        let p0 = c.insert(&Value::I32(1)).unwrap();
+        let p1 = c.insert(&Value::I32(2)).unwrap();
+        c.delete(p0);
+        assert_eq!(c.live_len(), 1);
+        assert_eq!(c.get(p1), Some(Value::I32(2)));
+        c.merge();
+        let m = c.materialize();
+        assert_eq!(m.tail_slice::<i32>().unwrap(), &[2]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Raw-heap persistence.
+//!
+//! MonetDB stores columns as memory-mapped files whose on-disk bytes *are*
+//! the in-memory array. We reproduce the same philosophy with an explicit
+//! little-endian raw-heap format plus a small descriptor, and a directory
+//! layout of one `.bat` file per column plus a `catalog.mmth` manifest.
+//! (Substitution documented in DESIGN.md: explicit I/O instead of mmap.)
+
+use crate::bat::{Bat, HeadColumn};
+use crate::catalog::{Catalog, Table};
+use crate::heap::TailHeap;
+use crate::properties::Properties;
+use crate::strheap::StrHeap;
+use mammoth_types::{
+    ColumnDef, Error, LogicalType, NativeType, Oid, Result, TableSchema,
+};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+const BAT_MAGIC: &[u8; 6] = b"MBAT1\n";
+const CATALOG_MAGIC: &[u8; 6] = b"MCAT1\n";
+
+fn ty_tag(ty: LogicalType) -> u8 {
+    match ty {
+        LogicalType::Bool => 0,
+        LogicalType::I8 => 1,
+        LogicalType::I16 => 2,
+        LogicalType::I32 => 3,
+        LogicalType::I64 => 4,
+        LogicalType::F64 => 5,
+        LogicalType::Str => 6,
+        LogicalType::Oid => 7,
+    }
+}
+
+fn tag_ty(tag: u8) -> Result<LogicalType> {
+    Ok(match tag {
+        0 => LogicalType::Bool,
+        1 => LogicalType::I8,
+        2 => LogicalType::I16,
+        3 => LogicalType::I32,
+        4 => LogicalType::I64,
+        5 => LogicalType::F64,
+        6 => LogicalType::Str,
+        7 => LogicalType::Oid,
+        t => return Err(Error::Corrupt(format!("unknown type tag {t}"))),
+    })
+}
+
+fn write_fixed<T: NativeType>(v: &[T], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+    for x in v {
+        x.write_le(out);
+    }
+}
+
+fn read_fixed<T: NativeType>(buf: &[u8]) -> Result<(Vec<T>, usize)> {
+    if buf.len() < 8 {
+        return Err(Error::Corrupt("truncated heap length".into()));
+    }
+    let n = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
+    let need = 8 + n * T::WIDTH;
+    if buf.len() < need {
+        return Err(Error::Corrupt("truncated heap data".into()));
+    }
+    let mut v = Vec::with_capacity(n);
+    let mut pos = 8;
+    for _ in 0..n {
+        v.push(T::read_le(&buf[pos..]));
+        pos += T::WIDTH;
+    }
+    Ok((v, pos))
+}
+
+/// Serialize a BAT into `out`.
+pub fn write_bat(bat: &Bat, out: &mut Vec<u8>) {
+    out.extend_from_slice(BAT_MAGIC);
+    out.push(ty_tag(bat.ty()));
+    // properties: a conservative bitmask (min/max are recomputed on demand)
+    let p = bat.props();
+    let flags = (p.sorted as u8)
+        | ((p.revsorted as u8) << 1)
+        | ((p.key as u8) << 2)
+        | ((p.nonil as u8) << 3);
+    out.push(flags);
+    match bat.head() {
+        HeadColumn::Void { seqbase } => {
+            out.push(0);
+            out.extend_from_slice(&seqbase.to_le_bytes());
+        }
+        HeadColumn::Oids(v) => {
+            out.push(1);
+            write_fixed(v, out);
+        }
+    }
+    match bat.tail() {
+        TailHeap::Bool(v) => write_fixed(v, out),
+        TailHeap::I8(v) => write_fixed(v, out),
+        TailHeap::I16(v) => write_fixed(v, out),
+        TailHeap::I32(v) => write_fixed(v, out),
+        TailHeap::I64(v) => write_fixed(v, out),
+        TailHeap::F64(v) => write_fixed(v, out),
+        TailHeap::Oid(v) => write_fixed(v, out),
+        TailHeap::Str(h) => h.write_to(out),
+    }
+}
+
+/// Deserialize a BAT; returns the BAT and bytes consumed.
+pub fn read_bat(buf: &[u8]) -> Result<(Bat, usize)> {
+    if buf.len() < 9 || &buf[0..6] != BAT_MAGIC {
+        return Err(Error::Corrupt("bad BAT magic".into()));
+    }
+    let ty = tag_ty(buf[6])?;
+    let flags = buf[7];
+    let head_tag = buf[8];
+    let mut pos = 9;
+    let head = match head_tag {
+        0 => {
+            if buf.len() < pos + 8 {
+                return Err(Error::Corrupt("truncated seqbase".into()));
+            }
+            let seqbase = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            HeadColumn::Void { seqbase }
+        }
+        1 => {
+            let (v, used) = read_fixed::<Oid>(&buf[pos..])?;
+            pos += used;
+            HeadColumn::Oids(v)
+        }
+        t => return Err(Error::Corrupt(format!("unknown head tag {t}"))),
+    };
+    let tail = match ty {
+        LogicalType::Bool => {
+            let (v, used) = read_fixed::<bool>(&buf[pos..])?;
+            pos += used;
+            TailHeap::Bool(v)
+        }
+        LogicalType::I8 => {
+            let (v, used) = read_fixed::<i8>(&buf[pos..])?;
+            pos += used;
+            TailHeap::I8(v)
+        }
+        LogicalType::I16 => {
+            let (v, used) = read_fixed::<i16>(&buf[pos..])?;
+            pos += used;
+            TailHeap::I16(v)
+        }
+        LogicalType::I32 => {
+            let (v, used) = read_fixed::<i32>(&buf[pos..])?;
+            pos += used;
+            TailHeap::I32(v)
+        }
+        LogicalType::I64 => {
+            let (v, used) = read_fixed::<i64>(&buf[pos..])?;
+            pos += used;
+            TailHeap::I64(v)
+        }
+        LogicalType::F64 => {
+            let (v, used) = read_fixed::<f64>(&buf[pos..])?;
+            pos += used;
+            TailHeap::F64(v)
+        }
+        LogicalType::Oid => {
+            let (v, used) = read_fixed::<Oid>(&buf[pos..])?;
+            pos += used;
+            TailHeap::Oid(v)
+        }
+        LogicalType::Str => {
+            let (h, used) = StrHeap::read_from(&buf[pos..])?;
+            pos += used;
+            TailHeap::Str(h)
+        }
+    };
+    let bat = match head {
+        HeadColumn::Void { seqbase } => Bat::dense(seqbase, tail),
+        HeadColumn::Oids(v) => Bat::with_head(v, tail)?,
+    };
+    let props = Properties {
+        sorted: flags & 1 != 0,
+        revsorted: flags & 2 != 0,
+        key: flags & 4 != 0,
+        nonil: flags & 8 != 0,
+        min: None,
+        max: None,
+    };
+    Ok((bat.with_props(props), pos))
+}
+
+/// Save one BAT to a file.
+pub fn save_bat(bat: &Bat, path: &Path) -> Result<()> {
+    let mut buf = Vec::with_capacity(bat.tail().byte_size() + 64);
+    write_bat(bat, &mut buf);
+    let mut f = fs::File::create(path)?;
+    f.write_all(&buf)?;
+    Ok(())
+}
+
+/// Load one BAT from a file.
+pub fn load_bat(path: &Path) -> Result<Bat> {
+    let buf = fs::read(path)?;
+    let (bat, used) = read_bat(&buf)?;
+    if used != buf.len() {
+        return Err(Error::Corrupt("trailing bytes after BAT".into()));
+    }
+    Ok(bat)
+}
+
+fn write_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    if buf.len() < *pos + 4 {
+        return Err(Error::Corrupt("truncated string".into()));
+    }
+    let n = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+    *pos += 4;
+    if buf.len() < *pos + n {
+        return Err(Error::Corrupt("truncated string body".into()));
+    }
+    let s = std::str::from_utf8(&buf[*pos..*pos + n])
+        .map_err(|_| Error::Corrupt("invalid utf8 in catalog".into()))?
+        .to_string();
+    *pos += n;
+    Ok(s)
+}
+
+/// Persist a whole catalog into `dir` (created if missing). Tables are
+/// snapshotted and compacted: deltas are merged into the stored base.
+pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut manifest = Vec::new();
+    manifest.extend_from_slice(CATALOG_MAGIC);
+    let names: Vec<&str> = catalog.table_names().collect();
+    manifest.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    for name in names {
+        let t = catalog.table(name)?;
+        write_str(&t.schema.name, &mut manifest);
+        manifest.extend_from_slice(&(t.schema.columns.len() as u32).to_le_bytes());
+        for (i, c) in t.schema.columns.iter().enumerate() {
+            write_str(&c.name, &mut manifest);
+            manifest.push(ty_tag(c.ty));
+            manifest.push(c.nullable as u8);
+            let file = format!("{}.{}.bat", name, i);
+            write_str(&file, &mut manifest);
+            let bat = t.column(i).materialize();
+            save_bat(&bat, &dir.join(&file))?;
+        }
+    }
+    let mut f = fs::File::create(dir.join("catalog.mmth"))?;
+    f.write_all(&manifest)?;
+    Ok(())
+}
+
+/// Load a catalog previously written by [`save_catalog`].
+pub fn load_catalog(dir: &Path) -> Result<Catalog> {
+    let buf = fs::read(dir.join("catalog.mmth"))?;
+    if buf.len() < 10 || &buf[0..6] != CATALOG_MAGIC {
+        return Err(Error::Corrupt("bad catalog magic".into()));
+    }
+    let ntables = u32::from_le_bytes(buf[6..10].try_into().unwrap()) as usize;
+    let mut pos = 10;
+    let mut catalog = Catalog::new();
+    for _ in 0..ntables {
+        let tname = read_str(&buf, &mut pos)?;
+        if buf.len() < pos + 4 {
+            return Err(Error::Corrupt("truncated column count".into()));
+        }
+        let ncols = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let mut defs = Vec::with_capacity(ncols);
+        let mut bats = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let cname = read_str(&buf, &mut pos)?;
+            if buf.len() < pos + 2 {
+                return Err(Error::Corrupt("truncated column def".into()));
+            }
+            let ty = tag_ty(buf[pos])?;
+            let nullable = buf[pos + 1] != 0;
+            pos += 2;
+            let file = read_str(&buf, &mut pos)?;
+            let mut def = ColumnDef::new(cname, ty);
+            def.nullable = nullable;
+            defs.push(def);
+            bats.push(load_bat(&dir.join(file))?);
+        }
+        let table = Table::from_bats(TableSchema::new(tname, defs), bats)?;
+        catalog.create_table(table)?;
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_types::Value;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mammoth-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn bat_roundtrip_fixed() {
+        let mut b = Bat::from_vec(vec![1i32, 5, 3]);
+        b.compute_props();
+        let mut buf = Vec::new();
+        write_bat(&b, &mut buf);
+        let (back, used) = read_bat(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back.tail_slice::<i32>().unwrap(), &[1, 5, 3]);
+        assert!(back.props().nonil);
+        assert!(!back.props().sorted);
+    }
+
+    #[test]
+    fn bat_roundtrip_strings_and_heads() {
+        let b = Bat::with_head(
+            vec![7, 3, 9],
+            TailHeap::from_strings([Some("x"), None, Some("x")]),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_bat(&b, &mut buf);
+        let (back, _) = read_bat(&buf).unwrap();
+        assert_eq!(back.oid_at(1), 3);
+        assert_eq!(back.value_at(0), Value::Str("x".into()));
+        assert_eq!(back.value_at(1), Value::Null);
+    }
+
+    #[test]
+    fn corrupt_bat_rejected() {
+        assert!(read_bat(b"nonsense").is_err());
+        let b = Bat::from_vec(vec![1i64, 2]);
+        let mut buf = Vec::new();
+        write_bat(&b, &mut buf);
+        buf.truncate(buf.len() - 3);
+        assert!(read_bat(&buf).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = tmpdir("file");
+        let b = Bat::from_vec(vec![2.5f64, 3.5]);
+        let p = d.join("x.bat");
+        save_bat(&b, &p).unwrap();
+        let back = load_bat(&p).unwrap();
+        assert_eq!(back.tail_slice::<f64>().unwrap(), &[2.5, 3.5]);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        use mammoth_types::{ColumnDef, LogicalType};
+        let d = tmpdir("cat");
+        let mut cat = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "actors",
+            vec![
+                ColumnDef::new("name", LogicalType::Str),
+                ColumnDef::new("born", LogicalType::I32).not_null(),
+            ],
+        ))
+        .unwrap();
+        t.insert_row(&[Value::Str("John Wayne".into()), Value::I32(1907)])
+            .unwrap();
+        t.insert_row(&[Value::Str("Bob Fosse".into()), Value::I32(1927)])
+            .unwrap();
+        t.delete_row(0);
+        cat.create_table(t).unwrap();
+
+        save_catalog(&cat, &d).unwrap();
+        let back = load_catalog(&d).unwrap();
+        let t = back.table("actors").unwrap();
+        assert_eq!(t.live_len(), 1);
+        assert_eq!(
+            t.get_row(0),
+            Some(vec![Value::Str("Bob Fosse".into()), Value::I32(1927)])
+        );
+        assert!(!t.schema.columns[1].nullable);
+        fs::remove_dir_all(&d).unwrap();
+    }
+}

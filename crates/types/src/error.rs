@@ -1,0 +1,98 @@
+//! The common error type for all mammoth crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by any layer of the engine.
+///
+/// Lower layers (storage, algebra) use the structural variants; the language
+/// front-ends use `Parse`/`Bind`; `Internal` is reserved for invariant
+/// violations that indicate a bug rather than bad input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A type mismatch between an operator and its operands.
+    TypeMismatch { expected: String, found: String },
+    /// Two columns that must be aligned (same length) are not.
+    LengthMismatch { left: usize, right: usize },
+    /// An oid or position outside the valid range of a BAT.
+    OutOfRange { index: u64, len: u64 },
+    /// A named object (BAT, table, column, variable) does not exist.
+    NotFound { kind: &'static str, name: String },
+    /// A named object already exists and cannot be created again.
+    AlreadyExists { kind: &'static str, name: String },
+    /// Query-language lexing/parsing failure.
+    Parse { pos: usize, message: String },
+    /// Name-resolution / typing failure while binding a query.
+    Bind(String),
+    /// The feature is recognized but not supported by this engine.
+    Unsupported(String),
+    /// I/O error while persisting or loading heaps.
+    Io(String),
+    /// Corrupt or unreadable persisted data.
+    Corrupt(String),
+    /// An internal invariant was violated: this is a bug.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            Error::OutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            Error::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
+            Error::AlreadyExists { kind, name } => write!(f, "{kind} already exists: {name}"),
+            Error::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            Error::Bind(m) => write!(f, "bind error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::TypeMismatch {
+            expected: "int".into(),
+            found: "str".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected int, found str");
+        let e = Error::OutOfRange { index: 9, len: 4 };
+        assert_eq!(e.to_string(), "index 9 out of range for length 4");
+        let e = Error::NotFound {
+            kind: "bat",
+            name: "t_a".into(),
+        };
+        assert_eq!(e.to_string(), "bat not found: t_a");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

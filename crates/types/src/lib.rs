@@ -1,0 +1,24 @@
+//! Shared value types, schemas and errors for the `mammoth` engine.
+//!
+//! `mammoth` reproduces the MonetDB architecture described in *Database
+//! Architecture Evolution: Mammals Flourished long before Dinosaurs became
+//! Extinct* (VLDB 2009). This crate holds the vocabulary every other crate
+//! speaks: logical types, runtime values, object identifiers (oids), table
+//! schemas and the common error type.
+//!
+//! Following MonetDB, NULL ("nil") is represented *in-domain*: every native
+//! type reserves one sentinel value (e.g. `i32::MIN`) rather than keeping a
+//! separate validity bitmap. This keeps column heaps plain arrays, which is
+//! the property the whole BAT architecture builds on.
+
+pub mod error;
+pub mod native;
+pub mod oid;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use native::NativeType;
+pub use oid::{Oid, OID_NIL};
+pub use schema::{ColumnDef, TableSchema};
+pub use value::{LogicalType, Value};

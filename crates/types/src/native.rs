@@ -1,0 +1,260 @@
+//! The bridge between Rust native types and the engine's logical types.
+
+use crate::oid::{Oid, OID_NIL};
+use crate::value::{LogicalType, Value};
+
+/// A fixed-width Rust type that can live directly in a column heap.
+///
+/// Implementors are plain-old-data: a column of `T: NativeType` is stored as
+/// a `Vec<T>` and persisted by copying the raw bytes. Each type designates an
+/// in-domain `NIL` sentinel, mirroring MonetDB's nil representation, so no
+/// validity bitmap is needed.
+pub trait NativeType: Copy + PartialEq + PartialOrd + Send + Sync + 'static {
+    /// The logical type this native type backs.
+    const LOGICAL: LogicalType;
+    /// The in-domain sentinel representing NULL.
+    const NIL: Self;
+
+    /// Is this value the nil sentinel? (Needed because `NaN != NaN`.)
+    fn is_nil(&self) -> bool {
+        *self == Self::NIL
+    }
+
+    /// Wrap into a dynamic [`Value`].
+    fn to_value(&self) -> Value;
+
+    /// Extract from a dynamic [`Value`]; `None` on type or nil mismatch.
+    fn from_value(v: &Value) -> Option<Self>;
+
+    /// A total order usable for sorting: nil sorts first, NaN handled.
+    fn nil_cmp(&self, other: &Self) -> std::cmp::Ordering;
+
+    /// Raw bytes for persistence.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Parse back from persisted little-endian bytes.
+    fn read_le(buf: &[u8]) -> Self;
+    /// Width in bytes on disk and in memory.
+    const WIDTH: usize = std::mem::size_of::<Self>();
+}
+
+macro_rules! impl_native_int {
+    ($t:ty, $logical:expr, $nil:expr, $variant:ident) => {
+        impl NativeType for $t {
+            const LOGICAL: LogicalType = $logical;
+            const NIL: Self = $nil;
+
+            fn to_value(&self) -> Value {
+                if self.is_nil() {
+                    Value::Null
+                } else {
+                    Value::$variant(*self)
+                }
+            }
+
+            fn from_value(v: &Value) -> Option<Self> {
+                match v {
+                    Value::Null => Some(Self::NIL),
+                    Value::$variant(x) => Some(*x),
+                    _ => None,
+                }
+            }
+
+            fn nil_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.cmp(other)
+            }
+
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(buf: &[u8]) -> Self {
+                let mut b = [0u8; std::mem::size_of::<Self>()];
+                b.copy_from_slice(&buf[..std::mem::size_of::<Self>()]);
+                Self::from_le_bytes(b)
+            }
+        }
+    };
+}
+
+impl_native_int!(i8, LogicalType::I8, i8::MIN, I8);
+impl_native_int!(i16, LogicalType::I16, i16::MIN, I16);
+impl_native_int!(i32, LogicalType::I32, i32::MIN, I32);
+impl_native_int!(i64, LogicalType::I64, i64::MIN, I64);
+
+impl NativeType for Oid {
+    const LOGICAL: LogicalType = LogicalType::Oid;
+    const NIL: Self = OID_NIL;
+
+    fn to_value(&self) -> Value {
+        if self.is_nil() {
+            Value::Null
+        } else {
+            Value::Oid(*self)
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Null => Some(Self::NIL),
+            Value::Oid(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn nil_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp(other)
+    }
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(buf: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[..8]);
+        Self::from_le_bytes(b)
+    }
+}
+
+impl NativeType for f64 {
+    const LOGICAL: LogicalType = LogicalType::F64;
+    // MonetDB uses NaN-like nil for floats; we use a specific quiet NaN so
+    // `is_nil` can distinguish it from computational NaN via bit pattern.
+    const NIL: Self = f64::NAN;
+
+    fn is_nil(&self) -> bool {
+        self.is_nan()
+    }
+
+    fn to_value(&self) -> Value {
+        if self.is_nan() {
+            Value::Null
+        } else {
+            Value::F64(*self)
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Null => Some(f64::NAN),
+            Value::F64(x) => Some(*x),
+            Value::I32(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    fn nil_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // nil (NaN) sorts first to match integer NIL = MIN.
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => self.partial_cmp(other).unwrap(),
+        }
+    }
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_le(buf: &[u8]) -> Self {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[..8]);
+        Self::from_le_bytes(b)
+    }
+}
+
+impl NativeType for bool {
+    const LOGICAL: LogicalType = LogicalType::Bool;
+    // bool has no spare value; nil-ness for bool columns is handled at the
+    // Value layer. `NIL = false` keeps the trait total but `is_nil` is never
+    // true for bool.
+    const NIL: Self = false;
+
+    fn is_nil(&self) -> bool {
+        false
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v {
+            Value::Bool(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn nil_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp(other)
+    }
+
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn read_le(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_nil_roundtrip() {
+        assert!(i32::MIN.is_nil());
+        assert_eq!(i32::from_value(&Value::Null), Some(i32::MIN));
+        assert_eq!(i32::MIN.to_value(), Value::Null);
+        assert_eq!(5i32.to_value(), Value::I32(5));
+        assert_eq!(i64::from_value(&Value::I64(-3)), Some(-3));
+    }
+
+    #[test]
+    fn float_nil_is_nan() {
+        assert!(f64::NIL.is_nil());
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(2.5f64.to_value(), Value::F64(2.5));
+        // nil sorts first
+        assert_eq!(
+            f64::NAN.nil_cmp(&1.0),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn le_roundtrip_all_widths() {
+        fn rt<T: NativeType + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.write_le(&mut buf);
+            assert_eq!(buf.len(), T::WIDTH);
+            let back = T::read_le(&buf);
+            assert_eq!(back.nil_cmp(&v), std::cmp::Ordering::Equal);
+        }
+        rt(42i8);
+        rt(-1234i16);
+        rt(123456i32);
+        rt(-98765432101i64);
+        rt(3.25f64);
+        rt(true);
+        rt(77u64 as Oid);
+    }
+
+    #[test]
+    fn oid_nil() {
+        assert!(OID_NIL.is_nil());
+        assert_eq!(OID_NIL.to_value(), Value::Null);
+        assert_eq!(Oid::from_value(&Value::Oid(3)), Some(3));
+    }
+
+    #[test]
+    fn cross_type_from_value_fails() {
+        assert_eq!(i32::from_value(&Value::I64(1)), None);
+        assert_eq!(bool::from_value(&Value::I32(1)), None);
+        // f64 accepts integer widening (useful for SQL literals)
+        assert_eq!(f64::from_value(&Value::I32(2)), Some(2.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! Object identifiers.
+//!
+//! MonetDB's BATs pair every value with a surrogate *oid*. In the common
+//! case the head column is a densely ascending oid sequence starting at some
+//! *seqbase*, which is then not stored at all (a "void" column) and lookups
+//! become O(1) array reads.
+
+/// A surrogate object identifier (MonetDB `oid`).
+///
+/// A plain integer alias (not a newtype) so that positional arithmetic in
+/// operator inner loops stays free of wrapper noise.
+pub type Oid = u64;
+
+/// The nil oid, MonetDB's in-domain NULL for the oid type.
+pub const OID_NIL: Oid = u64::MAX;
+
+/// Returns true if `o` is the nil oid.
+#[inline(always)]
+pub fn oid_is_nil(o: Oid) -> bool {
+    o == OID_NIL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_max() {
+        assert!(oid_is_nil(OID_NIL));
+        assert!(!oid_is_nil(0));
+        assert!(!oid_is_nil(u64::MAX - 1));
+    }
+}

@@ -1,0 +1,28 @@
+//! Vectorized (X100-style) execution (§5).
+//!
+//! "The X100 execution engine … conserves the efficient zero-degree of
+//! freedom columnar operators found in MonetDB's BAT Algebra, but embeds
+//! them in a pipelined relational execution model, where small slices of
+//! columns (called 'vectors'), rather than entire columns are pulled
+//! top-down through a relational operator tree. … The vector size is tuned
+//! such that all vectors of a (sub-)query together fit into the CPU cache.
+//! When used with a vector-size of one (tuple-at-a-time), X100 performance
+//! tends to be as slow as a typical RDBMS, while a size between 100 and
+//! 1000 improves performance by two orders of magnitude."
+//!
+//! The engine here is a faithful miniature: a [`pipeline::Pipeline`] pulls
+//! fixed-size vectors from a column source (optionally decompressing
+//! per-vector from the [`mammoth_compression`] codecs), runs them through
+//! zero-degree-of-freedom [`primitives`] connected by *selection vectors*,
+//! and folds them into an aggregate sink. The vector size is an explicit
+//! parameter — set it to 1 and you get the tuple-at-a-time dinosaur, set it
+//! to the column length and you get full MonetDB-style materialization;
+//! the sweet spot in between is experiment E07.
+
+pub mod pipeline;
+pub mod primitives;
+pub mod vector;
+
+pub use pipeline::{AggSpec, ColRef, Operand, Pipeline, QueryResult, Sink, Stage};
+pub use primitives::{CmpOp, MapOp};
+pub use vector::{Column, ColumnSet};

@@ -1,0 +1,486 @@
+//! The vectorized pipeline driver.
+//!
+//! A [`Pipeline`] is a source column set, a list of [`Stage`]s and a
+//! [`Sink`]. [`Pipeline::run`] pulls one `vector_size` window at a time
+//! through all stages — selection vectors narrowing as filters apply,
+//! computed vectors appearing as maps run — and folds the survivors into
+//! the sink. All per-vector state (selection + computed vectors) is sized
+//! by `vector_size`: that is the working set the §5 tuning argument is
+//! about, and what experiment E07 sweeps.
+
+use crate::primitives::{self, CmpOp, MapOp};
+use crate::vector::{ColumnSet, VectorWindow};
+use mammoth_types::{Error, Result};
+
+/// Reference to a column visible inside the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColRef {
+    /// A source column by index.
+    Source(usize),
+    /// A computed vector by slot.
+    Computed(usize),
+}
+
+/// Right-hand operand of a map stage.
+#[derive(Debug, Clone, Copy)]
+pub enum Operand {
+    Col(ColRef),
+    Const(i64),
+}
+
+/// One vectorized operator.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    /// Narrow the selection: keep rows where `col op c` (i64).
+    FilterI64 { col: ColRef, op: CmpOp, c: i64 },
+    /// Narrow the selection on an f64 source column.
+    FilterF64 { col: usize, op: CmpOp, c: f64 },
+    /// Compute `out := l mapop r` into computed slot `out`.
+    MapI64 {
+        op: MapOp,
+        l: ColRef,
+        r: Operand,
+        out: usize,
+    },
+}
+
+/// An aggregate to fold in the sink.
+#[derive(Debug, Clone, Copy)]
+pub enum AggSpec {
+    CountStar,
+    SumI64(ColRef),
+    SumF64(usize),
+    MinI64(ColRef),
+    MaxI64(ColRef),
+}
+
+/// Where the vectors end up.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Global aggregates.
+    Aggregate(Vec<AggSpec>),
+    /// `sums[key] += value` with dense i64 keys in `0..groups`.
+    GroupedSum {
+        key: ColRef,
+        value: ColRef,
+        groups: usize,
+    },
+}
+
+/// A complete vectorized query.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    pub stages: Vec<Stage>,
+    pub sink: Sink,
+    /// Number of computed-vector slots the stages use.
+    pub computed_slots: usize,
+}
+
+/// Results of a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    Aggregates(Vec<AggOut>),
+    GroupedSums(Vec<i64>),
+}
+
+/// One aggregate output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggOut {
+    I64(i64),
+    F64(f64),
+    /// MIN/MAX over zero rows.
+    Empty,
+}
+
+struct AggState {
+    count: u64,
+    sum_i: i64,
+    sum_f: f64,
+    min: Option<i64>,
+    max: Option<i64>,
+}
+
+impl Pipeline {
+    /// Execute over `columns` with the given vector size.
+    pub fn run(
+        &self,
+        columns: &ColumnSet,
+        vector_size: usize,
+    ) -> Result<QueryResult> {
+        let vector_size = vector_size.max(1);
+        let n = columns.len();
+        let mut window = VectorWindow::new(columns.arity());
+        let mut computed: Vec<Vec<i64>> = vec![Vec::new(); self.computed_slots];
+        let mut sel: Vec<u32> = Vec::with_capacity(vector_size);
+        let mut sel_next: Vec<u32> = Vec::with_capacity(vector_size);
+
+        let mut agg_states: Vec<AggState> = match &self.sink {
+            Sink::Aggregate(specs) => specs
+                .iter()
+                .map(|_| AggState {
+                    count: 0,
+                    sum_i: 0,
+                    sum_f: 0.0,
+                    min: None,
+                    max: None,
+                })
+                .collect(),
+            Sink::GroupedSum { .. } => Vec::new(),
+        };
+        let mut group_sums: Vec<i64> = match &self.sink {
+            Sink::GroupedSum { groups, .. } => vec![0; *groups],
+            _ => Vec::new(),
+        };
+
+        let mut start = 0usize;
+        while start < n {
+            let len = vector_size.min(n - start);
+            window.set(columns, start, len);
+
+            // resolve a ColRef to a borrowed i64 slice (computed slots are
+            // mem::taken while written, so reads see consistent data)
+            let mut have_sel = false;
+            sel.clear();
+            for stage in &self.stages {
+                match stage {
+                    Stage::FilterI64 { col, op, c } => {
+                        let data = resolve(&window, columns, &computed, *col)?;
+                        primitives::sel_cmp_i64(
+                            *op,
+                            data,
+                            *c,
+                            have_sel.then_some(&sel[..]),
+                            &mut sel_next,
+                        );
+                        std::mem::swap(&mut sel, &mut sel_next);
+                        have_sel = true;
+                    }
+                    Stage::FilterF64 { col, op, c } => {
+                        let data = window.f64_slice(columns, *col)?;
+                        primitives::sel_cmp_f64(
+                            *op,
+                            data,
+                            *c,
+                            have_sel.then_some(&sel[..]),
+                            &mut sel_next,
+                        );
+                        std::mem::swap(&mut sel, &mut sel_next);
+                        have_sel = true;
+                    }
+                    Stage::MapI64 { op, l, r, out } => {
+                        let mut buf = std::mem::take(&mut computed[*out]);
+                        {
+                            let ldata = resolve(&window, columns, &computed, *l)?;
+                            let s = have_sel.then_some(&sel[..]);
+                            match r {
+                                Operand::Const(c) => primitives::map_arith_i64_const(
+                                    *op, ldata, *c, s, &mut buf,
+                                ),
+                                Operand::Col(rc) => {
+                                    let rdata = resolve(&window, columns, &computed, *rc)?;
+                                    primitives::map_arith_i64(*op, ldata, rdata, s, &mut buf);
+                                }
+                            }
+                        }
+                        computed[*out] = buf;
+                    }
+                }
+            }
+
+            let s = have_sel.then_some(&sel[..]);
+            match &self.sink {
+                Sink::Aggregate(specs) => {
+                    for (spec, st) in specs.iter().zip(&mut agg_states) {
+                        match spec {
+                            AggSpec::CountStar => {
+                                st.count += primitives::count(len, s) as u64;
+                            }
+                            AggSpec::SumI64(c) => {
+                                let data = resolve(&window, columns, &computed, *c)?;
+                                st.sum_i =
+                                    st.sum_i.wrapping_add(primitives::sum_i64(data, s));
+                            }
+                            AggSpec::SumF64(c) => {
+                                let data = window.f64_slice(columns, *c)?;
+                                st.sum_f += primitives::sum_f64(data, s);
+                            }
+                            AggSpec::MinI64(c) => {
+                                let data = resolve(&window, columns, &computed, *c)?;
+                                if let Some(m) = primitives::min_i64(data, s) {
+                                    st.min = Some(st.min.map_or(m, |x| x.min(m)));
+                                }
+                            }
+                            AggSpec::MaxI64(c) => {
+                                let data = resolve(&window, columns, &computed, *c)?;
+                                if let Some(m) = primitives::max_i64(data, s) {
+                                    st.max = Some(st.max.map_or(m, |x| x.max(m)));
+                                }
+                            }
+                        }
+                    }
+                }
+                Sink::GroupedSum { key, value, groups } => {
+                    let keys = resolve(&window, columns, &computed, *key)?;
+                    // dense key vector: convert to u32 gids, bounds-checked
+                    let mut gids = Vec::with_capacity(len);
+                    for &k in keys {
+                        if k < 0 || k as usize >= *groups {
+                            return Err(Error::OutOfRange {
+                                index: k as u64,
+                                len: *groups as u64,
+                            });
+                        }
+                        gids.push(k as u32);
+                    }
+                    let vals = resolve(&window, columns, &computed, *value)?;
+                    primitives::grouped_sum_i64(vals, &gids, s, &mut group_sums);
+                }
+            }
+            start += len;
+        }
+
+        Ok(match &self.sink {
+            Sink::Aggregate(specs) => QueryResult::Aggregates(
+                specs
+                    .iter()
+                    .zip(agg_states)
+                    .map(|(spec, st)| match spec {
+                        AggSpec::CountStar => AggOut::I64(st.count as i64),
+                        AggSpec::SumI64(_) => AggOut::I64(st.sum_i),
+                        AggSpec::SumF64(_) => AggOut::F64(st.sum_f),
+                        AggSpec::MinI64(_) => st.min.map_or(AggOut::Empty, AggOut::I64),
+                        AggSpec::MaxI64(_) => st.max.map_or(AggOut::Empty, AggOut::I64),
+                    })
+                    .collect(),
+            ),
+            Sink::GroupedSum { .. } => QueryResult::GroupedSums(group_sums),
+        })
+    }
+}
+
+fn resolve<'a>(
+    window: &'a VectorWindow,
+    columns: &'a ColumnSet,
+    computed: &'a [Vec<i64>],
+    c: ColRef,
+) -> Result<&'a [i64]> {
+    match c {
+        ColRef::Source(i) => window.i64_slice(columns, i),
+        ColRef::Computed(j) => {
+            let v = computed.get(j).ok_or(Error::OutOfRange {
+                index: j as u64,
+                len: computed.len() as u64,
+            })?;
+            Ok(&v[..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Column;
+
+    fn lineitem() -> ColumnSet {
+        // qty, price, tax-class
+        ColumnSet::new(vec![
+            Column::I64((0..1000).map(|i| i % 50).collect()),
+            Column::I64((0..1000).map(|i| 100 + (i % 7)).collect()),
+            Column::I64((0..1000).map(|i| i % 4).collect()),
+        ])
+        .unwrap()
+    }
+
+    fn q1() -> Pipeline {
+        // SELECT count(*), sum(qty * price) WHERE qty < 25
+        Pipeline {
+            stages: vec![
+                Stage::FilterI64 {
+                    col: ColRef::Source(0),
+                    op: CmpOp::Lt,
+                    c: 25,
+                },
+                Stage::MapI64 {
+                    op: MapOp::Mul,
+                    l: ColRef::Source(0),
+                    r: Operand::Col(ColRef::Source(1)),
+                    out: 0,
+                },
+            ],
+            sink: Sink::Aggregate(vec![
+                AggSpec::CountStar,
+                AggSpec::SumI64(ColRef::Computed(0)),
+            ]),
+            computed_slots: 1,
+        }
+    }
+
+    fn oracle(cs: &ColumnSet) -> (i64, i64) {
+        let qty = cs.column(0).to_i64().unwrap();
+        let price = cs.column(1).to_i64().unwrap();
+        let mut count = 0;
+        let mut sum = 0;
+        for i in 0..qty.len() {
+            if qty[i] < 25 {
+                count += 1;
+                sum += qty[i] * price[i];
+            }
+        }
+        (count, sum)
+    }
+
+    #[test]
+    fn vector_size_does_not_change_results() {
+        let cs = lineitem();
+        let (count, sum) = oracle(&cs);
+        for vs in [1usize, 7, 100, 1000, 4096] {
+            let r = q1().run(&cs, vs).unwrap();
+            assert_eq!(
+                r,
+                QueryResult::Aggregates(vec![AggOut::I64(count), AggOut::I64(sum)]),
+                "vector size {vs}"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_scan_agrees_with_plain() {
+        let values: Vec<i64> = (0..5000).map(|i| i % 50).collect();
+        let plain = ColumnSet::new(vec![
+            Column::I64(values.clone()),
+            Column::I64(vec![2; 5000]),
+            Column::I64(vec![0; 5000]),
+        ])
+        .unwrap();
+        let compressed = ColumnSet::new(vec![
+            Column::compressed(&values, mammoth_compression::Scheme::Rle),
+            Column::I64(vec![2; 5000]),
+            Column::I64(vec![0; 5000]),
+        ])
+        .unwrap();
+        let a = q1().run(&plain, 512).unwrap();
+        let b = q1().run(&compressed, 512).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chained_filters_intersect() {
+        let cs = lineitem();
+        let p = Pipeline {
+            stages: vec![
+                Stage::FilterI64 {
+                    col: ColRef::Source(0),
+                    op: CmpOp::Ge,
+                    c: 10,
+                },
+                Stage::FilterI64 {
+                    col: ColRef::Source(0),
+                    op: CmpOp::Lt,
+                    c: 12,
+                },
+            ],
+            sink: Sink::Aggregate(vec![AggSpec::CountStar]),
+            computed_slots: 0,
+        };
+        let r = p.run(&cs, 128).unwrap();
+        // qty in {10, 11}: 20 rows per 50-cycle, 1000 rows -> 40
+        assert_eq!(r, QueryResult::Aggregates(vec![AggOut::I64(40)]));
+    }
+
+    #[test]
+    fn grouped_sums() {
+        let cs = lineitem();
+        let p = Pipeline {
+            stages: vec![],
+            sink: Sink::GroupedSum {
+                key: ColRef::Source(2),
+                value: ColRef::Source(0),
+                groups: 4,
+            },
+            computed_slots: 0,
+        };
+        let QueryResult::GroupedSums(sums) = p.run(&cs, 256).unwrap() else {
+            panic!("wrong result kind");
+        };
+        assert_eq!(sums.len(), 4);
+        // oracle
+        let qty = cs.column(0).to_i64().unwrap();
+        let cls = cs.column(2).to_i64().unwrap();
+        let mut expect = vec![0i64; 4];
+        for i in 0..qty.len() {
+            expect[cls[i] as usize] += qty[i];
+        }
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn min_max_and_empty() {
+        let cs = ColumnSet::new(vec![Column::I64(vec![5, -3, 9])]).unwrap();
+        let p = Pipeline {
+            stages: vec![Stage::FilterI64 {
+                col: ColRef::Source(0),
+                op: CmpOp::Gt,
+                c: 100,
+            }],
+            sink: Sink::Aggregate(vec![
+                AggSpec::MinI64(ColRef::Source(0)),
+                AggSpec::MaxI64(ColRef::Source(0)),
+                AggSpec::CountStar,
+            ]),
+            computed_slots: 0,
+        };
+        assert_eq!(
+            p.run(&cs, 2).unwrap(),
+            QueryResult::Aggregates(vec![AggOut::Empty, AggOut::Empty, AggOut::I64(0)])
+        );
+        let p2 = Pipeline {
+            stages: vec![],
+            sink: Sink::Aggregate(vec![
+                AggSpec::MinI64(ColRef::Source(0)),
+                AggSpec::MaxI64(ColRef::Source(0)),
+            ]),
+            computed_slots: 0,
+        };
+        assert_eq!(
+            p2.run(&cs, 2).unwrap(),
+            QueryResult::Aggregates(vec![AggOut::I64(-3), AggOut::I64(9)])
+        );
+    }
+
+    #[test]
+    fn f64_filter_and_sum() {
+        let cs = ColumnSet::new(vec![
+            Column::F64(vec![0.5, 1.5, 2.5, 3.5]),
+            Column::I64(vec![1, 2, 3, 4]),
+        ])
+        .unwrap();
+        let p = Pipeline {
+            stages: vec![Stage::FilterF64 {
+                col: 0,
+                op: CmpOp::Gt,
+                c: 1.0,
+            }],
+            sink: Sink::Aggregate(vec![AggSpec::SumF64(0), AggSpec::SumI64(ColRef::Source(1))]),
+            computed_slots: 0,
+        };
+        assert_eq!(
+            p.run(&cs, 3).unwrap(),
+            QueryResult::Aggregates(vec![AggOut::F64(7.5), AggOut::I64(9)])
+        );
+    }
+
+    #[test]
+    fn bad_group_key_errors() {
+        let cs = ColumnSet::new(vec![Column::I64(vec![0, 5])]).unwrap();
+        let p = Pipeline {
+            stages: vec![],
+            sink: Sink::GroupedSum {
+                key: ColRef::Source(0),
+                value: ColRef::Source(0),
+                groups: 2,
+            },
+            computed_slots: 0,
+        };
+        assert!(p.run(&cs, 8).is_err());
+    }
+}

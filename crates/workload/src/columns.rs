@@ -1,0 +1,156 @@
+//! Column value distributions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform integers in `[lo, hi)`.
+pub fn uniform_i64(n: usize, lo: i64, hi: i64, seed: u64) -> Vec<i64> {
+    assert!(lo < hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// Uniform u64 keys over the full domain (hash-like).
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random()).collect()
+}
+
+/// A random permutation of `0..n` (unique join keys).
+pub fn permutation(n: usize, seed: u64) -> Vec<i64> {
+    use rand::seq::SliceRandom;
+    let mut v: Vec<i64> = (0..n as i64).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    v.shuffle(&mut rng);
+    v
+}
+
+/// Zipf-distributed values over `0..domain` with skew `alpha`
+/// (`alpha = 0` is uniform; `~1` is the classic heavy skew).
+pub fn zipf_i64(n: usize, domain: usize, alpha: f64, seed: u64) -> Vec<i64> {
+    assert!(domain > 0);
+    // precompute the CDF once; domain sizes in the experiments are modest
+    let mut weights: Vec<f64> = (1..=domain).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            weights.partition_point(|&c| c < u) as i64
+        })
+        .collect()
+}
+
+/// Strictly ascending values starting at `base`, step in `[1, max_step]`.
+pub fn sorted_i64(n: usize, base: i64, max_step: i64, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = base;
+    (0..n)
+        .map(|_| {
+            cur += rng.random_range(1..=max_step.max(1));
+            cur
+        })
+        .collect()
+}
+
+/// Mostly sorted data: ascending with occasional jumps (probability
+/// `jump_prob`) — the PFOR-DELTA sweet spot.
+pub fn quasi_sorted_i64(n: usize, jump_prob: f64, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = 0i64;
+    (0..n)
+        .map(|_| {
+            if rng.random::<f64>() < jump_prob {
+                cur += rng.random_range(1000..100_000);
+            } else {
+                cur += rng.random_range(0..4);
+            }
+            cur
+        })
+        .collect()
+}
+
+/// Values forming long runs (RLE-friendly): `n / runs` values per run.
+pub fn clustered_i64(n: usize, runs: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run_len = n.div_ceil(runs.max(1));
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v: i64 = rng.random_range(0..1000);
+        for _ in 0..run_len.min(n - out.len()) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Low-cardinality strings: `card` distinct values like `"val_17"`.
+pub fn strings_low_card(n: usize, card: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| format!("val_{}", rng.random_range(0..card.max(1))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform_i64(50, 0, 100, 7), uniform_i64(50, 0, 100, 7));
+        assert_ne!(uniform_i64(50, 0, 100, 7), uniform_i64(50, 0, 100, 8));
+        assert_eq!(zipf_i64(20, 100, 1.0, 3), zipf_i64(20, 100, 1.0, 3));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let v = uniform_i64(1000, -5, 5, 1);
+        assert!(v.iter().all(|&x| (-5..5).contains(&x)));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut v = permutation(100, 2);
+        v.sort_unstable();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_skews() {
+        let v = zipf_i64(10_000, 1000, 1.2, 5);
+        let zeros = v.iter().filter(|&&x| x == 0).count();
+        let high = v.iter().filter(|&&x| x > 500).count();
+        assert!(zeros > high, "rank 0 should dominate: {zeros} vs {high}");
+        assert!(v.iter().all(|&x| (0..1000).contains(&x)));
+    }
+
+    #[test]
+    fn sorted_is_sorted() {
+        let v = sorted_i64(500, 10, 3, 4);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        let q = quasi_sorted_i64(500, 0.01, 4);
+        assert!(q.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn clustered_has_runs() {
+        let v = clustered_i64(1000, 10, 6);
+        assert_eq!(v.len(), 1000);
+        let runs = v.windows(2).filter(|w| w[0] != w[1]).count() + 1;
+        assert!(runs <= 12, "expected ~10 runs, got {runs}");
+    }
+
+    #[test]
+    fn strings_cardinality() {
+        let v = strings_low_card(1000, 7, 9);
+        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        assert!(distinct.len() <= 7);
+        assert!(distinct.len() >= 5);
+    }
+}

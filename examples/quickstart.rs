@@ -1,0 +1,54 @@
+//! Quickstart: the Figure 1 scenario end-to-end.
+//!
+//! Creates the `people` table from the paper's Figure 1, runs the classic
+//! `select(age, 1927)` query through the SQL front-end, and then shows the
+//! same query expressed directly in MAL — the BAT-algebra program the SQL
+//! compiler produces under the hood.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mammoth::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+
+    // The Figure 1 data: four actors and their birth years.
+    db.execute("CREATE TABLE people (name VARCHAR, age INT NOT NULL)")?;
+    db.execute(
+        "INSERT INTO people VALUES \
+         ('John Wayne', 1907), ('Roger Moore', 1927), \
+         ('Bob Fosse', 1927), ('Will Smith', 1968)",
+    )?;
+
+    println!("== SQL front-end ==");
+    let out = db.execute("SELECT name, age FROM people WHERE age = 1927")?;
+    println!("{}", out.to_text());
+
+    println!("== the same query as a MAL program (Figure 1's back-end) ==");
+    let mal = r#"
+        age  := sql.bind("people", "age");
+        c    := algebra.thetaselect[==](age, 1927);
+        name := sql.bind("people", "name");
+        out  := algebra.projection(c, name);
+        io.result(out);
+    "#;
+    println!("{}", mal.trim());
+    let results = db.execute_mal(mal)?;
+    let names = results[0].as_bat().expect("BAT result");
+    for i in 0..names.len() {
+        println!("  oid {} -> {}", names.oid_at(i), names.value_at(i));
+    }
+
+    println!("\n== aggregation, grouping, ordering ==");
+    let out = db.execute(
+        "SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age DESC",
+    )?;
+    println!("{}", out.to_text());
+
+    println!("== updates use delta BATs; snapshots stay cheap ==");
+    db.execute("DELETE FROM people WHERE age = 1907")?;
+    let out = db.execute("SELECT COUNT(*) FROM people")?;
+    println!("{}", out.to_text());
+
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! The recycler: materialization turned into an advantage (§6.1).
+//!
+//! Replays a Skyserver-like query log (power-law repetition of range
+//! queries) against the same database twice — once cold, once with the
+//! recycler caching every materialized intermediate — and prints the hit
+//! statistics and speedup.
+//!
+//! Run with: `cargo run --release --example recycler_demo`
+
+use mammoth::workload::{skyserver_log, uniform_i64};
+use mammoth::Database;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nrows = 500_000;
+    let log = skyserver_log(300, 2, 40, 1.1, 1_000_000, 11);
+
+    let setup = |db: &mut Database| -> Result<(), Box<dyn std::error::Error>> {
+        db.execute("CREATE TABLE sky (ra BIGINT, dec BIGINT)")?;
+        // bulk load via the storage API (examples should be quick)
+        use mammoth::storage::{Bat, Table};
+        use mammoth::types::{ColumnDef, LogicalType, TableSchema};
+        db.catalog_mut().drop_table("sky")?;
+        let ra = Bat::from_vec(uniform_i64(nrows, 0, 1_000_000, 1));
+        let dec = Bat::from_vec(uniform_i64(nrows, 0, 1_000_000, 2));
+        let table = Table::from_bats(
+            TableSchema::new(
+                "sky",
+                vec![
+                    ColumnDef::new("ra", LogicalType::I64),
+                    ColumnDef::new("dec", LogicalType::I64),
+                ],
+            ),
+            vec![ra, dec],
+        )?;
+        db.catalog_mut().create_table(table)?;
+        Ok(())
+    };
+
+    let run_log = |db: &mut Database| -> Result<std::time::Duration, Box<dyn std::error::Error>> {
+        let t0 = Instant::now();
+        for q in &log {
+            let col = if q.column == 0 { "ra" } else { "dec" };
+            let sql = format!(
+                "SELECT COUNT({col}) FROM sky WHERE {col} >= {} AND {col} <= {}",
+                q.range.lo, q.range.hi
+            );
+            db.execute(&sql)?;
+        }
+        Ok(t0.elapsed())
+    };
+
+    let mut plain = Database::new();
+    setup(&mut plain)?;
+    let t_plain = run_log(&mut plain)?;
+
+    let mut recycled = Database::with_recycler(256 << 20);
+    setup(&mut recycled)?;
+    let t_recycled = run_log(&mut recycled)?;
+
+    println!("{} queries over {nrows} rows (40 distinct, zipf-repeated):\n", log.len());
+    println!("  without recycler : {t_plain:>10.2?}");
+    println!("  with recycler    : {t_recycled:>10.2?}");
+    let stats = recycled.recycler_stats().unwrap();
+    println!(
+        "\nrecycler: {} lookups, {} hits, {} admissions, {} evictions, {} bytes resident",
+        stats.lookups,
+        stats.exact_hits,
+        stats.admissions,
+        stats.evictions,
+        stats.resident_bytes
+    );
+    Ok(())
+}

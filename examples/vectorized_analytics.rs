@@ -1,0 +1,91 @@
+//! X100-style vectorized analytics (§5).
+//!
+//! Runs a TPC-H-Q1-flavoured scan+filter+aggregate over 4M lineitem-like
+//! rows while sweeping the vector size from 1 (tuple-at-a-time, "as slow as
+//! a typical RDBMS") through the cache-resident sweet spot (~1000) to full
+//! columns (MonetDB-style materialization), then repeats the query over
+//! compressed columns.
+//!
+//! Run with: `cargo run --release --example vectorized_analytics`
+
+use mammoth::compression::Scheme;
+use mammoth::vectorized::{
+    AggSpec, ColRef, Column, ColumnSet, CmpOp, MapOp, Operand, Pipeline, QueryResult, Sink,
+    Stage,
+};
+use mammoth::workload::LineitemSlice;
+use std::time::Instant;
+
+fn q1_pipeline() -> Pipeline {
+    // SELECT count(*), sum(qty*price) WHERE shipdate <= 10500 AND qty < 25
+    Pipeline {
+        stages: vec![
+            Stage::FilterI64 {
+                col: ColRef::Source(2),
+                op: CmpOp::Le,
+                c: 10_500,
+            },
+            Stage::FilterI64 {
+                col: ColRef::Source(0),
+                op: CmpOp::Lt,
+                c: 25,
+            },
+            Stage::MapI64 {
+                op: MapOp::Mul,
+                l: ColRef::Source(0),
+                r: Operand::Col(ColRef::Source(1)),
+                out: 0,
+            },
+        ],
+        sink: Sink::Aggregate(vec![
+            AggSpec::CountStar,
+            AggSpec::SumI64(ColRef::Computed(0)),
+        ]),
+        computed_slots: 1,
+    }
+}
+
+fn main() {
+    let n = 4_000_000;
+    let li = LineitemSlice::generate(n, 42);
+    let plain = ColumnSet::new(vec![
+        Column::I64(li.quantity.clone()),
+        Column::I64(li.extendedprice.clone()),
+        Column::I64(li.shipdate.clone()),
+    ])
+    .unwrap();
+
+    println!("Q1-like query over {n} rows, sweeping the vector size:\n");
+    println!("{:>10}  {:>12}  {:>14}", "vector", "time", "rows/s");
+    let mut reference = None;
+    for vs in [1usize, 4, 16, 64, 256, 1024, 4096, 65_536, n] {
+        let t0 = Instant::now();
+        let r = q1_pipeline().run(&plain, vs).unwrap();
+        let dt = t0.elapsed();
+        if let Some(prev) = &reference {
+            assert_eq!(prev, &r, "vector size must not change the answer");
+        } else {
+            reference = Some(r);
+        }
+        println!(
+            "{:>10}  {:>12.2?}  {:>14.0}",
+            vs,
+            dt,
+            n as f64 / dt.as_secs_f64()
+        );
+    }
+    if let Some(QueryResult::Aggregates(aggs)) = reference {
+        println!("\nanswer: {aggs:?}");
+    }
+
+    println!("\nsame query over PFOR/RLE-compressed columns:");
+    let compressed = ColumnSet::new(vec![
+        Column::compressed(&li.quantity, Scheme::Pfor),
+        Column::compressed(&li.extendedprice, Scheme::Pfor),
+        Column::compressed(&li.shipdate, Scheme::Pfor),
+    ])
+    .unwrap();
+    let t0 = Instant::now();
+    let r = q1_pipeline().run(&compressed, 1024).unwrap();
+    println!("  vectors=1024 over compressed input: {:.2?} ({r:?})", t0.elapsed());
+}

@@ -1,0 +1,220 @@
+//! Integration test: the three execution paradigms — tuple-at-a-time
+//! (volcano), column-at-a-time (BAT algebra via SQL), and vectorized
+//! (X100-style) — must return identical answers on the same generated data.
+//! This is the correctness backbone of experiment E08.
+
+use mammoth::storage::{Bat, Table};
+use mammoth::types::{ColumnDef, LogicalType, TableSchema, Value};
+use mammoth::vectorized::{
+    AggSpec, ColRef, Column, ColumnSet, CmpOp as VCmp, MapOp, Operand, Pipeline, QueryResult,
+    Sink, Stage,
+};
+use mammoth::volcano::{
+    expr::CmpOp as ExprCmp, iter::AggFn, Expr, FilterOp, HashAggOp, NsmTable, SeqScanOp,
+};
+use mammoth::workload::LineitemSlice;
+use mammoth::{Database, QueryOutput};
+
+const N: usize = 20_000;
+const CUTOFF: i64 = 10_000;
+const QTY: i64 = 25;
+
+fn slice() -> LineitemSlice {
+    LineitemSlice::generate(N, 99)
+}
+
+/// The oracle: a plain loop.
+fn oracle() -> (i64, i64) {
+    let s = slice();
+    let (count, _sq, sp) = s.q1_reference(CUTOFF, QTY);
+    // our query sums qty*price instead of price: recompute
+    let mut spq = 0;
+    for i in 0..s.len() {
+        if s.shipdate[i] <= CUTOFF && s.quantity[i] < QTY {
+            spq += s.quantity[i] * s.extendedprice[i];
+        }
+    }
+    let _ = sp;
+    (count, spq)
+}
+
+#[test]
+fn volcano_engine_matches_oracle() {
+    let s = slice();
+    let table = NsmTable::from_columns(
+        TableSchema::new(
+            "lineitem",
+            vec![
+                ColumnDef::new("qty", LogicalType::I64),
+                ColumnDef::new("price", LogicalType::I64),
+                ColumnDef::new("shipdate", LogicalType::I64),
+            ],
+        ),
+        &[
+            s.quantity.iter().map(|&x| Value::I64(x)).collect(),
+            s.extendedprice.iter().map(|&x| Value::I64(x)).collect(),
+            s.shipdate.iter().map(|&x| Value::I64(x)).collect(),
+        ],
+    )
+    .unwrap();
+    let pred = Expr::and(
+        Expr::cmp(ExprCmp::Le, Expr::col(2), Expr::lit(CUTOFF)),
+        Expr::cmp(ExprCmp::Lt, Expr::col(0), Expr::lit(QTY)),
+    );
+    // project qty*price then aggregate
+    let plan = HashAggOp::new(
+        mammoth::volcano::ProjectOp::new(
+            FilterOp::new(SeqScanOp::new(&table.file), pred),
+            vec![
+                Expr::arith(
+                    mammoth::volcano::expr::ArithOp::Mul,
+                    Expr::col(0),
+                    Expr::col(1),
+                ),
+            ],
+        ),
+        vec![],
+        vec![AggFn::CountStar, AggFn::Sum(0)],
+    );
+    let rows = mammoth::volcano::iter::collect_all(plan).unwrap();
+    let (count, sum) = oracle();
+    assert_eq!(rows[0][0], Value::I64(count));
+    assert_eq!(rows[0][1], Value::F64(sum as f64));
+}
+
+#[test]
+fn column_engine_matches_oracle() {
+    let s = slice();
+    let mut db = Database::new();
+    let table = Table::from_bats(
+        TableSchema::new(
+            "lineitem",
+            vec![
+                ColumnDef::new("qty", LogicalType::I64),
+                ColumnDef::new("price", LogicalType::I64),
+                ColumnDef::new("shipdate", LogicalType::I64),
+            ],
+        ),
+        vec![
+            Bat::from_vec(s.quantity.clone()),
+            Bat::from_vec(s.extendedprice.clone()),
+            Bat::from_vec(s.shipdate.clone()),
+        ],
+    )
+    .unwrap();
+    db.catalog_mut().create_table(table).unwrap();
+    // SQL can't express qty*price yet, so drive the MAL program directly
+    let out = db
+        .execute_mal(&format!(
+            r#"
+            qty   := sql.bind("lineitem", "qty");
+            price := sql.bind("lineitem", "price");
+            ship  := sql.bind("lineitem", "shipdate");
+            c1    := algebra.thetaselect[<=](ship, {CUTOFF});
+            qty1  := algebra.projection(c1, qty);
+            c2l   := algebra.thetaselect[<](qty1, {QTY});
+            c2    := algebra.projection(c2l, c1);
+            qty2  := algebra.projection(c2, qty);
+            pr2   := algebra.projection(c2, price);
+            prod  := batcalc.*(qty2, pr2);
+            total := aggr.sum(prod);
+            n     := aggr.count(prod);
+            io.result(n, total);
+        "#
+        ))
+        .unwrap();
+    let (count, sum) = oracle();
+    assert_eq!(out[0].as_scalar().unwrap(), &Value::I64(count));
+    assert_eq!(out[1].as_scalar().unwrap(), &Value::I64(sum));
+}
+
+#[test]
+fn vectorized_engine_matches_oracle_at_all_vector_sizes() {
+    let s = slice();
+    let cols = ColumnSet::new(vec![
+        Column::I64(s.quantity.clone()),
+        Column::I64(s.extendedprice.clone()),
+        Column::I64(s.shipdate.clone()),
+    ])
+    .unwrap();
+    let pipeline = Pipeline {
+        stages: vec![
+            Stage::FilterI64 {
+                col: ColRef::Source(2),
+                op: VCmp::Le,
+                c: CUTOFF,
+            },
+            Stage::FilterI64 {
+                col: ColRef::Source(0),
+                op: VCmp::Lt,
+                c: QTY,
+            },
+            Stage::MapI64 {
+                op: MapOp::Mul,
+                l: ColRef::Source(0),
+                r: Operand::Col(ColRef::Source(1)),
+                out: 0,
+            },
+        ],
+        sink: Sink::Aggregate(vec![
+            AggSpec::CountStar,
+            AggSpec::SumI64(ColRef::Computed(0)),
+        ]),
+        computed_slots: 1,
+    };
+    let (count, sum) = oracle();
+    for vs in [1usize, 13, 128, 1024, N] {
+        let r = pipeline.run(&cols, vs).unwrap();
+        let QueryResult::Aggregates(aggs) = r else { panic!() };
+        assert_eq!(
+            aggs,
+            vec![
+                mammoth::vectorized::pipeline::AggOut::I64(count),
+                mammoth::vectorized::pipeline::AggOut::I64(sum)
+            ],
+            "vector size {vs}"
+        );
+    }
+}
+
+/// And plain SQL agrees with everything for a simpler filter+count.
+#[test]
+fn sql_count_agrees_with_volcano() {
+    let s = slice();
+    let expect = s.quantity.iter().filter(|&&q| q < QTY).count() as i64;
+
+    let mut db = Database::new();
+    db.catalog_mut()
+        .create_table(
+            Table::from_bats(
+                TableSchema::new(
+                    "li",
+                    vec![ColumnDef::new("qty", LogicalType::I64)],
+                ),
+                vec![Bat::from_vec(s.quantity.clone())],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let out = db
+        .execute(&format!("SELECT COUNT(qty) FROM li WHERE qty < {QTY}"))
+        .unwrap();
+    let QueryOutput::Table { rows, .. } = out else { panic!() };
+    assert_eq!(rows[0][0], Value::I64(expect));
+
+    let table = NsmTable::from_columns(
+        TableSchema::new("li", vec![ColumnDef::new("qty", LogicalType::I64)]),
+        &[s.quantity.iter().map(|&x| Value::I64(x)).collect()],
+    )
+    .unwrap();
+    let plan = HashAggOp::new(
+        FilterOp::new(
+            SeqScanOp::new(&table.file),
+            Expr::cmp(ExprCmp::Lt, Expr::col(0), Expr::lit(QTY)),
+        ),
+        vec![],
+        vec![AggFn::CountStar],
+    );
+    let rows = mammoth::volcano::iter::collect_all(plan).unwrap();
+    assert_eq!(rows[0][0], Value::I64(expect));
+}

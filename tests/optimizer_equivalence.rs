@@ -1,0 +1,160 @@
+//! The optimizer pipeline must never change results — only plans.
+//!
+//! Random-ish SQL queries over generated tables run twice: once through the
+//! raw compiled plan and once through the default optimizer pipeline
+//! (constant folding, CSE, dead code). Outputs must be identical, and the
+//! textual MAL round-trip (render → parse → run) must agree too.
+
+use mammoth::mal::{default_pipeline, parse_program, Interpreter};
+use mammoth::sql::{compile_select, parse_sql, Statement};
+use mammoth::storage::{Bat, Catalog, Table};
+use mammoth::types::{ColumnDef, LogicalType, TableSchema, Value};
+use mammoth::workload::{strings_low_card, uniform_i64};
+
+fn catalog(rows: usize) -> Catalog {
+    let mut cat = Catalog::new();
+    let names = strings_low_card(rows, 8, 5);
+    let t = Table::from_bats(
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", LogicalType::I64),
+                ColumnDef::new("b", LogicalType::I64),
+                ColumnDef::new("s", LogicalType::Str),
+            ],
+        ),
+        vec![
+            Bat::from_vec(uniform_i64(rows, 0, 100, 1)),
+            Bat::from_vec(uniform_i64(rows, -50, 50, 2)),
+            Bat::from_strings(names.iter().map(|s| Some(s.as_str()))),
+        ],
+    )
+    .unwrap();
+    cat.create_table(t).unwrap();
+
+    let u = Table::from_bats(
+        TableSchema::new(
+            "u",
+            vec![
+                ColumnDef::new("a", LogicalType::I64),
+                ColumnDef::new("w", LogicalType::I64),
+            ],
+        ),
+        vec![
+            Bat::from_vec(uniform_i64(rows / 2, 0, 100, 3)),
+            Bat::from_vec(uniform_i64(rows / 2, 0, 10, 4)),
+        ],
+    )
+    .unwrap();
+    cat.create_table(u).unwrap();
+    cat
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT a FROM t WHERE a > 50",
+    "SELECT a, b FROM t WHERE a >= 10 AND a <= 60 AND b > 0",
+    "SELECT s, COUNT(*), SUM(a) FROM t GROUP BY s ORDER BY s",
+    "SELECT COUNT(*), MIN(b), MAX(b), AVG(a) FROM t WHERE s <> 'val_0'",
+    "SELECT a FROM t WHERE a BETWEEN 20 AND 30 ORDER BY a DESC LIMIT 7",
+    "SELECT t.s, u.w FROM t JOIN u ON t.a = u.a WHERE b > 0 ORDER BY s LIMIT 50",
+    "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b LIMIT 5",
+    "SELECT s FROM t WHERE s = 'val_3' AND a < 90",
+];
+
+fn render(values: Vec<mammoth::mal::MalValue>) -> Vec<String> {
+    values
+        .iter()
+        .map(|v| match v {
+            mammoth::mal::MalValue::Scalar(s) => format!("scalar:{s:?}"),
+            mammoth::mal::MalValue::Bat(b) => {
+                let mut s = String::new();
+                for i in 0..b.len() {
+                    s.push_str(&format!("{:?};", b.value_at(i)));
+                }
+                s
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn optimized_plans_return_identical_results() {
+    let cat = catalog(2000);
+    let pipeline = default_pipeline();
+    for sql in QUERIES {
+        let Statement::Select(stmt) = parse_sql(sql).unwrap() else {
+            panic!()
+        };
+        let (raw, _names) = compile_select(&cat, &stmt).unwrap();
+        let optimized = pipeline.optimize(raw.clone());
+        assert!(
+            optimized.instrs.len() <= raw.instrs.len(),
+            "optimizer must not grow plans: {sql}"
+        );
+        let out_raw = Interpreter::new(&cat).run(&raw).unwrap();
+        let out_opt = Interpreter::new(&cat).run(&optimized).unwrap();
+        assert_eq!(render(out_raw), render(out_opt), "query: {sql}");
+    }
+}
+
+#[test]
+fn textual_mal_roundtrip_preserves_semantics() {
+    let cat = catalog(500);
+    for sql in QUERIES {
+        let Statement::Select(stmt) = parse_sql(sql).unwrap() else {
+            panic!()
+        };
+        let (prog, _) = compile_select(&cat, &stmt).unwrap();
+        let text = prog.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse of {sql}: {e}\n{text}"));
+        let out_a = Interpreter::new(&cat).run(&prog).unwrap();
+        let out_b = Interpreter::new(&cat).run(&reparsed).unwrap();
+        assert_eq!(render(out_a), render(out_b), "query: {sql}");
+    }
+}
+
+#[test]
+fn cse_actually_fires_on_shared_binds() {
+    let cat = catalog(100);
+    let Statement::Select(stmt) =
+        parse_sql("SELECT a, b FROM t WHERE a > 10 AND a < 90").unwrap()
+    else {
+        panic!()
+    };
+    let (raw, _) = compile_select(&cat, &stmt).unwrap();
+    let optimized = default_pipeline().optimize(raw.clone());
+    // the compiler binds t.a for both predicates and the projection; CSE
+    // must collapse those binds
+    let binds = |p: &mammoth::mal::Program| {
+        p.instrs
+            .iter()
+            .filter(|i| i.op == mammoth::mal::OpCode::Bind)
+            .count()
+    };
+    assert!(
+        binds(&optimized) < binds(&raw),
+        "CSE should deduplicate binds: {} -> {}",
+        binds(&raw),
+        binds(&optimized)
+    );
+}
+
+#[test]
+fn recycled_and_cold_runs_agree_per_value() {
+    use mammoth::recycler::{EvictPolicy, Recycler};
+    let cat = catalog(1000);
+    let mut rec = Recycler::new(64 << 20, EvictPolicy::Lru);
+    for sql in QUERIES {
+        let Statement::Select(stmt) = parse_sql(sql).unwrap() else {
+            panic!()
+        };
+        let (prog, _) = compile_select(&cat, &stmt).unwrap();
+        let cold = Interpreter::new(&cat).run(&prog).unwrap();
+        // twice through the recycler: second run is fully cached
+        let warm1 = Interpreter::with_recycler(&cat, &mut rec).run(&prog).unwrap();
+        let warm2 = Interpreter::with_recycler(&cat, &mut rec).run(&prog).unwrap();
+        assert_eq!(render(cold.clone()), render(warm1), "{sql}");
+        assert_eq!(render(cold), render(warm2), "{sql}");
+    }
+}

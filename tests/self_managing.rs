@@ -1,0 +1,192 @@
+//! Integration tests for the §6.1 "new species": cracking and recycling
+//! working inside the full engine, at a scale unit tests don't reach.
+
+use mammoth::cracking::{Bound, CrackerColumn};
+use mammoth::recycler::{EvictPolicy, Recycler};
+use mammoth::workload::{range_query_log, skyserver_log, uniform_i64, QueryPattern};
+use mammoth::{Database, QueryOutput};
+use mammoth::types::Value;
+
+/// Cracking answers every query of a realistic log exactly like a scan,
+/// while physically reorganizing the column — and converges: late queries
+/// touch almost nothing.
+#[test]
+fn cracking_converges_on_a_query_log() {
+    let n = 200_000;
+    let data = uniform_i64(n, 0, 1_000_000, 5);
+    let queries = range_query_log(150, 1_000_000, 0.002, QueryPattern::Random, 6);
+    let mut cracker = CrackerColumn::new(data.clone());
+
+    let mut touched_first_half = 0u64;
+    let mut touched_second_half = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        let before = cracker.stats().tuples_touched;
+        let got = cracker.select_count(Bound::Incl(q.lo), Bound::Excl(q.hi));
+        let expect = data.iter().filter(|&&v| v >= q.lo && v < q.hi).count();
+        assert_eq!(got, expect, "query {i}");
+        let delta = cracker.stats().tuples_touched - before;
+        if i < queries.len() / 2 {
+            touched_first_half += delta;
+        } else {
+            touched_second_half += delta;
+        }
+    }
+    assert!(
+        touched_second_half * 4 < touched_first_half,
+        "later queries must touch far less: {touched_first_half} vs {touched_second_half}"
+    );
+    assert!(cracker.check_invariant());
+}
+
+/// Cracking under a mixed read/write workload stays exact.
+#[test]
+fn cracking_with_interleaved_updates() {
+    let n = 50_000;
+    let data = uniform_i64(n, 0, 100_000, 9);
+    let mut cracker = CrackerColumn::new(data.clone()).with_merge_threshold(512);
+    // oracle state
+    let mut live: Vec<(u32, i64, bool)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u32, v, true))
+        .collect();
+    let inserts = uniform_i64(2000, 0, 100_000, 10);
+    let queries = range_query_log(100, 100_000, 0.01, QueryPattern::Random, 11);
+    for (i, q) in queries.iter().enumerate() {
+        // every other query, mutate: 20 inserts + 10 deletes
+        if i % 2 == 0 {
+            for k in 0..20 {
+                let v = inserts[(i * 20 + k) % inserts.len()];
+                let row = cracker.insert(v);
+                live.push((row, v, true));
+            }
+            for k in 0..10 {
+                let idx = (i * 37 + k * 101) % live.len();
+                let (row, _, alive) = live[idx];
+                assert_eq!(cracker.delete(row), alive);
+                live[idx].2 = false;
+            }
+        }
+        let got = cracker.select_count(Bound::Incl(q.lo), Bound::Excl(q.hi));
+        let expect = live
+            .iter()
+            .filter(|(_, v, alive)| *alive && *v >= q.lo && *v < q.hi)
+            .count();
+        assert_eq!(got, expect, "query {i}");
+    }
+    assert!(cracker.check_invariant());
+}
+
+/// The recycler pays off on a Skyserver-like log and never serves stale
+/// results across DML, inside the full SQL engine.
+#[test]
+fn recycler_on_skyserver_log_with_dml() {
+    let mut db = Database::with_recycler(64 << 20);
+    db.execute("CREATE TABLE sky (ra BIGINT, dec BIGINT)").unwrap();
+    // moderate table so the test stays quick
+    let ra = uniform_i64(20_000, 0, 100_000, 1);
+    let dec = uniform_i64(20_000, 0, 100_000, 2);
+    use mammoth::storage::{Bat, Table};
+    use mammoth::types::{ColumnDef, LogicalType, TableSchema};
+    db.catalog_mut().drop_table("sky").unwrap();
+    db.catalog_mut()
+        .create_table(
+            Table::from_bats(
+                TableSchema::new(
+                    "sky",
+                    vec![
+                        ColumnDef::new("ra", LogicalType::I64),
+                        ColumnDef::new("dec", LogicalType::I64),
+                    ],
+                ),
+                vec![Bat::from_vec(ra.clone()), Bat::from_vec(dec.clone())],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    let log = skyserver_log(120, 2, 15, 1.1, 100_000, 3);
+    let mut answers: Vec<i64> = Vec::new();
+    for q in &log {
+        let col = if q.column == 0 { "ra" } else { "dec" };
+        let out = db
+            .execute(&format!(
+                "SELECT COUNT({col}) FROM sky WHERE {col} >= {} AND {col} <= {}",
+                q.range.lo, q.range.hi
+            ))
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        answers.push(rows[0][0].as_i64().unwrap());
+    }
+    let stats = db.recycler_stats().unwrap().clone();
+    assert!(
+        stats.exact_hits > 50,
+        "a zipf log must hit the recycler hard: {stats:?}"
+    );
+
+    // oracle check on a few queries
+    for (q, &got) in log.iter().zip(&answers).take(20) {
+        let col = if q.column == 0 { &ra } else { &dec };
+        let expect = col
+            .iter()
+            .filter(|&&v| v >= q.range.lo && v <= q.range.hi)
+            .count() as i64;
+        assert_eq!(got, expect);
+    }
+
+    // DML must invalidate: the repeated query now sees the new row
+    let q = &log[0];
+    let col = if q.column == 0 { "ra" } else { "dec" };
+    let out1 = db
+        .execute(&format!(
+            "SELECT COUNT({col}) FROM sky WHERE {col} >= {} AND {col} <= {}",
+            q.range.lo, q.range.hi
+        ))
+        .unwrap();
+    db.execute(&format!(
+        "INSERT INTO sky VALUES ({}, {})",
+        q.range.lo, q.range.lo
+    ))
+    .unwrap();
+    let out2 = db
+        .execute(&format!(
+            "SELECT COUNT({col}) FROM sky WHERE {col} >= {} AND {col} <= {}",
+            q.range.lo, q.range.hi
+        ))
+        .unwrap();
+    let (QueryOutput::Table { rows: r1, .. }, QueryOutput::Table { rows: r2, .. }) =
+        (out1, out2)
+    else {
+        panic!()
+    };
+    let expected_increase = if q.column == 0 { 1 } else { 0 };
+    assert_eq!(
+        r2[0][0].as_i64().unwrap(),
+        r1[0][0].as_i64().unwrap() + expected_increase,
+        "recycler must not serve stale counts after INSERT"
+    );
+}
+
+/// Recycler subsumption: a narrow range can be refined from a cached wide
+/// range without touching the base column.
+#[test]
+fn recycler_subsumption_path() {
+    use mammoth::storage::Bat;
+    let mut rec = Recycler::new(1 << 20, EvictPolicy::Lru);
+    let wide = Bat::from_vec((0..1000i64).collect::<Vec<_>>());
+    rec.admit_range("t.a", Some(0), Some(999), "wide", wide, vec!["t.a".into()], 100);
+    let hit = rec.lookup_covering("t.a", Some(100), Some(200));
+    assert!(hit.is_some());
+    assert_eq!(rec.stats().subsumption_hits, 1);
+    // refine on the hit instead of the base column
+    let cached = hit.unwrap();
+    let refined = mammoth::algebra::select_range(
+        &cached,
+        Some(&Value::I64(100)),
+        Some(&Value::I64(200)),
+        true,
+        true,
+    )
+    .unwrap();
+    assert_eq!(refined.len(), 101);
+}

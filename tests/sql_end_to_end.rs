@@ -1,0 +1,151 @@
+//! End-to-end SQL workout: DDL, bulk DML, joins, grouping, ordering,
+//! persistence — the downstream-user path through the whole stack.
+
+use mammoth::types::Value;
+use mammoth::{Database, QueryOutput};
+
+fn rows(out: QueryOutput) -> Vec<Vec<Value>> {
+    match out {
+        QueryOutput::Table { rows, .. } => rows,
+        other => panic!("expected a table, got {other:?}"),
+    }
+}
+
+#[test]
+fn orders_and_customers() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE customers (id INT NOT NULL, name VARCHAR, city VARCHAR)")
+        .unwrap();
+    db.execute("CREATE TABLE orders (cust INT NOT NULL, amount BIGINT, item VARCHAR)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO customers VALUES (1, 'ada', 'amsterdam'), (2, 'bob', 'berlin'), \
+         (3, 'cleo', 'amsterdam'), (4, 'dan', 'paris')",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO orders VALUES (1, 120, 'keyboard'), (1, 80, 'mouse'), \
+         (2, 500, 'monitor'), (3, 40, 'cable'), (3, 60, 'hub'), (3, 10, 'tape')",
+    )
+    .unwrap();
+
+    // join + filter + order
+    let r = rows(
+        db.execute(
+            "SELECT name, amount FROM customers JOIN orders ON customers.id = orders.cust \
+             WHERE amount >= 60 ORDER BY amount DESC",
+        )
+        .unwrap(),
+    );
+    assert_eq!(
+        r,
+        vec![
+            vec![Value::Str("bob".into()), Value::I64(500)],
+            vec![Value::Str("ada".into()), Value::I64(120)],
+            vec![Value::Str("ada".into()), Value::I64(80)],
+            vec![Value::Str("cleo".into()), Value::I64(60)],
+        ]
+    );
+
+    // grouped aggregates over a join
+    let r = rows(
+        db.execute(
+            "SELECT name, COUNT(*), SUM(amount) FROM customers \
+             JOIN orders ON customers.id = orders.cust GROUP BY name ORDER BY name",
+        )
+        .unwrap(),
+    );
+    assert_eq!(
+        r,
+        vec![
+            vec![Value::Str("ada".into()), Value::I64(2), Value::I64(200)],
+            vec![Value::Str("bob".into()), Value::I64(1), Value::I64(500)],
+            vec![Value::Str("cleo".into()), Value::I64(3), Value::I64(110)],
+        ]
+    );
+
+    // multi-column GROUP BY
+    db.execute("INSERT INTO orders VALUES (4, 70, 'keyboard'), (4, 70, 'keyboard')")
+        .unwrap();
+    let r = rows(
+        db.execute(
+            "SELECT city, COUNT(*) FROM customers JOIN orders ON customers.id = orders.cust \
+             GROUP BY city ORDER BY city",
+        )
+        .unwrap(),
+    );
+    assert_eq!(
+        r,
+        vec![
+            vec![Value::Str("amsterdam".into()), Value::I64(5)],
+            vec![Value::Str("berlin".into()), Value::I64(1)],
+            vec![Value::Str("paris".into()), Value::I64(2)],
+        ]
+    );
+
+    // DELETE + re-query
+    db.execute("DELETE FROM orders WHERE amount < 50").unwrap();
+    let r = rows(db.execute("SELECT COUNT(*) FROM orders").unwrap());
+    assert_eq!(r[0][0], Value::I64(6));
+}
+
+#[test]
+fn persistence_survives_restart_mid_workload() {
+    let dir = std::env::temp_dir().join(format!("mammoth-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE kv (k INT NOT NULL, v VARCHAR)").unwrap();
+        for batch in 0..10 {
+            let values: Vec<String> = (0..100)
+                .map(|i| format!("({}, 'v{}')", batch * 100 + i, batch * 100 + i))
+                .collect();
+            db.execute(&format!("INSERT INTO kv VALUES {}", values.join(", ")))
+                .unwrap();
+        }
+        db.execute("DELETE FROM kv WHERE k >= 900").unwrap();
+        db.save(&dir).unwrap();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    let r = rows(db.execute("SELECT COUNT(*) FROM kv").unwrap());
+    assert_eq!(r[0][0], Value::I64(900));
+    let r = rows(db.execute("SELECT v FROM kv WHERE k = 555").unwrap());
+    assert_eq!(r, vec![vec![Value::Str("v555".into())]]);
+    // keep writing after reopen
+    db.execute("INSERT INTO kv VALUES (900, 'again')").unwrap();
+    let r = rows(db.execute("SELECT COUNT(*) FROM kv").unwrap());
+    assert_eq!(r[0][0], Value::I64(901));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn between_limit_and_floats() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE m (x INT, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO m VALUES (1, 0.5), (2, 1.5), (3, 2.5), (4, NULL)")
+        .unwrap();
+    let r = rows(
+        db.execute("SELECT x FROM m WHERE x BETWEEN 2 AND 3 ORDER BY x LIMIT 1")
+            .unwrap(),
+    );
+    assert_eq!(r, vec![vec![Value::I32(2)]]);
+    let r = rows(db.execute("SELECT SUM(y), COUNT(y), AVG(y) FROM m").unwrap());
+    assert_eq!(r[0][0], Value::F64(4.5));
+    assert_eq!(r[0][1], Value::I64(3), "COUNT(col) skips NULL");
+    assert_eq!(r[0][2], Value::F64(1.5));
+}
+
+#[test]
+fn error_paths_are_clean() {
+    let mut db = Database::new();
+    assert!(db.execute("SELECT * FROM nowhere").is_err());
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    assert!(db.execute("CREATE TABLE t (a INT)").is_err());
+    assert!(db.execute("INSERT INTO t VALUES ('wrong type')").is_err());
+    assert!(db.execute("SELECT b FROM t").is_err());
+    assert!(db.execute("SELEKT a FROM t").is_err());
+    // the failed statements must not have corrupted anything
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let r = rows(db.execute("SELECT COUNT(*) FROM t").unwrap());
+    assert_eq!(r[0][0], Value::I64(1));
+}
