@@ -220,12 +220,7 @@ fn accumulate(values: &Bat, gid: &[Oid], ngroups: usize) -> Result<(Vec<Acc>, bo
 ///
 /// `groups` must be aligned with `values` (same length). SUM/MIN/MAX over
 /// integers stay integral (i64); AVG is always f64; empty groups yield nil.
-pub fn grouped_aggregate(
-    kind: AggKind,
-    values: &Bat,
-    groups: &Bat,
-    ngroups: usize,
-) -> Result<Bat> {
+pub fn grouped_aggregate(kind: AggKind, values: &Bat, groups: &Bat, ngroups: usize) -> Result<Bat> {
     if values.len() != groups.len() {
         return Err(Error::LengthMismatch {
             left: values.len(),
@@ -396,10 +391,7 @@ mod tests {
     #[test]
     fn scalar_count_on_strings() {
         let b = Bat::from_strings([Some("a"), None, Some("b")]);
-        assert_eq!(
-            aggregate_scalar(AggKind::Count, &b).unwrap(),
-            Value::I64(2)
-        );
+        assert_eq!(aggregate_scalar(AggKind::Count, &b).unwrap(), Value::I64(2));
     }
 
     #[test]

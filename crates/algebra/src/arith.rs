@@ -95,10 +95,11 @@ fn coerce_bat(b: &Bat, ty: LogicalType) -> Result<Bat> {
     }
     let mut out = TailHeap::with_capacity(ty, b.len());
     for i in 0..b.len() {
-        out.push_value(&b.value_at(i)).map_err(|_| Error::TypeMismatch {
-            expected: ty.name().into(),
-            found: b.ty().name().into(),
-        })?;
+        out.push_value(&b.value_at(i))
+            .map_err(|_| Error::TypeMismatch {
+                expected: ty.name().into(),
+                found: b.ty().name().into(),
+            })?;
     }
     Ok(Bat::dense(0, out))
 }

@@ -17,10 +17,7 @@ pub fn positions_of(cands: &Bat, base: &Bat) -> Result<Vec<usize>> {
             let len = base.len() as u64;
             for &o in oids {
                 if o < *seqbase || o - seqbase >= len {
-                    return Err(Error::OutOfRange {
-                        index: o,
-                        len,
-                    });
+                    return Err(Error::OutOfRange { index: o, len });
                 }
                 out.push((o - seqbase) as usize);
             }
@@ -102,29 +99,21 @@ pub fn scatter(values: &Bat, positions: &[usize], n: usize) -> Result<Bat> {
             let v = values.value_at(i);
             // overwrite slot p
             match tail {
-                TailHeap::Bool(v_) => {
-                    v_[p] = matches!(v, mammoth_types::Value::Bool(true))
-                }
+                TailHeap::Bool(v_) => v_[p] = matches!(v, mammoth_types::Value::Bool(true)),
                 TailHeap::I8(v_) => {
                     v_[p] = i8::try_from(v.as_i64().unwrap_or(i8::MIN as i64)).unwrap_or(i8::MIN)
                 }
                 TailHeap::I16(v_) => {
-                    v_[p] =
-                        i16::try_from(v.as_i64().unwrap_or(i16::MIN as i64)).unwrap_or(i16::MIN)
+                    v_[p] = i16::try_from(v.as_i64().unwrap_or(i16::MIN as i64)).unwrap_or(i16::MIN)
                 }
                 TailHeap::I32(v_) => {
-                    v_[p] =
-                        i32::try_from(v.as_i64().unwrap_or(i32::MIN as i64)).unwrap_or(i32::MIN)
+                    v_[p] = i32::try_from(v.as_i64().unwrap_or(i32::MIN as i64)).unwrap_or(i32::MIN)
                 }
                 TailHeap::I64(v_) => v_[p] = v.as_i64().unwrap_or(i64::MIN),
                 TailHeap::F64(v_) => v_[p] = v.as_f64().unwrap_or(f64::NAN),
-                TailHeap::Oid(v_) => {
-                    v_[p] = v.as_i64().map(|x| x as u64).unwrap_or(u64::MAX)
-                }
+                TailHeap::Oid(v_) => v_[p] = v.as_i64().map(|x| x as u64).unwrap_or(u64::MAX),
                 TailHeap::Str(_) => {
-                    return Err(Error::Unsupported(
-                        "scatter over string heaps".into(),
-                    ))
+                    return Err(Error::Unsupported("scatter over string heaps".into()))
                 }
             }
         }

@@ -17,6 +17,8 @@
 //!
 //! [`Bat`]: mammoth_storage::Bat
 
+#![deny(unsafe_code)]
+
 pub mod agg;
 pub mod arith;
 pub mod fetch;

@@ -55,10 +55,7 @@ fn candidates(b: &Bat, positions: Vec<Oid>) -> Bat {
     out
 }
 
-fn scan_select<T: NativeType + FixedTail>(
-    data: &[T],
-    pred: impl Fn(&T) -> bool,
-) -> Vec<Oid> {
+fn scan_select<T: NativeType + FixedTail>(data: &[T], pred: impl Fn(&T) -> bool) -> Vec<Oid> {
     let mut out = Vec::new();
     for (i, v) in data.iter().enumerate() {
         // nil never qualifies (SQL three-valued logic collapses to false)
@@ -269,8 +266,13 @@ mod tests {
     #[test]
     fn comparison_ops() {
         let b = Bat::from_vec(vec![5i64, 1, 3, 5, 9]);
-        let pos =
-            |op| select_cmp(&b, op, &Value::I64(5)).unwrap().tail_slice::<Oid>().unwrap().to_vec();
+        let pos = |op| {
+            select_cmp(&b, op, &Value::I64(5))
+                .unwrap()
+                .tail_slice::<Oid>()
+                .unwrap()
+                .to_vec()
+        };
         assert_eq!(pos(CmpOp::Eq), vec![0, 3]);
         assert_eq!(pos(CmpOp::Ne), vec![1, 2, 4]);
         assert_eq!(pos(CmpOp::Lt), vec![1, 2]);
@@ -282,10 +284,7 @@ mod tests {
     #[test]
     fn nil_never_matches() {
         let b = Bat::from_vec(vec![1i32, i32::NIL, 3]);
-        assert_eq!(
-            select_cmp(&b, CmpOp::Ne, &Value::I32(99)).unwrap().len(),
-            2
-        );
+        assert_eq!(select_cmp(&b, CmpOp::Ne, &Value::I32(99)).unwrap().len(), 2);
         assert_eq!(select_cmp(&b, CmpOp::Lt, &Value::I32(99)).unwrap().len(), 2);
         // comparing against NULL selects nothing
         assert_eq!(select_eq(&b, &Value::Null).unwrap().len(), 0);
@@ -294,11 +293,16 @@ mod tests {
     #[test]
     fn range_scan_and_bounds() {
         let b = Bat::from_vec(vec![10i32, 20, 30, 40, 50]);
-        let r = select_range(&b, Some(&Value::I32(20)), Some(&Value::I32(40)), true, true)
-            .unwrap();
+        let r = select_range(&b, Some(&Value::I32(20)), Some(&Value::I32(40)), true, true).unwrap();
         assert_eq!(r.tail_slice::<Oid>().unwrap(), &[1, 2, 3]);
-        let r = select_range(&b, Some(&Value::I32(20)), Some(&Value::I32(40)), false, false)
-            .unwrap();
+        let r = select_range(
+            &b,
+            Some(&Value::I32(20)),
+            Some(&Value::I32(40)),
+            false,
+            false,
+        )
+        .unwrap();
         assert_eq!(r.tail_slice::<Oid>().unwrap(), &[2]);
         let r = select_range(&b, None, Some(&Value::I32(25)), true, true).unwrap();
         assert_eq!(r.tail_slice::<Oid>().unwrap(), &[0, 1]);
@@ -312,8 +316,11 @@ mod tests {
         sorted.compute_props();
         assert!(sorted.props().sorted);
         let unsorted = Bat::from_vec(sorted.tail_slice::<i64>().unwrap().to_vec());
-        for (lo, hi, li, hi_i) in [(10, 50, true, true), (0, 0, true, false), (5, 7, false, true)]
-        {
+        for (lo, hi, li, hi_i) in [
+            (10, 50, true, true),
+            (0, 0, true, false),
+            (5, 7, false, true),
+        ] {
             let a = select_range(
                 &sorted,
                 Some(&Value::I64(lo)),

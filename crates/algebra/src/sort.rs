@@ -77,10 +77,7 @@ mod tests {
     fn sorts_with_nil_first() {
         let b = Bat::from_vec(vec![3i32, i32::NIL, 1, 2]);
         let (s, idx) = sort_bat(&b).unwrap();
-        assert_eq!(
-            s.tail_slice::<i32>().unwrap(),
-            &[i32::NIL, 1, 2, 3]
-        );
+        assert_eq!(s.tail_slice::<i32>().unwrap(), &[i32::NIL, 1, 2, 3]);
         assert_eq!(idx.tail_slice::<Oid>().unwrap(), &[1, 2, 3, 0]);
         assert!(s.props().sorted);
         assert!(!s.props().nonil);

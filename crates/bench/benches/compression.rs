@@ -19,13 +19,9 @@ fn bench(c: &mut Criterion) {
     for (dname, data) in &datasets {
         for scheme in [Scheme::Rle, Scheme::Dict, Scheme::Pfor, Scheme::PforDelta] {
             let enc = compress(data, scheme);
-            g.bench_with_input(
-                BenchmarkId::new(scheme.name(), dname),
-                &enc,
-                |b, enc| {
-                    b.iter(|| black_box(decompress(enc)));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(scheme.name(), dname), &enc, |b, enc| {
+                b.iter(|| black_box(decompress(enc)));
+            });
         }
     }
     g.finish();

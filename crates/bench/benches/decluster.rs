@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let fetches = n / 2;
     let column = uniform_i64(n, 0, 1 << 30, 5);
     let mut rng = StdRng::seed_from_u64(9);
-    let positions: Vec<u32> = (0..fetches).map(|_| rng.random_range(0..n as u32)).collect();
+    let positions: Vec<u32> = (0..fetches)
+        .map(|_| rng.random_range(0..n as u32))
+        .collect();
 
     let mut g = c.benchmark_group("projection");
     g.sample_size(10);
@@ -28,9 +30,13 @@ fn bench(c: &mut Criterion) {
         });
     });
     for bits in [4u32, 6, 8] {
-        g.bench_with_input(BenchmarkId::new("radix_decluster", bits), &bits, |b, &bits| {
-            b.iter(|| black_box(radix_decluster_fixed(&positions, &column, bits)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("radix_decluster", bits),
+            &bits,
+            |b, &bits| {
+                b.iter(|| black_box(radix_decluster_fixed(&positions, &column, bits)));
+            },
+        );
     }
     g.finish();
 }

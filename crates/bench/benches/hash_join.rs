@@ -18,7 +18,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(hash_join(&l, &r).unwrap().len()));
         });
         g.bench_with_input(BenchmarkId::new("partitioned", n), &n, |b, _| {
-            b.iter(|| black_box(partitioned_hash_join(&l, &r, pow.saturating_sub(9), 6).unwrap().len()));
+            b.iter(|| {
+                black_box(
+                    partitioned_hash_join(&l, &r, pow.saturating_sub(9), 6)
+                        .unwrap()
+                        .len(),
+                )
+            });
         });
     }
     g.finish();

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let n = 1 << 19;
     let keys: Vec<i64> = (0..n as i64).map(|i| i * 2).collect();
     let css = CssTree::build(keys.clone());
-    let pairs: Vec<(i64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(i64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let btree = BPlusTree::bulk_load(&pairs);
     let mut rng = StdRng::seed_from_u64(77);
     let probes: Vec<(usize, i64)> = (0..(1 << 14))

@@ -16,7 +16,9 @@ const R: [i64; 8] = [17, 35, 32, 47, 20, 96, 10, 66];
 pub fn run(_scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("E01  Figure 2: partitioned hash-join with 2-pass radix-cluster (H=8, B=3)\n");
-    out.push_str("paper: values cluster on their lowest 3 bits; matching clusters are hash-joined\n\n");
+    out.push_str(
+        "paper: values cluster on their lowest 3 bits; matching clusters are hash-joined\n\n",
+    );
 
     for (name, rel) in [("L", &L[..]), ("R", &R[..])] {
         let keys: Vec<u64> = rel.iter().map(|&x| x as u64).collect();
@@ -39,14 +41,9 @@ pub fn run(_scale: Scale) -> String {
         out.push('\n');
     }
 
-    let ji = partitioned_hash_join(
-        &Bat::from_vec(L.to_vec()),
-        &Bat::from_vec(R.to_vec()),
-        3,
-        2,
-    )
-    .unwrap()
-    .sorted();
+    let ji = partitioned_hash_join(&Bat::from_vec(L.to_vec()), &Bat::from_vec(R.to_vec()), 3, 2)
+        .unwrap()
+        .sorted();
     let mut t = TextTable::new(vec!["L oid", "R oid", "value (the figure's black tuples)"]);
     for (l, r) in ji.left.iter().zip(&ji.right) {
         t.row(vec![

@@ -25,9 +25,7 @@ pub fn run(scale: Scale) -> String {
     out.push_str("paper claim: once 2^B exceeds TLB entries / cache lines, 1 pass thrashes;\n");
     out.push_str("             multiple passes keep each pass's cluster count small and win\n\n");
 
-    let mut t = TextTable::new(vec![
-        "bits", "H", "1 pass", "2 passes", "3 passes", "best",
-    ]);
+    let mut t = TextTable::new(vec!["bits", "H", "1 pass", "2 passes", "3 passes", "best"]);
     for bits in [4u32, 6, 8, 10, 12, 14, 16] {
         let mut times = Vec::new();
         for passes in 1..=3u32 {

@@ -52,7 +52,9 @@ pub fn run(scale: Scale) -> String {
         ]);
     }
     out.push_str(&t.render());
-    out.push_str("\nverdict: the gap grows with cardinality; the model-chosen bits are used as-is.\n");
+    out.push_str(
+        "\nverdict: the gap grows with cardinality; the model-chosen bits are used as-is.\n",
+    );
     out
 }
 

@@ -15,12 +15,7 @@ use mammoth_types::Oid;
 use mammoth_workload::permutation;
 
 /// A join over raw u64 keys, parametrized by hasher and partitioning.
-fn join_with<H: KeyHasher>(
-    hasher: H,
-    lk: &[u64],
-    rk: &[u64],
-    bits: u32,
-) -> usize {
+fn join_with<H: KeyHasher>(hasher: H, lk: &[u64], rk: &[u64], bits: u32) -> usize {
     let oids_l: Vec<Oid> = (0..lk.len() as u64).collect();
     let oids_r: Vec<Oid> = (0..rk.len() as u64).collect();
     let passes = even_passes(bits, 6);
@@ -130,8 +125,14 @@ mod tests {
 
     #[test]
     fn all_variants_agree() {
-        let lk: Vec<u64> = permutation(1 << 10, 3).into_iter().map(|x| x as u64).collect();
-        let rk: Vec<u64> = permutation(1 << 10, 4).into_iter().map(|x| x as u64).collect();
+        let lk: Vec<u64> = permutation(1 << 10, 3)
+            .into_iter()
+            .map(|x| x as u64)
+            .collect();
+        let rk: Vec<u64> = permutation(1 << 10, 4)
+            .into_iter()
+            .map(|x| x as u64)
+            .collect();
         assert_eq!(join_with(ModuloHasher, &lk, &rk, 0), 1 << 10);
         assert_eq!(join_with(MaskHasher, &lk, &rk, 4), 1 << 10);
     }

@@ -31,12 +31,11 @@ pub fn run(scale: Scale) -> String {
     let fetches = n / 2;
     let column = uniform_i64(n, 0, 1 << 30, 5);
     let mut rng = StdRng::seed_from_u64(9);
-    let positions: Vec<u32> = (0..fetches).map(|_| rng.random_range(0..n as u32)).collect();
-    // NSM table: same column embedded in 64-byte rows
-    let rows: Vec<NsmRow> = column
-        .iter()
-        .map(|&v| NsmRow { cols: [v; 8] })
+    let positions: Vec<u32> = (0..fetches)
+        .map(|_| rng.random_range(0..n as u32))
         .collect();
+    // NSM table: same column embedded in 64-byte rows
+    let rows: Vec<NsmRow> = column.iter().map(|&v| NsmRow { cols: [v; 8] }).collect();
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -106,10 +105,11 @@ pub fn run(scale: Scale) -> String {
     let sim_m = sim_n / 2;
     let h = MemoryHierarchy::generic_modern();
     let mut rng = StdRng::seed_from_u64(10);
-    let sim_pos: Vec<u32> = (0..sim_m).map(|_| rng.random_range(0..sim_n as u32)).collect();
+    let sim_pos: Vec<u32> = (0..sim_m)
+        .map(|_| rng.random_range(0..sim_n as u32))
+        .collect();
     let sim_bits = 6u32;
-    let shift =
-        (usize::BITS - sim_n.max(1).leading_zeros()).saturating_sub(sim_bits);
+    let shift = (usize::BITS - sim_n.max(1).leading_zeros()).saturating_sub(sim_bits);
 
     let base_pos = 0u64; // positions array
     let base_col = 1 << 30; // column

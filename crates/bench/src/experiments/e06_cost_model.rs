@@ -115,7 +115,10 @@ pub fn run(scale: Scale) -> String {
             bits.to_string(),
             format!("{predicted:.0}"),
             measured.to_string(),
-            format!("{:+.1}%", (predicted - measured as f64) / measured as f64 * 100.0),
+            format!(
+                "{:+.1}%",
+                (predicted - measured as f64) / measured as f64 * 100.0
+            ),
         ]);
     }
     out.push_str(&t.render());

@@ -64,7 +64,9 @@ pub fn run(scale: Scale) -> String {
     out.push_str("paper claim: size 1 ~ tuple-at-a-time RDBMS; 100-1000 ~ 100x better;\n");
     out.push_str("             full-column materialization worse than cache-resident vectors\n\n");
 
-    let sizes: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16_384, 262_144, n];
+    let sizes: Vec<usize> = vec![
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16_384, 262_144, n,
+    ];
     let mut t = TextTable::new(vec!["vector size", "time", "ns/tuple", "speedup vs 1"]);
     let mut t1 = None;
     let mut best = (f64::MAX, 0usize);
@@ -82,7 +84,11 @@ pub fn run(scale: Scale) -> String {
             best = (secs, vs);
         }
         t.row(vec![
-            if vs == n { format!("{vs} (full)") } else { vs.to_string() },
+            if vs == n {
+                format!("{vs} (full)")
+            } else {
+                vs.to_string()
+            },
             crate::fmt_secs(secs),
             format!("{:.2}", ns_per(secs, n)),
             format!("{:.1}x", t1.unwrap() / secs),

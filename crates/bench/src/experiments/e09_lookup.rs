@@ -68,7 +68,11 @@ pub fn run(scale: Scale) -> String {
     });
 
     // B+-tree over positions
-    let pairs: Vec<(i64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(i64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let btree = BPlusTree::bulk_load(&pairs);
     let (acc_bt, t_bt) = timed(|| {
         let mut acc = 0i64;

@@ -20,12 +20,7 @@ pub fn run(scale: Scale) -> String {
         ("uniform narrow", uniform_i64(n, 0, 100_000, 4)),
         ("clustered runs", clustered_i64(n, 64, 5)),
     ];
-    let schemes = [
-        Scheme::Rle,
-        Scheme::Dict,
-        Scheme::Pfor,
-        Scheme::PforDelta,
-    ];
+    let schemes = [Scheme::Rle, Scheme::Dict, Scheme::Pfor, Scheme::PforDelta];
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -44,7 +39,9 @@ pub fn run(scale: Scale) -> String {
             let enc = compress(data, s);
             let ratio = (data.len() * 8) as f64 / compressed_size(&enc).max(1) as f64;
             // decode repeatedly for a stable measurement
-            let reps = (4usize).max(1 << 22 >> (n.trailing_zeros().min(22))).min(16);
+            let reps = (4usize)
+                .max(1 << 22 >> (n.trailing_zeros().min(22)))
+                .min(16);
             let (decoded, secs) = timed(|| {
                 let mut last = Vec::new();
                 for _ in 0..reps {
@@ -62,7 +59,10 @@ pub fn run(scale: Scale) -> String {
             ]);
         }
         let picked = pick_scheme(data);
-        out.push_str(&format!("data: {dname}  (picker chooses: {})\n", picked.name()));
+        out.push_str(&format!(
+            "data: {dname}  (picker chooses: {})\n",
+            picked.name()
+        ));
         out.push_str(&t.render());
         out.push('\n');
     }

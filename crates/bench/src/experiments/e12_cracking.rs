@@ -73,12 +73,7 @@ pub fn run(scale: Scale) -> String {
     assert_eq!(scan_hits, sort_hits);
     assert_eq!(scan_hits, crack_hits);
 
-    let mut t = TextTable::new(vec![
-        "after query",
-        "scan-always",
-        "sort-first",
-        "cracking",
-    ]);
+    let mut t = TextTable::new(vec!["after query", "scan-always", "sort-first", "cracking"]);
     for &c in &checkpoints {
         t.row(vec![
             c.to_string(),

@@ -54,24 +54,96 @@ pub type Experiment = (&'static str, &'static str, fn(Scale) -> String);
 pub fn all_experiments() -> Vec<Experiment> {
     use experiments::*;
     vec![
-        ("e01", "Figure 2: 2-pass radix-cluster + partitioned hash-join on the paper's values", e01_figure2::run),
-        ("e02", "Radix-cluster: pass count vs bits (TLB/cache thrashing cliff)", e02_radix_cluster::run),
-        ("e03", "Partitioned hash-join vs simple hash-join (order-of-magnitude claim)", e03_partitioned_join::run),
-        ("e04", "CPU x memory optimization ablation (effects compound)", e04_cpu_memory_ablation::run),
-        ("e05", "Projection strategies: naive post-fetch vs radix-decluster vs NSM pre-projection", e05_decluster::run),
-        ("e06", "Cost model: predicted vs simulated misses; model-tuned radix bits", e06_cost_model::run),
-        ("e07", "Vectorized execution: vector-size sweep (1 .. full column)", e07_vector_size::run),
-        ("e08", "Execution paradigms: tuple-at-a-time vs column-at-a-time vs vectorized", e08_paradigms::run),
-        ("e09", "Positional O(1) lookup vs B+-tree vs CSS-tree vs binary search", e09_lookup::run),
-        ("e10", "Light-weight compression: ratio and decode speed per scheme", e10_compression::run),
-        ("e11", "Cooperative scans vs LRU under concurrent queries", e11_coop_scans::run),
-        ("e12", "Database cracking vs full sort vs scan (and under updates)", e12_cracking::run),
-        ("e13", "Recycler on a Skyserver-like query log", e13_recycler::run),
-        ("e14", "DSM vs NSM: sequential vs random-access operators", e14_dsm_nsm::run),
-        ("e15", "Staircase join vs naive region join (XPath descendant axis)", e15_staircase::run),
-        ("e16", "Delta BATs: update throughput and reader overhead", e16_deltas::run),
-        ("e17", "extension - DataCell: bulk-event stream processing (§6.2)", e17_datacell::run),
-        ("e18", "extension - sideways cracking: self-organizing tuple reconstruction", e18_sideways::run),
+        (
+            "e01",
+            "Figure 2: 2-pass radix-cluster + partitioned hash-join on the paper's values",
+            e01_figure2::run,
+        ),
+        (
+            "e02",
+            "Radix-cluster: pass count vs bits (TLB/cache thrashing cliff)",
+            e02_radix_cluster::run,
+        ),
+        (
+            "e03",
+            "Partitioned hash-join vs simple hash-join (order-of-magnitude claim)",
+            e03_partitioned_join::run,
+        ),
+        (
+            "e04",
+            "CPU x memory optimization ablation (effects compound)",
+            e04_cpu_memory_ablation::run,
+        ),
+        (
+            "e05",
+            "Projection strategies: naive post-fetch vs radix-decluster vs NSM pre-projection",
+            e05_decluster::run,
+        ),
+        (
+            "e06",
+            "Cost model: predicted vs simulated misses; model-tuned radix bits",
+            e06_cost_model::run,
+        ),
+        (
+            "e07",
+            "Vectorized execution: vector-size sweep (1 .. full column)",
+            e07_vector_size::run,
+        ),
+        (
+            "e08",
+            "Execution paradigms: tuple-at-a-time vs column-at-a-time vs vectorized",
+            e08_paradigms::run,
+        ),
+        (
+            "e09",
+            "Positional O(1) lookup vs B+-tree vs CSS-tree vs binary search",
+            e09_lookup::run,
+        ),
+        (
+            "e10",
+            "Light-weight compression: ratio and decode speed per scheme",
+            e10_compression::run,
+        ),
+        (
+            "e11",
+            "Cooperative scans vs LRU under concurrent queries",
+            e11_coop_scans::run,
+        ),
+        (
+            "e12",
+            "Database cracking vs full sort vs scan (and under updates)",
+            e12_cracking::run,
+        ),
+        (
+            "e13",
+            "Recycler on a Skyserver-like query log",
+            e13_recycler::run,
+        ),
+        (
+            "e14",
+            "DSM vs NSM: sequential vs random-access operators",
+            e14_dsm_nsm::run,
+        ),
+        (
+            "e15",
+            "Staircase join vs naive region join (XPath descendant axis)",
+            e15_staircase::run,
+        ),
+        (
+            "e16",
+            "Delta BATs: update throughput and reader overhead",
+            e16_deltas::run,
+        ),
+        (
+            "e17",
+            "extension - DataCell: bulk-event stream processing (§6.2)",
+            e17_datacell::run,
+        ),
+        (
+            "e18",
+            "extension - sideways cracking: self-organizing tuple reconstruction",
+            e18_sideways::run,
+        ),
     ]
 }
 

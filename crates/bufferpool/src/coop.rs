@@ -65,55 +65,54 @@ pub fn simulate_scans(
     };
 
     // consume everything consumable: free, instantaneous
-    let consume =
-        |needs: &mut Vec<Vec<bool>>,
-         remaining: &mut Vec<usize>,
-         done_at: &mut Vec<Option<u64>>,
-         next_seq: &mut Vec<usize>,
-         resident: &Vec<Option<usize>>,
-         last_used: &mut Vec<u64>,
-         arrivals: &[u64],
-         policy: ScanPolicy,
-         tick: u64| {
-            for i in 0..needs.len() {
-                if done_at[i].is_some() || arrivals[i] > tick {
-                    continue;
-                }
-                match policy {
-                    ScanPolicy::Cooperative => {
-                        // attach: consume ANY resident chunk still needed
-                        for (f, r) in resident.iter().enumerate() {
-                            if let Some(c) = r {
-                                if needs[i][*c] {
-                                    needs[i][*c] = false;
-                                    remaining[i] -= 1;
-                                    last_used[f] = tick;
-                                }
-                            }
-                        }
-                    }
-                    ScanPolicy::Lru => {
-                        // strict order: consume only the next sequential chunk
-                        while next_seq[i] < needs[i].len() {
-                            let c = next_seq[i];
-                            let f = resident.iter().position(|r| *r == Some(c));
-                            match f {
-                                Some(f) => {
-                                    needs[i][c] = false;
-                                    remaining[i] -= 1;
-                                    next_seq[i] += 1;
-                                    last_used[f] = tick;
-                                }
-                                None => break,
+    let consume = |needs: &mut Vec<Vec<bool>>,
+                   remaining: &mut Vec<usize>,
+                   done_at: &mut Vec<Option<u64>>,
+                   next_seq: &mut Vec<usize>,
+                   resident: &Vec<Option<usize>>,
+                   last_used: &mut Vec<u64>,
+                   arrivals: &[u64],
+                   policy: ScanPolicy,
+                   tick: u64| {
+        for i in 0..needs.len() {
+            if done_at[i].is_some() || arrivals[i] > tick {
+                continue;
+            }
+            match policy {
+                ScanPolicy::Cooperative => {
+                    // attach: consume ANY resident chunk still needed
+                    for (f, r) in resident.iter().enumerate() {
+                        if let Some(c) = r {
+                            if needs[i][*c] {
+                                needs[i][*c] = false;
+                                remaining[i] -= 1;
+                                last_used[f] = tick;
                             }
                         }
                     }
                 }
-                if remaining[i] == 0 {
-                    done_at[i] = Some(tick);
+                ScanPolicy::Lru => {
+                    // strict order: consume only the next sequential chunk
+                    while next_seq[i] < needs[i].len() {
+                        let c = next_seq[i];
+                        let f = resident.iter().position(|r| *r == Some(c));
+                        match f {
+                            Some(f) => {
+                                needs[i][c] = false;
+                                remaining[i] -= 1;
+                                next_seq[i] += 1;
+                                last_used[f] = tick;
+                            }
+                            None => break,
+                        }
+                    }
                 }
             }
-        };
+            if remaining[i] == 0 {
+                done_at[i] = Some(tick);
+            }
+        }
+    };
 
     let all_done = |done_at: &Vec<Option<u64>>| done_at.iter().all(|d| d.is_some());
 
@@ -182,16 +181,14 @@ pub fn simulate_scans(
                     // evict: LRU regime uses last_used; cooperative evicts
                     // the chunk with the lowest remaining relevance
                     match policy {
-                        ScanPolicy::Lru => (0..resident.len())
-                            .min_by_key(|&f| last_used[f])
-                            .unwrap(),
+                        ScanPolicy::Lru => {
+                            (0..resident.len()).min_by_key(|&f| last_used[f]).unwrap()
+                        }
                         ScanPolicy::Cooperative => (0..resident.len())
                             .min_by_key(|&f| {
                                 let c = resident[f].unwrap();
                                 (0..q)
-                                    .filter(|&i| {
-                                        active(&done_at, arrivals, i, tick) && needs[i][c]
-                                    })
+                                    .filter(|&i| active(&done_at, arrivals, i, tick) && needs[i][c])
                                     .count()
                             })
                             .unwrap(),
@@ -220,10 +217,7 @@ pub fn simulate_scans(
         tick,
     );
 
-    let completion: Vec<u64> = done_at
-        .iter()
-        .map(|d| d.unwrap_or(tick))
-        .collect();
+    let completion: Vec<u64> = done_at.iter().map(|d| d.unwrap_or(tick)).collect();
     let avg = completion.iter().sum::<u64>() as f64 / completion.len().max(1) as f64;
     ScanReport {
         disk_reads,

@@ -117,9 +117,10 @@ impl BufferPool {
 
     /// Release a pin; `dirty` writes back on eviction.
     pub fn unpin(&mut self, page: PageId, dirty: bool) -> Result<()> {
-        let &f = self.map.get(&page).ok_or_else(|| {
-            Error::Internal(format!("unpin of unmapped page {page}"))
-        })?;
+        let &f = self
+            .map
+            .get(&page)
+            .ok_or_else(|| Error::Internal(format!("unpin of unmapped page {page}")))?;
         let frame = &mut self.frames[f];
         if frame.pins == 0 {
             return Err(Error::Internal(format!("unpin of unpinned page {page}")));

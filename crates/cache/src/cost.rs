@@ -70,7 +70,12 @@ mod tests {
     fn random_costs_more_than_sequential() {
         let h = MemoryHierarchy::generic_modern();
         let region = Region::new(0, 1 << 20, 4); // 4 MB
-        let seq = predict_cost(&Pattern::STrav { region: region.clone() }, &h);
+        let seq = predict_cost(
+            &Pattern::STrav {
+                region: region.clone(),
+            },
+            &h,
+        );
         let rnd = predict_cost(&Pattern::RTrav { region, seed: 1 }, &h);
         assert!(
             rnd.total_cycles > 4.0 * seq.total_cycles,

@@ -200,7 +200,9 @@ impl MemoryHierarchy {
 
     /// The innermost (largest) cache level.
     pub fn last_level(&self) -> &CacheLevel {
-        self.levels.last().expect("hierarchy has at least one level")
+        self.levels
+            .last()
+            .expect("hierarchy has at least one level")
     }
 }
 

@@ -82,7 +82,11 @@ pub enum Pattern {
     /// Random traversal: touch each item exactly once, in random order.
     RTrav { region: Region, seed: u64 },
     /// Repetitive random access: `accesses` uniform random item reads.
-    RRAcc { region: Region, accesses: usize, seed: u64 },
+    RRAcc {
+        region: Region,
+        accesses: usize,
+        seed: u64,
+    },
     /// Interleaved multi-cursor access: `total` writes, each appended to the
     /// cursor of a randomly chosen region (the radix-cluster output
     /// pattern). Thrashes when the cursor count exceeds cache lines or
@@ -190,8 +194,7 @@ impl Pattern {
             }
             Pattern::Interleaved { regions, total, .. } => {
                 let h = regions.len() as f64;
-                let compulsory: f64 =
-                    regions.iter().map(|r| r.lines(level.granule) as f64).sum();
+                let compulsory: f64 = regions.iter().map(|r| r.lines(level.granule) as f64).sum();
                 if h <= level.granules as f64 {
                     // all cursors keep their line resident: pure sequential
                     MissEstimate {
@@ -202,9 +205,8 @@ impl Pattern {
                     // cursor lines compete for granules; a cursor's line is
                     // still cached on revisit with probability lines/H.
                     let p_evicted = 1.0 - level.granules as f64 / h;
-                    let items_per_line = (granule
-                        / regions.first().map_or(granule, |r| r.width as f64))
-                    .max(1.0);
+                    let items_per_line =
+                        (granule / regions.first().map_or(granule, |r| r.width as f64)).max(1.0);
                     let revisits = (*total as f64) * (1.0 - 1.0 / items_per_line);
                     MissEstimate {
                         seq: compulsory,
@@ -394,8 +396,7 @@ mod tests {
     fn interleaved_few_cursors_is_sequential() {
         let h = MemoryHierarchy::tiny_test();
         let mut cur = 0u64;
-        let regions: Vec<Region> =
-            (0..4).map(|_| Region::alloc(&mut cur, 64, 4)).collect();
+        let regions: Vec<Region> = (0..4).map(|_| Region::alloc(&mut cur, 64, 4)).collect();
         let p = Pattern::Interleaved {
             regions,
             total: 256,
@@ -411,8 +412,7 @@ mod tests {
     fn interleaved_many_cursors_thrashes() {
         let l1 = l1_view(); // 16 lines
         let mut cur = 0u64;
-        let regions: Vec<Region> =
-            (0..64).map(|_| Region::alloc(&mut cur, 64, 4)).collect();
+        let regions: Vec<Region> = (0..64).map(|_| Region::alloc(&mut cur, 64, 4)).collect();
         let p = Pattern::Interleaved {
             regions,
             total: 4096,

@@ -175,8 +175,7 @@ pub fn predicted_partitioned_join_cycles(
     bits: u32,
 ) -> f64 {
     let passes = cluster_passes(bits, max_safe_bits_per_pass(h));
-    let cluster_cost = predict_cost(&radix_cluster_pattern(build, width, &passes), h)
-        .total_cycles
+    let cluster_cost = predict_cost(&radix_cluster_pattern(build, width, &passes), h).total_cycles
         + predict_cost(&radix_cluster_pattern(probe, width, &passes), h).total_cycles;
     let join_cost = predict_cost(&hash_join_pattern(build, probe, width, bits), h).total_cycles;
     cluster_cost + join_cost
@@ -189,8 +188,9 @@ pub fn pick_radix_bits(h: &MemoryHierarchy, build: usize, probe: usize, width: u
     let max_bits = (build.max(2) as f64).log2().ceil() as u32;
     (0..=max_bits.min(24))
         .min_by(|&a, &b| {
-            predicted_partitioned_join_cycles(h, build, probe, width, a)
-                .total_cmp(&predicted_partitioned_join_cycles(h, build, probe, width, b))
+            predicted_partitioned_join_cycles(h, build, probe, width, a).total_cmp(
+                &predicted_partitioned_join_cycles(h, build, probe, width, b),
+            )
         })
         .unwrap_or(0)
 }

@@ -40,7 +40,11 @@ pub fn unpack(packed: &[u64], n: usize, width: u32) -> Vec<u64> {
         out.resize(n, 0);
         return out;
     }
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut bitpos = 0usize;
     for _ in 0..n {
         let word = bitpos / 64;
@@ -72,7 +76,11 @@ mod tests {
     #[test]
     fn roundtrip_widths() {
         for width in [1u32, 3, 7, 8, 13, 31, 32, 33, 63, 64] {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let values: Vec<u64> = (0..100u64).map(|i| (i * 0x9E3779B9) & mask).collect();
             let packed = pack(&values, width);
             assert_eq!(unpack(&packed, values.len(), width), values, "w={width}");

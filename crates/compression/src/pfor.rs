@@ -39,10 +39,10 @@ fn choose_width(offsets: &[u64]) -> u32 {
     let mut best = (u64::MAX, 64u32);
     // candidate widths: cover the p-th largest value for a few percentiles
     for &w in &[
-        widths[n - 1],                 // no exceptions
-        widths[n * 99 / 100],          // ~1% exceptions
-        widths[n * 95 / 100],          // ~5% exceptions
-        widths[n / 2],                 // half exceptions (pathological guard)
+        widths[n - 1],        // no exceptions
+        widths[n * 99 / 100], // ~1% exceptions
+        widths[n * 95 / 100], // ~5% exceptions
+        widths[n / 2],        // half exceptions (pathological guard)
     ] {
         let w = w.max(1);
         let exceptions = widths.iter().filter(|&&x| x > w).count() as u64;
@@ -56,9 +56,16 @@ fn choose_width(offsets: &[u64]) -> u32 {
 
 fn encode_block(values: &[i64]) -> PforBlock {
     let base = *values.iter().min().unwrap();
-    let offsets: Vec<u64> = values.iter().map(|&v| (v as i128 - base as i128) as u64).collect();
+    let offsets: Vec<u64> = values
+        .iter()
+        .map(|&v| (v as i128 - base as i128) as u64)
+        .collect();
     let width = choose_width(&offsets);
-    let limit = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let limit = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut exc_pos = Vec::new();
     let mut exc_val = Vec::new();
     let mut small = Vec::with_capacity(values.len());

@@ -23,10 +23,7 @@ pub fn encode(values: &[i64]) -> PforDeltaEncoded {
             len: 0,
         };
     }
-    let deltas: Vec<i64> = values
-        .windows(2)
-        .map(|w| w[1].wrapping_sub(w[0]))
-        .collect();
+    let deltas: Vec<i64> = values.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
     PforDeltaEncoded {
         first: values[0],
         deltas: pfor::encode(&deltas),

@@ -129,9 +129,12 @@ mod tests {
     fn sql_roundtrip() {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
         let out = db.execute("SELECT b FROM t WHERE a = 2").unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows, vec![vec![Value::Str("y".into())]]);
     }
 
@@ -161,7 +164,9 @@ mod tests {
         let out = db
             .execute("SELECT tag, COUNT(*) FROM doc GROUP BY tag ORDER BY tag")
             .unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(
             rows,
             vec![
@@ -185,7 +190,9 @@ mod tests {
         }
         let mut db = Database::open(&dir).unwrap();
         let out = db.execute("SELECT a FROM t ORDER BY a").unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows, vec![vec![Value::I32(1)], vec![Value::I32(3)]]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -201,8 +208,10 @@ mod tests {
             vec![Bat::from_vec(data)],
         )
         .unwrap();
-        db.execute("SELECT COUNT(a) FROM t WHERE a > 10 AND a < 900").unwrap();
-        db.execute("SELECT COUNT(a) FROM t WHERE a > 10 AND a < 900").unwrap();
+        db.execute("SELECT COUNT(a) FROM t WHERE a > 10 AND a < 900")
+            .unwrap();
+        db.execute("SELECT COUNT(a) FROM t WHERE a > 10 AND a < 900")
+            .unwrap();
         let stats = db.recycler_stats().unwrap();
         assert!(stats.exact_hits > 0, "{stats:?}");
         // DML invalidates the cached intermediates

@@ -118,7 +118,12 @@ impl<K: Ord + Copy, V: Copy> CrackerMap<K, V> {
             }
         }
         // same multiset of pairs
-        let mut a: Vec<(K, V)> = self.keys.iter().copied().zip(self.vals.iter().copied()).collect();
+        let mut a: Vec<(K, V)> = self
+            .keys
+            .iter()
+            .copied()
+            .zip(self.vals.iter().copied())
+            .collect();
         let mut b: Vec<(K, V)> = original.to_vec();
         a.sort();
         b.sort();

@@ -19,6 +19,9 @@ enum Node<K: Ord + Copy + Debug> {
     Internal {
         /// `keys[i]` separates `children[i]` (< key) from `children[i+1]`.
         keys: Vec<K>,
+        // the per-node Box is the point: descents must chase real pointers
+        // (see the module docs), so don't flatten children into the Vec
+        #[allow(clippy::vec_box)]
         children: Vec<Box<Node<K>>>,
     },
     Leaf {
@@ -77,10 +80,7 @@ impl<K: Ord + Copy + Debug> BPlusTree<K> {
                     let keys: Vec<K> = chunk[1..].iter().map(|c| c.0).collect();
                     let children: Vec<Box<Node<K>>> =
                         chunk.iter().map(|c| c.1.clone_box()).collect();
-                    (
-                        first_key,
-                        Box::new(Node::Internal { keys, children }),
-                    )
+                    (first_key, Box::new(Node::Internal { keys, children }))
                 })
                 .collect();
             height += 1;

@@ -42,7 +42,10 @@ impl<K: Ord + Copy + Debug> CssTree<K> {
     ///
     /// Panics in debug builds on unsorted input.
     pub fn build(keys: Vec<K>) -> CssTree<K> {
-        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
         let n = keys.len();
         if n == 0 {
             return CssTree {

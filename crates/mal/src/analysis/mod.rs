@@ -1,0 +1,18 @@
+//! Static analysis over MAL plans: the plan verifier and liveness.
+//!
+//! This is the optimizer's safety tier. [`verify`] checks any [`Program`]
+//! for SSA discipline, opcode arity, BAT/scalar kinds, column types and
+//! plan structure; [`liveness::analyze`] computes last-use information that
+//! the interpreter and the `garbage_collect` pass use to release
+//! intermediates eagerly. [`crate::optimizer::Pipeline`] re-verifies the
+//! plan after every pass (always in debug builds, opt-in via
+//! [`crate::optimizer::Pipeline::checked`] in release builds), so a buggy
+//! rewrite is pinned to the pass that introduced it.
+//!
+//! [`Program`]: crate::program::Program
+
+pub mod liveness;
+pub mod verify;
+
+pub use liveness::{analyze as analyze_liveness, Liveness};
+pub use verify::{lint, verify, verify_with_catalog, Lint, VarTy, VerifyError, VerifyErrorKind};

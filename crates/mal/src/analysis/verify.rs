@@ -1,0 +1,1001 @@
+//! The MAL plan verifier.
+//!
+//! Every optimizer module is an independent program→program rewrite, which
+//! makes each pass a chance to silently miscompile a plan. The verifier is
+//! the safety net: a linear walk over a [`Program`] that checks
+//!
+//! * **SSA discipline** — every variable is defined exactly once, before
+//!   any use, and never used after `language.pass` ends its life;
+//! * **arity** — each opcode receives exactly the argument count and binds
+//!   exactly the result count it declares;
+//! * **kind** — BAT-valued and scalar-valued argument slots get the right
+//!   kind of operand;
+//! * **types** — column types are inferred through selections, joins,
+//!   groupings, `batcalc` arithmetic and aggregation, and checked at every
+//!   consumer (with a [`Catalog`], `sql.bind` seeds exact column types;
+//!   without one, unknown types stay unknown and only contradictions are
+//!   reported);
+//! * **structure** — the plan ends with a single `io.result` and no
+//!   instruction follows it.
+//!
+//! Errors carry the instruction index and opcode name, so a broken
+//! optimizer pass is caught at the pass boundary with an exact location.
+
+use crate::program::{Arg, Instr, OpCode, Program, VarId};
+use mammoth_algebra::AggKind;
+use mammoth_storage::Catalog;
+use mammoth_types::{LogicalType, Value};
+use std::fmt;
+
+/// What the verifier statically knows about one MAL variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarTy {
+    /// A BAT; the tail type may be statically unknown (`None`).
+    Bat(Option<LogicalType>),
+    /// A scalar; the type may be statically unknown (`None`).
+    Scalar(Option<LogicalType>),
+}
+
+impl VarTy {
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            VarTy::Bat(_) => "bat",
+            VarTy::Scalar(_) => "scalar",
+        }
+    }
+
+    pub fn ty(&self) -> Option<LogicalType> {
+        match self {
+            VarTy::Bat(t) | VarTy::Scalar(t) => *t,
+        }
+    }
+}
+
+/// The specific well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// A variable id at or beyond the program's declared variable count.
+    UnknownVar { var: VarId },
+    /// A variable read before any instruction defines it.
+    UseBeforeDef { var: VarId },
+    /// A variable read after `language.pass` ended its life.
+    UseAfterFree { var: VarId, freed_at: usize },
+    /// A variable bound as a result twice (the plan is not SSA).
+    Redefinition { var: VarId, first_def: usize },
+    /// Wrong number of arguments for the opcode.
+    BadArgCount { expected: usize, got: usize },
+    /// Wrong number of bound results for the opcode.
+    BadResultCount { expected: usize, got: usize },
+    /// A BAT slot got a scalar or vice versa.
+    KindMismatch {
+        arg: usize,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// The opcode requires a literal constant in this slot.
+    ConstArgExpected { arg: usize },
+    /// The opcode requires a variable (not a constant) in this slot.
+    VarArgExpected { arg: usize },
+    /// Statically known operand types contradict the opcode's typing rule.
+    TypeMismatch { arg: usize, detail: String },
+    /// `sql.bind` names a table the catalog does not have.
+    NoSuchTable { table: String },
+    /// `sql.bind` names a column the catalog does not have.
+    NoSuchColumn { table: String, column: String },
+    /// An instruction appears after `io.result` closed the plan.
+    CodeAfterResult { result_at: usize },
+    /// The plan never reaches an `io.result`.
+    MissingResult,
+}
+
+/// A verification failure located at an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Index into [`Program::instrs`]; `None` for whole-program failures.
+    pub instr: Option<usize>,
+    /// `module.function` name of the offending instruction, when located.
+    pub op: Option<String>,
+    pub kind: VerifyErrorKind,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.instr, &self.op) {
+            (Some(i), Some(op)) => write!(f, "instr {i} ({op}): ")?,
+            (Some(i), None) => write!(f, "instr {i}: ")?,
+            _ => {}
+        }
+        match &self.kind {
+            VerifyErrorKind::UnknownVar { var } => {
+                write!(f, "variable x{var} is outside the program's variable space")
+            }
+            VerifyErrorKind::UseBeforeDef { var } => {
+                write!(f, "use of x{var} before definition")
+            }
+            VerifyErrorKind::UseAfterFree { var, freed_at } => {
+                write!(f, "use of x{var} after language.pass at instr {freed_at}")
+            }
+            VerifyErrorKind::Redefinition { var, first_def } => {
+                write!(f, "x{var} redefined (first defined at instr {first_def})")
+            }
+            VerifyErrorKind::BadArgCount { expected, got } => {
+                write!(f, "expects {expected} argument(s), got {got}")
+            }
+            VerifyErrorKind::BadResultCount { expected, got } => {
+                write!(f, "binds {expected} result(s), got {got}")
+            }
+            VerifyErrorKind::KindMismatch {
+                arg,
+                expected,
+                found,
+            } => write!(f, "argument {arg}: expected a {expected}, found a {found}"),
+            VerifyErrorKind::ConstArgExpected { arg } => {
+                write!(f, "argument {arg}: must be a literal constant")
+            }
+            VerifyErrorKind::VarArgExpected { arg } => {
+                write!(f, "argument {arg}: must be a variable")
+            }
+            VerifyErrorKind::TypeMismatch { arg, detail } => {
+                write!(f, "argument {arg}: {detail}")
+            }
+            VerifyErrorKind::NoSuchTable { table } => {
+                write!(f, "no such table: {table}")
+            }
+            VerifyErrorKind::NoSuchColumn { table, column } => {
+                write!(f, "no such column: {table}.{column}")
+            }
+            VerifyErrorKind::CodeAfterResult { result_at } => {
+                write!(f, "instruction after io.result (at instr {result_at})")
+            }
+            VerifyErrorKind::MissingResult => {
+                write!(f, "plan does not end with io.result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify structural well-formedness without a catalog: `sql.bind` results
+/// get unknown tail types, and only statically contradictory types error.
+pub fn verify(prog: &Program) -> Result<(), VerifyError> {
+    Verifier { catalog: None }.check(prog)
+}
+
+/// Verify against a catalog: `sql.bind` targets must exist, and their
+/// column types seed exact type inference through the whole plan.
+pub fn verify_with_catalog(prog: &Program, catalog: &Catalog) -> Result<(), VerifyError> {
+    Verifier {
+        catalog: Some(catalog),
+    }
+    .check(prog)
+}
+
+/// A non-fatal observation about a well-formed plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A pure instruction binds a result no later instruction reads.
+    UnusedResult { instr: usize, var: VarId },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnusedResult { instr, var } => {
+                write!(f, "instr {instr}: result x{var} is never used")
+            }
+        }
+    }
+}
+
+/// Report lints over a (presumed well-formed) program.
+pub fn lint(prog: &Program) -> Vec<Lint> {
+    let mut used = vec![false; prog.nvars()];
+    for i in &prog.instrs {
+        for a in &i.args {
+            if let Arg::Var(v) = a {
+                if let Some(u) = used.get_mut(*v) {
+                    *u = true;
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (idx, i) in prog.instrs.iter().enumerate() {
+        if !i.op.is_pure() {
+            continue;
+        }
+        for &r in &i.results {
+            if !used.get(r).copied().unwrap_or(false) {
+                out.push(Lint::UnusedResult { instr: idx, var: r });
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VarState {
+    Undefined,
+    Defined { at: usize, ty: VarTy },
+    Freed { at: usize },
+}
+
+struct Verifier<'a> {
+    catalog: Option<&'a Catalog>,
+}
+
+impl Verifier<'_> {
+    fn check(&self, prog: &Program) -> Result<(), VerifyError> {
+        let mut state = vec![VarState::Undefined; prog.nvars()];
+        let mut result_at: Option<usize> = None;
+
+        for (idx, instr) in prog.instrs.iter().enumerate() {
+            let err = |kind| VerifyError {
+                instr: Some(idx),
+                op: Some(instr.op.name()),
+                kind,
+            };
+            if let Some(r) = result_at {
+                return Err(err(VerifyErrorKind::CodeAfterResult { result_at: r }));
+            }
+            if instr.results.len() != instr.op.result_arity() {
+                return Err(err(VerifyErrorKind::BadResultCount {
+                    expected: instr.op.result_arity(),
+                    got: instr.results.len(),
+                }));
+            }
+
+            let result_tys = self.check_instr(idx, instr, &state)?;
+
+            if instr.op == OpCode::Free {
+                if let Some(Arg::Var(v)) = instr.args.first() {
+                    state[*v] = VarState::Freed { at: idx };
+                }
+            }
+            debug_assert_eq!(result_tys.len(), instr.results.len());
+            for (&rv, &ty) in instr.results.iter().zip(&result_tys) {
+                match state.get(rv) {
+                    None => return Err(err(VerifyErrorKind::UnknownVar { var: rv })),
+                    Some(VarState::Defined { at, .. }) => {
+                        return Err(err(VerifyErrorKind::Redefinition {
+                            var: rv,
+                            first_def: *at,
+                        }))
+                    }
+                    // a freed slot may not be re-bound either: the plan
+                    // would no longer be SSA
+                    Some(VarState::Freed { at }) => {
+                        return Err(err(VerifyErrorKind::Redefinition {
+                            var: rv,
+                            first_def: *at,
+                        }))
+                    }
+                    Some(VarState::Undefined) => state[rv] = VarState::Defined { at: idx, ty },
+                }
+            }
+            if instr.op == OpCode::Result {
+                result_at = Some(idx);
+            }
+        }
+
+        match result_at {
+            Some(_) => Ok(()),
+            None => Err(VerifyError {
+                instr: None,
+                op: None,
+                kind: VerifyErrorKind::MissingResult,
+            }),
+        }
+    }
+
+    /// Check one instruction's argument count, kinds and types; return the
+    /// inferred types of its results.
+    fn check_instr(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        state: &[VarState],
+    ) -> Result<Vec<VarTy>, VerifyError> {
+        let err = |kind| VerifyError {
+            instr: Some(idx),
+            op: Some(instr.op.name()),
+            kind,
+        };
+
+        // `io.result` and `language.pass` take variables of any kind.
+        match instr.op {
+            OpCode::Result => {
+                if instr.args.is_empty() {
+                    return Err(err(VerifyErrorKind::BadArgCount {
+                        expected: 1,
+                        got: 0,
+                    }));
+                }
+                for (k, a) in instr.args.iter().enumerate() {
+                    match a {
+                        Arg::Var(v) => {
+                            self.arg_ty(idx, instr, k, *v, state)?;
+                        }
+                        Arg::Const(_) => {
+                            return Err(err(VerifyErrorKind::VarArgExpected { arg: k }))
+                        }
+                    }
+                }
+                return Ok(vec![]);
+            }
+            OpCode::Free => {
+                if instr.args.len() != 1 {
+                    return Err(err(VerifyErrorKind::BadArgCount {
+                        expected: 1,
+                        got: instr.args.len(),
+                    }));
+                }
+                match &instr.args[0] {
+                    Arg::Var(v) => {
+                        self.arg_ty(idx, instr, 0, *v, state)?;
+                    }
+                    Arg::Const(_) => return Err(err(VerifyErrorKind::VarArgExpected { arg: 0 })),
+                }
+                return Ok(vec![]);
+            }
+            _ => {}
+        }
+
+        let expected_args = match instr.op {
+            OpCode::Bind
+            | OpCode::ThetaSelect(_)
+            | OpCode::Projection
+            | OpCode::Join
+            | OpCode::GroupRefine
+            | OpCode::Calc(_) => 2,
+            OpCode::RangeSelect { .. } | OpCode::AggrGrouped(_) | OpCode::Slice => 3,
+            OpCode::Group
+            | OpCode::Aggr(_)
+            | OpCode::Sort { .. }
+            | OpCode::Count
+            | OpCode::Mirror => 1,
+            OpCode::Result | OpCode::Free => unreachable!("handled above"),
+        };
+        if instr.args.len() != expected_args {
+            return Err(err(VerifyErrorKind::BadArgCount {
+                expected: expected_args,
+                got: instr.args.len(),
+            }));
+        }
+
+        match &instr.op {
+            OpCode::Bind => {
+                let mut names = Vec::with_capacity(2);
+                for (k, a) in instr.args.iter().enumerate() {
+                    match a {
+                        Arg::Const(Value::Str(s)) => names.push(s.clone()),
+                        Arg::Const(other) => {
+                            return Err(err(VerifyErrorKind::TypeMismatch {
+                                arg: k,
+                                detail: format!("expected a string constant, found {other:?}"),
+                            }))
+                        }
+                        Arg::Var(_) => {
+                            return Err(err(VerifyErrorKind::ConstArgExpected { arg: k }))
+                        }
+                    }
+                }
+                let (table, column) = (&names[0], &names[1]);
+                let ty = match self.catalog {
+                    None => None,
+                    Some(cat) => {
+                        let t = cat.table(table).map_err(|_| {
+                            err(VerifyErrorKind::NoSuchTable {
+                                table: table.clone(),
+                            })
+                        })?;
+                        let (_, col) = t.schema.column(column).map_err(|_| {
+                            err(VerifyErrorKind::NoSuchColumn {
+                                table: table.clone(),
+                                column: column.clone(),
+                            })
+                        })?;
+                        Some(col.ty)
+                    }
+                };
+                Ok(vec![VarTy::Bat(ty)])
+            }
+            OpCode::ThetaSelect(_) => {
+                let b = self.bat_arg(idx, instr, 0, state)?;
+                let c = self.scalar_arg(idx, instr, 1, state)?;
+                self.comparable(idx, instr, 1, b, c)?;
+                Ok(vec![VarTy::Bat(Some(LogicalType::Oid))])
+            }
+            OpCode::RangeSelect { .. } => {
+                let b = self.bat_arg(idx, instr, 0, state)?;
+                for k in 1..=2 {
+                    let c = self.scalar_arg(idx, instr, k, state)?;
+                    self.comparable(idx, instr, k, b, c)?;
+                }
+                Ok(vec![VarTy::Bat(Some(LogicalType::Oid))])
+            }
+            OpCode::Projection => {
+                self.candidate_arg(idx, instr, 0, state)?;
+                let t = self.bat_arg(idx, instr, 1, state)?;
+                Ok(vec![VarTy::Bat(t)])
+            }
+            OpCode::Join => {
+                let l = self.bat_arg(idx, instr, 0, state)?;
+                let r = self.bat_arg(idx, instr, 1, state)?;
+                self.comparable(idx, instr, 1, l, r)?;
+                Ok(vec![
+                    VarTy::Bat(Some(LogicalType::Oid)),
+                    VarTy::Bat(Some(LogicalType::Oid)),
+                ])
+            }
+            OpCode::Group => {
+                self.bat_arg(idx, instr, 0, state)?;
+                Ok(vec![
+                    VarTy::Bat(Some(LogicalType::Oid)),
+                    VarTy::Bat(Some(LogicalType::Oid)),
+                ])
+            }
+            OpCode::GroupRefine => {
+                self.candidate_arg(idx, instr, 0, state)?;
+                self.bat_arg(idx, instr, 1, state)?;
+                Ok(vec![
+                    VarTy::Bat(Some(LogicalType::Oid)),
+                    VarTy::Bat(Some(LogicalType::Oid)),
+                ])
+            }
+            OpCode::Aggr(kind) => {
+                let t = self.bat_arg(idx, instr, 0, state)?;
+                self.aggregable(idx, instr, *kind, t)?;
+                Ok(vec![VarTy::Scalar(agg_result_ty(*kind, t))])
+            }
+            OpCode::AggrGrouped(kind) => {
+                let t = self.bat_arg(idx, instr, 0, state)?;
+                self.aggregable(idx, instr, *kind, t)?;
+                self.candidate_arg(idx, instr, 1, state)?;
+                self.candidate_arg(idx, instr, 2, state)?;
+                Ok(vec![VarTy::Bat(agg_result_ty(*kind, t))])
+            }
+            OpCode::Calc(_) => {
+                let a = self.bat_arg(idx, instr, 0, state)?;
+                self.numeric(idx, instr, 0, a)?;
+                // the second operand may be a BAT or a scalar
+                let b = match self.arg_any(idx, instr, 1, state)? {
+                    VarTy::Bat(t) | VarTy::Scalar(t) => t,
+                };
+                if matches!(&instr.args[1], Arg::Const(Value::Null)) {
+                    return Err(err(VerifyErrorKind::TypeMismatch {
+                        arg: 1,
+                        detail: "batcalc operand must not be the NULL literal".into(),
+                    }));
+                }
+                self.numeric(idx, instr, 1, b)?;
+                let out = match (a, b) {
+                    (Some(x), Some(y)) => LogicalType::widen(x, y),
+                    _ => None,
+                };
+                Ok(vec![VarTy::Bat(out)])
+            }
+            OpCode::Sort { .. } => {
+                let t = self.bat_arg(idx, instr, 0, state)?;
+                Ok(vec![VarTy::Bat(t), VarTy::Bat(Some(LogicalType::Oid))])
+            }
+            OpCode::Slice => {
+                let t = self.bat_arg(idx, instr, 0, state)?;
+                for k in 1..=2 {
+                    let c = self.scalar_arg(idx, instr, k, state)?;
+                    if let Some(ty) = c {
+                        if !matches!(
+                            ty,
+                            LogicalType::I8
+                                | LogicalType::I16
+                                | LogicalType::I32
+                                | LogicalType::I64
+                        ) {
+                            return Err(err(VerifyErrorKind::TypeMismatch {
+                                arg: k,
+                                detail: format!(
+                                    "slice bound must be an integer, found {}",
+                                    ty.name()
+                                ),
+                            }));
+                        }
+                    } else if matches!(&instr.args[k], Arg::Const(Value::Null)) {
+                        return Err(err(VerifyErrorKind::TypeMismatch {
+                            arg: k,
+                            detail: "slice bound must not be NULL".into(),
+                        }));
+                    }
+                }
+                Ok(vec![VarTy::Bat(t)])
+            }
+            OpCode::Count => {
+                self.bat_arg(idx, instr, 0, state)?;
+                Ok(vec![VarTy::Scalar(Some(LogicalType::I64))])
+            }
+            OpCode::Mirror => {
+                self.bat_arg(idx, instr, 0, state)?;
+                Ok(vec![VarTy::Bat(Some(LogicalType::Oid))])
+            }
+            OpCode::Result | OpCode::Free => unreachable!("handled above"),
+        }
+    }
+
+    /// Resolve an argument to the verifier's view of its type.
+    fn arg_any(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        argno: usize,
+        state: &[VarState],
+    ) -> Result<VarTy, VerifyError> {
+        match &instr.args[argno] {
+            Arg::Const(c) => Ok(VarTy::Scalar(c.logical_type())),
+            Arg::Var(v) => self.arg_ty(idx, instr, argno, *v, state),
+        }
+    }
+
+    fn arg_ty(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        _argno: usize,
+        v: VarId,
+        state: &[VarState],
+    ) -> Result<VarTy, VerifyError> {
+        let err = |kind| VerifyError {
+            instr: Some(idx),
+            op: Some(instr.op.name()),
+            kind,
+        };
+        match state.get(v) {
+            None => Err(err(VerifyErrorKind::UnknownVar { var: v })),
+            Some(VarState::Undefined) => Err(err(VerifyErrorKind::UseBeforeDef { var: v })),
+            Some(VarState::Freed { at }) => Err(err(VerifyErrorKind::UseAfterFree {
+                var: v,
+                freed_at: *at,
+            })),
+            Some(VarState::Defined { ty, .. }) => Ok(*ty),
+        }
+    }
+
+    /// The argument must be a BAT; returns its (possibly unknown) tail type.
+    fn bat_arg(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        argno: usize,
+        state: &[VarState],
+    ) -> Result<Option<LogicalType>, VerifyError> {
+        match self.arg_any(idx, instr, argno, state)? {
+            VarTy::Bat(t) => Ok(t),
+            VarTy::Scalar(_) => Err(VerifyError {
+                instr: Some(idx),
+                op: Some(instr.op.name()),
+                kind: VerifyErrorKind::KindMismatch {
+                    arg: argno,
+                    expected: "bat",
+                    found: "scalar",
+                },
+            }),
+        }
+    }
+
+    /// The argument must be a candidate/grouping BAT: tail type oid (or
+    /// statically unknown).
+    fn candidate_arg(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        argno: usize,
+        state: &[VarState],
+    ) -> Result<(), VerifyError> {
+        let t = self.bat_arg(idx, instr, argno, state)?;
+        match t {
+            None | Some(LogicalType::Oid) => Ok(()),
+            Some(other) => Err(VerifyError {
+                instr: Some(idx),
+                op: Some(instr.op.name()),
+                kind: VerifyErrorKind::TypeMismatch {
+                    arg: argno,
+                    detail: format!("expected a candidate (oid) bat, found {}", other.name()),
+                },
+            }),
+        }
+    }
+
+    /// The argument must be scalar; returns its (possibly unknown) type.
+    fn scalar_arg(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        argno: usize,
+        state: &[VarState],
+    ) -> Result<Option<LogicalType>, VerifyError> {
+        match self.arg_any(idx, instr, argno, state)? {
+            VarTy::Scalar(t) => Ok(t),
+            VarTy::Bat(_) => Err(VerifyError {
+                instr: Some(idx),
+                op: Some(instr.op.name()),
+                kind: VerifyErrorKind::KindMismatch {
+                    arg: argno,
+                    expected: "scalar",
+                    found: "bat",
+                },
+            }),
+        }
+    }
+
+    /// Two operand types that are compared or joined must agree: identical,
+    /// or both from the numeric/oid family. Unknown types pass.
+    fn comparable(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        argno: usize,
+        a: Option<LogicalType>,
+        b: Option<LogicalType>,
+    ) -> Result<(), VerifyError> {
+        let (Some(a), Some(b)) = (a, b) else {
+            return Ok(());
+        };
+        let num_like =
+            |t: LogicalType| t.is_numeric() || t == LogicalType::Oid || t == LogicalType::Bool;
+        if a == b || (num_like(a) && num_like(b)) {
+            Ok(())
+        } else {
+            Err(VerifyError {
+                instr: Some(idx),
+                op: Some(instr.op.name()),
+                kind: VerifyErrorKind::TypeMismatch {
+                    arg: argno,
+                    detail: format!("cannot compare {} with {}", a.name(), b.name()),
+                },
+            })
+        }
+    }
+
+    /// SUM/AVG/MIN/MAX need numeric input; COUNT takes anything.
+    fn aggregable(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        kind: AggKind,
+        t: Option<LogicalType>,
+    ) -> Result<(), VerifyError> {
+        if kind == AggKind::Count {
+            return Ok(());
+        }
+        self.numeric(idx, instr, 0, t)
+    }
+
+    fn numeric(
+        &self,
+        idx: usize,
+        instr: &Instr,
+        argno: usize,
+        t: Option<LogicalType>,
+    ) -> Result<(), VerifyError> {
+        match t {
+            None => Ok(()),
+            Some(t) if t.is_numeric() || t == LogicalType::Oid => Ok(()),
+            Some(t) => Err(VerifyError {
+                instr: Some(idx),
+                op: Some(instr.op.name()),
+                kind: VerifyErrorKind::TypeMismatch {
+                    arg: argno,
+                    detail: format!("expected a numeric operand, found {}", t.name()),
+                },
+            }),
+        }
+    }
+}
+
+/// Result type of an aggregate: COUNT yields i64, AVG f64, and SUM/MIN/MAX
+/// keep f64 and widen every integer input to i64 (matching the BAT algebra's
+/// accumulator).
+fn agg_result_ty(kind: AggKind, input: Option<LogicalType>) -> Option<LogicalType> {
+    match kind {
+        AggKind::Count => Some(LogicalType::I64),
+        AggKind::Avg => Some(LogicalType::F64),
+        AggKind::Sum | AggKind::Min | AggKind::Max => input.map(|t| {
+            if t == LogicalType::F64 {
+                LogicalType::F64
+            } else {
+                LogicalType::I64
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use mammoth_algebra::CmpOp;
+    use mammoth_storage::Table;
+    use mammoth_types::{ColumnDef, TableSchema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = Table::new(TableSchema::new(
+            "people",
+            vec![
+                ColumnDef::new("name", LogicalType::Str),
+                ColumnDef::new("age", LogicalType::I32),
+            ],
+        ))
+        .unwrap();
+        cat.create_table(t).unwrap();
+        cat
+    }
+
+    fn bind(p: &mut Program, t: &str, c: &str) -> VarId {
+        p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str(t.into())),
+                Arg::Const(Value::Str(c.into())),
+            ],
+        )[0]
+    }
+
+    #[test]
+    fn accepts_a_well_formed_plan() {
+        let mut p = Program::new();
+        let age = bind(&mut p, "people", "age");
+        let c = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(age), Arg::Const(Value::I32(1927))],
+        )[0];
+        let name = bind(&mut p, "people", "name");
+        let out = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(name)])[0];
+        p.push_result(&[out]);
+        verify(&p).unwrap();
+        verify_with_catalog(&p, &catalog()).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut p = Program::new();
+        let ghost = p.var();
+        let c = p.push(OpCode::Mirror, vec![Arg::Var(ghost)])[0];
+        p.push_result(&[c]);
+        let e = verify(&p).unwrap_err();
+        assert_eq!(e.instr, Some(0));
+        assert!(matches!(e.kind, VerifyErrorKind::UseBeforeDef { var } if var == ghost));
+    }
+
+    #[test]
+    fn rejects_redefinition() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        p.instrs.push(Instr {
+            results: vec![a],
+            op: OpCode::Mirror,
+            args: vec![Arg::Var(a)],
+        });
+        p.push_result(&[a]);
+        let e = verify(&p).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::Redefinition { var, first_def: 0 } if var == a
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let r = p.var();
+        p.instrs.push(Instr {
+            results: vec![r],
+            op: OpCode::Projection,
+            args: vec![Arg::Var(a)], // missing the values bat
+        });
+        let e = verify(&p).unwrap_err();
+        assert_eq!(e.instr, Some(1));
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::BadArgCount {
+                expected: 2,
+                got: 1
+            }
+        ));
+
+        // result-arity violation: join binding one var
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let b = bind(&mut p, "t", "b");
+        let r = p.var();
+        p.instrs.push(Instr {
+            results: vec![r],
+            op: OpCode::Join,
+            args: vec![Arg::Var(a), Arg::Var(b)],
+        });
+        let e = verify(&p).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::BadResultCount {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let n = p.push(OpCode::Count, vec![Arg::Var(a)])[0]; // scalar
+        let m = p.push(OpCode::Mirror, vec![Arg::Var(n)])[0]; // needs a bat
+        p.push_result(&[m]);
+        let e = verify(&p).unwrap_err();
+        assert_eq!(e.instr, Some(2));
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::KindMismatch {
+                arg: 0,
+                expected: "bat",
+                found: "scalar"
+            }
+        ));
+
+        // bat where a scalar belongs
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let s = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(a), Arg::Var(a)],
+        )[0];
+        p.push_result(&[s]);
+        let e = verify(&p).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::KindMismatch {
+                arg: 1,
+                expected: "scalar",
+                found: "bat"
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_through_inference() {
+        // comparing a string column with an integer constant
+        let mut p = Program::new();
+        let name = bind(&mut p, "people", "name");
+        let c = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(name), Arg::Const(Value::I32(7))],
+        )[0];
+        p.push_result(&[c]);
+        verify(&p).unwrap(); // without a catalog the column type is unknown
+        let e = verify_with_catalog(&p, &catalog()).unwrap_err();
+        assert_eq!(e.instr, Some(1));
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::TypeMismatch { arg: 1, .. }
+        ));
+
+        // summing a string column
+        let mut p = Program::new();
+        let name = bind(&mut p, "people", "name");
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(name)])[0];
+        p.push_result(&[s]);
+        let e = verify_with_catalog(&p, &catalog()).unwrap_err();
+        assert!(matches!(e.kind, VerifyErrorKind::TypeMismatch { .. }));
+
+        // joining a string column against an int column
+        let mut p = Program::new();
+        let name = bind(&mut p, "people", "name");
+        let age = bind(&mut p, "people", "age");
+        let j = p.push(OpCode::Join, vec![Arg::Var(name), Arg::Var(age)]);
+        p.push_result(&[j[0]]);
+        let e = verify_with_catalog(&p, &catalog()).unwrap_err();
+        assert!(matches!(e.kind, VerifyErrorKind::TypeMismatch { .. }));
+
+        // a value bat where a candidate list belongs
+        let mut p = Program::new();
+        let name = bind(&mut p, "people", "name");
+        let age = bind(&mut p, "people", "age");
+        let f = p.push(OpCode::Projection, vec![Arg::Var(name), Arg::Var(age)])[0];
+        p.push_result(&[f]);
+        let e = verify_with_catalog(&p, &catalog()).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::TypeMismatch { arg: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn types_flow_through_joins_and_aggregates() {
+        // join two int columns, fetch through the index, sum: all legal
+        let mut p = Program::new();
+        let a = bind(&mut p, "people", "age");
+        let b = bind(&mut p, "people", "age");
+        let j = p.push(OpCode::Join, vec![Arg::Var(a), Arg::Var(b)]);
+        let f = p.push(OpCode::Projection, vec![Arg::Var(j[0]), Arg::Var(a)])[0];
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(f)])[0];
+        p.push_result(&[s]);
+        verify_with_catalog(&p, &catalog()).unwrap();
+    }
+
+    #[test]
+    fn rejects_code_after_result_and_missing_result() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        p.push_result(&[a]);
+        bind(&mut p, "t", "b");
+        let e = verify(&p).unwrap_err();
+        assert_eq!(e.instr, Some(2));
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::CodeAfterResult { result_at: 1 }
+        ));
+
+        let mut p = Program::new();
+        bind(&mut p, "t", "a");
+        let e = verify(&p).unwrap_err();
+        assert_eq!(e.instr, None);
+        assert!(matches!(e.kind, VerifyErrorKind::MissingResult));
+    }
+
+    #[test]
+    fn rejects_use_after_free() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        p.push(OpCode::Free, vec![Arg::Var(a)]);
+        let m = p.push(OpCode::Mirror, vec![Arg::Var(a)])[0];
+        p.push_result(&[m]);
+        let e = verify(&p).unwrap_err();
+        assert_eq!(e.instr, Some(2));
+        assert!(matches!(
+            e.kind,
+            VerifyErrorKind::UseAfterFree { var, freed_at: 1 } if var == a
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_binds_with_catalog() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "nope", "x");
+        p.push_result(&[a]);
+        let e = verify_with_catalog(&p, &catalog()).unwrap_err();
+        assert!(matches!(e.kind, VerifyErrorKind::NoSuchTable { .. }));
+
+        let mut p = Program::new();
+        let a = bind(&mut p, "people", "height");
+        p.push_result(&[a]);
+        let e = verify_with_catalog(&p, &catalog()).unwrap_err();
+        assert!(matches!(e.kind, VerifyErrorKind::NoSuchColumn { .. }));
+    }
+
+    #[test]
+    fn error_display_carries_location() {
+        let mut p = Program::new();
+        let ghost = p.var();
+        p.push(OpCode::Count, vec![Arg::Var(ghost)]);
+        let e = verify(&p).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("instr 0"), "{text}");
+        assert!(text.contains("aggr.count"), "{text}");
+        assert!(text.contains("x0"), "{text}");
+    }
+
+    #[test]
+    fn lints_unused_results() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let rs = p.push(OpCode::Sort { desc: false }, vec![Arg::Var(a)]);
+        p.push_result(&[rs[0]]);
+        let lints = lint(&p);
+        assert_eq!(
+            lints,
+            vec![Lint::UnusedResult {
+                instr: 1,
+                var: rs[1]
+            }]
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! `malcheck` — lint and verify textual MAL plans.
+//!
+//! For each `.mal` file: parse it, run the plan verifier, report the
+//! liveness profile, then push the plan through the default optimizer
+//! pipeline (plus `garbage_collect`) one pass at a time, re-verifying and
+//! printing an instruction-count diff after each pass.
+//!
+//! ```text
+//! malcheck [--expect-error] [--no-pipeline] <plan.mal>...
+//! ```
+//!
+//! Exits non-zero if any plan fails to parse or verify (or, with
+//! `--expect-error`, if any plan unexpectedly verifies — for keeping a
+//! corpus of must-be-rejected plans honest).
+
+use mammoth_mal::analysis;
+use mammoth_mal::optimizer::{
+    CommonSubexpr, ConstantFold, DeadCode, GarbageCollect, OptimizerPass,
+};
+use mammoth_mal::{parse_program, OpCode, Program};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut expect_error = false;
+    let mut run_pipeline = true;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--expect-error" => expect_error = true,
+            "--no-pipeline" => run_pipeline = false,
+            "-h" | "--help" => {
+                eprintln!("usage: malcheck [--expect-error] [--no-pipeline] <plan.mal>...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("malcheck: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: malcheck [--expect-error] [--no-pipeline] <plan.mal>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for file in &files {
+        if !check_file(file, expect_error, run_pipeline) {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("malcheck: {failures} of {} plan(s) failed", files.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Returns true when the file meets expectations (verifies, or fails to
+/// verify under `--expect-error`).
+fn check_file(file: &str, expect_error: bool, run_pipeline: bool) -> bool {
+    println!("== {file}");
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("   read error: {e}");
+            return false;
+        }
+    };
+    let prog = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("   parse error: {e}");
+            // an unparsable plan counts as rejected
+            return expect_error;
+        }
+    };
+    println!(
+        "   parsed: {} instruction(s), {} variable(s)",
+        prog.instrs.len(),
+        prog.nvars()
+    );
+
+    match analysis::verify(&prog) {
+        Err(e) => {
+            println!("   verify: FAIL — {e}");
+            return expect_error;
+        }
+        Ok(()) => println!("   verify: ok"),
+    }
+    if expect_error {
+        println!("   expected this plan to be rejected, but it verifies");
+        return false;
+    }
+
+    let lv = analysis::analyze_liveness(&prog);
+    let eol = prog.instrs.iter().filter(|i| i.op == OpCode::Free).count();
+    println!(
+        "   liveness: peak {} live var(s){}",
+        lv.peak_live,
+        if eol > 0 {
+            format!(", {eol} language.pass marker(s)")
+        } else {
+            String::new()
+        }
+    );
+    for l in analysis::lint(&prog) {
+        println!("   lint: {l}");
+    }
+
+    if !run_pipeline {
+        return true;
+    }
+    let passes: Vec<Box<dyn OptimizerPass>> = vec![
+        Box::new(ConstantFold),
+        Box::new(CommonSubexpr),
+        Box::new(DeadCode),
+        Box::new(GarbageCollect),
+    ];
+    let mut cur: Program = prog;
+    for pass in &passes {
+        let before = cur.instrs.len();
+        cur = pass.run(cur);
+        let delta = cur.instrs.len() as i64 - before as i64;
+        let diff = match delta {
+            0 => "±0".to_string(),
+            d if d > 0 => format!("+{d}"),
+            d => d.to_string(),
+        };
+        match analysis::verify(&cur) {
+            Ok(()) => println!(
+                "   pass {:<20} {} -> {} instr(s) ({diff}), verify ok",
+                pass.name(),
+                before,
+                cur.instrs.len()
+            ),
+            Err(e) => {
+                println!("   pass {:<20} verify: FAIL — {e}", pass.name());
+                return false;
+            }
+        }
+    }
+    true
+}

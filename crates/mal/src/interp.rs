@@ -9,9 +9,9 @@
 
 use crate::program::{Arg, Instr, MalValue, OpCode, Program, VarId};
 use mammoth_algebra as alg;
+use mammoth_recycler::Recycler;
 use mammoth_storage::{Bat, Catalog, TailHeap};
 use mammoth_types::{Error, Oid, Result, Value};
-use mammoth_recycler::Recycler;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +24,12 @@ pub struct ExecStats {
     pub recycled: u64,
     /// Wall time of the whole run in nanoseconds.
     pub elapsed_ns: u64,
+    /// Maximum number of BAT-valued variables live at any point of the run
+    /// (the operator-at-a-time peak-memory proxy).
+    pub peak_live_bats: u64,
+    /// BAT slots released before the end of the program, by `language.pass`
+    /// instructions or by liveness-driven eager release.
+    pub released_early: u64,
 }
 
 /// The interpreter. Holds the catalog immutably; queries never mutate.
@@ -31,6 +37,7 @@ pub struct Interpreter<'a> {
     catalog: &'a Catalog,
     recycler: Option<&'a mut Recycler>,
     stats: ExecStats,
+    eager_release: bool,
 }
 
 impl<'a> Interpreter<'a> {
@@ -39,6 +46,7 @@ impl<'a> Interpreter<'a> {
             catalog,
             recycler: None,
             stats: ExecStats::default(),
+            eager_release: false,
         }
     }
 
@@ -48,7 +56,17 @@ impl<'a> Interpreter<'a> {
             catalog,
             recycler: Some(recycler),
             stats: ExecStats::default(),
+            eager_release: false,
         }
+    }
+
+    /// Drop intermediate BATs at their last use, guided by
+    /// [`crate::analysis::liveness`]. Lowers `peak_live_bats` on bushy
+    /// plans without changing results. (The recycler keeps its own
+    /// references; eager release shrinks the variable table only.)
+    pub fn eager_release(mut self, on: bool) -> Interpreter<'a> {
+        self.eager_release = on;
+        self
     }
 
     pub fn stats(&self) -> &ExecStats {
@@ -62,63 +80,94 @@ impl<'a> Interpreter<'a> {
         let mut sigs: Vec<Option<String>> = vec![None; prog.nvars()];
         let mut deps: Vec<Vec<String>> = vec![Vec::new(); prog.nvars()];
         let mut outputs = Vec::new();
+        let liveness = self
+            .eager_release
+            .then(|| crate::analysis::liveness::analyze(prog));
+        let mut live_bats: u64 = 0;
+        let mut peak_live: u64 = 0;
 
-        for instr in &prog.instrs {
-            if instr.op == OpCode::Result {
-                for a in &instr.args {
-                    outputs.push(self.arg_value(a, &vars)?);
+        for (idx, instr) in prog.instrs.iter().enumerate() {
+            'exec: {
+                if instr.op == OpCode::Result {
+                    for a in &instr.args {
+                        outputs.push(self.arg_value(a, &vars)?);
+                    }
+                    break 'exec;
                 }
-                continue;
+                if instr.op == OpCode::Free {
+                    if let Some(Arg::Var(v)) = instr.args.first() {
+                        if clear_slot(&mut vars[*v], &mut live_bats) {
+                            self.stats.released_early += 1;
+                        }
+                    }
+                    break 'exec;
+                }
+                // provenance signature of this instruction
+                let sig = self.instr_sig(instr, &sigs);
+                let instr_deps = self.instr_deps(instr, &deps);
+
+                // recycler lookup: all result slots must hit
+                if let (Some(sig), Some(r)) = (&sig, self.recycler.as_deref_mut()) {
+                    let hits: Vec<Option<Arc<Bat>>> = (0..instr.op.result_arity())
+                        .map(|slot| r.lookup(&slot_sig(sig, slot)))
+                        .collect();
+                    if hits.iter().all(|h| h.is_some()) && !hits.is_empty() {
+                        for (rv, h) in instr.results.iter().zip(hits) {
+                            set_slot(
+                                &mut vars[*rv],
+                                MalValue::Bat(h.unwrap()),
+                                &mut live_bats,
+                                &mut peak_live,
+                            );
+                        }
+                        for rv in &instr.results {
+                            sigs[*rv] = Some(slot_sig(sig, position_of(instr, *rv)));
+                            deps[*rv] = instr_deps.clone();
+                        }
+                        self.stats.recycled += 1;
+                        break 'exec;
+                    }
+                }
+
+                let start = Instant::now();
+                let results = self.execute(instr, &vars)?;
+                let cost_ns = start.elapsed().as_nanos() as u64;
+                self.stats.executed += 1;
+
+                debug_assert_eq!(results.len(), instr.results.len());
+                for (slot, (rv, val)) in instr.results.iter().zip(results).enumerate() {
+                    // admit BAT results to the recycler
+                    if let (Some(sig), Some(r), MalValue::Bat(b)) =
+                        (&sig, self.recycler.as_deref_mut(), &val)
+                    {
+                        if instr.op.is_pure() {
+                            r.admit(
+                                slot_sig(sig, slot),
+                                Arc::clone(b),
+                                instr_deps.clone(),
+                                cost_ns,
+                            );
+                        }
+                    }
+                    if let Some(s) = &sig {
+                        sigs[*rv] = Some(slot_sig(s, slot));
+                    }
+                    deps[*rv] = instr_deps.clone();
+                    set_slot(&mut vars[*rv], val, &mut live_bats, &mut peak_live);
+                }
             }
-            // provenance signature of this instruction
-            let sig = self.instr_sig(instr, &sigs);
-            let instr_deps = self.instr_deps(instr, &deps);
-
-            // recycler lookup: all result slots must hit
-            if let (Some(sig), Some(r)) = (&sig, self.recycler.as_deref_mut()) {
-                let hits: Vec<Option<Arc<Bat>>> = (0..instr.op.result_arity())
-                    .map(|slot| r.lookup(&slot_sig(sig, slot)))
-                    .collect();
-                if hits.iter().all(|h| h.is_some()) && !hits.is_empty() {
-                    for (rv, h) in instr.results.iter().zip(hits) {
-                        vars[*rv] = Some(MalValue::Bat(h.unwrap()));
-                    }
-                    for rv in &instr.results {
-                        sigs[*rv] = Some(slot_sig(sig, position_of(instr, *rv)));
-                        deps[*rv] = instr_deps.clone();
-                    }
-                    self.stats.recycled += 1;
-                    continue;
-                }
-            }
-
-            let start = Instant::now();
-            let results = self.execute(instr, &vars)?;
-            let cost_ns = start.elapsed().as_nanos() as u64;
-            self.stats.executed += 1;
-
-            debug_assert_eq!(results.len(), instr.results.len());
-            for (slot, (rv, val)) in instr.results.iter().zip(results).enumerate() {
-                // admit BAT results to the recycler
-                if let (Some(sig), Some(r), MalValue::Bat(b)) =
-                    (&sig, self.recycler.as_deref_mut(), &val)
-                {
-                    if instr.op.is_pure() {
-                        r.admit(
-                            slot_sig(sig, slot),
-                            Arc::clone(b),
-                            instr_deps.clone(),
-                            cost_ns,
-                        );
+            // liveness-driven eager release: drop every operand whose last
+            // use was this instruction (outputs were cloned above, so
+            // releasing at io.result is safe too)
+            if let Some(lv) = &liveness {
+                for &v in &lv.dies_at[idx] {
+                    if clear_slot(&mut vars[v], &mut live_bats) {
+                        self.stats.released_early += 1;
                     }
                 }
-                if let Some(s) = &sig {
-                    sigs[*rv] = Some(slot_sig(s, slot));
-                }
-                deps[*rv] = instr_deps.clone();
-                vars[*rv] = Some(val);
             }
         }
+        self.stats.peak_live_bats = self.stats.peak_live_bats.max(peak_live);
         self.stats.elapsed_ns += t0.elapsed().as_nanos() as u64;
         Ok(outputs)
     }
@@ -218,7 +267,9 @@ impl<'a> Interpreter<'a> {
                 let hi = self.arg_const(&instr.args[2], vars)?;
                 let lo_ref = (!lo.is_null()).then_some(&lo);
                 let hi_ref = (!hi.is_null()).then_some(&hi);
-                vec![bat(alg::select_range(&b, lo_ref, hi_ref, *lo_incl, *hi_incl)?)]
+                vec![bat(alg::select_range(
+                    &b, lo_ref, hi_ref, *lo_incl, *hi_incl,
+                )?)]
             }
             OpCode::Projection => {
                 let cands = self.arg_bat(&instr.args[0], vars)?;
@@ -293,13 +344,35 @@ impl<'a> Interpreter<'a> {
                 let b = self.arg_bat(&instr.args[0], vars)?;
                 vec![bat(b.mirror())]
             }
-            OpCode::Result => unreachable!("handled by run()"),
+            OpCode::Result | OpCode::Free => unreachable!("handled by run()"),
         })
     }
 }
 
 fn slot_sig(sig: &str, slot: usize) -> String {
     format!("{sig}#{slot}")
+}
+
+/// Bind a variable slot, keeping the live-BAT counters current.
+fn set_slot(slot: &mut Option<MalValue>, val: MalValue, live: &mut u64, peak: &mut u64) {
+    if matches!(slot, Some(MalValue::Bat(_))) {
+        *live -= 1;
+    }
+    if matches!(val, MalValue::Bat(_)) {
+        *live += 1;
+        *peak = (*peak).max(*live);
+    }
+    *slot = Some(val);
+}
+
+/// Clear a variable slot; returns whether a BAT was released.
+fn clear_slot(slot: &mut Option<MalValue>, live: &mut u64) -> bool {
+    let was_bat = matches!(slot, Some(MalValue::Bat(_)));
+    if was_bat {
+        *live -= 1;
+    }
+    *slot = None;
+    was_bat
 }
 
 fn position_of(instr: &Instr, var: VarId) -> usize {
@@ -333,7 +406,8 @@ mod tests {
             ("Bob Fosse", 1927),
             ("Will Smith", 1968),
         ] {
-            t.insert_row(&[Value::Str(n.into()), Value::I32(a)]).unwrap();
+            t.insert_row(&[Value::Str(n.into()), Value::I32(a)])
+                .unwrap();
         }
         cat.create_table(t).unwrap();
         cat
@@ -360,10 +434,7 @@ mod tests {
                 Arg::Const(Value::Str("name".into())),
             ],
         )[0];
-        let out = p.push(
-            OpCode::Projection,
-            vec![Arg::Var(cands), Arg::Var(name)],
-        )[0];
+        let out = p.push(OpCode::Projection, vec![Arg::Var(cands), Arg::Var(name)])[0];
         p.push_result(&[out]);
         p
     }
@@ -424,10 +495,7 @@ mod tests {
             OpCode::AggrGrouped(AggKind::Count),
             vec![Arg::Var(age), Arg::Var(g[0]), Arg::Var(g[1])],
         )[0];
-        let keys = p.push(
-            OpCode::Projection,
-            vec![Arg::Var(g[1]), Arg::Var(age)],
-        )[0];
+        let keys = p.push(OpCode::Projection, vec![Arg::Var(g[1]), Arg::Var(age)])[0];
         p.push_result(&[keys, cnt]);
 
         let mut interp = Interpreter::new(&cat);
@@ -463,6 +531,77 @@ mod tests {
             &Value::I64(2 * (1907 + 1927 + 1927 + 1968))
         );
         assert_eq!(out[1].as_scalar().unwrap(), &Value::I64(4));
+    }
+
+    /// A two-join plan whose base and index BATs all stay live to the end
+    /// without eager release.
+    fn multi_join_program() -> Program {
+        let mut p = Program::new();
+        let age1 = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[0];
+        let age2 = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[0];
+        let j1 = p.push(OpCode::Join, vec![Arg::Var(age1), Arg::Var(age2)]);
+        let f1 = p.push(OpCode::Projection, vec![Arg::Var(j1[0]), Arg::Var(age1)])[0];
+        let j2 = p.push(OpCode::Join, vec![Arg::Var(f1), Arg::Var(age2)]);
+        let f2 = p.push(OpCode::Projection, vec![Arg::Var(j2[0]), Arg::Var(f1)])[0];
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(f2)])[0];
+        p.push_result(&[s]);
+        p
+    }
+
+    #[test]
+    fn eager_release_lowers_peak_live_bats() {
+        let cat = catalog();
+        let prog = multi_join_program();
+
+        let mut plain = Interpreter::new(&cat);
+        let out_plain = plain.run(&prog).unwrap();
+        // every BAT intermediate stays live: 2 binds + 2 per join + 2
+        // projections = 8
+        assert_eq!(plain.stats().peak_live_bats, 8);
+        assert_eq!(plain.stats().released_early, 0);
+
+        let mut eager = Interpreter::new(&cat).eager_release(true);
+        let out_eager = eager.run(&prog).unwrap();
+        assert!(
+            eager.stats().peak_live_bats < plain.stats().peak_live_bats,
+            "eager release should shrink the live set: {} vs {}",
+            eager.stats().peak_live_bats,
+            plain.stats().peak_live_bats
+        );
+        assert!(eager.stats().released_early > 0);
+        // results are identical
+        assert_eq!(
+            out_plain[0].as_scalar().unwrap(),
+            out_eager[0].as_scalar().unwrap()
+        );
+    }
+
+    #[test]
+    fn language_pass_releases_and_interops_with_gc_pass() {
+        use crate::optimizer::{GarbageCollect, OptimizerPass};
+        let cat = catalog();
+        let prog = multi_join_program();
+        let gc = GarbageCollect.run(prog.clone());
+
+        let mut plain = Interpreter::new(&cat);
+        let out = plain.run(&prog).unwrap();
+        let mut gcd = Interpreter::new(&cat);
+        let out_gc = gcd.run(&gc).unwrap();
+        assert!(gcd.stats().released_early > 0);
+        assert!(gcd.stats().peak_live_bats < plain.stats().peak_live_bats);
+        assert_eq!(out[0].as_scalar().unwrap(), out_gc[0].as_scalar().unwrap());
     }
 
     #[test]

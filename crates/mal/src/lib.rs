@@ -17,13 +17,22 @@
 //! * [`interp`] — the third tier: the interpreter over the BAT Algebra,
 //!   with optional recycler integration (§6.1) that memoizes instruction
 //!   results keyed by their *provenance signature*.
+//! * [`analysis`] — static analysis over plans: a verifier (SSA
+//!   discipline, arity, kinds, column types, plan structure) that the
+//!   pipeline runs after every pass, and a liveness analysis that powers
+//!   the `garbage_collect` pass and the interpreter's eager release of
+//!   dead intermediates.
 
+#![deny(unsafe_code)]
+
+pub mod analysis;
 pub mod interp;
 pub mod optimizer;
 pub mod parser;
 pub mod program;
 
+pub use analysis::{verify, verify_with_catalog, Liveness, VerifyError, VerifyErrorKind};
 pub use interp::{ExecStats, Interpreter};
-pub use optimizer::{default_pipeline, OptimizerPass, Pipeline};
+pub use optimizer::{default_pipeline, GarbageCollect, OptimizerPass, PassError, Pipeline};
 pub use parser::parse_program;
 pub use program::{Arg, Instr, MalValue, OpCode, Program, VarId};

@@ -7,12 +7,19 @@
 //!
 //! Each module is a standalone program→program rewrite. The default
 //! pipeline runs constant folding, common-subexpression elimination and
-//! dead-code elimination, in that order.
+//! dead-code elimination, in that order; [`GarbageCollect`] can be appended
+//! to insert `language.pass` end-of-life markers. Because every pass is an
+//! unconstrained rewrite, the pipeline re-verifies the plan after each pass
+//! with [`crate::analysis::verify`] (always in debug builds, opt-in via
+//! [`Pipeline::checked`] in release) and attributes any failure to the
+//! offending pass.
 
+use crate::analysis::{self, VerifyError};
 use crate::program::{Arg, Instr, OpCode, Program};
 use mammoth_algebra::ArithOp;
 use mammoth_types::Value;
 use std::collections::HashMap;
+use std::fmt;
 
 /// One optimizer module.
 pub trait OptimizerPass {
@@ -20,10 +27,37 @@ pub trait OptimizerPass {
     fn run(&self, prog: Program) -> Program;
 }
 
+/// A verification failure attributed to the optimizer pass whose output
+/// first failed to verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    pub pass: &'static str,
+    pub error: VerifyError,
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "optimizer pass '{}' produced an ill-formed plan: {}",
+            self.pass, self.error
+        )
+    }
+}
+
+impl std::error::Error for PassError {}
+
 /// An ordered pipeline of modules.
+///
+/// In debug builds the pipeline re-verifies the plan after every pass; a
+/// pass that emits an ill-formed program is reported by name via
+/// [`Pipeline::try_optimize`] (or a panic from [`Pipeline::optimize`]).
+/// Release builds skip verification unless opted in with
+/// [`Pipeline::checked`].
 #[derive(Default)]
 pub struct Pipeline {
     passes: Vec<Box<dyn OptimizerPass>>,
+    checked: bool,
 }
 
 impl Pipeline {
@@ -36,11 +70,36 @@ impl Pipeline {
         self
     }
 
-    pub fn optimize(&self, mut prog: Program) -> Program {
+    /// Verify the plan after every pass even in release builds.
+    pub fn checked(mut self) -> Pipeline {
+        self.checked = true;
+        self
+    }
+
+    /// Whether per-pass verification is active (always in debug builds).
+    pub fn is_checked(&self) -> bool {
+        self.checked || cfg!(debug_assertions)
+    }
+
+    /// Run all passes, verifying after each when [`Pipeline::is_checked`].
+    pub fn try_optimize(&self, mut prog: Program) -> Result<Program, Box<PassError>> {
         for p in &self.passes {
             prog = p.run(prog);
+            if self.is_checked() {
+                if let Err(error) = analysis::verify(&prog) {
+                    return Err(Box::new(PassError {
+                        pass: p.name(),
+                        error,
+                    }));
+                }
+            }
         }
-        prog
+        Ok(prog)
+    }
+
+    /// Run all passes; panics if a checked pass miscompiles the plan.
+    pub fn optimize(&self, prog: Program) -> Program {
+        self.try_optimize(prog).unwrap_or_else(|e| panic!("{e}"))
     }
 
     pub fn pass_names(&self) -> Vec<&'static str> {
@@ -83,6 +142,11 @@ impl OptimizerPass for ConstantFold {
                             *a = Arg::Const(c.clone());
                         }
                     }
+                }
+                // a freed var that folded to a constant has nothing left to
+                // release — the marker disappears with the instruction
+                if i.op == OpCode::Free && matches!(i.args.first(), Some(Arg::Const(_))) {
+                    return None;
                 }
                 if let OpCode::Calc(op) = &i.op {
                     if let (Some(Arg::Const(a)), Some(Arg::Const(b))) =
@@ -149,6 +213,12 @@ impl OptimizerPass for CommonSubexpr {
     }
 
     fn run(&self, prog: Program) -> Program {
+        // Merging duplicates across `language.pass` markers is unsound:
+        // redirecting uses onto the surviving var could read it after its
+        // free. GC runs last in practice, so just leave such plans alone.
+        if prog.instrs.iter().any(|i| i.op == OpCode::Free) {
+            return prog;
+        }
         let mut seen: HashMap<String, Vec<usize>> = HashMap::new();
         let mut replace: HashMap<usize, usize> = HashMap::new(); // var -> var
         let mut out = prog.clone();
@@ -200,6 +270,11 @@ impl OptimizerPass for DeadCode {
         loop {
             let mut used = vec![false; prog.nvars()];
             for i in &instrs {
+                // a `language.pass` is not a real use: a var only freed is
+                // dead, and its definition (plus the marker) can go
+                if i.op == OpCode::Free {
+                    continue;
+                }
                 for a in &i.args {
                     if let Arg::Var(v) = a {
                         used[*v] = true;
@@ -207,8 +282,15 @@ impl OptimizerPass for DeadCode {
                 }
             }
             let before = instrs.len();
+            instrs.retain(|i: &Instr| !i.op.is_pure() || i.results.iter().any(|r| used[*r]));
+            let mut defined = vec![false; prog.nvars()];
+            for i in &instrs {
+                for &r in &i.results {
+                    defined[r] = true;
+                }
+            }
             instrs.retain(|i: &Instr| {
-                !i.op.is_pure() || i.results.iter().any(|r| used[*r])
+                i.op != OpCode::Free || matches!(i.args.first(), Some(Arg::Var(v)) if defined[*v])
             });
             if instrs.len() == before {
                 break;
@@ -216,6 +298,42 @@ impl OptimizerPass for DeadCode {
         }
         let mut out = prog.clone();
         out.instrs = instrs;
+        out
+    }
+}
+
+/// Materialize the liveness analysis as explicit `language.pass` end-of-life
+/// markers: after each variable's last use, a marker releases its value, so
+/// the interpreter's variable table holds no dead BATs (MonetDB's
+/// `garbagecollector` module). Idempotent: a var whose life already ends at
+/// a `language.pass` gets no second marker.
+pub struct GarbageCollect;
+
+impl OptimizerPass for GarbageCollect {
+    fn name(&self) -> &'static str {
+        "garbage_collect"
+    }
+
+    fn run(&self, prog: Program) -> Program {
+        let lv = analysis::analyze_liveness(&prog);
+        let mut out = prog.clone();
+        out.instrs = Vec::with_capacity(prog.instrs.len());
+        for (idx, instr) in prog.instrs.iter().enumerate() {
+            let op = instr.op.clone();
+            out.instrs.push(instr.clone());
+            // outputs die at io.result (nothing follows); a pass's operand
+            // is already released by the pass itself
+            if op == OpCode::Result || op == OpCode::Free {
+                continue;
+            }
+            for &v in &lv.dies_at[idx] {
+                out.instrs.push(Instr {
+                    results: vec![],
+                    op: OpCode::Free,
+                    args: vec![Arg::Var(v)],
+                });
+            }
+        }
         out
     }
 }
@@ -313,6 +431,98 @@ mod tests {
             fold_arith(ArithOp::Add, &Value::Null, &Value::I32(1)),
             Some(Value::Null)
         );
+    }
+
+    #[test]
+    fn garbage_collect_inserts_end_of_life_markers() {
+        let mut p = Program::new();
+        let age = bind(&mut p, "t", "age");
+        let c = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(age), Arg::Const(Value::I32(1))],
+        )[0];
+        let name = bind(&mut p, "t", "name");
+        let out = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(name)])[0];
+        p.push_result(&[out]);
+
+        let gc = GarbageCollect.run(p);
+        // age, c and name die at the projection: three markers appear
+        let frees: Vec<&Instr> = gc.instrs.iter().filter(|i| i.op == OpCode::Free).collect();
+        assert_eq!(frees.len(), 3);
+        assert!(frees.iter().all(|i| i.results.is_empty()));
+        // the program stays well-formed, and GC is idempotent
+        analysis::verify(&gc).unwrap();
+        let gc2 = GarbageCollect.run(gc.clone());
+        assert_eq!(gc, gc2);
+    }
+
+    #[test]
+    fn garbage_collect_skips_outputs() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        p.push_result(&[a]);
+        let gc = GarbageCollect.run(p);
+        assert!(gc.instrs.iter().all(|i| i.op != OpCode::Free));
+    }
+
+    #[test]
+    fn dead_code_drops_vars_that_are_only_freed() {
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let b = bind(&mut p, "t", "b");
+        p.push(OpCode::Free, vec![Arg::Var(b)]); // b's only "use"
+        p.push_result(&[a]);
+        let out = DeadCode.run(p);
+        assert_eq!(out.instrs.len(), 2); // bind a + result
+        assert!(out.instrs.iter().all(|i| i.op != OpCode::Free));
+    }
+
+    #[test]
+    fn cse_leaves_garbage_collected_plans_alone() {
+        let mut p = Program::new();
+        let a1 = bind(&mut p, "t", "a");
+        let a2 = bind(&mut p, "t", "a"); // duplicate bind
+        let s = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(a2), Arg::Const(Value::I32(1))],
+        )[0];
+        p.push_result(&[s]);
+        let _keep = a1;
+        let gc = GarbageCollect.run(p);
+        let out = CommonSubexpr.run(gc.clone());
+        assert_eq!(out, gc, "CSE must not rewrite across language.pass");
+    }
+
+    #[test]
+    fn checked_pipeline_reports_the_offending_pass() {
+        struct Clobber;
+        impl OptimizerPass for Clobber {
+            fn name(&self) -> &'static str {
+                "clobber"
+            }
+            fn run(&self, mut prog: Program) -> Program {
+                // drop the first instruction: its result becomes undefined
+                prog.instrs.remove(0);
+                prog
+            }
+        }
+        let mut p = Program::new();
+        let a = bind(&mut p, "t", "a");
+        let m = p.push(OpCode::Mirror, vec![Arg::Var(a)])[0];
+        p.push_result(&[m]);
+
+        let pl = Pipeline::new().with(Clobber).checked();
+        let err = pl.try_optimize(p.clone()).unwrap_err();
+        assert_eq!(err.pass, "clobber");
+        assert!(matches!(
+            err.error.kind,
+            crate::analysis::VerifyErrorKind::UseBeforeDef { .. }
+        ));
+        assert!(err.to_string().contains("clobber"), "{err}");
+
+        // a sound pipeline passes its own checks
+        let pl = default_pipeline().with(GarbageCollect).checked();
+        pl.try_optimize(p).unwrap();
     }
 
     #[test]

@@ -126,20 +126,23 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 Ok(Tok::Ident(
-                    std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string(),
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap()
+                        .to_string(),
                 ))
             }
             // operator names inside thetaselect brackets: ==, !=, <, <=, >, >=
             b'=' | b'!' | b'<' | b'>' | b'+' | b'*' | b'/' | b'%' => {
                 let start = self.pos;
                 self.pos += 1;
-                while self.pos < self.src.len()
-                    && matches!(self.src[self.pos], b'=' | b'<' | b'>')
+                while self.pos < self.src.len() && matches!(self.src[self.pos], b'=' | b'<' | b'>')
                 {
                     self.pos += 1;
                 }
                 Ok(Tok::Ident(
-                    std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string(),
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap()
+                        .to_string(),
                 ))
             }
             other => Err(self.err(format!("unexpected character '{}'", other as char))),
@@ -365,6 +368,7 @@ fn parse_stmt(
         "bat.mirror" => OpCode::Mirror,
         "aggr.count" => OpCode::Count,
         "io.result" => OpCode::Result,
+        "language.pass" => OpCode::Free,
         name if name.starts_with("aggr.sub") => {
             let k = agg_from(&name["aggr.sub".len()..])
                 .ok_or_else(|| lex.err_at(format!("unknown aggregate {name}")))?;
@@ -405,10 +409,7 @@ fn parse_stmt(
             targets.len()
         )));
     }
-    let results: Vec<usize> = targets
-        .iter()
-        .map(|t| get_var(prog, names, t))
-        .collect();
+    let results: Vec<usize> = targets.iter().map(|t| get_var(prog, names, t)).collect();
     prog.instrs.push(Instr { results, op, args });
     Ok(())
 }
@@ -462,10 +463,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert!(matches!(p.instrs[1].op, OpCode::Group));
         assert_eq!(p.instrs[1].results.len(), 2);
-        assert!(matches!(
-            p.instrs[2].op,
-            OpCode::AggrGrouped(AggKind::Sum)
-        ));
+        assert!(matches!(p.instrs[2].op, OpCode::AggrGrouped(AggKind::Sum)));
         assert!(matches!(p.instrs[3].op, OpCode::Aggr(AggKind::Sum)));
     }
 
@@ -516,11 +514,27 @@ mod tests {
     }
 
     #[test]
+    fn parses_language_pass() {
+        let src = r#"
+            a := sql.bind("t", "a");
+            c := algebra.thetaselect[>](a, 5);
+            language.pass(a);
+            io.result(c);
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.instrs[2].op, OpCode::Free);
+        assert!(p.instrs[2].results.is_empty());
+        assert_eq!(p.instrs[2].args, vec![Arg::Var(p.instrs[0].results[0])]);
+        // round-trips through Display
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p2.instrs[2].op, OpCode::Free);
+    }
+
+    #[test]
     fn literals() {
-        let p = parse_program(
-            "x := algebra.select(y, nil, 3000000000, true, true);\nio.result(x);",
-        )
-        .unwrap();
+        let p =
+            parse_program("x := algebra.select(y, nil, 3000000000, true, true);\nio.result(x);")
+                .unwrap();
         assert_eq!(p.instrs[0].args[1], Arg::Const(Value::Null));
         assert_eq!(p.instrs[0].args[2], Arg::Const(Value::I64(3000000000)));
     }

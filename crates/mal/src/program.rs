@@ -76,6 +76,10 @@ pub enum OpCode {
     Mirror,
     /// `io.result(b, ...)` — mark outputs (side effect; ends the plan).
     Result,
+    /// `language.pass(v)` — end-of-life marker: the variable's value is
+    /// released and may not be referenced afterwards (MonetDB's
+    /// garbage-collection hint, emitted by the `garbage_collect` pass).
+    Free,
 }
 
 impl OpCode {
@@ -83,7 +87,7 @@ impl OpCode {
     pub fn result_arity(&self) -> usize {
         match self {
             OpCode::Join | OpCode::Group | OpCode::GroupRefine | OpCode::Sort { .. } => 2,
-            OpCode::Result => 0,
+            OpCode::Result | OpCode::Free => 0,
             _ => 1,
         }
     }
@@ -107,13 +111,14 @@ impl OpCode {
             OpCode::Count => "aggr.count".into(),
             OpCode::Mirror => "bat.mirror".into(),
             OpCode::Result => "io.result".into(),
+            OpCode::Free => "language.pass".into(),
         }
     }
 
     /// Instructions without side effects whose unused results may be
     /// removed, and whose results are recyclable.
     pub fn is_pure(&self) -> bool {
-        !matches!(self, OpCode::Result)
+        !matches!(self, OpCode::Result | OpCode::Free)
     }
 }
 
@@ -259,10 +264,13 @@ mod tests {
     #[test]
     fn build_and_render() {
         let mut p = Program::new();
-        let [b] = p.push(OpCode::Bind, vec![
-            Arg::Const(Value::Str("people".into())),
-            Arg::Const(Value::Str("age".into())),
-        ])[..] else {
+        let [b] = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("people".into())),
+                Arg::Const(Value::Str("age".into())),
+            ],
+        )[..] else {
             panic!()
         };
         let [c] = p.push(

@@ -236,8 +236,7 @@ impl Recycler {
         let before = self.entries.len();
         self.entries
             .retain(|_, e| !e.depends_on.iter().any(|d| d == column));
-        let sigs: std::collections::HashSet<String> =
-            self.entries.keys().cloned().collect();
+        let sigs: std::collections::HashSet<String> = self.entries.keys().cloned().collect();
         for list in self.ranges.values_mut() {
             list.retain(|r| sigs.contains(&r.sig));
         }
@@ -366,8 +365,24 @@ mod tests {
     #[test]
     fn subsumption_finds_smallest_cover() {
         let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
-        r.admit_range("t.a", Some(0), Some(100), "sig_wide", bat(100), vec!["t.a".into()], 1);
-        r.admit_range("t.a", Some(0), Some(20), "sig_narrow", bat(20), vec!["t.a".into()], 1);
+        r.admit_range(
+            "t.a",
+            Some(0),
+            Some(100),
+            "sig_wide",
+            bat(100),
+            vec!["t.a".into()],
+            1,
+        );
+        r.admit_range(
+            "t.a",
+            Some(0),
+            Some(20),
+            "sig_narrow",
+            bat(20),
+            vec!["t.a".into()],
+            1,
+        );
         // covered by both; the narrow one is preferred
         let hit = r.lookup_covering("t.a", Some(5), Some(10)).unwrap();
         assert_eq!(hit.len(), 20);
@@ -376,14 +391,30 @@ mod tests {
         assert!(r.lookup_covering("t.a", Some(5), Some(500)).is_none());
         assert!(r.lookup_covering("t.a", None, Some(10)).is_none());
         // unbounded cache entry covers unbounded query
-        r.admit_range("t.a", None, None, "sig_all", bat(200), vec!["t.a".into()], 1);
+        r.admit_range(
+            "t.a",
+            None,
+            None,
+            "sig_all",
+            bat(200),
+            vec!["t.a".into()],
+            1,
+        );
         assert!(r.lookup_covering("t.a", None, Some(10)).is_some());
     }
 
     #[test]
     fn subsumption_respects_invalidation() {
         let mut r = Recycler::new(1 << 20, EvictPolicy::Lru);
-        r.admit_range("t.a", Some(0), Some(100), "s", bat(100), vec!["t.a".into()], 1);
+        r.admit_range(
+            "t.a",
+            Some(0),
+            Some(100),
+            "s",
+            bat(100),
+            vec!["t.a".into()],
+            1,
+        );
         r.invalidate("t.a");
         assert!(r.lookup_covering("t.a", Some(1), Some(2)).is_none());
     }

@@ -84,15 +84,11 @@ pub fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<(Program, 
                         .find(|(k, _)| c.same_column(k, col))
                         .map(|(_, v)| *v)
                         .ok_or_else(|| {
-                            Error::Bind(format!(
-                                "column {} must appear in GROUP BY",
-                                col.column
-                            ))
+                            Error::Bind(format!("column {} must appear in GROUP BY", col.column))
                         })?;
-                    let v = c.prog.push(
-                        OpCode::Projection,
-                        vec![Arg::Var(ext), Arg::Var(fetched)],
-                    )[0];
+                    let v = c
+                        .prog
+                        .push(OpCode::Projection, vec![Arg::Var(ext), Arg::Var(fetched)])[0];
                     outs.push(v);
                     names.push(col.column.clone());
                 }
@@ -197,6 +193,17 @@ pub fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<(Program, 
     }
 
     c.prog.push_result(&outs);
+
+    // the compiler's contract: every emitted plan satisfies the MAL
+    // verifier against the catalog it was compiled for
+    #[cfg(debug_assertions)]
+    if let Err(e) = mammoth_mal::analysis::verify_with_catalog(&c.prog, catalog) {
+        panic!(
+            "compile_select emitted an ill-formed plan (compiler bug):\n{}error: {e}",
+            c.prog
+        );
+    }
+
     Ok((c.prog, names))
 }
 
@@ -342,7 +349,9 @@ impl Compiler<'_> {
         }
         let lk = self.fetch_column(lcol)?;
         let rk = self.fetch_column(rcol)?;
-        let rs = self.prog.push(OpCode::Join, vec![Arg::Var(lk), Arg::Var(rk)]);
+        let rs = self
+            .prog
+            .push(OpCode::Join, vec![Arg::Var(lk), Arg::Var(rk)]);
         let (jl, jr) = (rs[0], rs[1]);
         // join oids index into lk/rk; route through prior candidates
         self.cands[0] = Some(match self.cands[0] {
@@ -374,8 +383,8 @@ impl Compiler<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_sql;
     use crate::ast::Statement;
+    use crate::parser::parse_sql;
     use mammoth_storage::Table;
     use mammoth_types::{ColumnDef, LogicalType, TableSchema};
 
@@ -390,7 +399,8 @@ mod tests {
         ))
         .unwrap();
         for (n, a) in [("a", 1), ("b", 2)] {
-            t.insert_row(&[Value::Str(n.into()), Value::I32(a)]).unwrap();
+            t.insert_row(&[Value::Str(n.into()), Value::I32(a)])
+                .unwrap();
         }
         cat.create_table(t).unwrap();
         let films = Table::new(TableSchema::new(
@@ -414,8 +424,7 @@ mod tests {
 
     #[test]
     fn simple_select_shape() {
-        let (p, names) =
-            compile("SELECT name FROM people WHERE age = 1927").unwrap();
+        let (p, names) = compile("SELECT name FROM people WHERE age = 1927").unwrap();
         assert_eq!(names, vec!["name"]);
         let text = p.to_string();
         assert!(text.contains("sql.bind(\"people\", \"age\")"));
@@ -426,14 +435,9 @@ mod tests {
 
     #[test]
     fn predicates_compose_candidates() {
-        let (p, _) = compile(
-            "SELECT name FROM people WHERE age > 10 AND age < 20 AND name <> 'x'",
-        )
-        .unwrap();
-        let selects = p
-            .to_string()
-            .matches("algebra.thetaselect")
-            .count();
+        let (p, _) =
+            compile("SELECT name FROM people WHERE age > 10 AND age < 20 AND name <> 'x'").unwrap();
+        let selects = p.to_string().matches("algebra.thetaselect").count();
         assert_eq!(selects, 3);
     }
 
@@ -441,8 +445,7 @@ mod tests {
     fn aggregate_compilation() {
         let (_, names) = compile("SELECT COUNT(*), SUM(age) FROM people").unwrap();
         assert_eq!(names, vec!["count", "sum(age)"]);
-        let (p, names) =
-            compile("SELECT age, COUNT(*) FROM people GROUP BY age").unwrap();
+        let (p, names) = compile("SELECT age, COUNT(*) FROM people GROUP BY age").unwrap();
         assert_eq!(names, vec!["age", "count"]);
         assert!(p.to_string().contains("group.group"));
         assert!(p.to_string().contains("aggr.subcount_nonnil"));
@@ -475,10 +478,7 @@ mod tests {
 
     #[test]
     fn order_and_limit_shape() {
-        let (p, _) = compile(
-            "SELECT name, age FROM people ORDER BY age DESC LIMIT 5",
-        )
-        .unwrap();
+        let (p, _) = compile("SELECT name, age FROM people ORDER BY age DESC LIMIT 5").unwrap();
         let text = p.to_string();
         assert!(text.contains("algebra.sort[desc]"));
         assert_eq!(text.matches("bat.slice").count(), 2);

@@ -13,6 +13,8 @@
 //! BAT Algebra interpreter — optionally with the recycler attached
 //! ([`session::Session`]).
 
+#![deny(unsafe_code)]
+
 pub mod ast;
 pub mod compile;
 pub mod lexer;

@@ -69,7 +69,9 @@ impl Parser<'_> {
         } else if is_kw(&t, "DROP") {
             self.lex.next()?;
             self.expect_kw("TABLE")?;
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else if is_kw(&t, "INSERT") {
             self.insert()
         } else if is_kw(&t, "DELETE") {
@@ -391,10 +393,7 @@ mod tests {
 
     #[test]
     fn parses_ddl_dml() {
-        let s = parse_sql(
-            "CREATE TABLE t (a INT NOT NULL, b VARCHAR, c DOUBLE)",
-        )
-        .unwrap();
+        let s = parse_sql("CREATE TABLE t (a INT NOT NULL, b VARCHAR, c DOUBLE)").unwrap();
         let Statement::CreateTable { name, columns } = s else {
             panic!()
         };
@@ -404,7 +403,9 @@ mod tests {
         assert_eq!(columns[1].1, LogicalType::Str);
 
         let s = parse_sql("INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, 0.5)").unwrap();
-        let Statement::Insert { rows, .. } = s else { panic!() };
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1][1], Value::Null);
 

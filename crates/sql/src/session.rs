@@ -316,22 +316,27 @@ mod tests {
         let out = s
             .execute("SELECT COUNT(*), MIN(age), MAX(age), AVG(age) FROM people")
             .unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows[0][0], Value::I64(4));
         assert_eq!(rows[0][1], Value::I64(1907));
         assert_eq!(rows[0][2], Value::I64(1968));
-        assert_eq!(rows[0][3], Value::F64((1907 + 1927 + 1927 + 1968) as f64 / 4.0));
+        assert_eq!(
+            rows[0][3],
+            Value::F64((1907 + 1927 + 1927 + 1968) as f64 / 4.0)
+        );
     }
 
     #[test]
     fn group_by_and_order() {
         let mut s = seeded();
         let out = s
-            .execute(
-                "SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age DESC",
-            )
+            .execute("SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age DESC")
             .unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(
             rows,
             vec![
@@ -358,11 +363,11 @@ mod tests {
                  WHERE age > 1920 ORDER BY name LIMIT 10",
             )
             .unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 3);
-        assert!(rows
-            .iter()
-            .any(|r| r[1] == Value::Str("Moonraker".into())));
+        assert!(rows.iter().any(|r| r[1] == Value::Str("Moonraker".into())));
         assert!(rows.iter().any(|r| r[1] == Value::Str("Ali".into())));
     }
 
@@ -372,7 +377,9 @@ mod tests {
         let out = s.execute("DELETE FROM people WHERE age = 1927").unwrap();
         assert_eq!(out, QueryOutput::Affected(2));
         let out = s.execute("SELECT COUNT(*) FROM people").unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows[0][0], Value::I64(2));
         // delete with no predicate wipes the table
         assert_eq!(
@@ -390,7 +397,10 @@ mod tests {
         // big enough to clear the recycler's admission cost floor
         let data: Vec<i64> = (0..300_000).map(|i| i % 7).collect();
         let table = Table::from_bats(
-            TableSchema::new("t", vec![ColumnDef::new("a", mammoth_types::LogicalType::I64)]),
+            TableSchema::new(
+                "t",
+                vec![ColumnDef::new("a", mammoth_types::LogicalType::I64)],
+            ),
             vec![Bat::from_vec(data)],
         )
         .unwrap();
@@ -401,10 +411,14 @@ mod tests {
         assert!(stats.exact_hits >= 1, "repeat hits: {stats:?}");
         // DML invalidates: count changes after an insert
         let out = s.execute("SELECT COUNT(a) FROM t WHERE a > 1").unwrap();
-        let QueryOutput::Table { rows: r1, .. } = out else { panic!() };
+        let QueryOutput::Table { rows: r1, .. } = out else {
+            panic!()
+        };
         s.execute("INSERT INTO t VALUES (5)").unwrap();
         let out = s.execute("SELECT COUNT(a) FROM t WHERE a > 1").unwrap();
-        let QueryOutput::Table { rows: r2, .. } = out else { panic!() };
+        let QueryOutput::Table { rows: r2, .. } = out else {
+            panic!()
+        };
         assert_eq!(
             r2[0][0].as_i64().unwrap(),
             r1[0][0].as_i64().unwrap() + 1,
@@ -418,10 +432,14 @@ mod tests {
         let out = s
             .execute("SELECT name FROM people WHERE age = 1 LIMIT 3")
             .unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert!(rows.is_empty());
         let out = s.execute("SELECT name FROM people LIMIT 2").unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
     }
 
@@ -444,7 +462,9 @@ mod tests {
         s.execute("INSERT INTO t VALUES (1, NULL), (NULL, 'x')")
             .unwrap();
         let out = s.execute("SELECT a, b FROM t WHERE a >= 0").unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][1], Value::Null);
         // NOT NULL violation

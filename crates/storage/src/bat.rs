@@ -157,10 +157,12 @@ impl Bat {
 
     /// Typed tail slice (the bulk-operator fast path).
     pub fn tail_slice<T: FixedTail>(&self) -> Result<&[T]> {
-        self.tail.as_slice::<T>().ok_or_else(|| Error::TypeMismatch {
-            expected: T::LOGICAL.name().into(),
-            found: self.ty().name().into(),
-        })
+        self.tail
+            .as_slice::<T>()
+            .ok_or_else(|| Error::TypeMismatch {
+                expected: T::LOGICAL.name().into(),
+                found: self.ty().name().into(),
+            })
     }
 
     /// Append one dynamic value, keeping a void head dense.
@@ -203,7 +205,9 @@ impl Bat {
                 let mut b = Bat::dense(
                     *seqbase,
                     TailHeap::from_vec(
-                        (0..self.len() as u64).map(|i| seqbase + i).collect::<Vec<Oid>>(),
+                        (0..self.len() as u64)
+                            .map(|i| seqbase + i)
+                            .collect::<Vec<Oid>>(),
                     ),
                 );
                 b.props = Properties {

@@ -186,10 +186,12 @@ impl Catalog {
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
-        self.tables.remove(&norm(name)).ok_or_else(|| Error::NotFound {
-            kind: "table",
-            name: name.to_string(),
-        })
+        self.tables
+            .remove(&norm(name))
+            .ok_or_else(|| Error::NotFound {
+                kind: "table",
+                name: name.to_string(),
+            })
     }
 
     pub fn table(&self, name: &str) -> Result<&Table> {

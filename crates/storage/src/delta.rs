@@ -358,10 +358,7 @@ mod tests {
         let mut c = col_with(&[5, 6, 7]);
         c.delete(1);
         let rows: Vec<_> = c.scan().collect();
-        assert_eq!(
-            rows,
-            vec![(0, Value::I32(5)), (2, Value::I32(7))]
-        );
+        assert_eq!(rows, vec![(0, Value::I32(5)), (2, Value::I32(7))]);
     }
 
     #[test]

@@ -11,9 +11,7 @@ use crate::catalog::{Catalog, Table};
 use crate::heap::TailHeap;
 use crate::properties::Properties;
 use crate::strheap::StrHeap;
-use mammoth_types::{
-    ColumnDef, Error, LogicalType, NativeType, Oid, Result, TableSchema,
-};
+use mammoth_types::{ColumnDef, Error, LogicalType, NativeType, Oid, Result, TableSchema};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -299,10 +297,7 @@ mod tests {
     use mammoth_types::Value;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "mammoth-persist-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("mammoth-persist-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
         d

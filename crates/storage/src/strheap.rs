@@ -214,8 +214,7 @@ impl StrHeap {
         };
         let mut off = 0usize;
         while off + 4 <= heap.blob.len() {
-            let len =
-                u32::from_le_bytes(heap.blob[off..off + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(heap.blob[off..off + 4].try_into().unwrap()) as usize;
             if off + 4 + len > heap.blob.len() {
                 return Err(Error::Corrupt("string heap blob overrun".into()));
             }
@@ -262,7 +261,10 @@ mod tests {
         assert_eq!(h.len(), 2000);
         assert_eq!(h.distinct_count(), 2);
         // blob holds exactly two length-prefixed payloads
-        assert_eq!(h.blob_bytes(), 2 * 4 + "common-value".len() + "other-value".len());
+        assert_eq!(
+            h.blob_bytes(),
+            2 * 4 + "common-value".len() + "other-value".len()
+        );
         // equal strings share offsets — usable as a dictionary code
         assert_eq!(h.offset(0), h.offset(2));
         assert_ne!(h.offset(0), h.offset(1));

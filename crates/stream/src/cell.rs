@@ -222,7 +222,9 @@ mod tests {
         assert_eq!(fired[1].value, Value::I64(6 + 7 + 8 + 9 + 10));
         assert_eq!(fired[1].window_no, 1);
         // the remaining 2 events wait for the next batch
-        let fired = c.append_batch(&(13..=15).map(|i| ev(i, 1)).collect::<Vec<_>>()).unwrap();
+        let fired = c
+            .append_batch(&(13..=15).map(|i| ev(i, 1)).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].value, Value::I64(11 + 12 + 13 + 14 + 15));
     }

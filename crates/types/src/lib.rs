@@ -11,6 +11,8 @@
 //! separate validity bitmap. This keeps column heaps plain arrays, which is
 //! the property the whole BAT architecture builds on.
 
+#![deny(unsafe_code)]
+
 pub mod error;
 pub mod native;
 pub mod oid;

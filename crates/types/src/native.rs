@@ -219,10 +219,7 @@ mod tests {
         assert_eq!(f64::NAN.to_value(), Value::Null);
         assert_eq!(2.5f64.to_value(), Value::F64(2.5));
         // nil sorts first
-        assert_eq!(
-            f64::NAN.nil_cmp(&1.0),
-            std::cmp::Ordering::Less
-        );
+        assert_eq!(f64::NAN.nil_cmp(&1.0), std::cmp::Ordering::Less);
     }
 
     #[test]

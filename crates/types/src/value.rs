@@ -183,7 +183,10 @@ impl Value {
             return Some(self.clone());
         }
         match ty {
-            LogicalType::I8 => self.as_i64().and_then(|x| i8::try_from(x).ok()).map(Value::I8),
+            LogicalType::I8 => self
+                .as_i64()
+                .and_then(|x| i8::try_from(x).ok())
+                .map(Value::I8),
             LogicalType::I16 => self
                 .as_i64()
                 .and_then(|x| i16::try_from(x).ok())
@@ -316,7 +319,10 @@ mod tests {
     fn coercions() {
         assert_eq!(Value::I64(7).coerce(LogicalType::I32), Some(Value::I32(7)));
         assert_eq!(Value::I64(i64::MAX).coerce(LogicalType::I32), None);
-        assert_eq!(Value::I32(7).coerce(LogicalType::F64), Some(Value::F64(7.0)));
+        assert_eq!(
+            Value::I32(7).coerce(LogicalType::F64),
+            Some(Value::F64(7.0))
+        );
         assert_eq!(Value::Null.coerce(LogicalType::I32), Some(Value::Null));
         assert_eq!(Value::Str("x".into()).coerce(LogicalType::I32), None);
     }

@@ -102,11 +102,7 @@ struct AggState {
 
 impl Pipeline {
     /// Execute over `columns` with the given vector size.
-    pub fn run(
-        &self,
-        columns: &ColumnSet,
-        vector_size: usize,
-    ) -> Result<QueryResult> {
+    pub fn run(&self, columns: &ColumnSet, vector_size: usize) -> Result<QueryResult> {
         let vector_size = vector_size.max(1);
         let n = columns.len();
         let mut window = VectorWindow::new(columns.arity());
@@ -173,9 +169,9 @@ impl Pipeline {
                             let ldata = resolve(&window, columns, &computed, *l)?;
                             let s = have_sel.then_some(&sel[..]);
                             match r {
-                                Operand::Const(c) => primitives::map_arith_i64_const(
-                                    *op, ldata, *c, s, &mut buf,
-                                ),
+                                Operand::Const(c) => {
+                                    primitives::map_arith_i64_const(*op, ldata, *c, s, &mut buf)
+                                }
                                 Operand::Col(rc) => {
                                     let rdata = resolve(&window, columns, &computed, *rc)?;
                                     primitives::map_arith_i64(*op, ldata, rdata, s, &mut buf);
@@ -197,8 +193,7 @@ impl Pipeline {
                             }
                             AggSpec::SumI64(c) => {
                                 let data = resolve(&window, columns, &computed, *c)?;
-                                st.sum_i =
-                                    st.sum_i.wrapping_add(primitives::sum_i64(data, s));
+                                st.sum_i = st.sum_i.wrapping_add(primitives::sum_i64(data, s));
                             }
                             AggSpec::SumF64(c) => {
                                 let data = window.f64_slice(columns, *c)?;

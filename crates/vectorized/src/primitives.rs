@@ -34,13 +34,7 @@ fn keep(op: CmpOp, ord: std::cmp::Ordering) -> bool {
 }
 
 /// `out = positions i where data[i] op c`, intersected with `sel`.
-pub fn sel_cmp_i64(
-    op: CmpOp,
-    data: &[i64],
-    c: i64,
-    sel: Option<&[u32]>,
-    out: &mut Vec<u32>,
-) {
+pub fn sel_cmp_i64(op: CmpOp, data: &[i64], c: i64, sel: Option<&[u32]>, out: &mut Vec<u32>) {
     out.clear();
     match sel {
         None => {
@@ -61,13 +55,7 @@ pub fn sel_cmp_i64(
 }
 
 /// `out = positions i where data[i] op c` on f64 data.
-pub fn sel_cmp_f64(
-    op: CmpOp,
-    data: &[f64],
-    c: f64,
-    sel: Option<&[u32]>,
-    out: &mut Vec<u32>,
-) {
+pub fn sel_cmp_f64(op: CmpOp, data: &[f64], c: f64, sel: Option<&[u32]>, out: &mut Vec<u32>) {
     out.clear();
     let test = |v: f64| v.partial_cmp(&c).is_some_and(|ord| keep(op, ord));
     match sel {
@@ -115,13 +103,7 @@ fn apply_i64(op: MapOp, a: i64, b: i64) -> i64 {
 
 /// `out[i] = a[i] op b[i]` at selected positions (`out` is full-length;
 /// unselected slots are left as-is / zero).
-pub fn map_arith_i64(
-    op: MapOp,
-    a: &[i64],
-    b: &[i64],
-    sel: Option<&[u32]>,
-    out: &mut Vec<i64>,
-) {
+pub fn map_arith_i64(op: MapOp, a: &[i64], b: &[i64], sel: Option<&[u32]>, out: &mut Vec<i64>) {
     out.clear();
     out.resize(a.len(), 0);
     match sel {
@@ -139,13 +121,7 @@ pub fn map_arith_i64(
 }
 
 /// `out[i] = a[i] op c` at selected positions.
-pub fn map_arith_i64_const(
-    op: MapOp,
-    a: &[i64],
-    c: i64,
-    sel: Option<&[u32]>,
-    out: &mut Vec<i64>,
-) {
+pub fn map_arith_i64_const(op: MapOp, a: &[i64], c: i64, sel: Option<&[u32]>, out: &mut Vec<i64>) {
     out.clear();
     out.resize(a.len(), 0);
     match sel {

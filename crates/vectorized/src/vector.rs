@@ -14,7 +14,10 @@ pub enum Column {
     I64(Vec<i64>),
     F64(Vec<f64>),
     /// A compressed i64 column; scans decode it vector-by-vector.
-    CompressedI64 { data: Compressed, len: usize },
+    CompressedI64 {
+        data: Compressed,
+        len: usize,
+    },
 }
 
 impl Column {

@@ -68,13 +68,10 @@ impl Expr {
     /// yield NULL, which [`Expr::eval_pred`] treats as false.
     pub fn eval(&self, tuple: &[Value]) -> Result<Value> {
         Ok(match self {
-            Expr::Col(i) => tuple
-                .get(*i)
-                .cloned()
-                .ok_or(Error::OutOfRange {
-                    index: *i as u64,
-                    len: tuple.len() as u64,
-                })?,
+            Expr::Col(i) => tuple.get(*i).cloned().ok_or(Error::OutOfRange {
+                index: *i as u64,
+                len: tuple.len() as u64,
+            })?,
             Expr::Const(v) => v.clone(),
             Expr::Cmp(op, l, r) => {
                 let (a, b) = (l.eval(tuple)?, r.eval(tuple)?);

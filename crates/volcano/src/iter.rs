@@ -405,9 +405,7 @@ impl<I: TupleIter> TupleIter for SortOp<I> {
             }
             let key = self.key_col;
             all.sort_by(|a, b| {
-                let ord = a[key]
-                    .sql_cmp(&b[key])
-                    .unwrap_or(std::cmp::Ordering::Equal);
+                let ord = a[key].sql_cmp(&b[key]).unwrap_or(std::cmp::Ordering::Equal);
                 // NULLs first, like the column engine
                 let ord = match (a[key].is_null(), b[key].is_null()) {
                     (true, false) => std::cmp::Ordering::Less,
@@ -571,7 +569,10 @@ mod tests {
         let rows = collect_all(plan).unwrap();
         assert_eq!(rows.len(), 3);
         // first group in input order is 1907
-        assert_eq!(rows[0], vec![Value::I32(1907), Value::I64(1), Value::I32(1907)]);
+        assert_eq!(
+            rows[0],
+            vec![Value::I32(1907), Value::I64(1), Value::I32(1907)]
+        );
         assert_eq!(rows[1][1], Value::I64(2)); // two 1927s
     }
 

@@ -18,8 +18,6 @@ pub mod page;
 pub mod table;
 
 pub use expr::Expr;
-pub use iter::{
-    FilterOp, HashAggOp, HashJoinOp, LimitOp, ProjectOp, SeqScanOp, SortOp, TupleIter,
-};
+pub use iter::{FilterOp, HashAggOp, HashJoinOp, LimitOp, ProjectOp, SeqScanOp, SortOp, TupleIter};
 pub use page::{HeapFile, Page, Rid, PAGE_SIZE};
 pub use table::NsmTable;

@@ -290,10 +290,7 @@ mod tests {
         for i in 0..1000 {
             hf.insert(&[Value::I64(i)]).unwrap();
         }
-        let got: Vec<i64> = hf
-            .scan()
-            .map(|(_, row)| row[0].as_i64().unwrap())
-            .collect();
+        let got: Vec<i64> = hf.scan().map(|(_, row)| row[0].as_i64().unwrap()).collect();
         assert_eq!(got, (0..1000).collect::<Vec<_>>());
     }
 

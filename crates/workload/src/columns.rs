@@ -66,9 +66,9 @@ pub fn quasi_sorted_i64(n: usize, jump_prob: f64, seed: u64) -> Vec<i64> {
     (0..n)
         .map(|_| {
             if rng.random::<f64>() < jump_prob {
-                cur += rng.random_range(1000..100_000);
+                cur += rng.random_range(1000..100_000i64);
             } else {
-                cur += rng.random_range(0..4);
+                cur += rng.random_range(0..4i64);
             }
             cur
         })

@@ -127,7 +127,13 @@ mod tests {
 
     #[test]
     fn focused_stays_hot() {
-        let log = range_query_log(200, 10_000, 0.01, QueryPattern::Focused { hot_fraction: 0.1 }, 2);
+        let log = range_query_log(
+            200,
+            10_000,
+            0.01,
+            QueryPattern::Focused { hot_fraction: 0.1 },
+            2,
+        );
         assert!(log.iter().all(|q| q.hi <= 1100));
     }
 
@@ -135,8 +141,7 @@ mod tests {
     fn skyserver_log_repeats() {
         let log = skyserver_log(1000, 4, 50, 1.1, 100_000, 7);
         assert_eq!(log.len(), 1000);
-        let mut counts: std::collections::HashMap<String, usize> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
         for q in &log {
             *counts.entry(format!("{q:?}")).or_default() += 1;
         }

@@ -82,7 +82,10 @@ impl Doc {
 
     /// Tag id for a name, if any node uses it.
     pub fn tag_id(&self, name: &str) -> Option<u32> {
-        self.tag_names.iter().position(|t| t == name).map(|i| i as u32)
+        self.tag_names
+            .iter()
+            .position(|t| t == name)
+            .map(|i| i as u32)
     }
 
     /// All pre ranks with the given tag.
@@ -178,7 +181,7 @@ mod tests {
         assert!(d.is_descendant(2, 1)); // c under b
         assert!(!d.is_descendant(2, 3)); // c not under d
         assert!(!d.is_descendant(0, 2)); // ancestor is not descendant
-        // contiguity: descendants of pre=0 are 1..=4
+                                         // contiguity: descendants of pre=0 are 1..=4
         for p in 1..5 {
             assert!(d.is_descendant(p, 0));
         }

@@ -91,9 +91,7 @@ impl XmlParser<'_> {
         self.pos += 1;
         let tag = self.name()?;
         // skip attributes (ignored) until '>' or '/>'
-        while self.pos < self.src.len()
-            && self.src[self.pos] != b'>'
-            && self.src[self.pos] != b'/'
+        while self.pos < self.src.len() && self.src[self.pos] != b'>' && self.src[self.pos] != b'/'
         {
             self.pos += 1;
         }

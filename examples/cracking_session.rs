@@ -53,7 +53,10 @@ fn main() {
     let mut first10 = Vec::new();
     for (i, q) in queries.iter().enumerate() {
         let tq = Instant::now();
-        crack_hits += cracker.select(Bound::Incl(q.lo), Bound::Excl(q.hi)).rows.len();
+        crack_hits += cracker
+            .select(Bound::Incl(q.lo), Bound::Excl(q.hi))
+            .rows
+            .len();
         if i < 10 {
             first10.push(tq.elapsed());
         }
@@ -65,12 +68,8 @@ fn main() {
 
     println!("200 range queries over {n} rows — total answer sets agree ({scan_hits} rows)\n");
     println!("scan-always   : {scan_total:>12.2?}  (no preparation, no learning)");
-    println!(
-        "sort-first    : {sort_cost:>12.2?} sort + {sorted_queries:.2?} queries"
-    );
-    println!(
-        "cracking      : {crack_total:>12.2?}  (preparation-free, adapts per query)"
-    );
+    println!("sort-first    : {sort_cost:>12.2?} sort + {sorted_queries:.2?} queries");
+    println!("cracking      : {crack_total:>12.2?}  (preparation-free, adapts per query)");
     let stats = cracker.stats();
     println!(
         "\ncracker state : {} pieces after {} cracks, {} tuples touched in total",

@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== aggregation, grouping, ordering ==");
-    let out = db.execute(
-        "SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age DESC",
-    )?;
+    let out = db.execute("SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age DESC")?;
     println!("{}", out.to_text());
 
     println!("== updates use delta BATs; snapshots stay cheap ==");

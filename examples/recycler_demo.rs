@@ -58,17 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     setup(&mut recycled)?;
     let t_recycled = run_log(&mut recycled)?;
 
-    println!("{} queries over {nrows} rows (40 distinct, zipf-repeated):\n", log.len());
+    println!(
+        "{} queries over {nrows} rows (40 distinct, zipf-repeated):\n",
+        log.len()
+    );
     println!("  without recycler : {t_plain:>10.2?}");
     println!("  with recycler    : {t_recycled:>10.2?}");
     let stats = recycled.recycler_stats().unwrap();
     println!(
         "\nrecycler: {} lookups, {} hits, {} admissions, {} evictions, {} bytes resident",
-        stats.lookups,
-        stats.exact_hits,
-        stats.admissions,
-        stats.evictions,
-        stats.resident_bytes
+        stats.lookups, stats.exact_hits, stats.admissions, stats.evictions, stats.resident_bytes
     );
     Ok(())
 }

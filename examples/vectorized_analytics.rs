@@ -10,8 +10,7 @@
 
 use mammoth::compression::Scheme;
 use mammoth::vectorized::{
-    AggSpec, ColRef, Column, ColumnSet, CmpOp, MapOp, Operand, Pipeline, QueryResult, Sink,
-    Stage,
+    AggSpec, CmpOp, ColRef, Column, ColumnSet, MapOp, Operand, Pipeline, QueryResult, Sink, Stage,
 };
 use mammoth::workload::LineitemSlice;
 use std::time::Instant;
@@ -87,5 +86,8 @@ fn main() {
     .unwrap();
     let t0 = Instant::now();
     let r = q1_pipeline().run(&compressed, 1024).unwrap();
-    println!("  vectors=1024 over compressed input: {:.2?} ({r:?})", t0.elapsed());
+    println!(
+        "  vectors=1024 over compressed input: {:.2?} ({r:?})",
+        t0.elapsed()
+    );
 }

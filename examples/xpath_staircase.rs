@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example xpath_staircase`
 
 use mammoth::xpath::encode::synthetic_tree;
-use mammoth::xpath::{
-    descendants_naive, descendants_staircase, eval_path, Doc,
-};
+use mammoth::xpath::{descendants_naive, descendants_staircase, eval_path, Doc};
 use mammoth::Database;
 use std::time::Instant;
 
@@ -27,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for path in ["/root/t1", "//t1", "//t1//t2", "/root/*/t3"] {
         let t0 = Instant::now();
         let hits = eval_path(&doc, path)?;
-        println!("{path:<14} -> {:>7} nodes  in {:.2?}", hits.len(), t0.elapsed());
+        println!(
+            "{path:<14} -> {:>7} nodes  in {:.2?}",
+            hits.len(),
+            t0.elapsed()
+        );
     }
 
     // staircase vs naive on a large context
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let naive = descendants_naive(&doc, &context);
     let t_naive = t0.elapsed();
     assert_eq!(fast, naive);
-    println!("  staircase join : {t_fast:>10.2?}  ({} results)", fast.len());
+    println!(
+        "  staircase join : {t_fast:>10.2?}  ({} results)",
+        fast.len()
+    );
     println!("  naive region   : {t_naive:>10.2?}  (same results)");
 
     // the same encoding is a relational table: SQL over XML
@@ -48,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small = synthetic_tree(5, 3, 4, 7);
     db.register_xml("doc", &small)?;
     println!("\nSQL over the encoded document (tag histogram):");
-    let out = db.execute(
-        "SELECT tag, COUNT(*) FROM doc GROUP BY tag ORDER BY tag",
-    )?;
+    let out = db.execute("SELECT tag, COUNT(*) FROM doc GROUP BY tag ORDER BY tag")?;
     println!("{}", out.to_text());
     Ok(())
 }

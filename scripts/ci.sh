@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, the full test suite, and the malcheck
+# plan corpus. Run from the repository root; exits non-zero on the first
+# failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> malcheck: well-formed plans must verify"
+good=$(ls examples/plans/*.mal | grep -v '/bad_')
+# shellcheck disable=SC2086
+cargo run -q -p mammoth-mal --bin malcheck -- $good
+
+echo "==> malcheck: malformed plans must be rejected"
+cargo run -q -p mammoth-mal --bin malcheck -- --expect-error examples/plans/bad_*.mal
+
+echo "==> ci: all gates passed"

@@ -6,8 +6,8 @@
 use mammoth::storage::{Bat, Table};
 use mammoth::types::{ColumnDef, LogicalType, TableSchema, Value};
 use mammoth::vectorized::{
-    AggSpec, ColRef, Column, ColumnSet, CmpOp as VCmp, MapOp, Operand, Pipeline, QueryResult,
-    Sink, Stage,
+    AggSpec, CmpOp as VCmp, ColRef, Column, ColumnSet, MapOp, Operand, Pipeline, QueryResult, Sink,
+    Stage,
 };
 use mammoth::volcano::{
     expr::CmpOp as ExprCmp, iter::AggFn, Expr, FilterOp, HashAggOp, NsmTable, SeqScanOp,
@@ -65,13 +65,11 @@ fn volcano_engine_matches_oracle() {
     let plan = HashAggOp::new(
         mammoth::volcano::ProjectOp::new(
             FilterOp::new(SeqScanOp::new(&table.file), pred),
-            vec![
-                Expr::arith(
-                    mammoth::volcano::expr::ArithOp::Mul,
-                    Expr::col(0),
-                    Expr::col(1),
-                ),
-            ],
+            vec![Expr::arith(
+                mammoth::volcano::expr::ArithOp::Mul,
+                Expr::col(0),
+                Expr::col(1),
+            )],
         ),
         vec![],
         vec![AggFn::CountStar, AggFn::Sum(0)],
@@ -165,7 +163,9 @@ fn vectorized_engine_matches_oracle_at_all_vector_sizes() {
     let (count, sum) = oracle();
     for vs in [1usize, 13, 128, 1024, N] {
         let r = pipeline.run(&cols, vs).unwrap();
-        let QueryResult::Aggregates(aggs) = r else { panic!() };
+        let QueryResult::Aggregates(aggs) = r else {
+            panic!()
+        };
         assert_eq!(
             aggs,
             vec![
@@ -187,10 +187,7 @@ fn sql_count_agrees_with_volcano() {
     db.catalog_mut()
         .create_table(
             Table::from_bats(
-                TableSchema::new(
-                    "li",
-                    vec![ColumnDef::new("qty", LogicalType::I64)],
-                ),
+                TableSchema::new("li", vec![ColumnDef::new("qty", LogicalType::I64)]),
                 vec![Bat::from_vec(s.quantity.clone())],
             )
             .unwrap(),
@@ -199,7 +196,9 @@ fn sql_count_agrees_with_volcano() {
     let out = db
         .execute(&format!("SELECT COUNT(qty) FROM li WHERE qty < {QTY}"))
         .unwrap();
-    let QueryOutput::Table { rows, .. } = out else { panic!() };
+    let QueryOutput::Table { rows, .. } = out else {
+        panic!()
+    };
     assert_eq!(rows[0][0], Value::I64(expect));
 
     let table = NsmTable::from_columns(

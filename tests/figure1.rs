@@ -32,7 +32,8 @@ fn figure1_bat_algebra() {
 #[test]
 fn figure1_mal_program() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE people (name VARCHAR, age INT)").unwrap();
+    db.execute("CREATE TABLE people (name VARCHAR, age INT)")
+        .unwrap();
     db.execute(
         "INSERT INTO people VALUES ('John Wayne', 1907), ('Roger Moore', 1927), \
          ('Bob Fosse', 1927), ('Will Smith', 1968)",
@@ -59,7 +60,8 @@ fn figure1_mal_program() {
 #[test]
 fn figure1_sql_front_end() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE people (name VARCHAR, age INT)").unwrap();
+    db.execute("CREATE TABLE people (name VARCHAR, age INT)")
+        .unwrap();
     db.execute(
         "INSERT INTO people VALUES ('John Wayne', 1907), ('Roger Moore', 1927), \
          ('Bob Fosse', 1927), ('Will Smith', 1968)",

@@ -6,9 +6,7 @@
 //! remaining bit), after which corresponding clusters are hash-joined. The
 //! figure highlights the matching ("black") tuples.
 
-use mammoth::algebra::{
-    hash_join, partitioned_hash_join, radix_cluster,
-};
+use mammoth::algebra::{hash_join, partitioned_hash_join, radix_cluster};
 use mammoth::storage::Bat;
 use mammoth::types::Oid;
 
@@ -63,11 +61,7 @@ fn partitioned_join_finds_the_black_tuples() {
     let r = Bat::from_vec(R.to_vec());
     let ji = partitioned_hash_join(&l, &r, 3, 2).unwrap().sorted();
     // the figure's matches: values present in both relations
-    let mut matched_values: Vec<i64> = ji
-        .left
-        .iter()
-        .map(|&o| L[o as usize])
-        .collect();
+    let mut matched_values: Vec<i64> = ji.left.iter().map(|&o| L[o as usize]).collect();
     matched_values.sort_unstable();
     assert_eq!(matched_values, vec![17, 20, 47, 66, 96]);
     // and the partitioned join agrees with the plain hash join

@@ -2,13 +2,16 @@
 //!
 //! Random-ish SQL queries over generated tables run twice: once through the
 //! raw compiled plan and once through the default optimizer pipeline
-//! (constant folding, CSE, dead code). Outputs must be identical, and the
+//! (constant folding, CSE, dead code). Outputs must be identical, the plan
+//! after every individual pass must satisfy the MAL verifier, and the
 //! textual MAL round-trip (render → parse → run) must agree too.
+//! Deliberately malformed plans must be *rejected* by the verifier with an
+//! error naming the offending instruction.
 
 use mammoth::mal::{default_pipeline, parse_program, Interpreter};
 use mammoth::sql::{compile_select, parse_sql, Statement};
 use mammoth::storage::{Bat, Catalog, Table};
-use mammoth::types::{ColumnDef, LogicalType, TableSchema, Value};
+use mammoth::types::{ColumnDef, LogicalType, TableSchema};
 use mammoth::workload::{strings_low_card, uniform_i64};
 
 fn catalog(rows: usize) -> Catalog {
@@ -106,8 +109,8 @@ fn textual_mal_roundtrip_preserves_semantics() {
         };
         let (prog, _) = compile_select(&cat, &stmt).unwrap();
         let text = prog.to_string();
-        let reparsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("reparse of {sql}: {e}\n{text}"));
+        let reparsed =
+            parse_program(&text).unwrap_or_else(|e| panic!("reparse of {sql}: {e}\n{text}"));
         let out_a = Interpreter::new(&cat).run(&prog).unwrap();
         let out_b = Interpreter::new(&cat).run(&reparsed).unwrap();
         assert_eq!(render(out_a), render(out_b), "query: {sql}");
@@ -117,8 +120,7 @@ fn textual_mal_roundtrip_preserves_semantics() {
 #[test]
 fn cse_actually_fires_on_shared_binds() {
     let cat = catalog(100);
-    let Statement::Select(stmt) =
-        parse_sql("SELECT a, b FROM t WHERE a > 10 AND a < 90").unwrap()
+    let Statement::Select(stmt) = parse_sql("SELECT a, b FROM t WHERE a > 10 AND a < 90").unwrap()
     else {
         panic!()
     };
@@ -152,9 +154,162 @@ fn recycled_and_cold_runs_agree_per_value() {
         let (prog, _) = compile_select(&cat, &stmt).unwrap();
         let cold = Interpreter::new(&cat).run(&prog).unwrap();
         // twice through the recycler: second run is fully cached
-        let warm1 = Interpreter::with_recycler(&cat, &mut rec).run(&prog).unwrap();
-        let warm2 = Interpreter::with_recycler(&cat, &mut rec).run(&prog).unwrap();
+        let warm1 = Interpreter::with_recycler(&cat, &mut rec)
+            .run(&prog)
+            .unwrap();
+        let warm2 = Interpreter::with_recycler(&cat, &mut rec)
+            .run(&prog)
+            .unwrap();
         assert_eq!(render(cold.clone()), render(warm1), "{sql}");
         assert_eq!(render(cold), render(warm2), "{sql}");
     }
+}
+
+#[test]
+fn every_pass_alone_is_sound_and_verifier_clean() {
+    use mammoth::mal::analysis::verify_with_catalog;
+    use mammoth::mal::optimizer::{
+        CommonSubexpr, ConstantFold, DeadCode, GarbageCollect, OptimizerPass,
+    };
+    let cat = catalog(800);
+    let passes: Vec<Box<dyn OptimizerPass>> = vec![
+        Box::new(ConstantFold),
+        Box::new(CommonSubexpr),
+        Box::new(DeadCode),
+        Box::new(GarbageCollect),
+    ];
+    for sql in QUERIES {
+        let Statement::Select(stmt) = parse_sql(sql).unwrap() else {
+            panic!()
+        };
+        let (raw, _) = compile_select(&cat, &stmt).unwrap();
+        let baseline = render(Interpreter::new(&cat).run(&raw).unwrap());
+        for pass in &passes {
+            let rewritten = pass.run(raw.clone());
+            verify_with_catalog(&rewritten, &cat)
+                .unwrap_or_else(|e| panic!("pass {} broke the plan for {sql}: {e}", pass.name()));
+            let out = Interpreter::new(&cat).run(&rewritten).unwrap();
+            assert_eq!(baseline, render(out), "pass {}: {sql}", pass.name());
+        }
+    }
+}
+
+#[test]
+fn checked_pipeline_accepts_all_compiler_output() {
+    use mammoth::mal::analysis::verify_with_catalog;
+    use mammoth::mal::GarbageCollect;
+    let cat = catalog(600);
+    let pipeline = default_pipeline().with(GarbageCollect).checked();
+    for sql in QUERIES {
+        let Statement::Select(stmt) = parse_sql(sql).unwrap() else {
+            panic!()
+        };
+        let (raw, _) = compile_select(&cat, &stmt).unwrap();
+        verify_with_catalog(&raw, &cat)
+            .unwrap_or_else(|e| panic!("compiler output failed to verify for {sql}: {e}"));
+        let optimized = pipeline
+            .try_optimize(raw.clone())
+            .unwrap_or_else(|e| panic!("checked pipeline rejected {sql}: {e}"));
+        verify_with_catalog(&optimized, &cat).unwrap();
+        let out_raw = Interpreter::new(&cat).run(&raw).unwrap();
+        let out_opt = Interpreter::new(&cat).run(&optimized).unwrap();
+        assert_eq!(render(out_raw), render(out_opt), "query: {sql}");
+    }
+}
+
+#[test]
+fn malformed_plans_are_rejected_with_targeted_errors() {
+    use mammoth::mal::analysis::{verify, verify_with_catalog, VerifyErrorKind};
+    let cat = catalog(100);
+    // (plan text, expected instruction index) — one per malformation class
+    let cases: &[(&str, usize)] = &[
+        // use before def
+        ("c := algebra.thetaselect[==](ghost, 1);\nio.result(c);", 0),
+        // argument arity
+        (
+            "a := sql.bind(\"t\", \"a\");\nf := algebra.projection(a);\nio.result(f);",
+            1,
+        ),
+        // kind mismatch: scalar into a bat slot
+        (
+            "a := sql.bind(\"t\", \"a\");\nn := aggr.count(a);\nm := bat.mirror(n);\nio.result(m);",
+            2,
+        ),
+        // use after free
+        (
+            "a := sql.bind(\"t\", \"a\");\nlanguage.pass(a);\nm := bat.mirror(a);\nio.result(m);",
+            2,
+        ),
+        // code after io.result
+        (
+            "a := sql.bind(\"t\", \"a\");\nio.result(a);\nb := sql.bind(\"t\", \"b\");\nio.result(b);",
+            2,
+        ),
+    ];
+    for (src, at) in cases {
+        let prog = parse_program(src).unwrap();
+        let err = verify(&prog).unwrap_err();
+        assert_eq!(err.instr, Some(*at), "wrong location for:\n{src}\n{err}");
+    }
+
+    // type mismatches surface once the catalog pins the column types
+    let typed = parse_program(
+        "s := sql.bind(\"t\", \"s\");\nc := algebra.thetaselect[==](s, 7);\nio.result(c);",
+    )
+    .unwrap();
+    verify(&typed).unwrap(); // without a catalog the string column is opaque
+    let err = verify_with_catalog(&typed, &cat).unwrap_err();
+    assert_eq!(err.instr, Some(1));
+    assert!(matches!(
+        err.kind,
+        VerifyErrorKind::TypeMismatch { arg: 1, .. }
+    ));
+
+    let join = parse_program(
+        "s := sql.bind(\"t\", \"s\");\nw := sql.bind(\"u\", \"w\");\n(l, r) := algebra.join(s, w);\nio.result(l);",
+    )
+    .unwrap();
+    let err = verify_with_catalog(&join, &cat).unwrap_err();
+    assert!(matches!(err.kind, VerifyErrorKind::TypeMismatch { .. }));
+
+    // plans with no io.result are rejected as structurally incomplete
+    let noresult = parse_program("a := sql.bind(\"t\", \"a\");").unwrap();
+    let err = verify(&noresult).unwrap_err();
+    assert!(matches!(err.kind, VerifyErrorKind::MissingResult));
+}
+
+#[test]
+fn eager_release_shrinks_peak_live_bats_on_join_plans() {
+    let cat = catalog(1000);
+    let sql = "SELECT t.s, u.w FROM t JOIN u ON t.a = u.a WHERE b > 0 ORDER BY s LIMIT 50";
+    let Statement::Select(stmt) = parse_sql(sql).unwrap() else {
+        panic!()
+    };
+    let (prog, _) = compile_select(&cat, &stmt).unwrap();
+
+    let mut plain = Interpreter::new(&cat);
+    let out_plain = plain.run(&prog).unwrap();
+    let mut eager = Interpreter::new(&cat).eager_release(true);
+    let out_eager = eager.run(&prog).unwrap();
+
+    assert_eq!(render(out_plain), render(out_eager), "query: {sql}");
+    assert!(
+        eager.stats().peak_live_bats < plain.stats().peak_live_bats,
+        "eager release should lower the peak: {} -> {}",
+        plain.stats().peak_live_bats,
+        eager.stats().peak_live_bats
+    );
+    assert!(eager.stats().released_early > 0);
+
+    // the garbage_collect pass achieves the same effect for a plain run
+    let gcd = default_pipeline()
+        .with(mammoth::mal::GarbageCollect)
+        .optimize(prog.clone());
+    let mut gc_run = Interpreter::new(&cat);
+    let out_gc = gc_run.run(&gcd).unwrap();
+    assert_eq!(
+        render(Interpreter::new(&cat).run(&prog).unwrap()),
+        render(out_gc)
+    );
+    assert!(gc_run.stats().peak_live_bats < plain.stats().peak_live_bats);
 }

@@ -3,9 +3,9 @@
 
 use mammoth::cracking::{Bound, CrackerColumn};
 use mammoth::recycler::{EvictPolicy, Recycler};
+use mammoth::types::Value;
 use mammoth::workload::{range_query_log, skyserver_log, uniform_i64, QueryPattern};
 use mammoth::{Database, QueryOutput};
-use mammoth::types::Value;
 
 /// Cracking answers every query of a realistic log exactly like a scan,
 /// while physically reorganizing the column — and converges: late queries
@@ -82,7 +82,8 @@ fn cracking_with_interleaved_updates() {
 #[test]
 fn recycler_on_skyserver_log_with_dml() {
     let mut db = Database::with_recycler(64 << 20);
-    db.execute("CREATE TABLE sky (ra BIGINT, dec BIGINT)").unwrap();
+    db.execute("CREATE TABLE sky (ra BIGINT, dec BIGINT)")
+        .unwrap();
     // moderate table so the test stays quick
     let ra = uniform_i64(20_000, 0, 100_000, 1);
     let dec = uniform_i64(20_000, 0, 100_000, 2);
@@ -115,7 +116,9 @@ fn recycler_on_skyserver_log_with_dml() {
                 q.range.lo, q.range.hi
             ))
             .unwrap();
-        let QueryOutput::Table { rows, .. } = out else { panic!() };
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
         answers.push(rows[0][0].as_i64().unwrap());
     }
     let stats = db.recycler_stats().unwrap().clone();
@@ -154,8 +157,7 @@ fn recycler_on_skyserver_log_with_dml() {
             q.range.lo, q.range.hi
         ))
         .unwrap();
-    let (QueryOutput::Table { rows: r1, .. }, QueryOutput::Table { rows: r2, .. }) =
-        (out1, out2)
+    let (QueryOutput::Table { rows: r1, .. }, QueryOutput::Table { rows: r2, .. }) = (out1, out2)
     else {
         panic!()
     };
@@ -174,7 +176,15 @@ fn recycler_subsumption_path() {
     use mammoth::storage::Bat;
     let mut rec = Recycler::new(1 << 20, EvictPolicy::Lru);
     let wide = Bat::from_vec((0..1000i64).collect::<Vec<_>>());
-    rec.admit_range("t.a", Some(0), Some(999), "wide", wide, vec!["t.a".into()], 100);
+    rec.admit_range(
+        "t.a",
+        Some(0),
+        Some(999),
+        "wide",
+        wide,
+        vec!["t.a".into()],
+        100,
+    );
     let hit = rec.lookup_covering("t.a", Some(100), Some(200));
     assert!(hit.is_some());
     assert_eq!(rec.stats().subsumption_hits, 1);

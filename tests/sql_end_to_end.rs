@@ -95,7 +95,8 @@ fn persistence_survives_restart_mid_workload() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let mut db = Database::new();
-        db.execute("CREATE TABLE kv (k INT NOT NULL, v VARCHAR)").unwrap();
+        db.execute("CREATE TABLE kv (k INT NOT NULL, v VARCHAR)")
+            .unwrap();
         for batch in 0..10 {
             let values: Vec<String> = (0..100)
                 .map(|i| format!("({}, 'v{}')", batch * 100 + i, batch * 100 + i))
@@ -129,7 +130,10 @@ fn between_limit_and_floats() {
             .unwrap(),
     );
     assert_eq!(r, vec![vec![Value::I32(2)]]);
-    let r = rows(db.execute("SELECT SUM(y), COUNT(y), AVG(y) FROM m").unwrap());
+    let r = rows(
+        db.execute("SELECT SUM(y), COUNT(y), AVG(y) FROM m")
+            .unwrap(),
+    );
     assert_eq!(r[0][0], Value::F64(4.5));
     assert_eq!(r[0][1], Value::I64(3), "COUNT(col) skips NULL");
     assert_eq!(r[0][2], Value::F64(1.5));

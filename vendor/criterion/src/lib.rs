@@ -1,0 +1,222 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Implements the bench-definition API the workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) over a simple median-of-samples
+//! timer. No statistical analysis, plots, or baseline comparison — just
+//! stable, dependency-free numbers on stderr.
+//!
+//! When invoked with `--test` (as `cargo test` does for bench targets) each
+//! benchmark body runs exactly once, so benches double as smoke tests.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration and output sink.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.label, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.label.clone(), |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let samples = if self.c.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.c.sample_size)
+        };
+        let mut b = Bencher {
+            samples,
+            best: Duration::MAX,
+            iters: 0,
+        };
+        f(&mut b);
+        if !self.c.test_mode && b.iters > 0 {
+            let per_iter = b.best;
+            let rate = self.throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!(", {:.0} elem/s", n as f64 / per_iter.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!(", {:.0} B/s", n as f64 / per_iter.as_secs_f64())
+                }
+            });
+            eprintln!(
+                "bench {}/{label}: {per_iter:?}/iter{}",
+                self.name,
+                rate.unwrap_or_default()
+            );
+        }
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the benchmark body; `iter`'s best-of-samples wall time is reported.
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+                b.iter(|| {
+                    ran += 1;
+                    x * 2
+                });
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        let mut ran = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! implements the subset of proptest the workspace's tests rely on:
+//!
+//! * the [`proptest!`] macro (multiple `#[test]` functions, `pat in strategy`
+//!   bindings, trailing commas);
+//! * range strategies over the integer types, tuple strategies, and
+//!   [`collection::vec`], [`option::of`], [`num`]'s `ANY` constants;
+//! * string strategies written as simple character-class regexes like
+//!   `"[a-z]{0,12}"`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the generated inputs left to `Debug`-print by the assertion itself. Case
+//! generation is deterministic per test-function name, so failures reproduce.
+
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+/// Number of random cases each `proptest!` test runs.
+pub const CASES: usize = 64;
+
+/// The per-test deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed derived from the test name so each test gets a stable,
+    /// distinct stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values: the (shrink-free) core of proptest's trait.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// String strategies written as a character-class regex: `"[a-z]{0,12}"`,
+/// `"[ab]{1,2}"`, `"[abc]{5}"`, or a bare class `"[xyz]"` (one char).
+/// Anything without a leading `[` is treated as a literal string.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let Some(rest) = self.strip_prefix('[') else {
+            return (*self).to_string();
+        };
+        let Some(close) = rest.find(']') else {
+            return (*self).to_string();
+        };
+        let class: Vec<char> = expand_class(&rest[..close]);
+        let quant = &rest[close + 1..];
+        let (lo, hi) = parse_quantifier(quant);
+        let n = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..=hi)
+        };
+        (0..n)
+            .map(|_| class[rng.random_range(0..class.len())])
+            .collect()
+    }
+}
+
+/// `a-z` style ranges inside a class; everything else is literal.
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            for c in a..=b {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class in string strategy");
+    out
+}
+
+fn parse_quantifier(q: &str) -> (usize, usize) {
+    let Some(inner) = q.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return (1, 1); // bare class: one char
+    };
+    match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad quantifier"),
+            hi.trim().parse().expect("bad quantifier"),
+        ),
+        None => {
+            let n = inner.trim().parse().expect("bad quantifier");
+            (n, n)
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Sizes accepted by [`vec`]: an exact length or a half-open range.
+    pub trait IntoSizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.random_range(self.clone())
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Box<dyn IntoSizeRange>,
+    }
+
+    /// `proptest::collection::vec(strategy, len)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: Box::new(size),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(strategy)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.random_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident => $t:ty),*) => {$(
+            pub mod $m {
+                /// Uniform over the type's whole domain.
+                pub struct Any;
+                pub const ANY: Any = Any;
+
+                impl crate::Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut crate::TestRng) -> $t {
+                        use rand::RngExt;
+                        rng.random()
+                    }
+                }
+            }
+        )*};
+    }
+
+    any_mod!(i8 => i8, i16 => i16, i32 => i32, i64 => i64,
+             u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize);
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// The test-definition macro. Each enclosed function runs [`CASES`] times
+/// with fresh deterministically-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        #[test]
+        fn $name() {
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _ in 0..$crate::CASES {
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(v in crate::collection::vec(-5i64..5, 0..40), x in 0u32..10) {
+            prop_assert!(v.len() < 40);
+            prop_assert!(v.iter().all(|e| (-5..5).contains(e)));
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn strings_and_options(s in crate::option::of("[a-z]{0,12}"), t in "[ab]{1,2}") {
+            if let Some(s) = &s {
+                prop_assert!(s.len() <= 12);
+                prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            prop_assert!(!t.is_empty() && t.len() <= 2);
+            prop_assert!(t.chars().all(|c| c == 'a' || c == 'b'));
+        }
+
+        #[test]
+        fn tuples_and_any(p in (0usize..100, crate::num::i64::ANY)) {
+            prop_assert!(p.0 < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let s: String = Strategy::generate(&"[a-z]{0,12}", &mut a);
+        let t: String = Strategy::generate(&"[a-z]{0,12}", &mut b);
+        assert_eq!(s, t);
+    }
+}
