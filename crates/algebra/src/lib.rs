@@ -23,6 +23,7 @@ pub mod agg;
 pub mod arith;
 pub mod fetch;
 pub mod join;
+pub mod mat;
 pub mod radix;
 pub mod select;
 pub mod sort;
@@ -31,6 +32,7 @@ pub use agg::{aggregate_scalar, group_by, group_refine, grouped_aggregate, AggKi
 pub use arith::{arith_bat, arith_const, ArithOp};
 pub use fetch::{fetch_join, fetch_join_with_head, gather, positions_of, scatter};
 pub use join::{hash_join, merge_join, nested_loop_join, JoinIndex};
+pub use mat::{pack, packsum};
 pub use radix::{
     even_passes, mix_key_bat, partitioned_hash_join, radix_cluster, radix_decluster,
     radix_decluster_fixed, ClusteredColumn,

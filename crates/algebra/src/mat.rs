@@ -1,0 +1,177 @@
+//! Fragment merge operators (MonetDB's `mat` module).
+//!
+//! The mitosis optimizer slices a base BAT into k horizontal range
+//! fragments; after slice-wise operators ran over the fragments, `mat.pack`
+//! concatenates the partial results back into a single BAT. Packing is
+//! order-preserving: fragment i's rows precede fragment i+1's, so packing
+//! range-aligned fragments reproduces the parent BAT exactly.
+
+use mammoth_storage::{Bat, HeadColumn};
+use mammoth_types::{Error, Oid, Result, Value};
+
+/// Concatenate fragments into one BAT.
+///
+/// The head stays void when every fragment is void-headed and the seqbases
+/// are contiguous (`next.seqbase == prev.seqbase + prev.len`) — the
+/// re-assembled parent keeps O(1) positional lookup. Otherwise the result
+/// is a fresh dense BAT (seqbase 0), which is what select-style fragment
+/// outputs need: their tails carry the absolute oids.
+pub fn pack(parts: &[&Bat]) -> Result<Bat> {
+    let Some(first) = parts.first() else {
+        return Err(Error::Internal("mat.pack of zero fragments".into()));
+    };
+    let ty = first.ty();
+    for p in parts {
+        if p.ty() != ty {
+            return Err(Error::TypeMismatch {
+                expected: ty.name().into(),
+                found: p.ty().name().into(),
+            });
+        }
+    }
+    // contiguous void fragments re-assemble into a void-headed parent
+    let mut contiguous = true;
+    let mut next_seq: Option<Oid> = None;
+    for p in parts {
+        match p.head() {
+            HeadColumn::Void { seqbase } => {
+                if let Some(n) = next_seq {
+                    contiguous &= *seqbase == n;
+                }
+                next_seq = Some(seqbase + p.len() as Oid);
+            }
+            HeadColumn::Oids(_) => {
+                contiguous = false;
+                break;
+            }
+        }
+    }
+    let mut tail = first.tail().slice_range(0, first.len());
+    for p in &parts[1..] {
+        tail.extend_from(p.tail())?;
+    }
+    if contiguous {
+        let HeadColumn::Void { seqbase } = first.head() else {
+            unreachable!("contiguous implies void heads");
+        };
+        Ok(Bat::dense(*seqbase, tail))
+    } else {
+        Ok(Bat::dense(0, tail))
+    }
+}
+
+/// Merge per-fragment partial aggregates: the nil-skipping sum.
+///
+/// Matches the scalar aggregator's conventions: an empty fragment's partial
+/// is NIL and is skipped; when every partial is NIL the merged aggregate is
+/// NIL; integer partials accumulate in wrapping i64, floats in f64, and one
+/// float partial widens the whole sum to f64.
+pub fn packsum(parts: &[Value]) -> Result<Value> {
+    let mut sum_i: i64 = 0;
+    let mut sum_f: f64 = 0.0;
+    let mut float = false;
+    let mut seen = false;
+    for v in parts {
+        if v.is_null() {
+            continue;
+        }
+        match v {
+            Value::F64(x) => {
+                float = true;
+                seen = true;
+                sum_f += x;
+            }
+            other => match other.as_i64() {
+                Some(x) => {
+                    seen = true;
+                    sum_i = sum_i.wrapping_add(x);
+                }
+                None => {
+                    return Err(Error::TypeMismatch {
+                        expected: "numeric scalar".into(),
+                        found: format!("{other:?}"),
+                    })
+                }
+            },
+        }
+    }
+    Ok(if !seen {
+        Value::Null
+    } else if float {
+        Value::F64(sum_f + sum_i as f64)
+    } else {
+        Value::I64(sum_i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_storage::TailHeap;
+
+    #[test]
+    fn pack_of_contiguous_slices_reproduces_parent() {
+        let b = Bat::from_vec((0..100i64).collect::<Vec<_>>());
+        for k in [1usize, 2, 3, 7, 100, 128] {
+            let mut parts = Vec::new();
+            for i in 0..k {
+                let lo = i * b.len() / k;
+                let hi = (i + 1) * b.len() / k;
+                parts.push(b.slice(lo, hi).unwrap());
+            }
+            let refs: Vec<&Bat> = parts.iter().collect();
+            let packed = pack(&refs).unwrap();
+            assert_eq!(packed.len(), b.len());
+            assert!(matches!(packed.head(), HeadColumn::Void { seqbase: 0 }));
+            assert_eq!(
+                packed.tail_slice::<i64>().unwrap(),
+                b.tail_slice::<i64>().unwrap(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_of_candidate_fragments_rebases_to_dense() {
+        // fragment selects produce dense(0) oid tails; pack concatenates
+        let a = Bat::dense(0, TailHeap::from_vec(vec![1 as Oid, 3]));
+        let b = Bat::dense(0, TailHeap::from_vec(vec![5 as Oid, 9]));
+        let out = pack(&[&a, &b]).unwrap();
+        assert!(matches!(out.head(), HeadColumn::Void { seqbase: 0 }));
+        assert_eq!(out.tail_slice::<Oid>().unwrap(), &[1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn pack_rejects_mixed_types() {
+        let a = Bat::from_vec(vec![1i64]);
+        let b = Bat::from_vec(vec![1i32]);
+        assert!(pack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn pack_of_strings() {
+        let b = Bat::from_strings([Some("a"), None, Some("c"), Some("d")]);
+        let parts = [b.slice(0, 2).unwrap(), b.slice(2, 4).unwrap()];
+        let refs: Vec<&Bat> = parts.iter().collect();
+        let out = pack(&refs).unwrap();
+        assert_eq!(out.value_at(1), Value::Null);
+        assert_eq!(out.value_at(3), Value::Str("d".into()));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn packsum_skips_nil_and_widens() {
+        assert_eq!(
+            packsum(&[Value::I64(3), Value::Null, Value::I64(4)]).unwrap(),
+            Value::I64(7)
+        );
+        assert_eq!(packsum(&[Value::Null, Value::Null]).unwrap(), Value::Null);
+        assert_eq!(
+            packsum(&[Value::F64(0.5), Value::I64(2)]).unwrap(),
+            Value::F64(2.5)
+        );
+        assert_eq!(packsum(&[Value::I64(i64::MAX), Value::I64(1)]).unwrap(), {
+            Value::I64(i64::MIN)
+        });
+    }
+}

@@ -7,7 +7,7 @@
 //! the simulated optimum — the "automate this tuning task" pay-off.
 
 use crate::table::TextTable;
-use crate::Scale;
+use crate::{record_metric, Metric, Scale};
 use mammoth_cache::cost::predict_cost;
 use mammoth_cache::pattern::{Pattern, Region};
 use mammoth_cache::trace::{
@@ -64,8 +64,16 @@ pub fn run(scale: Scale) -> String {
     ] {
         let predicted = predict_cost(&pat, &h).total_cycles;
         let mut sim = HierarchySim::new(&h);
-        sim.run(pat.trace());
+        let (_, sim_secs) = crate::timed(|| sim.run(pat.trace()));
         let measured = sim.cost() as f64;
+        let misses: u64 = sim.report().levels.iter().map(|l| l.total()).sum();
+        record_metric(Metric {
+            experiment: "e06",
+            name: format!("pattern/{name}"),
+            params: vec![("predicted_cycles".into(), format!("{predicted:.0}"))],
+            wall_secs: sim_secs,
+            simulated_misses: Some(misses),
+        });
         let bytes = match &pat {
             Pattern::STrav { region } | Pattern::RTrav { region, .. } => region.bytes(),
             Pattern::RRAcc { region, .. } => region.bytes(),

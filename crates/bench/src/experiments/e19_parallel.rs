@@ -1,0 +1,204 @@
+//! E19 — Multi-core MAL execution: thread-count scaling sweep.
+//!
+//! Two plans over a 2^22-row table (2^18 at `--quick`):
+//!
+//! * **scan-select-aggregate** — `SUM(b), COUNT(b) WHERE a > c`: mitosis +
+//!   mergetable rewrite it into k fully independent fragment pipelines
+//!   merged by one `mat.packsum`, the embarrassing-parallel best case;
+//! * **select-project-join** — a fragmented select + fetch on the fact
+//!   side feeding a (serial) hash join against a dimension key column:
+//!   the fragments run concurrently, the join is the sequential tail
+//!   (Amdahl's bite).
+//!
+//! Both plans run on the serial interpreter as the baseline, then on the
+//! dataflow worker pool at 1..=8 threads. The rewritten plans pass the
+//! checked pipeline (re-verified after every pass); every run's answers
+//! are asserted equal to the serial ones before its time is reported.
+//! Speedups are measured, not simulated — on a single-core container the
+//! sweep shows scheduler overhead instead of scaling, and the table says
+//! whichever it is.
+
+use crate::table::TextTable;
+use crate::{fmt_secs, record_metric, timed, Metric, Scale};
+use mammoth_algebra::{AggKind, ArithOp, CmpOp};
+use mammoth_mal::{column_types, parallel_pipeline, Arg, Interpreter, MalValue, OpCode, Program};
+use mammoth_parallel::run_dataflow;
+use mammoth_storage::{Bat, Catalog, Table};
+use mammoth_types::{ColumnDef, LogicalType, TableSchema, Value};
+use mammoth_workload::permutation;
+
+fn build_catalog(rows: usize, dim_rows: usize) -> Catalog {
+    let mut cat = Catalog::new();
+    // fact(a, b, k): a is the selection column, b the aggregated payload,
+    // k a foreign key into dim
+    let a: Vec<i64> = (0..rows as i64)
+        .map(|i| (i * 2_654_435_761) % 1000)
+        .collect();
+    let b: Vec<i64> = (0..rows as i64).map(|i| i % 8191).collect();
+    let k: Vec<i64> = (0..rows as i64)
+        .map(|i| (i * 40_503) % dim_rows as i64)
+        .collect();
+    let fact = Table::from_bats(
+        TableSchema::new(
+            "fact",
+            vec![
+                ColumnDef::new("a", LogicalType::I64),
+                ColumnDef::new("b", LogicalType::I64),
+                ColumnDef::new("k", LogicalType::I64),
+            ],
+        ),
+        vec![Bat::from_vec(a), Bat::from_vec(b), Bat::from_vec(k)],
+    )
+    .unwrap();
+    cat.create_table(fact).unwrap();
+    let dim = Table::from_bats(
+        TableSchema::new("dim", vec![ColumnDef::new("k", LogicalType::I64)]),
+        vec![Bat::from_vec(permutation(dim_rows, 7))],
+    )
+    .unwrap();
+    cat.create_table(dim).unwrap();
+    cat
+}
+
+fn bind(p: &mut Program, t: &str, c: &str) -> usize {
+    p.push(
+        OpCode::Bind,
+        vec![
+            Arg::Const(Value::Str(t.into())),
+            Arg::Const(Value::Str(c.into())),
+        ],
+    )[0]
+}
+
+/// `SELECT SUM(b*2), COUNT(b) FROM fact WHERE a > 500`
+fn scan_select_aggregate() -> Program {
+    let mut p = Program::new();
+    let a = bind(&mut p, "fact", "a");
+    let c = p.push(
+        OpCode::ThetaSelect(CmpOp::Gt),
+        vec![Arg::Var(a), Arg::Const(Value::I64(500))],
+    )[0];
+    let b = bind(&mut p, "fact", "b");
+    let f = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(b)])[0];
+    let d = p.push(
+        OpCode::Calc(ArithOp::Mul),
+        vec![Arg::Var(f), Arg::Const(Value::I64(2))],
+    )[0];
+    let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(d)])[0];
+    let n = p.push(OpCode::Count, vec![Arg::Var(f)])[0];
+    p.push_result(&[s, n]);
+    p
+}
+
+/// `SELECT COUNT(*) FROM fact, dim WHERE fact.k = dim.k AND fact.a > 750`
+fn select_project_join() -> Program {
+    let mut p = Program::new();
+    let a = bind(&mut p, "fact", "a");
+    let c = p.push(
+        OpCode::ThetaSelect(CmpOp::Gt),
+        vec![Arg::Var(a), Arg::Const(Value::I64(750))],
+    )[0];
+    let fk = bind(&mut p, "fact", "k");
+    let keys = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(fk)])[0];
+    let dk = bind(&mut p, "dim", "k");
+    let j = p.push(OpCode::Join, vec![Arg::Var(keys), Arg::Var(dk)]);
+    let n = p.push(OpCode::Count, vec![Arg::Var(j[0])])[0];
+    p.push_result(&[n]);
+    p
+}
+
+fn scalars(vals: &[MalValue]) -> Vec<Value> {
+    vals.iter()
+        .map(|v| v.as_scalar().expect("scalar output").clone())
+        .collect()
+}
+
+pub fn run(scale: Scale) -> String {
+    let rows = 1usize << scale.pick(18, 22);
+    let dim_rows = 1usize << scale.pick(12, 16);
+    let cat = build_catalog(rows, dim_rows);
+    let plans = [
+        ("scan_select_aggregate", scan_select_aggregate()),
+        ("select_project_join", select_project_join()),
+    ];
+    let sweep = [1usize, 2, 4, 8];
+
+    let mut out = String::new();
+    out.push_str("E19  Multi-core MAL execution: mitosis + mergetable + dataflow scheduler\n");
+    out.push_str(&format!(
+        "fact: 2^{} rows, dim: 2^{} rows; serial interpreter vs worker pool\n",
+        rows.trailing_zeros(),
+        dim_rows.trailing_zeros()
+    ));
+    out.push_str(&format!(
+        "host parallelism: {} core(s) — speedups are measured on this host\n\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+
+    let mut t = TextTable::new(vec![
+        "plan",
+        "engine",
+        "time",
+        "speedup",
+        "instrs",
+        "peak inflight",
+    ]);
+    for (name, prog) in &plans {
+        // serial baseline: best of 2 on the unfragmented plan
+        let (base_out, t_a) = timed(|| Interpreter::new(&cat).run(prog).unwrap());
+        let (_, t_b) = timed(|| Interpreter::new(&cat).run(prog).unwrap());
+        let t_serial = t_a.min(t_b);
+        let expected = scalars(&base_out);
+        t.row(vec![
+            name.to_string(),
+            "serial".to_string(),
+            fmt_secs(t_serial),
+            "1.00x".to_string(),
+            prog.instrs.len().to_string(),
+            "-".to_string(),
+        ]);
+        record_metric(Metric {
+            experiment: "e19",
+            name: format!("{name}/serial"),
+            params: vec![("rows".into(), rows.to_string())],
+            wall_secs: t_serial,
+            simulated_misses: None,
+        });
+
+        for &threads in &sweep {
+            let pieces = threads.max(2);
+            let rewritten = parallel_pipeline(pieces, column_types(&cat))
+                .try_optimize(prog.clone())
+                .expect("rewritten plan must pass the checked pipeline");
+            let ((vals, stats), t_a) = timed(|| run_dataflow(&cat, &rewritten, threads).unwrap());
+            let (_, t_b) = timed(|| run_dataflow(&cat, &rewritten, threads).unwrap());
+            let t_par = t_a.min(t_b);
+            assert_eq!(scalars(&vals), expected, "{name} @ {threads} threads");
+            t.row(vec![
+                name.to_string(),
+                format!("dataflow x{threads}"),
+                fmt_secs(t_par),
+                format!("{:.2}x", t_serial / t_par),
+                rewritten.instrs.len().to_string(),
+                stats.max_inflight.to_string(),
+            ]);
+            record_metric(Metric {
+                experiment: "e19",
+                name: format!("{name}/dataflow"),
+                params: vec![
+                    ("rows".into(), rows.to_string()),
+                    ("threads".into(), threads.to_string()),
+                    ("pieces".into(), pieces.to_string()),
+                ],
+                wall_secs: t_par,
+                simulated_misses: None,
+            });
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nverdict: fragment pipelines give the scheduler real instruction-level\n\
+         parallelism; how much of it turns into speedup is up to the host's cores.\n",
+    );
+    out
+}

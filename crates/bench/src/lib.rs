@@ -27,6 +27,7 @@ pub mod experiments {
     pub mod e16_deltas;
     pub mod e17_datacell;
     pub mod e18_sideways;
+    pub mod e19_parallel;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -144,7 +145,81 @@ pub fn all_experiments() -> Vec<Experiment> {
             "extension - sideways cracking: self-organizing tuple reconstruction",
             e18_sideways::run,
         ),
+        (
+            "e19",
+            "Multi-core MAL execution: mitosis + dataflow thread-count scaling sweep",
+            e19_parallel::run,
+        ),
     ]
+}
+
+/// One measured data point, recorded by an experiment for `exp --json`.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// The experiment id, e.g. `"e19"`.
+    pub experiment: &'static str,
+    /// The measured thing, e.g. `"scan_select_aggregate"`.
+    pub name: String,
+    /// Free-form parameters: `("threads", "4")`, `("rows", "4194304")`, …
+    pub params: Vec<(String, String)>,
+    /// Wall-clock seconds of the measured region.
+    pub wall_secs: f64,
+    /// Cache-simulator miss count, for model/simulation experiments.
+    pub simulated_misses: Option<u64>,
+}
+
+static METRICS: std::sync::Mutex<Vec<Metric>> = std::sync::Mutex::new(Vec::new());
+
+/// Record a data point; `exp --json` drains these after each experiment.
+pub fn record_metric(m: Metric) {
+    METRICS.lock().unwrap().push(m);
+}
+
+/// Drain every metric recorded since the last call.
+pub fn take_metrics() -> Vec<Metric> {
+    std::mem::take(&mut *METRICS.lock().unwrap())
+}
+
+/// Escape a string for embedding in a JSON document (the harness carries
+/// no serde; the subset below covers everything experiments emit).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Metric {
+    /// Render as one JSON object.
+    pub fn to_json(&self) -> String {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let misses = match self.simulated_misses {
+            Some(m) => m.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"experiment\": \"{}\", \"name\": \"{}\", \"params\": {{{}}}, \
+             \"wall_clock_s\": {:.6}, \"simulated_misses\": {}}}",
+            json_escape(self.experiment),
+            json_escape(&self.name),
+            params.join(", "),
+            self.wall_secs,
+            misses
+        )
+    }
 }
 
 /// Convenience used by experiments: time a closure, return (result, secs).

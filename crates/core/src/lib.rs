@@ -18,6 +18,7 @@
 //! ```
 
 use mammoth_mal::{parse_program, Interpreter, MalValue};
+use mammoth_parallel::ParallelExecutor;
 use mammoth_sql::{QueryOutput, Session};
 use mammoth_storage::{persist, Bat, Catalog, Table};
 use mammoth_types::{ColumnDef, LogicalType, Result, TableSchema};
@@ -25,7 +26,21 @@ use mammoth_xpath::{Doc, XmlNode};
 use std::path::Path;
 
 pub use mammoth_mal::ExecStats;
+pub use mammoth_parallel::{resolve_threads, DataflowStats};
 pub use mammoth_sql::QueryOutput as Output;
+
+/// Which execution engine SELECTs run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The serial MAL interpreter (the default).
+    #[default]
+    Serial,
+    /// The multi-core dataflow engine: plans are fragmented by the
+    /// mitosis/mergetable optimizer modules and executed by a worker pool.
+    /// `threads == 0` picks the `MAMMOTH_THREADS` environment variable if
+    /// set, otherwise the machine's available parallelism.
+    Parallel { threads: usize },
+}
 
 /// An embedded mammoth database.
 pub struct Database {
@@ -53,6 +68,24 @@ impl Database {
         Database {
             session: Session::new().with_recycler(capacity_bytes),
         }
+    }
+
+    /// A database running SELECTs on the chosen [`Engine`].
+    ///
+    /// With [`Engine::Parallel`], base-column scans are sliced into
+    /// fragments (at least two, so the rewrite is exercised even
+    /// single-threaded) and the plan executes as a dependency DAG on a
+    /// worker pool — see the `mammoth-parallel` crate.
+    pub fn with_engine(engine: Engine) -> Database {
+        let session = match engine {
+            Engine::Serial => Session::new(),
+            Engine::Parallel { threads } => {
+                let threads = resolve_threads(threads);
+                let pieces = threads.max(2);
+                Session::new().with_executor(Box::new(ParallelExecutor::new(threads)), pieces)
+            }
+        };
+        Database { session }
     }
 
     /// Execute one SQL statement.
@@ -218,5 +251,40 @@ mod tests {
         db.execute("INSERT INTO t VALUES (5)").unwrap();
         let before = db.recycler_stats().unwrap().invalidations;
         assert!(before > 0);
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_sql() {
+        use mammoth_storage::Bat;
+        let schema = || {
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", LogicalType::I64),
+                    ColumnDef::new("b", LogicalType::I64),
+                ],
+            )
+        };
+        let cols = || {
+            vec![
+                Bat::from_vec((0..10_000i64).map(|i| i % 97).collect::<Vec<_>>()),
+                Bat::from_vec((0..10_000i64).collect::<Vec<_>>()),
+            ]
+        };
+        let queries = [
+            "SELECT SUM(b), COUNT(b) FROM t WHERE a > 40",
+            "SELECT b FROM t WHERE a = 13 AND b < 500",
+            "SELECT a, COUNT(*) FROM t WHERE b < 200 GROUP BY a ORDER BY a",
+            "SELECT AVG(b) FROM t WHERE a < 50",
+        ];
+        let mut serial = Database::new();
+        serial.register_table(schema(), cols()).unwrap();
+        for threads in [1usize, 4] {
+            let mut par = Database::with_engine(Engine::Parallel { threads });
+            par.register_table(schema(), cols()).unwrap();
+            for q in queries {
+                assert_eq!(serial.execute(q).unwrap(), par.execute(q).unwrap(), "{q}");
+            }
+        }
     }
 }

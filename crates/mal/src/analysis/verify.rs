@@ -339,6 +339,54 @@ impl Verifier<'_> {
                 }
                 return Ok(vec![]);
             }
+            // variadic merge operators: at least one argument, uniform kind
+            OpCode::Pack => {
+                if instr.args.is_empty() {
+                    return Err(err(VerifyErrorKind::BadArgCount {
+                        expected: 1,
+                        got: 0,
+                    }));
+                }
+                let mut ty: Option<LogicalType> = None;
+                for k in 0..instr.args.len() {
+                    let t = self.bat_arg(idx, instr, k, state)?;
+                    match (ty, t) {
+                        (Some(a), Some(b)) if a != b => {
+                            return Err(err(VerifyErrorKind::TypeMismatch {
+                                arg: k,
+                                detail: format!(
+                                    "cannot pack a {} fragment with {} fragments",
+                                    b.name(),
+                                    a.name()
+                                ),
+                            }))
+                        }
+                        (None, Some(b)) => ty = Some(b),
+                        _ => {}
+                    }
+                }
+                return Ok(vec![VarTy::Bat(ty)]);
+            }
+            OpCode::PackSum => {
+                if instr.args.is_empty() {
+                    return Err(err(VerifyErrorKind::BadArgCount {
+                        expected: 1,
+                        got: 0,
+                    }));
+                }
+                let mut out: Option<LogicalType> = None;
+                let mut all_known = true;
+                for k in 0..instr.args.len() {
+                    let t = self.scalar_arg(idx, instr, k, state)?;
+                    self.numeric(idx, instr, k, t)?;
+                    match (out, t) {
+                        (Some(a), Some(b)) => out = LogicalType::widen(a, b),
+                        (None, Some(b)) => out = Some(b),
+                        _ => all_known = false,
+                    }
+                }
+                return Ok(vec![VarTy::Scalar(if all_known { out } else { None })]);
+            }
             _ => {}
         }
 
@@ -349,13 +397,18 @@ impl Verifier<'_> {
             | OpCode::Join
             | OpCode::GroupRefine
             | OpCode::Calc(_) => 2,
-            OpCode::RangeSelect { .. } | OpCode::AggrGrouped(_) | OpCode::Slice => 3,
+            OpCode::RangeSelect { .. }
+            | OpCode::AggrGrouped(_)
+            | OpCode::Slice
+            | OpCode::PartSlice => 3,
             OpCode::Group
             | OpCode::Aggr(_)
             | OpCode::Sort { .. }
             | OpCode::Count
             | OpCode::Mirror => 1,
-            OpCode::Result | OpCode::Free => unreachable!("handled above"),
+            OpCode::Result | OpCode::Free | OpCode::Pack | OpCode::PackSum => {
+                unreachable!("handled above")
+            }
         };
         if instr.args.len() != expected_args {
             return Err(err(VerifyErrorKind::BadArgCount {
@@ -509,6 +562,47 @@ impl Verifier<'_> {
                 }
                 Ok(vec![VarTy::Bat(t)])
             }
+            OpCode::PartSlice => {
+                let t = self.bat_arg(idx, instr, 0, state)?;
+                // the fragment coordinates are literal integer constants
+                // with 0 <= i < k, so a malformed mitosis rewrite is caught
+                // statically, not at runtime
+                let mut vals = [0i64; 2];
+                for (slot, k) in (1..=2).enumerate() {
+                    match &instr.args[k] {
+                        Arg::Var(_) => {
+                            return Err(err(VerifyErrorKind::ConstArgExpected { arg: k }))
+                        }
+                        Arg::Const(c) => match (c.logical_type(), c.as_i64()) {
+                            (
+                                Some(
+                                    LogicalType::I8
+                                    | LogicalType::I16
+                                    | LogicalType::I32
+                                    | LogicalType::I64,
+                                ),
+                                Some(x),
+                            ) => vals[slot] = x,
+                            _ => {
+                                return Err(err(VerifyErrorKind::TypeMismatch {
+                                    arg: k,
+                                    detail: format!(
+                                    "fragment coordinate must be an integer constant, found {c:?}"
+                                ),
+                                }))
+                            }
+                        },
+                    }
+                }
+                let (i, n) = (vals[0], vals[1]);
+                if n < 1 || i < 0 || i >= n {
+                    return Err(err(VerifyErrorKind::TypeMismatch {
+                        arg: 1,
+                        detail: format!("fragment {i} of {n} is out of range"),
+                    }));
+                }
+                Ok(vec![VarTy::Bat(t)])
+            }
             OpCode::Count => {
                 self.bat_arg(idx, instr, 0, state)?;
                 Ok(vec![VarTy::Scalar(Some(LogicalType::I64))])
@@ -517,7 +611,9 @@ impl Verifier<'_> {
                 self.bat_arg(idx, instr, 0, state)?;
                 Ok(vec![VarTy::Bat(Some(LogicalType::Oid))])
             }
-            OpCode::Result | OpCode::Free => unreachable!("handled above"),
+            OpCode::Result | OpCode::Free | OpCode::Pack | OpCode::PackSum => {
+                unreachable!("handled above")
+            }
         }
     }
 

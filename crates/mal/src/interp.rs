@@ -182,26 +182,6 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    fn arg_bat(&self, a: &Arg, vars: &[Option<MalValue>]) -> Result<Arc<Bat>> {
-        match self.arg_value(a, vars)? {
-            MalValue::Bat(b) => Ok(b),
-            MalValue::Scalar(s) => Err(Error::TypeMismatch {
-                expected: "bat".into(),
-                found: format!("{s:?}"),
-            }),
-        }
-    }
-
-    fn arg_const(&self, a: &Arg, vars: &[Option<MalValue>]) -> Result<Value> {
-        match self.arg_value(a, vars)? {
-            MalValue::Scalar(v) => Ok(v),
-            MalValue::Bat(_) => Err(Error::TypeMismatch {
-                expected: "scalar".into(),
-                found: "bat".into(),
-            }),
-        }
-    }
-
     /// Provenance signature (None when any input's provenance is unknown).
     fn instr_sig(&self, instr: &Instr, sigs: &[Option<String>]) -> Option<String> {
         if !instr.op.is_pure() {
@@ -244,109 +224,172 @@ impl<'a> Interpreter<'a> {
     }
 
     fn execute(&self, instr: &Instr, vars: &[Option<MalValue>]) -> Result<Vec<MalValue>> {
-        let bat = |b: Bat| MalValue::Bat(Arc::new(b));
-        Ok(match &instr.op {
-            OpCode::Bind => {
-                let t = self.arg_const(&instr.args[0], vars)?;
-                let c = self.arg_const(&instr.args[1], vars)?;
-                let (Value::Str(t), Value::Str(c)) = (t, c) else {
-                    return Err(Error::Bind("sql.bind expects string constants".into()));
-                };
-                let col = self.catalog.table(&t)?.column_by_name(&c)?;
-                // zero-copy when the column has no pending deltas
-                vec![MalValue::Bat(col.materialize_shared())]
-            }
-            OpCode::ThetaSelect(op) => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                let c = self.arg_const(&instr.args[1], vars)?;
-                vec![bat(alg::select_cmp(&b, *op, &c)?)]
-            }
-            OpCode::RangeSelect { lo_incl, hi_incl } => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                let lo = self.arg_const(&instr.args[1], vars)?;
-                let hi = self.arg_const(&instr.args[2], vars)?;
-                let lo_ref = (!lo.is_null()).then_some(&lo);
-                let hi_ref = (!hi.is_null()).then_some(&hi);
-                vec![bat(alg::select_range(
-                    &b, lo_ref, hi_ref, *lo_incl, *hi_incl,
-                )?)]
-            }
-            OpCode::Projection => {
-                let cands = self.arg_bat(&instr.args[0], vars)?;
-                let b = self.arg_bat(&instr.args[1], vars)?;
-                vec![bat(alg::fetch_join(&cands, &b)?)]
-            }
-            OpCode::Join => {
-                let l = self.arg_bat(&instr.args[0], vars)?;
-                let r = self.arg_bat(&instr.args[1], vars)?;
-                let ji = alg::hash_join(&l, &r)?;
-                vec![
-                    bat(Bat::dense(0, TailHeap::from_vec(ji.left))),
-                    bat(Bat::dense(0, TailHeap::from_vec(ji.right))),
-                ]
-            }
-            OpCode::Group => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                let (gids, _n, extents) = alg::group_by(&b)?;
-                let ext: Vec<Oid> = extents.iter().map(|&p| p as Oid).collect();
-                vec![bat(gids), bat(Bat::dense(0, TailHeap::from_vec(ext)))]
-            }
-            OpCode::GroupRefine => {
-                let gids = self.arg_bat(&instr.args[0], vars)?;
-                let b = self.arg_bat(&instr.args[1], vars)?;
-                let (gids2, _n, extents) = alg::group_refine(&gids, &b)?;
-                let ext: Vec<Oid> = extents.iter().map(|&p| p as Oid).collect();
-                vec![bat(gids2), bat(Bat::dense(0, TailHeap::from_vec(ext)))]
-            }
-            OpCode::Aggr(kind) => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                vec![MalValue::Scalar(alg::aggregate_scalar(*kind, &b)?)]
-            }
-            OpCode::AggrGrouped(kind) => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                let gids = self.arg_bat(&instr.args[1], vars)?;
-                let ext = self.arg_bat(&instr.args[2], vars)?;
-                vec![bat(alg::grouped_aggregate(*kind, &b, &gids, ext.len())?)]
-            }
-            OpCode::Calc(op) => {
-                let a = self.arg_bat(&instr.args[0], vars)?;
-                match self.arg_value(&instr.args[1], vars)? {
-                    MalValue::Bat(b2) => vec![bat(alg::arith_bat(*op, &a, &b2)?)],
-                    MalValue::Scalar(c) => vec![bat(alg::arith_const(*op, &a, &c)?)],
-                }
-            }
-            OpCode::Sort { desc } => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                let (sorted, order) = alg::sort_bat_dir(&b, *desc)?;
-                vec![bat(sorted), bat(order)]
-            }
-            OpCode::Slice => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                let lo = self
-                    .arg_const(&instr.args[1], vars)?
-                    .as_i64()
-                    .unwrap_or(0)
-                    .max(0) as usize;
-                let hi = self
-                    .arg_const(&instr.args[2], vars)?
-                    .as_i64()
-                    .unwrap_or(i64::MAX)
-                    .max(0) as usize;
-                let hi = hi.min(b.len());
-                let lo = lo.min(hi);
-                vec![bat(b.slice(lo, hi)?)]
-            }
-            OpCode::Count => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                vec![MalValue::Scalar(Value::I64(b.len() as i64))]
-            }
-            OpCode::Mirror => {
-                let b = self.arg_bat(&instr.args[0], vars)?;
-                vec![bat(b.mirror())]
-            }
-            OpCode::Result | OpCode::Free => unreachable!("handled by run()"),
-        })
+        let args: Vec<MalValue> = instr
+            .args
+            .iter()
+            .map(|a| self.arg_value(a, vars))
+            .collect::<Result<_>>()?;
+        execute_instr(self.catalog, instr, &args)
     }
+}
+
+/// An executor of verified MAL plans. The serial [`Interpreter`] and the
+/// dataflow scheduler in `mammoth-parallel` both fit behind this trait, so
+/// the SQL session can swap engines without knowing either.
+pub trait PlanExecutor: Send + Sync {
+    /// Run a program; returns the values marked by `io.result`.
+    fn run_plan(&self, catalog: &Catalog, prog: &Program) -> Result<Vec<MalValue>>;
+    /// A short engine name for diagnostics.
+    fn engine_name(&self) -> &'static str;
+}
+
+fn instr_bat(args: &[MalValue], k: usize) -> Result<Arc<Bat>> {
+    match &args[k] {
+        MalValue::Bat(b) => Ok(Arc::clone(b)),
+        MalValue::Scalar(s) => Err(Error::TypeMismatch {
+            expected: "bat".into(),
+            found: format!("{s:?}"),
+        }),
+    }
+}
+
+fn instr_const(args: &[MalValue], k: usize) -> Result<Value> {
+    match &args[k] {
+        MalValue::Scalar(v) => Ok(v.clone()),
+        MalValue::Bat(_) => Err(Error::TypeMismatch {
+            expected: "scalar".into(),
+            found: "bat".into(),
+        }),
+    }
+}
+
+/// Execute one pure instruction given its resolved argument values (one
+/// entry per `instr.args`, constants resolved to scalars). This is the
+/// single point where MAL opcodes meet the BAT Algebra; the serial
+/// interpreter and the parallel dataflow workers share it, so both engines
+/// compute bit-identical results by construction.
+pub fn execute_instr(catalog: &Catalog, instr: &Instr, args: &[MalValue]) -> Result<Vec<MalValue>> {
+    let bat = |b: Bat| MalValue::Bat(Arc::new(b));
+    Ok(match &instr.op {
+        OpCode::Bind => {
+            let t = instr_const(args, 0)?;
+            let c = instr_const(args, 1)?;
+            let (Value::Str(t), Value::Str(c)) = (t, c) else {
+                return Err(Error::Bind("sql.bind expects string constants".into()));
+            };
+            let col = catalog.table(&t)?.column_by_name(&c)?;
+            // zero-copy when the column has no pending deltas
+            vec![MalValue::Bat(col.materialize_shared())]
+        }
+        OpCode::ThetaSelect(op) => {
+            let b = instr_bat(args, 0)?;
+            let c = instr_const(args, 1)?;
+            vec![bat(alg::select_cmp(&b, *op, &c)?)]
+        }
+        OpCode::RangeSelect { lo_incl, hi_incl } => {
+            let b = instr_bat(args, 0)?;
+            let lo = instr_const(args, 1)?;
+            let hi = instr_const(args, 2)?;
+            let lo_ref = (!lo.is_null()).then_some(&lo);
+            let hi_ref = (!hi.is_null()).then_some(&hi);
+            vec![bat(alg::select_range(
+                &b, lo_ref, hi_ref, *lo_incl, *hi_incl,
+            )?)]
+        }
+        OpCode::Projection => {
+            let cands = instr_bat(args, 0)?;
+            let b = instr_bat(args, 1)?;
+            vec![bat(alg::fetch_join(&cands, &b)?)]
+        }
+        OpCode::Join => {
+            let l = instr_bat(args, 0)?;
+            let r = instr_bat(args, 1)?;
+            let ji = alg::hash_join(&l, &r)?;
+            vec![
+                bat(Bat::dense(0, TailHeap::from_vec(ji.left))),
+                bat(Bat::dense(0, TailHeap::from_vec(ji.right))),
+            ]
+        }
+        OpCode::Group => {
+            let b = instr_bat(args, 0)?;
+            let (gids, _n, extents) = alg::group_by(&b)?;
+            let ext: Vec<Oid> = extents.iter().map(|&p| p as Oid).collect();
+            vec![bat(gids), bat(Bat::dense(0, TailHeap::from_vec(ext)))]
+        }
+        OpCode::GroupRefine => {
+            let gids = instr_bat(args, 0)?;
+            let b = instr_bat(args, 1)?;
+            let (gids2, _n, extents) = alg::group_refine(&gids, &b)?;
+            let ext: Vec<Oid> = extents.iter().map(|&p| p as Oid).collect();
+            vec![bat(gids2), bat(Bat::dense(0, TailHeap::from_vec(ext)))]
+        }
+        OpCode::Aggr(kind) => {
+            let b = instr_bat(args, 0)?;
+            vec![MalValue::Scalar(alg::aggregate_scalar(*kind, &b)?)]
+        }
+        OpCode::AggrGrouped(kind) => {
+            let b = instr_bat(args, 0)?;
+            let gids = instr_bat(args, 1)?;
+            let ext = instr_bat(args, 2)?;
+            vec![bat(alg::grouped_aggregate(*kind, &b, &gids, ext.len())?)]
+        }
+        OpCode::Calc(op) => {
+            let a = instr_bat(args, 0)?;
+            match &args[1] {
+                MalValue::Bat(b2) => vec![bat(alg::arith_bat(*op, &a, b2)?)],
+                MalValue::Scalar(c) => vec![bat(alg::arith_const(*op, &a, c)?)],
+            }
+        }
+        OpCode::Sort { desc } => {
+            let b = instr_bat(args, 0)?;
+            let (sorted, order) = alg::sort_bat_dir(&b, *desc)?;
+            vec![bat(sorted), bat(order)]
+        }
+        OpCode::Slice => {
+            let b = instr_bat(args, 0)?;
+            let lo = instr_const(args, 1)?.as_i64().unwrap_or(0).max(0) as usize;
+            let hi = instr_const(args, 2)?.as_i64().unwrap_or(i64::MAX).max(0) as usize;
+            let hi = hi.min(b.len());
+            let lo = lo.min(hi);
+            vec![bat(b.slice(lo, hi)?)]
+        }
+        OpCode::PartSlice => {
+            let b = instr_bat(args, 0)?;
+            let i = instr_const(args, 1)?.as_i64().unwrap_or(0);
+            let k = instr_const(args, 2)?.as_i64().unwrap_or(1);
+            if k < 1 || i < 0 || i >= k {
+                return Err(Error::Internal(format!(
+                    "algebra.slice: fragment {i} of {k} is out of range"
+                )));
+            }
+            let (i, k) = (i as usize, k as usize);
+            let lo = i * b.len() / k;
+            let hi = (i + 1) * b.len() / k;
+            vec![bat(b.slice(lo, hi)?)]
+        }
+        OpCode::Pack => {
+            let bats: Vec<Arc<Bat>> = (0..args.len())
+                .map(|k| instr_bat(args, k))
+                .collect::<Result<_>>()?;
+            let refs: Vec<&Bat> = bats.iter().map(|b| b.as_ref()).collect();
+            vec![bat(alg::pack(&refs)?)]
+        }
+        OpCode::PackSum => {
+            let parts: Vec<Value> = (0..args.len())
+                .map(|k| instr_const(args, k))
+                .collect::<Result<_>>()?;
+            vec![MalValue::Scalar(alg::packsum(&parts)?)]
+        }
+        OpCode::Count => {
+            let b = instr_bat(args, 0)?;
+            vec![MalValue::Scalar(Value::I64(b.len() as i64))]
+        }
+        OpCode::Mirror => {
+            let b = instr_bat(args, 0)?;
+            vec![bat(b.mirror())]
+        }
+        OpCode::Result | OpCode::Free => unreachable!("handled by the scheduler"),
+    })
 }
 
 fn slot_sig(sig: &str, slot: usize) -> String {

@@ -14,6 +14,10 @@
 //!   approach breaks with the hitherto omnipresent cost-based optimizers."
 //!   Implemented modules: constant folding, common-subexpression
 //!   elimination, dead-code elimination.
+//! * [`mitosis`] — the multi-core modules of that tier: `mitosis` slices
+//!   base-column binds into horizontal fragments and `mergetable`
+//!   propagates operators fragment-wise, inserting `mat.pack` /
+//!   `mat.packsum` merges (§3.1's parallelization chain).
 //! * [`interp`] — the third tier: the interpreter over the BAT Algebra,
 //!   with optional recycler integration (§6.1) that memoizes instruction
 //!   results keyed by their *provenance signature*.
@@ -27,12 +31,14 @@
 
 pub mod analysis;
 pub mod interp;
+pub mod mitosis;
 pub mod optimizer;
 pub mod parser;
 pub mod program;
 
 pub use analysis::{verify, verify_with_catalog, Liveness, VerifyError, VerifyErrorKind};
-pub use interp::{ExecStats, Interpreter};
+pub use interp::{execute_instr, ExecStats, Interpreter, PlanExecutor};
+pub use mitosis::{column_types, parallel_pipeline, ColumnTypes, Mergetable, Mitosis};
 pub use optimizer::{default_pipeline, GarbageCollect, OptimizerPass, PassError, Pipeline};
 pub use parser::parse_program;
 pub use program::{Arg, Instr, MalValue, OpCode, Program, VarId};

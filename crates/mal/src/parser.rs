@@ -365,6 +365,9 @@ fn parse_stmt(
             desc: bracket_op.as_deref() == Some("desc"),
         },
         "bat.slice" => OpCode::Slice,
+        "algebra.slice" => OpCode::PartSlice,
+        "mat.pack" => OpCode::Pack,
+        "mat.packsum" => OpCode::PackSum,
         "bat.mirror" => OpCode::Mirror,
         "aggr.count" => OpCode::Count,
         "io.result" => OpCode::Result,

@@ -70,6 +70,18 @@ pub enum OpCode {
     Sort { desc: bool },
     /// `bat.slice(b, lo, hi)` — positional slice.
     Slice,
+    /// `algebra.slice(b, i, k)` — the i-th of k horizontal range
+    /// fragments of `b` (the mitosis fragment operator). Void heads keep
+    /// their absolute seqbase, so fragments address the same row space as
+    /// the parent.
+    PartSlice,
+    /// `mat.pack(b1, ..., bn)` — concatenate fragments back into one BAT
+    /// (the mergetable merge operator). Variadic, at least one argument.
+    Pack,
+    /// `mat.packsum(s1, ..., sn)` — merge per-fragment partial aggregates:
+    /// the nil-skipping sum of its scalar arguments (nil when all inputs
+    /// are nil). Variadic, at least one argument.
+    PackSum,
     /// `aggr.count(b)` — BAT length as a scalar (counts rows, not nils).
     Count,
     /// `bat.mirror(b)` — dense identity candidates over b.
@@ -108,6 +120,9 @@ impl OpCode {
             OpCode::Sort { desc: false } => "algebra.sort".into(),
             OpCode::Sort { desc: true } => "algebra.sort[desc]".into(),
             OpCode::Slice => "bat.slice".into(),
+            OpCode::PartSlice => "algebra.slice".into(),
+            OpCode::Pack => "mat.pack".into(),
+            OpCode::PackSum => "mat.packsum".into(),
             OpCode::Count => "aggr.count".into(),
             OpCode::Mirror => "bat.mirror".into(),
             OpCode::Result => "io.result".into(),

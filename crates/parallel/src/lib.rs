@@ -1,0 +1,510 @@
+//! Multi-core MAL execution (§3.1's `dataflow` module).
+//!
+//! The serial [`Interpreter`](mammoth_mal::Interpreter) walks a plan top to
+//! bottom, one instruction at a time. This crate executes the same plan as
+//! a *dependency DAG*: an instruction becomes runnable the moment every
+//! instruction it reads from has finished, and a fixed pool of worker
+//! threads drains the runnable set concurrently. Combined with the
+//! `mitosis`/`mergetable` optimizer modules — which rewrite a scan into k
+//! independent fragment pipelines merged by `mat.pack`/`mat.packsum` — this
+//! turns one query into k parallel operator chains plus a merge, MonetDB's
+//! multi-core execution model.
+//!
+//! The scheduler adds **no new operator semantics**: workers call the very
+//! same [`execute_instr`] the serial interpreter uses, so both engines
+//! compute bit-identical results by construction. `io.result` and
+//! `language.pass` are handled by the scheduler itself, exactly like the
+//! serial loop does:
+//!
+//! * `io.result` copies its (already computed) argument values into the
+//!   output row — it depends on its arguments like any other node;
+//! * `language.pass x` releases x's slot. It carries *anti-dependency*
+//!   edges on every earlier reader of x, so a slot is freed only after all
+//!   its consumers ran — the verifier already guarantees no instruction
+//!   reads x after its `language.pass`, and the anti-edges enforce the
+//!   same order under concurrency.
+//!
+//! One mutex guards the scheduler state (variable slots, in-degrees, the
+//! ready queue, counters); operator execution happens strictly *outside*
+//! the lock. Arguments are Arc-cloned under the lock — cloning a
+//! [`MalValue`](mammoth_mal::MalValue) is O(1) — so the critical sections
+//! stay tiny and workers contend only on bookkeeping, never on data.
+
+#![deny(unsafe_code)]
+
+use mammoth_mal::{execute_instr, Arg, MalValue, OpCode, PlanExecutor, Program};
+use mammoth_storage::Catalog;
+use mammoth_types::{Error, Result};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Counters from one dataflow execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataflowStats {
+    /// Worker threads the pool ran with.
+    pub threads: usize,
+    /// Instructions executed (excluding `io.result` / `language.pass`).
+    pub executed: u64,
+    /// Slots released by `language.pass` markers.
+    pub released_early: u64,
+    /// `language.pass` on an already-empty slot — always 0 for verified
+    /// plans; the stress suite asserts it stays that way.
+    pub double_releases: u64,
+    /// Peak number of BAT-valued variables live at once.
+    pub peak_live_bats: u64,
+    /// Peak number of instructions in flight at once (the achieved
+    /// instruction-level parallelism).
+    pub max_inflight: u64,
+    /// Wall time of the whole run in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Scheduler state shared by the worker pool; one mutex guards all of it.
+struct State {
+    vars: Vec<Option<MalValue>>,
+    freed: Vec<bool>,
+    indeg: Vec<usize>,
+    ready: VecDeque<usize>,
+    done: usize,
+    inflight: u64,
+    outputs: Vec<MalValue>,
+    error: Option<Error>,
+    live_bats: u64,
+    stats: DataflowStats,
+}
+
+impl State {
+    fn set_slot(&mut self, v: usize, val: MalValue) {
+        if matches!(val, MalValue::Bat(_)) {
+            self.live_bats += 1;
+            self.stats.peak_live_bats = self.stats.peak_live_bats.max(self.live_bats);
+        }
+        self.vars[v] = Some(val);
+    }
+
+    fn clear_slot(&mut self, v: usize) {
+        match self.vars[v].take() {
+            Some(MalValue::Bat(_)) => {
+                self.live_bats -= 1;
+                self.stats.released_early += 1;
+            }
+            Some(MalValue::Scalar(_)) => {}
+            None => {
+                if self.freed[v] {
+                    self.stats.double_releases += 1;
+                }
+            }
+        }
+        self.freed[v] = true;
+    }
+
+    fn arg_value(&self, a: &Arg) -> Result<MalValue> {
+        match a {
+            Arg::Const(c) => Ok(MalValue::Scalar(c.clone())),
+            Arg::Var(v) => self
+                .vars
+                .get(*v)
+                .and_then(|x| x.clone())
+                .ok_or_else(|| Error::Internal(format!("use of unbound variable x{v}"))),
+        }
+    }
+}
+
+/// The dependency DAG of a plan: for each instruction, the instructions
+/// that become runnable once it finishes.
+struct Dag {
+    succs: Vec<Vec<usize>>,
+    indeg: Vec<usize>,
+}
+
+/// Build def→use edges plus the `language.pass` anti-edges (a free waits
+/// for every earlier reader of its variable).
+fn build_dag(prog: &Program) -> Dag {
+    let n = prog.instrs.len();
+    let mut def_site: Vec<Option<usize>> = vec![None; prog.nvars()];
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); prog.nvars()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (idx, instr) in prog.instrs.iter().enumerate() {
+        let mut deps: Vec<usize> = Vec::new();
+        for a in &instr.args {
+            if let Arg::Var(v) = a {
+                if let Some(d) = def_site[*v] {
+                    deps.push(d);
+                }
+            }
+        }
+        if instr.op == OpCode::Free {
+            if let Some(Arg::Var(v)) = instr.args.first() {
+                deps.extend_from_slice(&readers[*v]);
+            }
+        } else {
+            for a in &instr.args {
+                if let Arg::Var(v) = a {
+                    readers[*v].push(idx);
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        indeg[idx] = deps.len();
+        for d in deps {
+            succs[d].push(idx);
+        }
+        for r in &instr.results {
+            def_site[*r] = Some(idx);
+        }
+    }
+    Dag { succs, indeg }
+}
+
+/// Execute a plan as a dependency DAG on `threads` workers.
+///
+/// Returns the `io.result` values (in argument order) and the run's
+/// counters. Instructions are dispatched the moment their dependencies
+/// finish; `io.result` and `language.pass` run under the scheduler lock
+/// (they only move/drop already-computed values), everything else runs on
+/// a worker outside the lock via [`execute_instr`].
+pub fn run_dataflow(
+    catalog: &Catalog,
+    prog: &Program,
+    threads: usize,
+) -> Result<(Vec<MalValue>, DataflowStats)> {
+    let t0 = Instant::now();
+    let threads = threads.max(1);
+    let total = prog.instrs.len();
+    let dag = build_dag(prog);
+    let ready: VecDeque<usize> = (0..total).filter(|&i| dag.indeg[i] == 0).collect();
+    let state = Mutex::new(State {
+        vars: vec![None; prog.nvars()],
+        freed: vec![false; prog.nvars()],
+        indeg: dag.indeg,
+        ready,
+        done: 0,
+        inflight: 0,
+        outputs: Vec::new(),
+        error: None,
+        live_bats: 0,
+        stats: DataflowStats {
+            threads,
+            ..DataflowStats::default()
+        },
+    });
+    let cv = Condvar::new();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| worker(catalog, prog, &dag.succs, total, &state, &cv));
+        }
+    });
+
+    let mut st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = st.error.take() {
+        return Err(e);
+    }
+    st.stats.elapsed_ns = t0.elapsed().as_nanos() as u64;
+    Ok((st.outputs, st.stats))
+}
+
+fn worker(
+    catalog: &Catalog,
+    prog: &Program,
+    succs: &[Vec<usize>],
+    total: usize,
+    state: &Mutex<State>,
+    cv: &Condvar,
+) {
+    let mut guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        while guard.ready.is_empty() && guard.done < total && guard.error.is_none() {
+            guard = cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        if guard.done >= total || guard.error.is_some() {
+            cv.notify_all();
+            return;
+        }
+        let idx = guard.ready.pop_front().expect("checked non-empty");
+        guard.inflight += 1;
+        guard.stats.max_inflight = guard.stats.max_inflight.max(guard.inflight);
+        let instr = &prog.instrs[idx];
+
+        let outcome: Result<()> = match instr.op {
+            OpCode::Result => instr
+                .args
+                .iter()
+                .map(|a| guard.arg_value(a))
+                .collect::<Result<Vec<_>>>()
+                .map(|vals| guard.outputs.extend(vals)),
+            OpCode::Free => {
+                if let Some(Arg::Var(v)) = instr.args.first() {
+                    guard.clear_slot(*v);
+                }
+                Ok(())
+            }
+            _ => {
+                // resolve args under the lock (O(1) Arc clones), execute
+                // outside it
+                match instr
+                    .args
+                    .iter()
+                    .map(|a| guard.arg_value(a))
+                    .collect::<Result<Vec<_>>>()
+                {
+                    Err(e) => Err(e),
+                    Ok(args) => {
+                        drop(guard);
+                        let r = execute_instr(catalog, instr, &args);
+                        guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+                        r.map(|vals| {
+                            guard.stats.executed += 1;
+                            for (rv, val) in instr.results.iter().zip(vals) {
+                                guard.set_slot(*rv, val);
+                            }
+                        })
+                    }
+                }
+            }
+        };
+
+        guard.inflight -= 1;
+        match outcome {
+            Err(e) => {
+                // first error wins; wake everyone up so the pool drains
+                guard.error.get_or_insert(e);
+                cv.notify_all();
+                return;
+            }
+            Ok(()) => {
+                guard.done += 1;
+                for &nxt in &succs[idx] {
+                    guard.indeg[nxt] -= 1;
+                    if guard.indeg[nxt] == 0 {
+                        guard.ready.push_back(nxt);
+                    }
+                }
+                if guard.done >= total || !guard.ready.is_empty() {
+                    cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Resolve a requested thread count: `0` means "pick for me" — the
+/// `MAMMOTH_THREADS` environment variable if set, otherwise the machine's
+/// available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(s) = std::env::var("MAMMOTH_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The dataflow engine behind the [`PlanExecutor`] trait: a fixed thread
+/// count plus the counters of the most recent run.
+pub struct ParallelExecutor {
+    threads: usize,
+    last: parking_lot::Mutex<DataflowStats>,
+}
+
+impl ParallelExecutor {
+    /// `threads == 0` delegates to [`resolve_threads`].
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            threads: resolve_threads(threads),
+            last: parking_lot::Mutex::new(DataflowStats::default()),
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counters of the most recent [`PlanExecutor::run_plan`] call.
+    pub fn last_stats(&self) -> DataflowStats {
+        self.last.lock().clone()
+    }
+}
+
+impl PlanExecutor for ParallelExecutor {
+    fn run_plan(&self, catalog: &Catalog, prog: &Program) -> Result<Vec<MalValue>> {
+        let (out, stats) = run_dataflow(catalog, prog, self.threads)?;
+        *self.last.lock() = stats;
+        Ok(out)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "dataflow"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_algebra::{AggKind, CmpOp};
+    use mammoth_mal::{column_types, parallel_pipeline, Instr, Interpreter};
+    use mammoth_storage::Table;
+    use mammoth_types::{ColumnDef, LogicalType, TableSchema, Value};
+
+    fn catalog(n: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", LogicalType::I64),
+                ColumnDef::new("b", LogicalType::I64),
+            ],
+        ))
+        .unwrap();
+        for i in 0..n {
+            t.insert_row(&[Value::I64(i % 31), Value::I64(i)]).unwrap();
+        }
+        cat.create_table(t).unwrap();
+        cat
+    }
+
+    fn scan_select_sum() -> Program {
+        let mut p = Program::new();
+        let a = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("a".into())),
+            ],
+        )[0];
+        let c = p.push(
+            OpCode::ThetaSelect(CmpOp::Gt),
+            vec![Arg::Var(a), Arg::Const(Value::I64(7))],
+        )[0];
+        let b = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("b".into())),
+            ],
+        )[0];
+        let f = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(b)])[0];
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(f)])[0];
+        let n = p.push(OpCode::Count, vec![Arg::Var(f)])[0];
+        p.push_result(&[s, n]);
+        p
+    }
+
+    #[test]
+    fn dataflow_matches_serial_across_thread_counts() {
+        let cat = catalog(5000);
+        let prog = scan_select_sum();
+        let serial = Interpreter::new(&cat).run(&prog).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let (out, stats) = run_dataflow(&cat, &prog, threads).unwrap();
+            assert_eq!(out.len(), serial.len());
+            assert_eq!(out[0].as_scalar(), serial[0].as_scalar());
+            assert_eq!(out[1].as_scalar(), serial[1].as_scalar());
+            assert_eq!(stats.executed, 6);
+            assert_eq!(stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn dataflow_runs_mitosis_rewritten_plans() {
+        let cat = catalog(5000);
+        let prog = scan_select_sum();
+        let serial = Interpreter::new(&cat).run(&prog).unwrap();
+        let pl = parallel_pipeline(4, column_types(&cat));
+        let rewritten = pl.try_optimize(prog).unwrap();
+        for threads in [1usize, 4] {
+            let (out, stats) = run_dataflow(&cat, &rewritten, threads).unwrap();
+            assert_eq!(out[0].as_scalar(), serial[0].as_scalar());
+            assert_eq!(out[1].as_scalar(), serial[1].as_scalar());
+            // GC markers release fragments as the pipelines drain
+            assert!(stats.released_early > 0);
+            assert_eq!(stats.double_releases, 0);
+        }
+    }
+
+    #[test]
+    fn frees_wait_for_all_readers() {
+        // b is read by two selects; language.pass b must run after both
+        let cat = catalog(100);
+        let mut p = Program::new();
+        let b = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("b".into())),
+            ],
+        )[0];
+        let c1 = p.push(
+            OpCode::ThetaSelect(CmpOp::Lt),
+            vec![Arg::Var(b), Arg::Const(Value::I64(10))],
+        )[0];
+        let c2 = p.push(
+            OpCode::ThetaSelect(CmpOp::Ge),
+            vec![Arg::Var(b), Arg::Const(Value::I64(90))],
+        )[0];
+        p.instrs.push(Instr {
+            results: vec![],
+            op: OpCode::Free,
+            args: vec![Arg::Var(b)],
+        });
+        let n1 = p.push(OpCode::Count, vec![Arg::Var(c1)])[0];
+        let n2 = p.push(OpCode::Count, vec![Arg::Var(c2)])[0];
+        p.push_result(&[n1, n2]);
+        for threads in [1usize, 4, 8] {
+            let (out, stats) = run_dataflow(&cat, &p, threads).unwrap();
+            assert_eq!(out[0].as_scalar(), Some(&Value::I64(10)));
+            assert_eq!(out[1].as_scalar(), Some(&Value::I64(10)));
+            assert_eq!(stats.released_early, 1);
+            assert_eq!(stats.double_releases, 0);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_and_drain_the_pool() {
+        let cat = catalog(10);
+        let mut p = Program::new();
+        p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("missing".into())),
+                Arg::Const(Value::Str("x".into())),
+            ],
+        );
+        let ok = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("a".into())),
+            ],
+        )[0];
+        let n = p.push(OpCode::Count, vec![Arg::Var(ok)])[0];
+        p.push_result(&[n]);
+        for threads in [1usize, 4] {
+            assert!(run_dataflow(&cat, &p, threads).is_err());
+        }
+    }
+
+    #[test]
+    fn executor_trait_and_thread_resolution() {
+        let cat = catalog(500);
+        let prog = scan_select_sum();
+        let serial = Interpreter::new(&cat).run(&prog).unwrap();
+        let ex = ParallelExecutor::new(3);
+        assert_eq!(ex.threads(), 3);
+        assert_eq!(ex.engine_name(), "dataflow");
+        let out = ex.run_plan(&cat, &prog).unwrap();
+        assert_eq!(out[0].as_scalar(), serial[0].as_scalar());
+        assert_eq!(ex.last_stats().executed, 6);
+        assert!(resolve_threads(5) == 5 && resolve_threads(0) >= 1);
+    }
+}

@@ -3,7 +3,10 @@
 use crate::ast::{Predicate, Statement};
 use crate::compile::compile_select;
 use crate::parser::parse_sql;
-use mammoth_mal::{default_pipeline, Interpreter, MalValue, Pipeline};
+use mammoth_mal::{
+    column_types, default_pipeline, parallel_pipeline, Interpreter, MalValue, Pipeline,
+    PlanExecutor,
+};
 use mammoth_recycler::{EvictPolicy, Recycler};
 use mammoth_storage::{Catalog, Table, VersionedColumn};
 use mammoth_types::{ColumnDef, Error, Oid, Result, TableSchema, Value};
@@ -67,6 +70,13 @@ pub struct Session {
     catalog: Catalog,
     pipeline: Pipeline,
     recycler: Option<Recycler>,
+    /// An alternative plan executor (the dataflow engine). When set,
+    /// SELECTs run through the mitosis/mergetable pipeline and this
+    /// executor instead of the serial interpreter; the recycler (a serial,
+    /// mutable-state optimization) is bypassed.
+    executor: Option<Box<dyn PlanExecutor>>,
+    /// Fragments per base column for the mitosis pass.
+    pieces: usize,
     /// Delta merge threshold (rows) applied after DML.
     merge_threshold: usize,
 }
@@ -83,8 +93,25 @@ impl Session {
             catalog: Catalog::new(),
             pipeline: default_pipeline(),
             recycler: None,
+            executor: None,
+            pieces: 1,
             merge_threshold: 64 * 1024,
         }
+    }
+
+    /// Run SELECTs on `executor` over plans fragmented into `pieces` by the
+    /// mitosis/mergetable optimizer modules. The pipeline is rebuilt per
+    /// query (it snapshots column types from the live catalog) and runs
+    /// checked: every pass output is re-verified before execution.
+    pub fn with_executor(mut self, executor: Box<dyn PlanExecutor>, pieces: usize) -> Session {
+        self.executor = Some(executor);
+        self.pieces = pieces.max(1);
+        self
+    }
+
+    /// The alternative plan executor, if one is attached.
+    pub fn executor(&self) -> Option<&dyn PlanExecutor> {
+        self.executor.as_deref()
     }
 
     /// Enable the recycler with a budget in bytes.
@@ -159,6 +186,14 @@ impl Session {
             }
             Statement::Select(stmt) => {
                 let (prog, names) = compile_select(&self.catalog, &stmt)?;
+                if let Some(ex) = &self.executor {
+                    let pipeline = parallel_pipeline(self.pieces, column_types(&self.catalog));
+                    let prog = pipeline.try_optimize(prog).map_err(|e| {
+                        Error::Internal(format!("parallel pipeline rejected plan: {e}"))
+                    })?;
+                    let outputs = ex.run_plan(&self.catalog, &prog)?;
+                    return render_outputs(names, outputs);
+                }
                 let prog = self.pipeline.optimize(prog);
                 let outputs = match &mut self.recycler {
                     Some(r) => {

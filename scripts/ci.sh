@@ -11,8 +11,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --release"
+cargo build --release
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> engines agree under the MAMMOTH_THREADS matrix"
+for threads in 1 4; do
+    echo "    MAMMOTH_THREADS=$threads"
+    MAMMOTH_THREADS=$threads cargo test -q --test engines_agree
+done
 
 echo "==> malcheck: well-formed plans must verify"
 good=$(ls examples/plans/*.mal | grep -v '/bad_')

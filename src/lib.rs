@@ -34,11 +34,12 @@
 //! | [`volcano`] | the tuple-at-a-time NSM baseline |
 //! | [`vectorized`] | the X100-style vectorized engine |
 //! | [`mal`] | MAL programs, optimizer pipeline, interpreter |
+//! | [`parallel`] | multi-core dataflow execution of MAL plans |
 //! | [`sql`] | the SQL front-end |
 //! | [`xpath`] | pre/post XML encoding + staircase join |
 //! | [`workload`] | deterministic data/query generators |
 
-pub use mammoth_core::Database;
+pub use mammoth_core::{Database, Engine};
 pub use mammoth_sql::QueryOutput;
 
 pub use mammoth_algebra as algebra;
@@ -49,6 +50,7 @@ pub use mammoth_core as engine;
 pub use mammoth_cracking as cracking;
 pub use mammoth_index as index;
 pub use mammoth_mal as mal;
+pub use mammoth_parallel as parallel;
 pub use mammoth_recycler as recycler;
 pub use mammoth_sql as sql;
 pub use mammoth_storage as storage;

@@ -1,7 +1,8 @@
-//! Integration test: the three execution paradigms — tuple-at-a-time
-//! (volcano), column-at-a-time (BAT algebra via SQL), and vectorized
-//! (X100-style) — must return identical answers on the same generated data.
-//! This is the correctness backbone of experiment E08.
+//! Integration test: the execution paradigms — tuple-at-a-time (volcano),
+//! column-at-a-time (BAT algebra via SQL), vectorized (X100-style), and the
+//! multi-core dataflow engine — must return identical answers on the same
+//! generated data. This is the correctness backbone of experiments E08 and
+//! E19.
 
 use mammoth::storage::{Bat, Table};
 use mammoth::types::{ColumnDef, LogicalType, TableSchema, Value};
@@ -13,7 +14,7 @@ use mammoth::volcano::{
     expr::CmpOp as ExprCmp, iter::AggFn, Expr, FilterOp, HashAggOp, NsmTable, SeqScanOp,
 };
 use mammoth::workload::LineitemSlice;
-use mammoth::{Database, QueryOutput};
+use mammoth::{Database, Engine, QueryOutput};
 
 const N: usize = 20_000;
 const CUTOFF: i64 = 10_000;
@@ -216,4 +217,94 @@ fn sql_count_agrees_with_volcano() {
     );
     let rows = mammoth::volcano::iter::collect_all(plan).unwrap();
     assert_eq!(rows[0][0], Value::I64(expect));
+}
+
+/// Build the lineitem slice as a columnar table in `db`.
+fn load_lineitem(db: &mut Database, s: &LineitemSlice) {
+    let table = Table::from_bats(
+        TableSchema::new(
+            "lineitem",
+            vec![
+                ColumnDef::new("qty", LogicalType::I64),
+                ColumnDef::new("price", LogicalType::I64),
+                ColumnDef::new("shipdate", LogicalType::I64),
+            ],
+        ),
+        vec![
+            Bat::from_vec(s.quantity.clone()),
+            Bat::from_vec(s.extendedprice.clone()),
+            Bat::from_vec(s.shipdate.clone()),
+        ],
+    )
+    .unwrap();
+    db.catalog_mut().create_table(table).unwrap();
+}
+
+/// The parallel dataflow engine must agree with the serial interpreter on
+/// every compiled query, at every thread count.
+#[test]
+fn parallel_engine_matches_serial_at_every_thread_count() {
+    let s = slice();
+    let queries = [
+        format!("SELECT COUNT(qty) FROM lineitem WHERE qty < {QTY}"),
+        format!("SELECT SUM(price), COUNT(price) FROM lineitem WHERE shipdate <= {CUTOFF}"),
+        format!("SELECT price FROM lineitem WHERE shipdate <= {CUTOFF} AND qty < {QTY} LIMIT 7"),
+        format!("SELECT qty, COUNT(*) FROM lineitem WHERE shipdate <= {CUTOFF} GROUP BY qty ORDER BY qty"),
+        "SELECT AVG(price) FROM lineitem WHERE qty > 10".to_string(),
+        "SELECT MIN(shipdate), MAX(shipdate) FROM lineitem".to_string(),
+    ];
+    let mut serial = Database::new();
+    load_lineitem(&mut serial, &s);
+    for threads in [1usize, 2, 4, 8] {
+        let mut par = Database::with_engine(Engine::Parallel { threads });
+        load_lineitem(&mut par, &s);
+        for q in &queries {
+            let a = serial.execute(q).unwrap();
+            let b = par.execute(q).unwrap();
+            assert_eq!(a, b, "threads={threads}, query={q}");
+        }
+    }
+}
+
+/// `Engine::Parallel { threads: 0 }` resolves via MAMMOTH_THREADS (the
+/// knob the CI matrix turns); it must agree with serial too.
+#[test]
+fn parallel_engine_default_thread_resolution_agrees() {
+    let s = slice();
+    let mut serial = Database::new();
+    load_lineitem(&mut serial, &s);
+    let mut par = Database::with_engine(Engine::Parallel { threads: 0 });
+    load_lineitem(&mut par, &s);
+    let q = format!("SELECT SUM(qty), COUNT(qty) FROM lineitem WHERE shipdate <= {CUTOFF}");
+    assert_eq!(serial.execute(&q).unwrap(), par.execute(&q).unwrap());
+}
+
+mod pack_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    // The mitosis/mergetable soundness core: re-assembling the k range
+    // fragments of any BAT reproduces it exactly, for any k.
+    proptest! {
+        #[test]
+        fn prop_pack_of_slices_is_identity(
+            vals in proptest::collection::vec(-1000i64..1000, 0..200),
+            k in 1usize..12,
+        ) {
+            let b = Bat::from_vec(vals);
+            let n = b.len();
+            let parts: Vec<Bat> = (0..k)
+                .map(|i| b.slice(i * n / k, (i + 1) * n / k).unwrap())
+                .collect();
+            let refs: Vec<&Bat> = parts.iter().collect();
+            let packed = mammoth::algebra::pack(&refs).unwrap();
+            prop_assert_eq!(packed.len(), b.len());
+            prop_assert_eq!(
+                packed.tail_slice::<i64>().unwrap(),
+                b.tail_slice::<i64>().unwrap()
+            );
+            // heads re-assemble to the parent's void head
+            prop_assert_eq!(packed.head(), b.head());
+        }
+    }
 }
