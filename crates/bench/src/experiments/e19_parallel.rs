@@ -19,10 +19,10 @@
 //! whichever it is.
 
 use crate::table::TextTable;
-use crate::{fmt_secs, record_metric, timed, Metric, Scale};
+use crate::{fmt_secs, record_metric, record_phases, timed, Metric, PhaseBreakdown, Scale};
 use mammoth_algebra::{AggKind, ArithOp, CmpOp};
 use mammoth_mal::{column_types, parallel_pipeline, Arg, Interpreter, MalValue, OpCode, Program};
-use mammoth_parallel::run_dataflow;
+use mammoth_parallel::{run_dataflow, run_dataflow_profiled};
 use mammoth_storage::{Bat, Catalog, Table};
 use mammoth_types::{ColumnDef, LogicalType, TableSchema, Value};
 use mammoth_workload::permutation;
@@ -144,9 +144,16 @@ pub fn run(scale: Scale) -> String {
         "peak inflight",
     ]);
     for (name, prog) in &plans {
-        // serial baseline: best of 2 on the unfragmented plan
+        // serial baseline: best of 2 on the unfragmented plan; the second
+        // run is profiled so the trace attributes its time per operator
         let (base_out, t_a) = timed(|| Interpreter::new(&cat).run(prog).unwrap());
-        let (_, t_b) = timed(|| Interpreter::new(&cat).run(prog).unwrap());
+        let mut profiled = Interpreter::new(&cat).profiled(true);
+        let (_, t_b) = timed(|| profiled.run(prog).unwrap());
+        record_phases(PhaseBreakdown::from_profile(
+            "e19",
+            format!("{name}/serial"),
+            &profiled.profiled_run("serial"),
+        ));
         let t_serial = t_a.min(t_b);
         let expected = scalars(&base_out);
         t.row(vec![
@@ -174,6 +181,16 @@ pub fn run(scale: Scale) -> String {
             let (_, t_b) = timed(|| run_dataflow(&cat, &rewritten, threads).unwrap());
             let t_par = t_a.min(t_b);
             assert_eq!(scalars(&vals), expected, "{name} @ {threads} threads");
+            if threads == 4 {
+                // one profiled (untimed) run per plan attributes the
+                // dataflow wall time per operator for `exp --json`
+                let (_, pstats, events) = run_dataflow_profiled(&cat, &rewritten, threads).unwrap();
+                record_phases(PhaseBreakdown::from_profile(
+                    "e19",
+                    format!("{name}/dataflow.x4"),
+                    &pstats.fold_into("dataflow", events),
+                ));
+            }
             t.row(vec![
                 name.to_string(),
                 format!("dataflow x{threads}"),
@@ -189,6 +206,8 @@ pub fn run(scale: Scale) -> String {
                     ("rows".into(), rows.to_string()),
                     ("threads".into(), threads.to_string()),
                     ("pieces".into(), pieces.to_string()),
+                    ("max_inflight".into(), stats.max_inflight.to_string()),
+                    ("released_early".into(), stats.released_early.to_string()),
                 ],
                 wall_secs: t_par,
                 simulated_misses: None,

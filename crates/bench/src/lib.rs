@@ -222,6 +222,70 @@ impl Metric {
     }
 }
 
+/// A per-operator attribution of one measured run, distilled from a
+/// profiler trace. Emitted by `exp --json` as `phase_breakdowns`, so BENCH
+/// files can attribute wall time to operators, not just whole queries.
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdown {
+    /// The experiment id, e.g. `"e19"`.
+    pub experiment: &'static str,
+    /// The run this breakdown describes, e.g. `"scan_select_aggregate/serial"`.
+    pub name: String,
+    /// `(opcode, total_ns, instruction count)`, descending by time.
+    pub phases: Vec<(String, u64, u64)>,
+}
+
+impl PhaseBreakdown {
+    /// Distill a [`ProfiledRun`](mammoth_types::ProfiledRun)'s event
+    /// timeline into a per-opcode breakdown.
+    pub fn from_profile(
+        experiment: &'static str,
+        name: impl Into<String>,
+        run: &mammoth_types::ProfiledRun,
+    ) -> PhaseBreakdown {
+        PhaseBreakdown {
+            experiment,
+            name: name.into(),
+            phases: run.per_op_breakdown(),
+        }
+    }
+
+    /// Render as one JSON object.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(op, ns, n)| {
+                format!(
+                    "{{\"op\": \"{}\", \"total_ns\": {}, \"count\": {}}}",
+                    json_escape(op),
+                    ns,
+                    n
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\": \"{}\", \"name\": \"{}\", \"phases\": [{}]}}",
+            json_escape(self.experiment),
+            json_escape(&self.name),
+            phases.join(", ")
+        )
+    }
+}
+
+static PHASES: std::sync::Mutex<Vec<PhaseBreakdown>> = std::sync::Mutex::new(Vec::new());
+
+/// Record a phase breakdown; `exp --json` drains these after each
+/// experiment.
+pub fn record_phases(p: PhaseBreakdown) {
+    PHASES.lock().unwrap().push(p);
+}
+
+/// Drain every phase breakdown recorded since the last call.
+pub fn take_phases() -> Vec<PhaseBreakdown> {
+    std::mem::take(&mut *PHASES.lock().unwrap())
+}
+
 /// Convenience used by experiments: time a closure, return (result, secs).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = std::time::Instant::now();

@@ -28,6 +28,9 @@ use std::path::Path;
 pub use mammoth_mal::ExecStats;
 pub use mammoth_parallel::{resolve_threads, DataflowStats};
 pub use mammoth_sql::QueryOutput as Output;
+pub use mammoth_types::{
+    validate_trace, validate_trace_line, EventKind, ProfiledRun, TraceEvent, TRACE_ENV,
+};
 
 /// Which execution engine SELECTs run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,6 +115,13 @@ impl Database {
     /// Recycler counters, when enabled.
     pub fn recycler_stats(&self) -> Option<&mammoth_recycler::RecyclerStats> {
         self.session.recycler_stats()
+    }
+
+    /// The per-instruction profile of the most recent profiled SELECT: a
+    /// `TRACE <query>` statement, or any SELECT while the `MAMMOTH_TRACE`
+    /// environment variable names a trace file.
+    pub fn last_profile(&self) -> Option<&ProfiledRun> {
+        self.session.last_profile()
     }
 
     /// Register a table built from pre-existing BATs (bulk load path).
@@ -251,6 +261,45 @@ mod tests {
         db.execute("INSERT INTO t VALUES (5)").unwrap();
         let before = db.recycler_stats().unwrap().invalidations;
         assert!(before > 0);
+    }
+
+    #[test]
+    fn trace_statement_profiles_on_both_engines() {
+        use mammoth_storage::Bat;
+        let schema = || TableSchema::new("t", vec![ColumnDef::new("a", LogicalType::I64)]);
+        let cols = || {
+            vec![Bat::from_vec(
+                (0..10_000i64).map(|i| i % 97).collect::<Vec<_>>(),
+            )]
+        };
+
+        let mut serial = Database::new();
+        serial.register_table(schema(), cols()).unwrap();
+        serial
+            .execute("TRACE SELECT COUNT(a) FROM t WHERE a > 40")
+            .unwrap();
+        let s = serial.last_profile().unwrap().clone();
+        assert_eq!(s.engine, "serial");
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.events.len() as u64, s.executed);
+
+        let mut par = Database::with_engine(Engine::Parallel { threads: 2 });
+        par.register_table(schema(), cols()).unwrap();
+        par.execute("TRACE SELECT COUNT(a) FROM t WHERE a > 40")
+            .unwrap();
+        let p = par.last_profile().unwrap();
+        assert_eq!(p.engine, "dataflow");
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.events.len() as u64, p.executed);
+        assert!(p.max_inflight >= 1);
+        // the mitosis rewrite executes more instructions, fragment-wise
+        assert!(p.executed > s.executed);
+        // every event's worker id is within the pool
+        assert!(p.events.iter().all(|e| e.worker < 2));
+        // both trace exports validate against the line schema
+        for run in [&s, p] {
+            mammoth_types::validate_trace(&run.to_json_lines()).unwrap();
+        }
     }
 
     #[test]

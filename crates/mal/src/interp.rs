@@ -11,7 +11,7 @@ use crate::program::{Arg, Instr, MalValue, OpCode, Program, VarId};
 use mammoth_algebra as alg;
 use mammoth_recycler::Recycler;
 use mammoth_storage::{Bat, Catalog, TailHeap};
-use mammoth_types::{Error, Oid, Result, Value};
+use mammoth_types::{Error, Oid, ProfiledRun, Result, TraceEvent, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,12 +32,33 @@ pub struct ExecStats {
     pub released_early: u64,
 }
 
+impl ExecStats {
+    /// Fold the serial counters into the engine-neutral [`ProfiledRun`],
+    /// attaching the per-instruction `events` timeline. The serial engine
+    /// is single-threaded, so `threads` and `max_inflight` are both 1.
+    pub fn fold_into(&self, engine: &str, events: Vec<TraceEvent>) -> ProfiledRun {
+        ProfiledRun {
+            engine: engine.to_string(),
+            threads: 1,
+            executed: self.executed,
+            recycled: self.recycled,
+            released_early: self.released_early,
+            peak_live_bats: self.peak_live_bats,
+            max_inflight: 1,
+            elapsed_ns: self.elapsed_ns,
+            events,
+        }
+    }
+}
+
 /// The interpreter. Holds the catalog immutably; queries never mutate.
 pub struct Interpreter<'a> {
     catalog: &'a Catalog,
     recycler: Option<&'a mut Recycler>,
     stats: ExecStats,
     eager_release: bool,
+    profiled: bool,
+    events: Vec<TraceEvent>,
 }
 
 impl<'a> Interpreter<'a> {
@@ -47,6 +68,8 @@ impl<'a> Interpreter<'a> {
             recycler: None,
             stats: ExecStats::default(),
             eager_release: false,
+            profiled: false,
+            events: Vec::new(),
         }
     }
 
@@ -57,7 +80,18 @@ impl<'a> Interpreter<'a> {
             recycler: Some(recycler),
             stats: ExecStats::default(),
             eager_release: false,
+            profiled: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Record one [`TraceEvent`] per executed (or recycled) instruction:
+    /// opcode, rendered args, wall time, input/result BAT rows and heap
+    /// bytes. `io.result` and `language.pass` are bookkeeping, not work, so
+    /// they get no event — `events.len() == executed + recycled` holds.
+    pub fn profiled(mut self, on: bool) -> Interpreter<'a> {
+        self.profiled = on;
+        self
     }
 
     /// Drop intermediate BATs at their last use, guided by
@@ -71,6 +105,18 @@ impl<'a> Interpreter<'a> {
 
     pub fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    /// Drain the profiler events recorded so far (empty unless
+    /// [`Interpreter::profiled`] was enabled).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The stats and events folded into the engine-neutral profile.
+    pub fn profiled_run(&mut self, engine: &str) -> ProfiledRun {
+        let events = self.take_events();
+        self.stats.fold_into(engine, events)
     }
 
     /// Run a program; returns the values marked by `io.result`.
@@ -108,14 +154,23 @@ impl<'a> Interpreter<'a> {
 
                 // recycler lookup: all result slots must hit
                 if let (Some(sig), Some(r)) = (&sig, self.recycler.as_deref_mut()) {
+                    let lk_start = self.profiled.then(Instant::now);
                     let hits: Vec<Option<Arc<Bat>>> = (0..instr.op.result_arity())
                         .map(|slot| r.lookup(&slot_sig(sig, slot)))
                         .collect();
                     if hits.iter().all(|h| h.is_some()) && !hits.is_empty() {
+                        let rows_in = self.profiled.then(|| bat_rows_in(instr, &vars));
+                        let mut rows_out = 0u64;
+                        let mut bytes_out = 0u64;
                         for (rv, h) in instr.results.iter().zip(hits) {
+                            let b = h.unwrap();
+                            if self.profiled {
+                                rows_out += b.len() as u64;
+                                bytes_out += b.tail().byte_size() as u64;
+                            }
                             set_slot(
                                 &mut vars[*rv],
-                                MalValue::Bat(h.unwrap()),
+                                MalValue::Bat(b),
                                 &mut live_bats,
                                 &mut peak_live,
                             );
@@ -125,14 +180,43 @@ impl<'a> Interpreter<'a> {
                             deps[*rv] = instr_deps.clone();
                         }
                         self.stats.recycled += 1;
+                        if let Some(lk_start) = lk_start {
+                            self.events.push(TraceEvent {
+                                instr: idx as i64,
+                                op: instr.op.name(),
+                                args: instr.render_args(),
+                                start_ns: lk_start.duration_since(t0).as_nanos() as u64,
+                                dur_ns: lk_start.elapsed().as_nanos() as u64,
+                                rows_in: rows_in.unwrap_or(0),
+                                rows_out,
+                                bytes_out,
+                                recycled: true,
+                                ..TraceEvent::default()
+                            });
+                        }
                         break 'exec;
                     }
                 }
 
+                let rows_in = self.profiled.then(|| bat_rows_in(instr, &vars));
                 let start = Instant::now();
                 let results = self.execute(instr, &vars)?;
                 let cost_ns = start.elapsed().as_nanos() as u64;
                 self.stats.executed += 1;
+                if let Some(rows_in) = rows_in {
+                    let (rows_out, bytes_out) = bat_rows_bytes(&results);
+                    self.events.push(TraceEvent {
+                        instr: idx as i64,
+                        op: instr.op.name(),
+                        args: instr.render_args(),
+                        start_ns: start.duration_since(t0).as_nanos() as u64,
+                        dur_ns: cost_ns,
+                        rows_in,
+                        rows_out,
+                        bytes_out,
+                        ..TraceEvent::default()
+                    });
+                }
 
                 debug_assert_eq!(results.len(), instr.results.len());
                 for (slot, (rv, val)) in instr.results.iter().zip(results).enumerate() {
@@ -241,6 +325,46 @@ pub trait PlanExecutor: Send + Sync {
     fn run_plan(&self, catalog: &Catalog, prog: &Program) -> Result<Vec<MalValue>>;
     /// A short engine name for diagnostics.
     fn engine_name(&self) -> &'static str;
+    /// Run a program with per-instruction profiling. The default executes
+    /// unprofiled and returns an empty profile; engines with a real
+    /// profiler (the dataflow scheduler) override this.
+    fn run_plan_profiled(
+        &self,
+        catalog: &Catalog,
+        prog: &Program,
+    ) -> Result<(Vec<MalValue>, ProfiledRun)> {
+        let vals = self.run_plan(catalog, prog)?;
+        Ok((vals, ProfiledRun::new(self.engine_name(), 1)))
+    }
+}
+
+/// Sum of input BAT rows over an instruction's variable arguments.
+fn bat_rows_in(instr: &Instr, vars: &[Option<MalValue>]) -> u64 {
+    instr
+        .args
+        .iter()
+        .filter_map(|a| match a {
+            Arg::Var(v) => vars
+                .get(*v)
+                .and_then(|x| x.as_ref())
+                .and_then(|m| m.as_bat())
+                .map(|b| b.len() as u64),
+            Arg::Const(_) => None,
+        })
+        .sum()
+}
+
+/// `(rows, heap bytes)` summed over the BAT-valued entries of `vals`.
+pub fn bat_rows_bytes(vals: &[MalValue]) -> (u64, u64) {
+    let mut rows = 0u64;
+    let mut bytes = 0u64;
+    for v in vals {
+        if let MalValue::Bat(b) = v {
+            rows += b.len() as u64;
+            bytes += b.tail().byte_size() as u64;
+        }
+    }
+    (rows, bytes)
 }
 
 fn instr_bat(args: &[MalValue], k: usize) -> Result<Arc<Bat>> {

@@ -37,7 +37,8 @@ pub mod parser;
 pub mod program;
 
 pub use analysis::{verify, verify_with_catalog, Liveness, VerifyError, VerifyErrorKind};
-pub use interp::{execute_instr, ExecStats, Interpreter, PlanExecutor};
+pub use interp::{bat_rows_bytes, execute_instr, ExecStats, Interpreter, PlanExecutor};
+pub use mammoth_types::{EventKind, ProfiledRun, TraceEvent, TRACE_ENV};
 pub use mitosis::{column_types, parallel_pipeline, ColumnTypes, Mergetable, Mitosis};
 pub use optimizer::{default_pipeline, GarbageCollect, OptimizerPass, PassError, Pipeline};
 pub use parser::parse_program;

@@ -176,6 +176,25 @@ pub struct Instr {
     pub args: Vec<Arg>,
 }
 
+impl Instr {
+    /// The argument list in the program's textual form (`x3, 1927`) — the
+    /// profiler records this per event so traces read like the plan.
+    pub fn render_args(&self) -> String {
+        let mut out = String::new();
+        for (k, a) in self.args.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            match a {
+                Arg::Var(v) => out.push_str(&format!("x{v}")),
+                Arg::Const(Value::Str(s)) => out.push_str(&format!("{s:?}")),
+                Arg::Const(c) => out.push_str(&format!("{c}")),
+            }
+        }
+        out
+    }
+}
+
 /// A MAL program.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
@@ -255,18 +274,7 @@ impl fmt::Display for Program {
                     write!(f, ") := ")?;
                 }
             }
-            write!(f, "{}(", i.op.name())?;
-            for (k, a) in i.args.iter().enumerate() {
-                if k > 0 {
-                    write!(f, ", ")?;
-                }
-                match a {
-                    Arg::Var(v) => write!(f, "x{v}")?,
-                    Arg::Const(Value::Str(s)) => write!(f, "{s:?}")?,
-                    Arg::Const(c) => write!(f, "{c}")?,
-                }
-            }
-            writeln!(f, ");")?;
+            writeln!(f, "{}({});", i.op.name(), i.render_args())?;
         }
         Ok(())
     }

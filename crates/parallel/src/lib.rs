@@ -32,9 +32,11 @@
 
 #![deny(unsafe_code)]
 
-use mammoth_mal::{execute_instr, Arg, MalValue, OpCode, PlanExecutor, Program};
+use mammoth_mal::{
+    bat_rows_bytes, execute_instr, Arg, Instr, MalValue, OpCode, PlanExecutor, Program,
+};
 use mammoth_storage::Catalog;
-use mammoth_types::{Error, Result};
+use mammoth_types::{Error, ProfiledRun, Result, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
@@ -60,6 +62,25 @@ pub struct DataflowStats {
     pub elapsed_ns: u64,
 }
 
+impl DataflowStats {
+    /// Fold the scheduler counters into the engine-neutral [`ProfiledRun`],
+    /// attaching the per-instruction `events` timeline. The dataflow engine
+    /// has no recycler, so `recycled` is 0.
+    pub fn fold_into(&self, engine: &str, events: Vec<TraceEvent>) -> ProfiledRun {
+        ProfiledRun {
+            engine: engine.to_string(),
+            threads: self.threads,
+            executed: self.executed,
+            recycled: 0,
+            released_early: self.released_early,
+            peak_live_bats: self.peak_live_bats,
+            max_inflight: self.max_inflight,
+            elapsed_ns: self.elapsed_ns,
+            events,
+        }
+    }
+}
+
 /// Scheduler state shared by the worker pool; one mutex guards all of it.
 struct State {
     vars: Vec<Option<MalValue>>,
@@ -72,6 +93,7 @@ struct State {
     error: Option<Error>,
     live_bats: u64,
     stats: DataflowStats,
+    events: Vec<TraceEvent>,
 }
 
 impl State {
@@ -171,6 +193,29 @@ pub fn run_dataflow(
     prog: &Program,
     threads: usize,
 ) -> Result<(Vec<MalValue>, DataflowStats)> {
+    let (out, stats, _) = run_dataflow_inner(catalog, prog, threads, false)?;
+    Ok((out, stats))
+}
+
+/// [`run_dataflow`] with the per-instruction profiler on: each executed
+/// instruction additionally yields a [`TraceEvent`] carrying the worker id
+/// that ran it and its start offset / duration relative to the run's t0.
+/// Event order follows completion order, which is nondeterministic under
+/// concurrency — consumers compare traces as multisets.
+pub fn run_dataflow_profiled(
+    catalog: &Catalog,
+    prog: &Program,
+    threads: usize,
+) -> Result<(Vec<MalValue>, DataflowStats, Vec<TraceEvent>)> {
+    run_dataflow_inner(catalog, prog, threads, true)
+}
+
+fn run_dataflow_inner(
+    catalog: &Catalog,
+    prog: &Program,
+    threads: usize,
+    profiled: bool,
+) -> Result<(Vec<MalValue>, DataflowStats, Vec<TraceEvent>)> {
     let t0 = Instant::now();
     let threads = threads.max(1);
     let total = prog.instrs.len();
@@ -190,12 +235,26 @@ pub fn run_dataflow(
             threads,
             ..DataflowStats::default()
         },
+        events: Vec::new(),
     });
     let cv = Condvar::new();
 
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| worker(catalog, prog, &dag.succs, total, &state, &cv));
+        for wid in 0..threads {
+            let state = &state;
+            let cv = &cv;
+            let succs = &dag.succs;
+            s.spawn(move || {
+                worker(
+                    catalog,
+                    prog,
+                    succs,
+                    total,
+                    state,
+                    cv,
+                    profiled.then_some((wid, t0)),
+                )
+            });
         }
     });
 
@@ -204,7 +263,38 @@ pub fn run_dataflow(
         return Err(e);
     }
     st.stats.elapsed_ns = t0.elapsed().as_nanos() as u64;
-    Ok((st.outputs, st.stats))
+    Ok((st.outputs, st.stats, st.events))
+}
+
+/// Sum of input BAT rows over already-resolved argument values.
+fn rows_in_of(args: &[MalValue]) -> u64 {
+    args.iter()
+        .filter_map(|a| a.as_bat().map(|b| b.len() as u64))
+        .sum()
+}
+
+fn instr_event(
+    idx: usize,
+    instr: &Instr,
+    wid: usize,
+    t0: Instant,
+    start: Instant,
+    rows_in: u64,
+    results: &[MalValue],
+) -> TraceEvent {
+    let (rows_out, bytes_out) = bat_rows_bytes(results);
+    TraceEvent {
+        instr: idx as i64,
+        op: instr.op.name(),
+        args: instr.render_args(),
+        worker: wid,
+        start_ns: start.duration_since(t0).as_nanos() as u64,
+        dur_ns: start.elapsed().as_nanos() as u64,
+        rows_in,
+        rows_out,
+        bytes_out,
+        ..TraceEvent::default()
+    }
 }
 
 fn worker(
@@ -214,6 +304,7 @@ fn worker(
     total: usize,
     state: &Mutex<State>,
     cv: &Condvar,
+    profile: Option<(usize, Instant)>,
 ) {
     let mut guard = state.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
@@ -254,10 +345,26 @@ fn worker(
                     Err(e) => Err(e),
                     Ok(args) => {
                         drop(guard);
+                        let start = Instant::now();
                         let r = execute_instr(catalog, instr, &args);
+                        let event = match (&profile, &r) {
+                            (Some((wid, t0)), Ok(vals)) => Some(instr_event(
+                                idx,
+                                instr,
+                                *wid,
+                                *t0,
+                                start,
+                                rows_in_of(&args),
+                                vals,
+                            )),
+                            _ => None,
+                        };
                         guard = state.lock().unwrap_or_else(PoisonError::into_inner);
                         r.map(|vals| {
                             guard.stats.executed += 1;
+                            if let Some(ev) = event {
+                                guard.events.push(ev);
+                            }
                             for (rv, val) in instr.results.iter().zip(vals) {
                                 guard.set_slot(*rv, val);
                             }
@@ -345,6 +452,17 @@ impl PlanExecutor for ParallelExecutor {
 
     fn engine_name(&self) -> &'static str {
         "dataflow"
+    }
+
+    fn run_plan_profiled(
+        &self,
+        catalog: &Catalog,
+        prog: &Program,
+    ) -> Result<(Vec<MalValue>, ProfiledRun)> {
+        let (out, stats, events) = run_dataflow_profiled(catalog, prog, self.threads)?;
+        let run = stats.fold_into(self.engine_name(), events);
+        *self.last.lock() = stats;
+        Ok((out, run))
     }
 }
 

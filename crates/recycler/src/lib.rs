@@ -15,6 +15,7 @@
 //! of rescanning the base column.
 
 use mammoth_storage::Bat;
+use mammoth_types::{EventKind, TraceEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -75,6 +76,11 @@ pub struct Recycler {
     min_cost_ns: u64,
     clock: u64,
     stats: RecyclerStats,
+    /// When on, cache decisions additionally emit [`TraceEvent`]s (drained
+    /// by [`Recycler::take_events`]). Off by default: non-profiled paths
+    /// pay nothing and nothing accumulates unbounded.
+    tracing: bool,
+    events: Vec<TraceEvent>,
 }
 
 impl Recycler {
@@ -87,6 +93,35 @@ impl Recycler {
             min_cost_ns: 0,
             clock: 0,
             stats: RecyclerStats::default(),
+            tracing: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Toggle cache-decision tracing.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drain the events recorded since the last call (empty unless
+    /// [`Recycler::set_tracing`] enabled tracing).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn trace(&mut self, kind: EventKind, what: &str, rows: u64, bytes: u64) {
+        if self.tracing {
+            self.events.push(TraceEvent {
+                kind,
+                op: what.to_string(),
+                rows_out: rows,
+                bytes_out: bytes,
+                recycled: kind == EventKind::RecyclerHit,
+                ..TraceEvent::default()
+            });
         }
     }
 
@@ -117,7 +152,9 @@ impl Recycler {
             e.hits += 1;
             e.last_used = clock;
             self.stats.exact_hits += 1;
-            Some(Arc::clone(&e.bat))
+            let (bat, rows, bytes) = (Arc::clone(&e.bat), e.bat.len() as u64, e.bytes as u64);
+            self.trace(EventKind::RecyclerHit, sig, rows, bytes);
+            Some(bat)
         } else {
             None
         }
@@ -151,6 +188,12 @@ impl Recycler {
         }
         self.stats.admissions += 1;
         self.stats.resident_bytes = self.resident() + bytes;
+        self.trace(
+            EventKind::RecyclerAdmit,
+            &sig,
+            bat.len() as u64,
+            bytes as u64,
+        );
         self.entries.insert(
             sig,
             Entry {
@@ -244,6 +287,7 @@ impl Recycler {
         let dropped = before - self.entries.len();
         self.stats.invalidations += dropped as u64;
         self.stats.resident_bytes = self.resident();
+        self.trace(EventKind::RecyclerInvalidate, column, dropped as u64, 0);
     }
 
     /// Wipe everything.
@@ -277,6 +321,10 @@ impl Recycler {
         let Some(k) = victim else {
             return false;
         };
+        if let Some(e) = self.entries.get(&k) {
+            let (rows, bytes) = (e.bat.len() as u64, e.bytes as u64);
+            self.trace(EventKind::RecyclerEvict, &k, rows, bytes);
+        }
         self.entries.remove(&k);
         for list in self.ranges.values_mut() {
             list.retain(|r| r.sig != k);
@@ -417,6 +465,27 @@ mod tests {
         );
         r.invalidate("t.a");
         assert!(r.lookup_covering("t.a", Some(1), Some(2)).is_none());
+    }
+
+    #[test]
+    fn tracing_emits_cache_events_only_when_enabled() {
+        use mammoth_types::EventKind;
+        let mut r = Recycler::new(1024, EvictPolicy::Lru);
+        r.admit("quiet", bat(8), vec![], 1);
+        r.lookup("quiet");
+        assert!(r.take_events().is_empty(), "tracing off by default");
+
+        r.set_tracing(true);
+        r.admit("a", bat(64), vec!["t.a".into()], 1); // 512 B
+        r.admit("b", bat(64), vec!["t.a".into()], 1); // forces evictions
+        r.lookup("b");
+        r.invalidate("t.a");
+        let kinds: Vec<EventKind> = r.take_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::RecyclerAdmit));
+        assert!(kinds.contains(&EventKind::RecyclerEvict));
+        assert!(kinds.contains(&EventKind::RecyclerHit));
+        assert!(kinds.contains(&EventKind::RecyclerInvalidate));
+        assert!(r.take_events().is_empty(), "drained");
     }
 
     #[test]

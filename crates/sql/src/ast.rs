@@ -79,6 +79,10 @@ pub enum Statement {
         where_: Vec<Predicate>,
     },
     Select(SelectStmt),
+    /// `EXPLAIN SELECT ...` — the optimized MAL plan as a result table.
+    Explain(SelectStmt),
+    /// `TRACE SELECT ...` — execute and return the per-instruction profile.
+    Trace(SelectStmt),
 }
 
 #[cfg(test)]

@@ -64,6 +64,12 @@ impl Parser<'_> {
         let t = self.lex.peek()?;
         if is_kw(&t, "SELECT") {
             Ok(Statement::Select(self.select()?))
+        } else if is_kw(&t, "EXPLAIN") {
+            self.lex.next()?;
+            Ok(Statement::Explain(self.select()?))
+        } else if is_kw(&t, "TRACE") {
+            self.lex.next()?;
+            Ok(Statement::Trace(self.select()?))
         } else if is_kw(&t, "CREATE") {
             self.create_table()
         } else if is_kw(&t, "DROP") {
@@ -347,6 +353,24 @@ mod tests {
         assert_eq!(s.from, "people");
         assert_eq!(s.where_.len(), 1);
         assert_eq!(s.where_[0].op, CmpOp::Eq);
+    }
+
+    #[test]
+    fn parses_explain_and_trace() {
+        let s = parse_sql("EXPLAIN SELECT name FROM people WHERE age = 1927").unwrap();
+        let Statement::Explain(inner) = s else {
+            panic!("expected Explain, got {s:?}")
+        };
+        assert_eq!(inner.from, "people");
+        // the keywords are case-insensitive like the rest of the grammar
+        let s = parse_sql("trace select name from people;").unwrap();
+        let Statement::Trace(inner) = s else {
+            panic!("expected Trace, got {s:?}")
+        };
+        assert_eq!(inner.from, "people");
+        // EXPLAIN/TRACE wrap SELECT only
+        assert!(parse_sql("EXPLAIN DROP TABLE people").is_err());
+        assert!(parse_sql("TRACE INSERT INTO t VALUES (1)").is_err());
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The SQL session: parse → compile → optimize → interpret.
 
-use crate::ast::{Predicate, Statement};
+use crate::ast::{Predicate, SelectStmt, Statement};
 use crate::compile::compile_select;
 use crate::parser::parse_sql;
 use mammoth_mal::{
     column_types, default_pipeline, parallel_pipeline, Interpreter, MalValue, Pipeline,
-    PlanExecutor,
+    PlanExecutor, ProfiledRun, Program, TRACE_ENV,
 };
 use mammoth_recycler::{EvictPolicy, Recycler};
 use mammoth_storage::{Catalog, Table, VersionedColumn};
@@ -79,6 +79,9 @@ pub struct Session {
     pieces: usize,
     /// Delta merge threshold (rows) applied after DML.
     merge_threshold: usize,
+    /// The profile of the most recent profiled SELECT (a `TRACE` statement,
+    /// or any SELECT while `MAMMOTH_TRACE` is set).
+    last_profile: Option<ProfiledRun>,
 }
 
 impl Default for Session {
@@ -96,6 +99,7 @@ impl Session {
             executor: None,
             pieces: 1,
             merge_threshold: 64 * 1024,
+            last_profile: None,
         }
     }
 
@@ -134,6 +138,12 @@ impl Session {
 
     pub fn recycler_stats(&self) -> Option<&mammoth_recycler::RecyclerStats> {
         self.recycler.as_ref().map(|r| r.stats())
+    }
+
+    /// The profile of the most recent profiled SELECT — the programmatic
+    /// counterpart of the `MAMMOTH_TRACE` file export.
+    pub fn last_profile(&self) -> Option<&ProfiledRun> {
+        self.last_profile.as_ref()
     }
 
     /// Execute one SQL statement.
@@ -185,12 +195,17 @@ impl Session {
                 Ok(QueryOutput::Affected(n))
             }
             Statement::Select(stmt) => {
+                // with MAMMOTH_TRACE set, plain SELECTs run profiled and
+                // append their trace to the named file
+                if trace_env_on() {
+                    let (out, run) = self.run_select_profiled(&stmt)?;
+                    export_profile(&run)?;
+                    self.last_profile = Some(run);
+                    return Ok(out);
+                }
                 let (prog, names) = compile_select(&self.catalog, &stmt)?;
                 if let Some(ex) = &self.executor {
-                    let pipeline = parallel_pipeline(self.pieces, column_types(&self.catalog));
-                    let prog = pipeline.try_optimize(prog).map_err(|e| {
-                        Error::Internal(format!("parallel pipeline rejected plan: {e}"))
-                    })?;
+                    let prog = self.rewrite_parallel(prog)?;
                     let outputs = ex.run_plan(&self.catalog, &prog)?;
                     return render_outputs(names, outputs);
                 }
@@ -206,6 +221,72 @@ impl Session {
                     }
                 };
                 render_outputs(names, outputs)
+            }
+            Statement::Explain(stmt) => {
+                let (prog, _) = compile_select(&self.catalog, &stmt)?;
+                let prog = if self.executor.is_some() {
+                    self.rewrite_parallel(prog)?
+                } else {
+                    self.pipeline.optimize(prog)
+                };
+                let rows = prog
+                    .to_string()
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(QueryOutput::Table {
+                    columns: vec!["mal".to_string()],
+                    rows,
+                })
+            }
+            Statement::Trace(stmt) => {
+                let (_, run) = self.run_select_profiled(&stmt)?;
+                export_profile(&run)?;
+                let table = profile_table(&run);
+                self.last_profile = Some(run);
+                Ok(table)
+            }
+        }
+    }
+
+    /// Rewrite a plan through the mitosis/mergetable pipeline for the
+    /// attached executor.
+    fn rewrite_parallel(&self, prog: Program) -> Result<Program> {
+        let pipeline = parallel_pipeline(self.pieces, column_types(&self.catalog));
+        pipeline
+            .try_optimize(prog)
+            .map_err(|e| Error::Internal(format!("parallel pipeline rejected plan: {e}")))
+    }
+
+    /// Compile, optimize and execute a SELECT with the per-instruction
+    /// profiler on, on whichever engine the session is configured for.
+    fn run_select_profiled(&mut self, stmt: &SelectStmt) -> Result<(QueryOutput, ProfiledRun)> {
+        let (prog, names) = compile_select(&self.catalog, stmt)?;
+        if let Some(ex) = &self.executor {
+            let prog = self.rewrite_parallel(prog)?;
+            let (outputs, run) = ex.run_plan_profiled(&self.catalog, &prog)?;
+            return Ok((render_outputs(names, outputs)?, run));
+        }
+        let prog = self.pipeline.optimize(prog);
+        match &mut self.recycler {
+            Some(r) => {
+                r.set_tracing(true);
+                let mut interp = Interpreter::with_recycler(&self.catalog, r).profiled(true);
+                let res = interp.run(&prog);
+                let mut run = interp.profiled_run("serial+recycler");
+                drop(interp);
+                // cache decisions ride along in the same run
+                run.events.extend(r.take_events());
+                r.set_tracing(false);
+                let outputs = res?;
+                Ok((render_outputs(names, outputs)?, run))
+            }
+            None => {
+                let mut interp = Interpreter::new(&self.catalog).profiled(true);
+                let res = interp.run(&prog);
+                let run = interp.profiled_run("serial");
+                let outputs = res?;
+                Ok((render_outputs(names, outputs)?, run))
             }
         }
     }
@@ -263,6 +344,55 @@ impl Session {
         }
         Ok(out)
     }
+}
+
+/// Whether `MAMMOTH_TRACE` names a trace sink.
+fn trace_env_on() -> bool {
+    std::env::var(TRACE_ENV).is_ok_and(|p| !p.is_empty())
+}
+
+/// Append the run to the `MAMMOTH_TRACE` file (no-op when unset).
+fn export_profile(run: &ProfiledRun) -> Result<()> {
+    run.export_env()
+        .map(|_| ())
+        .map_err(|e| Error::Internal(format!("{TRACE_ENV} export failed: {e}")))
+}
+
+/// Render a profile as the `TRACE <query>` result table: one row per event.
+fn profile_table(run: &ProfiledRun) -> QueryOutput {
+    let columns = vec![
+        "instr".to_string(),
+        "event".to_string(),
+        "op".to_string(),
+        "args".to_string(),
+        "worker".to_string(),
+        "start_ns".to_string(),
+        "dur_ns".to_string(),
+        "rows_in".to_string(),
+        "rows_out".to_string(),
+        "bytes_out".to_string(),
+        "recycled".to_string(),
+    ];
+    let rows = run
+        .events
+        .iter()
+        .map(|e| {
+            vec![
+                Value::I64(e.instr),
+                Value::Str(e.kind.as_str().to_string()),
+                Value::Str(e.op.clone()),
+                Value::Str(e.args.clone()),
+                Value::I64(e.worker as i64),
+                Value::I64(e.start_ns as i64),
+                Value::I64(e.dur_ns as i64),
+                Value::I64(e.rows_in as i64),
+                Value::I64(e.rows_out as i64),
+                Value::I64(e.bytes_out as i64),
+                Value::Bool(e.recycled),
+            ]
+        })
+        .collect();
+    QueryOutput::Table { columns, rows }
 }
 
 fn render_outputs(names: Vec<String>, outputs: Vec<MalValue>) -> Result<QueryOutput> {
@@ -459,6 +589,85 @@ mod tests {
             r1[0][0].as_i64().unwrap() + 1,
             "stale cache must not be served"
         );
+    }
+
+    #[test]
+    fn explain_returns_optimized_mal_text() {
+        let mut s = seeded();
+        let out = s
+            .execute("EXPLAIN SELECT name FROM people WHERE age = 1927")
+            .unwrap();
+        let QueryOutput::Table { columns, rows } = out else {
+            panic!()
+        };
+        assert_eq!(columns, vec!["mal".to_string()]);
+        let text: Vec<String> = rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                v => panic!("non-string plan line {v:?}"),
+            })
+            .collect();
+        assert!(text.iter().any(|l| l.contains("sql.bind")));
+        assert!(text.iter().any(|l| l.contains("algebra.thetaselect")));
+        assert!(text.iter().any(|l| l.contains("io.result")));
+    }
+
+    #[test]
+    fn trace_returns_per_instruction_profile() {
+        let mut s = seeded();
+        let out = s
+            .execute("TRACE SELECT name FROM people WHERE age = 1927")
+            .unwrap();
+        let QueryOutput::Table { columns, rows } = out else {
+            panic!()
+        };
+        assert_eq!(columns[0], "instr");
+        assert_eq!(columns[2], "op");
+        assert!(!rows.is_empty());
+        let ops: Vec<String> = rows
+            .iter()
+            .map(|r| match &r[2] {
+                Value::Str(s) => s.clone(),
+                v => panic!("non-string op {v:?}"),
+            })
+            .collect();
+        assert!(ops.iter().any(|o| o == "sql.bind"));
+        assert!(ops.iter().any(|o| o.starts_with("algebra.thetaselect")));
+        // the profile is also available programmatically
+        let run = s.last_profile().unwrap();
+        assert_eq!(run.engine, "serial");
+        assert_eq!(run.events.len() as u64, run.executed + run.recycled);
+        assert!(run
+            .events
+            .iter()
+            .all(|e| e.start_ns + e.dur_ns <= run.elapsed_ns));
+    }
+
+    #[test]
+    fn trace_under_recycler_marks_hits() {
+        let mut s = seeded().with_recycler(64 << 20);
+        s.execute("TRACE SELECT name FROM people WHERE age = 1927")
+            .unwrap();
+        let first = s.last_profile().unwrap().clone();
+        assert_eq!(first.engine, "serial+recycler");
+        assert_eq!(first.recycled, 0);
+        s.execute("TRACE SELECT name FROM people WHERE age = 1927")
+            .unwrap();
+        let second = s.last_profile().unwrap();
+        // the people table is tiny, so nothing clears the recycler's
+        // admission cost floor deterministically — but the counters and the
+        // event invariant must still line up
+        assert_eq!(
+            second.executed + second.recycled,
+            first.executed + first.recycled
+        );
+        let instr_events = second
+            .events
+            .iter()
+            .filter(|e| e.kind == mammoth_mal::EventKind::Instr)
+            .count() as u64;
+        assert_eq!(instr_events, second.executed + second.recycled);
     }
 
     #[test]

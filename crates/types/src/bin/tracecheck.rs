@@ -1,0 +1,52 @@
+//! `tracecheck` — validate MAMMOTH_TRACE files.
+//!
+//! For each file: parse every line as a trace record and check it against
+//! the JSON-lines schema (exact key sets, value types, non-negative
+//! counters). Reports the run/event counts per file.
+//!
+//! ```text
+//! tracecheck <trace.jsonl>...
+//! ```
+//!
+//! Exits non-zero if any file fails to validate — schema drift in the
+//! profiler shows up here (and in CI) as a hard error, not a silently
+//! changed field.
+
+use mammoth_types::validate_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() || files.iter().any(|f| f == "-h" || f == "--help") {
+        eprintln!("usage: tracecheck <trace.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for file in &files {
+        println!("== {file}");
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("   read error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match validate_trace(&text) {
+            Ok((runs, events)) => {
+                println!("   ok: {runs} run(s), {events} event(s)");
+            }
+            Err(e) => {
+                println!("   schema error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("tracecheck: {failures} of {} file(s) failed", files.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

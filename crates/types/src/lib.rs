@@ -17,10 +17,14 @@ pub mod error;
 pub mod native;
 pub mod oid;
 pub mod schema;
+pub mod trace;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use native::NativeType;
 pub use oid::{Oid, OID_NIL};
 pub use schema::{ColumnDef, TableSchema};
+pub use trace::{
+    validate_trace, validate_trace_line, EventKind, ProfiledRun, TraceEvent, TRACE_ENV,
+};
 pub use value::{LogicalType, Value};

@@ -23,10 +23,17 @@ for threads in 1 4; do
     MAMMOTH_THREADS=$threads cargo test -q --test engines_agree
 done
 
-echo "==> malcheck: well-formed plans must verify"
+echo "==> trace matrix: profiled test runs must emit a validating trace"
+trace_file=$(mktemp -u /tmp/mammoth_trace.XXXXXX.jsonl)
+MAMMOTH_TRACE=$trace_file cargo test -q --test sql_end_to_end
+MAMMOTH_TRACE=$trace_file MAMMOTH_THREADS=2 cargo test -q --test engines_agree
+cargo run -q -p mammoth-types --bin tracecheck -- "$trace_file"
+rm -f "$trace_file"
+
+echo "==> malcheck: well-formed plans must verify (profiler must not interfere)"
 good=$(ls examples/plans/*.mal | grep -v '/bad_')
 # shellcheck disable=SC2086
-cargo run -q -p mammoth-mal --bin malcheck -- $good
+MAMMOTH_TRACE=/dev/null cargo run -q -p mammoth-mal --bin malcheck -- $good
 
 echo "==> malcheck: malformed plans must be rejected"
 cargo run -q -p mammoth-mal --bin malcheck -- --expect-error examples/plans/bad_*.mal

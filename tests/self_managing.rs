@@ -200,3 +200,111 @@ fn recycler_subsumption_path() {
     .unwrap();
     assert_eq!(refined.len(), 101);
 }
+
+mod recycler_equivalence {
+    use super::*;
+    use mammoth::algebra::{AggKind, CmpOp};
+    use mammoth::mal::{Arg, Interpreter, MalValue, OpCode, Program};
+    use mammoth::storage::{Bat, Catalog, Table};
+    use mammoth::types::{ColumnDef, LogicalType, TableSchema};
+    use mammoth::workload::uniform_i64 as gen_i64;
+    use proptest::prelude::*;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = Table::from_bats(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", LogicalType::I64),
+                    ColumnDef::new("b", LogicalType::I64),
+                ],
+            ),
+            vec![
+                Bat::from_vec(gen_i64(2000, 0, 50, 21)),
+                Bat::from_vec(gen_i64(2000, 0, 1000, 22)),
+            ],
+        )
+        .unwrap();
+        cat.create_table(t).unwrap();
+        cat
+    }
+
+    /// `SELECT b, SUM(b), COUNT(b) FROM t WHERE a > cut` as MAL — with
+    /// `cut` drawn from a tiny domain, a query log repeats subplans and
+    /// the recycler gets real hits.
+    fn plan(cut: i64) -> Program {
+        let mut p = Program::new();
+        let a = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("a".into())),
+            ],
+        )[0];
+        let c = p.push(
+            OpCode::ThetaSelect(CmpOp::Gt),
+            vec![Arg::Var(a), Arg::Const(Value::I64(cut))],
+        )[0];
+        let b = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("b".into())),
+            ],
+        )[0];
+        let f = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(b)])[0];
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(f)])[0];
+        let n = p.push(OpCode::Count, vec![Arg::Var(f)])[0];
+        p.push_result(&[f, s, n]);
+        p
+    }
+
+    /// Outputs compare bit-exactly: BATs by their i64 tails, scalars by
+    /// value.
+    fn flatten(vals: &[MalValue]) -> (Vec<i64>, Vec<Value>) {
+        let mut bats = Vec::new();
+        let mut scalars = Vec::new();
+        for v in vals {
+            match v.as_bat() {
+                Some(b) => bats.extend_from_slice(b.tail_slice::<i64>().unwrap()),
+                None => scalars.push(v.as_scalar().unwrap().clone()),
+            }
+        }
+        (bats, scalars)
+    }
+
+    proptest! {
+        // The recycler is pure memoization: over any query log, results
+        // with the cache are bit-identical to results without it, and the
+        // hit counters only ever grow.
+        #[test]
+        fn prop_recycler_is_transparent(
+            cuts in proptest::collection::vec(0i64..12, 1..24),
+        ) {
+            let cat = catalog();
+            let mut rec = Recycler::new(32 << 20, EvictPolicy::Lru);
+            let mut last_hits = 0u64;
+            let mut last_lookups = 0u64;
+            for &cut in &cuts {
+                let prog = plan(cut);
+                let plain = Interpreter::new(&cat).run(&prog).unwrap();
+                let cached = Interpreter::with_recycler(&cat, &mut rec)
+                    .run(&prog)
+                    .unwrap();
+                prop_assert_eq!(flatten(&plain), flatten(&cached));
+                let stats = rec.stats();
+                prop_assert!(stats.exact_hits >= last_hits, "hit counter went backwards");
+                prop_assert!(stats.lookups >= last_lookups, "lookup counter went backwards");
+                prop_assert!(stats.exact_hits <= stats.lookups);
+                last_hits = stats.exact_hits;
+                last_lookups = stats.lookups;
+            }
+            // every distinct cut was computed once; repeats must hit
+            let distinct = cuts.iter().collect::<std::collections::HashSet<_>>().len();
+            if cuts.len() > distinct {
+                prop_assert!(last_hits > 0, "repeated subplans never hit the recycler");
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The `MAMMOTH_TRACE` environment export, end to end.
+//!
+//! This file holds exactly one test on purpose: it mutates process-global
+//! environment variables, which would race with any other test running in
+//! the same binary. Cargo gives every integration-test file its own
+//! process, so isolation comes from the file boundary.
+
+use mammoth::types::{validate_trace, TRACE_ENV};
+use mammoth::{Database, QueryOutput};
+
+#[test]
+fn env_var_exports_a_validating_trace_file() {
+    let path = std::env::temp_dir().join(format!("mammoth_trace_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var(TRACE_ENV, &path);
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
+    for i in 0..100i64 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 7))
+            .unwrap();
+    }
+    // with the env var set, plain SELECTs profile and append to the file
+    let out = db.execute("SELECT SUM(b) FROM t WHERE a > 10").unwrap();
+    let QueryOutput::Table { rows, .. } = out else {
+        panic!("expected a table");
+    };
+    assert_eq!(rows[0][0].as_i64().unwrap(), (11..100).map(|i| i * 7).sum());
+    let first = db.last_profile().expect("env export stashes the profile");
+    assert!(first.executed > 0);
+
+    // TRACE appends a second run to the same file
+    db.execute("TRACE SELECT COUNT(a) FROM t WHERE b < 350")
+        .unwrap();
+    std::env::remove_var(TRACE_ENV);
+
+    let text = std::fs::read_to_string(&path).expect("trace file must exist");
+    let (runs, events) = validate_trace(&text).expect("exported trace must validate");
+    assert_eq!(runs, 2, "one run block per profiled statement");
+    assert!(events > 0);
+    let _ = std::fs::remove_file(&path);
+
+    // with the env var cleared, queries no longer export or profile
+    db.execute("SELECT a FROM t WHERE a = 5").unwrap();
+    assert!(
+        !path.exists(),
+        "cleared {TRACE_ENV} must stop the export entirely"
+    );
+}
