@@ -28,6 +28,7 @@ pub mod experiments {
     pub mod e17_datacell;
     pub mod e18_sideways;
     pub mod e19_parallel;
+    pub mod e20_wal;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -149,6 +150,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e19",
             "Multi-core MAL execution: mitosis + dataflow thread-count scaling sweep",
             e19_parallel::run,
+        ),
+        (
+            "e20",
+            "extension - WAL overhead: group-commit batch sweep + checkpoint cost",
+            e20_wal::run,
         ),
     ]
 }

@@ -160,6 +160,31 @@ impl Database {
         *db.catalog_mut() = catalog;
         Ok(db)
     }
+
+    /// Open a crash-safe database rooted at `dir`: recovery (last atomic
+    /// checkpoint + WAL tail replay) runs first, and every subsequent DML
+    /// statement is redo-logged and fsync'd before it is acknowledged.
+    pub fn open_durable(dir: &Path) -> Result<Database> {
+        Ok(Database {
+            session: Session::open_durable(dir)?,
+        })
+    }
+
+    /// Whether this database persists through a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.session.is_durable()
+    }
+
+    /// Fold the WAL into a fresh atomic checkpoint (durable databases only;
+    /// the SQL statement `CHECKPOINT` does the same).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.session.checkpoint()
+    }
+
+    /// Group-commit batch size: WAL records per fsync (default 1).
+    pub fn set_wal_batch(&mut self, n: usize) {
+        self.session.set_wal_batch(n)
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +257,28 @@ mod tests {
             db.save(&dir).unwrap();
         }
         let mut db = Database::open(&dir).unwrap();
+        let out = db.execute("SELECT a FROM t ORDER BY a").unwrap();
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
+        assert_eq!(rows, vec![vec![Value::I32(1)], vec![Value::I32(3)]]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("mammoth-core-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Database::open_durable(&dir).unwrap();
+            assert!(db.is_durable());
+            db.execute("CREATE TABLE t (a INT NOT NULL)").unwrap();
+            db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+            db.execute("CHECKPOINT").unwrap();
+            db.execute("DELETE FROM t WHERE a = 2").unwrap();
+            // dropped without a clean shutdown: the WAL carries the delete
+        }
+        let mut db = Database::open_durable(&dir).unwrap();
         let out = db.execute("SELECT a FROM t ORDER BY a").unwrap();
         let QueryOutput::Table { rows, .. } = out else {
             panic!()

@@ -130,6 +130,20 @@ impl<T: Ord + Copy> CrackerColumn<T> {
         &self.rows
     }
 
+    /// Discard all adaptive state — the cracker index, the physical
+    /// permutation, and buffered updates — and re-adopt `values` as a fresh
+    /// base column. This is the recovery hook: a cracked copy describes the
+    /// pre-crash process's physical order, and none of it survives a
+    /// crash + recover cycle (only the base column is durable). Tuning and
+    /// tracing settings are preserved.
+    pub fn uncrack(&mut self, values: Vec<T>) {
+        let tracing = self.tracing;
+        let merge_threshold = self.merge_threshold;
+        *self = CrackerColumn::new(values);
+        self.tracing = tracing;
+        self.merge_threshold = merge_threshold;
+    }
+
     /// Append a new tuple; returns its row id.
     pub fn insert(&mut self, v: T) -> u32 {
         let row = self.next_row;
@@ -383,6 +397,28 @@ mod tests {
         assert!(kinds.contains(&EventKind::CrackMerge));
         assert!(c.take_events().is_empty(), "drained");
         assert!(c.check_invariant());
+    }
+
+    #[test]
+    fn uncrack_resets_adaptive_state() {
+        let mut c = col().with_merge_threshold(2);
+        c.set_tracing(true);
+        c.select(Bound::Incl(5), Bound::Excl(12));
+        c.insert(42);
+        c.delete(0);
+        assert!(c.stats().pieces > 1);
+        // recovery: re-adopt the durable base image
+        c.uncrack(vec![10, 20, 30]);
+        let s = c.stats();
+        assert_eq!(s.pieces, 1);
+        assert_eq!(s.pending_inserts, 0);
+        assert_eq!(s.pending_deletes, 0);
+        assert_eq!(c.values(), &[10, 20, 30]);
+        assert_eq!(c.len(), 3);
+        assert!(c.check_invariant());
+        // settings survive: tracing still on, threshold still 2
+        c.select(Bound::Incl(15), Bound::Excl(25));
+        assert!(!c.take_events().is_empty(), "tracing preserved");
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub enum Statement {
     Explain(SelectStmt),
     /// `TRACE SELECT ...` — execute and return the per-instruction profile.
     Trace(SelectStmt),
+    /// `CHECKPOINT` — fold the WAL into a fresh atomic checkpoint
+    /// (durable sessions only).
+    Checkpoint,
 }
 
 #[cfg(test)]

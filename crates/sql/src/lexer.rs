@@ -119,14 +119,16 @@ impl<'a> SqlLexer<'a> {
             }
             b'\'' => {
                 self.pos += 1;
-                let mut s = String::new();
+                // collect raw bytes, convert once: pushing `byte as char`
+                // would mangle multi-byte UTF-8 into mojibake
+                let mut bytes = Vec::new();
                 loop {
                     match self.src.get(self.pos) {
                         None => return Err(self.err("unterminated string literal")),
                         Some(b'\'') => {
                             // '' escapes a quote
                             if self.src.get(self.pos + 1) == Some(&b'\'') {
-                                s.push('\'');
+                                bytes.push(b'\'');
                                 self.pos += 2;
                             } else {
                                 self.pos += 1;
@@ -134,11 +136,16 @@ impl<'a> SqlLexer<'a> {
                             }
                         }
                         Some(&ch) => {
-                            s.push(ch as char);
+                            bytes.push(ch);
                             self.pos += 1;
                         }
                     }
                 }
+                // the source is a &str and ' is never a UTF-8 continuation
+                // byte, so the span is valid — but corrupt input must
+                // surface as a parse error, not a panic
+                let s = String::from_utf8(bytes)
+                    .map_err(|_| self.err("invalid utf8 in string literal"))?;
                 Token::Str(s)
             }
             b'0'..=b'9' | b'-' | b'+' => {
@@ -151,7 +158,8 @@ impl<'a> SqlLexer<'a> {
                     float |= self.src[self.pos] == b'.';
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid utf8 in number"))?;
                 if float {
                     Token::Float(
                         text.parse()
@@ -173,7 +181,7 @@ impl<'a> SqlLexer<'a> {
                 }
                 Token::Ident(
                     std::str::from_utf8(&self.src[start..self.pos])
-                        .unwrap()
+                        .map_err(|_| self.err("invalid utf8 in identifier"))?
                         .to_string(),
                 )
             }

@@ -82,6 +82,9 @@ impl Parser<'_> {
             self.insert()
         } else if is_kw(&t, "DELETE") {
             self.delete()
+        } else if is_kw(&t, "CHECKPOINT") {
+            self.lex.next()?;
+            Ok(Statement::Checkpoint)
         } else {
             Err(self.lex.err(format!("expected a statement, got {t:?}")))
         }

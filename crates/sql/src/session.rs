@@ -4,12 +4,14 @@ use crate::ast::{Predicate, SelectStmt, Statement};
 use crate::compile::compile_select;
 use crate::parser::parse_sql;
 use mammoth_mal::{
-    column_types, default_pipeline, parallel_pipeline, Interpreter, MalValue, Pipeline,
-    PlanExecutor, ProfiledRun, Program, TRACE_ENV,
+    column_types, default_pipeline, parallel_pipeline, EventKind, Interpreter, MalValue, Pipeline,
+    PlanExecutor, ProfiledRun, Program, TraceEvent, TRACE_ENV,
 };
 use mammoth_recycler::{EvictPolicy, Recycler};
-use mammoth_storage::{Catalog, Table, VersionedColumn};
+use mammoth_storage::{persist, Catalog, RealFs, Table, VersionedColumn, Vfs, Wal, WalRecord};
 use mammoth_types::{ColumnDef, Error, Oid, Result, TableSchema, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,12 +66,22 @@ impl QueryOutput {
     }
 }
 
+/// The crash-safety state of a durable session: the VFS it performs file
+/// operations through, the root directory, and the open redo log.
+struct Durability {
+    fs: Arc<dyn Vfs>,
+    root: PathBuf,
+    wal: Wal,
+}
+
 /// A database session: a catalog, an optimizer pipeline, and optionally the
 /// recycler.
 pub struct Session {
     catalog: Catalog,
     pipeline: Pipeline,
     recycler: Option<Recycler>,
+    /// WAL + checkpoint state; `None` for in-memory sessions.
+    durable: Option<Durability>,
     /// An alternative plan executor (the dataflow engine). When set,
     /// SELECTs run through the mitosis/mergetable pipeline and this
     /// executor instead of the serial interpreter; the recycler (a serial,
@@ -96,11 +108,160 @@ impl Session {
             catalog: Catalog::new(),
             pipeline: default_pipeline(),
             recycler: None,
+            durable: None,
             executor: None,
             pieces: 1,
             merge_threshold: 64 * 1024,
             last_profile: None,
         }
+    }
+
+    /// Open a crash-safe session rooted at `root` on the real filesystem.
+    ///
+    /// Recovery runs first: the last committed checkpoint is loaded and the
+    /// WAL tail replayed, so the session starts from exactly the state the
+    /// previous process made durable. DML thereafter is logged to the WAL
+    /// *before* touching the delta BATs and fsync'd at statement commit.
+    pub fn open_durable(root: impl Into<PathBuf>) -> Result<Session> {
+        Session::open_durable_with(Arc::new(RealFs), root.into())
+    }
+
+    /// [`Session::open_durable`] over an explicit [`Vfs`] — the hook the
+    /// fault-injection harness uses to script crashes into the I/O path.
+    pub fn open_durable_with(fs: Arc<dyn Vfs>, root: PathBuf) -> Result<Session> {
+        let mut s = Session::new();
+        s.attach_durable(fs, root)?;
+        Ok(s)
+    }
+
+    fn attach_durable(&mut self, fs: Arc<dyn Vfs>, root: PathBuf) -> Result<()> {
+        let rec = persist::recover_vfs(fs.as_ref(), &root)?;
+        let mut wal = Wal::open(Arc::clone(&fs), rec.wal_path.clone())?;
+        let tracing = trace_env_on();
+        wal.set_tracing(tracing);
+        self.catalog = rec.catalog;
+        // cached intermediates and cracked copies describe the pre-crash
+        // process's columns; none of them survive recovery
+        if let Some(r) = &mut self.recycler {
+            r.clear();
+        }
+        self.durable = Some(Durability { fs, root, wal });
+        if tracing {
+            self.export_durability_events(vec![TraceEvent {
+                kind: EventKind::Recover,
+                op: "recover".to_string(),
+                args: format!(
+                    "ckpt-{} + {} wal records{}",
+                    rec.gen,
+                    rec.wal_records,
+                    if rec.tail_discarded {
+                        ", torn tail discarded"
+                    } else {
+                        ""
+                    }
+                ),
+                rows_in: rec.wal_records as u64,
+                ..TraceEvent::default()
+            }]);
+        }
+        Ok(())
+    }
+
+    /// Whether this session persists through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Group-commit batch size: records per fsync (default 1 = commit at
+    /// every statement boundary). Larger batches trade the durability of
+    /// the last `n-1` acknowledged records for fewer fsyncs.
+    pub fn set_wal_batch(&mut self, n: usize) {
+        if let Some(d) = &mut self.durable {
+            d.wal.set_batch(n);
+        }
+    }
+
+    /// Pending-delta size at which a table is folded into its base columns.
+    /// Lowering this makes merges (and their WAL records) frequent enough to
+    /// exercise in small tests.
+    pub fn set_merge_threshold(&mut self, rows: usize) {
+        self.merge_threshold = rows.max(1);
+    }
+
+    /// Fold the current catalog into a fresh atomic checkpoint and start a
+    /// new (empty) WAL generation. The flip is atomic: a crash at any point
+    /// leaves the store wholly on the old generation or wholly on the new.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(d) = &mut self.durable else {
+            return Err(Error::Unsupported(
+                "CHECKPOINT requires a durable session (Session::open_durable)".into(),
+            ));
+        };
+        d.wal.commit()?;
+        let (gen, wal_path) = persist::checkpoint_catalog(d.fs.as_ref(), &self.catalog, &d.root)?;
+        let mut wal = Wal::open(Arc::clone(&d.fs), wal_path)?;
+        let tracing = trace_env_on();
+        wal.set_tracing(tracing);
+        d.wal = wal;
+        // the image just written is compacted: deltas folded into the base,
+        // positions renumbered. Fold the live tables identically, so the
+        // positions in post-checkpoint WAL records mean the same thing
+        // online and on replay — and invalidate cached intermediates that
+        // the renumbering stales.
+        let names: Vec<String> = self.catalog.table_names().map(str::to_string).collect();
+        for name in names {
+            self.catalog.table_mut(&name)?.merge_all();
+            let t = self.catalog.table(&name)?.clone();
+            self.invalidate_table(&t);
+        }
+        if tracing {
+            self.export_durability_events(vec![TraceEvent {
+                kind: EventKind::Checkpoint,
+                op: "checkpoint".to_string(),
+                args: format!("ckpt-{gen}"),
+                ..TraceEvent::default()
+            }]);
+        }
+        Ok(())
+    }
+
+    /// Append redo records for the statement being executed. On any append
+    /// failure the partial batch is rolled back so the log never holds half
+    /// a statement. No-op for in-memory sessions.
+    fn wal_write(&mut self, recs: Vec<WalRecord>) -> Result<()> {
+        let Some(d) = &mut self.durable else {
+            return Ok(());
+        };
+        for r in &recs {
+            if let Err(e) = d.wal.append(r) {
+                d.wal.rollback_pending();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit the statement's records (fsync, unless group commit is still
+    /// batching) and flush any pending durability trace events.
+    fn wal_commit_statement(&mut self) -> Result<()> {
+        let Some(d) = &mut self.durable else {
+            return Ok(());
+        };
+        let res = d.wal.statement_boundary();
+        let events = d.wal.take_events();
+        self.export_durability_events(events);
+        res
+    }
+
+    /// Export durability trace events (WAL appends, checkpoints, recovery)
+    /// as an `engine: "durability"` run on the `MAMMOTH_TRACE` sink.
+    fn export_durability_events(&mut self, events: Vec<TraceEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut run = ProfiledRun::new("durability", 1);
+        run.events = events;
+        export_profile(&run);
     }
 
     /// Run SELECTs on `executor` over plans fragmented into `pieces` by the
@@ -147,6 +308,12 @@ impl Session {
     }
 
     /// Execute one SQL statement.
+    ///
+    /// On a durable session every DML statement follows the write-ahead
+    /// discipline: validate against the schema, append redo records to the
+    /// WAL, *then* mutate the in-memory deltas, and commit (fsync) at the
+    /// statement boundary. A failure before the mutation leaves both log
+    /// and catalog untouched.
     pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
         match parse_sql(sql)? {
             Statement::CreateTable { name, columns } => {
@@ -159,47 +326,103 @@ impl Session {
                     })
                     .collect();
                 let table = Table::new(TableSchema::new(name, defs))?;
+                if self.catalog.table(&table.schema.name).is_ok() {
+                    return Err(Error::AlreadyExists {
+                        kind: "table",
+                        name: table.schema.name.clone(),
+                    });
+                }
+                self.wal_write(vec![WalRecord::CreateTable {
+                    schema: table.schema.clone(),
+                }])?;
                 self.catalog.create_table(table)?;
+                self.wal_commit_statement()?;
                 Ok(QueryOutput::Ok)
             }
             Statement::DropTable { name } => {
+                self.catalog.table(&name)?; // existence check before logging
+                self.wal_write(vec![WalRecord::DropTable { name: name.clone() }])?;
                 let t = self.catalog.drop_table(&name)?;
                 self.invalidate_table(&t);
+                self.wal_commit_statement()?;
                 Ok(QueryOutput::Ok)
             }
             Statement::Insert { table, rows } => {
                 let n = rows.len();
                 {
+                    // full validation up front: after the WAL records are
+                    // written, the mutation below must not be able to fail
+                    let t = self.catalog.table(&table)?;
+                    for row in &rows {
+                        t.validate_row(row)?;
+                    }
+                }
+                self.wal_write(
+                    rows.iter()
+                        .map(|row| WalRecord::Insert {
+                            table: table.clone(),
+                            row: row.clone(),
+                        })
+                        .collect(),
+                )?;
+                let merged = {
                     let t = self.catalog.table_mut(&table)?;
                     for row in &rows {
                         t.insert_row(row)?;
                     }
-                    t.maybe_merge_all(self.merge_threshold);
+                    t.maybe_merge_all(self.merge_threshold)
+                };
+                if merged {
+                    // merges renumber positions, so replay must repeat them
+                    // at the same point in the record stream
+                    self.wal_write(vec![WalRecord::Merge {
+                        table: table.clone(),
+                    }])?;
                 }
                 let t = self.catalog.table(&table)?.clone();
                 self.invalidate_table(&t);
+                self.wal_commit_statement()?;
                 Ok(QueryOutput::Affected(n))
             }
             Statement::Delete { table, where_ } => {
                 let victims = self.matching_positions(&table, &where_)?;
                 let n = victims.len();
-                {
+                self.wal_write(
+                    victims
+                        .iter()
+                        .map(|&pos| WalRecord::Delete {
+                            table: table.clone(),
+                            pos,
+                        })
+                        .collect(),
+                )?;
+                let merged = {
                     let t = self.catalog.table_mut(&table)?;
                     for pos in victims {
                         t.delete_row(pos);
                     }
-                    t.maybe_merge_all(self.merge_threshold);
+                    t.maybe_merge_all(self.merge_threshold)
+                };
+                if merged {
+                    self.wal_write(vec![WalRecord::Merge {
+                        table: table.clone(),
+                    }])?;
                 }
                 let t = self.catalog.table(&table)?.clone();
                 self.invalidate_table(&t);
+                self.wal_commit_statement()?;
                 Ok(QueryOutput::Affected(n))
+            }
+            Statement::Checkpoint => {
+                self.checkpoint()?;
+                Ok(QueryOutput::Ok)
             }
             Statement::Select(stmt) => {
                 // with MAMMOTH_TRACE set, plain SELECTs run profiled and
                 // append their trace to the named file
                 if trace_env_on() {
                     let (out, run) = self.run_select_profiled(&stmt)?;
-                    export_profile(&run)?;
+                    export_profile(&run);
                     self.last_profile = Some(run);
                     return Ok(out);
                 }
@@ -241,7 +464,7 @@ impl Session {
             }
             Statement::Trace(stmt) => {
                 let (_, run) = self.run_select_profiled(&stmt)?;
-                export_profile(&run)?;
+                export_profile(&run);
                 let table = profile_table(&run);
                 self.last_profile = Some(run);
                 Ok(table)
@@ -351,11 +574,13 @@ fn trace_env_on() -> bool {
     std::env::var(TRACE_ENV).is_ok_and(|p| !p.is_empty())
 }
 
-/// Append the run to the `MAMMOTH_TRACE` file (no-op when unset).
-fn export_profile(run: &ProfiledRun) -> Result<()> {
-    run.export_env()
-        .map(|_| ())
-        .map_err(|e| Error::Internal(format!("{TRACE_ENV} export failed: {e}")))
+/// Append the run to the `MAMMOTH_TRACE` file (no-op when unset). An
+/// unwritable trace path degrades to a stderr warning — tracing must never
+/// fail the query that produced the trace.
+fn export_profile(run: &ProfiledRun) {
+    if let Err(e) = run.export_env() {
+        eprintln!("warning: {TRACE_ENV} export failed: {e}");
+    }
 }
 
 /// Render a profile as the `TRACE <query>` result table: one row per event.
@@ -697,6 +922,90 @@ mod tests {
         assert!(text.contains("name"));
         assert!(text.contains("John Wayne"));
         assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn malformed_sql_errors_leave_session_usable() {
+        let mut s = seeded();
+        // every flavor of malformed input must return Err, never panic
+        for bad in [
+            "SELECT name FROM people WHERE name = 'oops", // unterminated string
+            "SELECT 99999999999999999999999 FROM people", // integer overflow
+            "SELECT FROM people",                         // missing select list
+            "INSERT INTO people VALUES (1907)",           // arity mismatch
+            "INSERT INTO people VALUES ('x', 'not a number')", // type mismatch
+            "DELETE FROM nope WHERE age = 1",             // unknown table
+            "EXPLAIN INSERT INTO people VALUES (1)",      // EXPLAIN of non-SELECT
+            "TRACE DROP TABLE people",                    // TRACE of non-SELECT
+            "SELECT name FROM people \u{0};",             // stray control byte
+            "CREATE TABLE people (x INT)",                // duplicate table
+        ] {
+            assert!(s.execute(bad).is_err(), "expected error for: {bad}");
+        }
+        // ...and the session keeps answering queries afterwards
+        let out = s.execute("SELECT COUNT(*) FROM people").unwrap();
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
+        assert_eq!(rows[0][0], Value::I64(4));
+    }
+
+    #[test]
+    fn failed_insert_mutates_nothing() {
+        let mut s = seeded();
+        // multi-row insert where a later row is invalid: nothing lands
+        assert!(s
+            .execute("INSERT INTO people VALUES ('ok', 1), ('bad', NULL)")
+            .is_err());
+        let out = s.execute("SELECT COUNT(*) FROM people").unwrap();
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
+        assert_eq!(rows[0][0], Value::I64(4), "partial insert must not land");
+    }
+
+    #[test]
+    fn checkpoint_requires_durable_session() {
+        let mut s = Session::new();
+        let err = s.execute("CHECKPOINT").unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn durable_session_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "mammoth-sql-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = Session::open_durable(&dir).unwrap();
+            s.execute("CREATE TABLE kv (k VARCHAR NOT NULL, v INT)")
+                .unwrap();
+            s.execute("INSERT INTO kv VALUES ('a', 1), ('b', 2)")
+                .unwrap();
+            s.execute("CHECKPOINT").unwrap();
+            s.execute("INSERT INTO kv VALUES ('c', 3)").unwrap();
+            s.execute("DELETE FROM kv WHERE k = 'a'").unwrap();
+            // no clean shutdown: durability must come from WAL + checkpoint
+        }
+        {
+            let mut s = Session::open_durable(&dir).unwrap();
+            assert!(s.is_durable());
+            let out = s.execute("SELECT k, v FROM kv ORDER BY k").unwrap();
+            let QueryOutput::Table { rows, .. } = out else {
+                panic!()
+            };
+            assert_eq!(
+                rows,
+                vec![
+                    vec![Value::Str("b".into()), Value::I32(2)],
+                    vec![Value::Str("c".into()), Value::I32(3)],
+                ]
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

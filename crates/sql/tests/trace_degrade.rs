@@ -1,0 +1,42 @@
+//! A profiled query whose `MAMMOTH_TRACE` path is unwritable must degrade
+//! to a stderr warning — never fail the query. This lives in its own
+//! integration binary because it mutates the process environment, which
+//! would race with the unit tests sharing a test process.
+
+use mammoth_sql::{QueryOutput, Session};
+use mammoth_types::{Value, TRACE_ENV};
+
+#[test]
+fn unwritable_trace_path_degrades_to_warning() {
+    // a path whose parent directory does not exist: every open fails
+    std::env::set_var(
+        TRACE_ENV,
+        "/nonexistent-mammoth-trace-dir/deeper/trace.jsonl",
+    );
+
+    let mut s = Session::new();
+    s.execute("CREATE TABLE t (a INT NOT NULL)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+
+    // plain SELECT runs profiled under MAMMOTH_TRACE; the failed export
+    // must not surface as a query error
+    let out = s
+        .execute("SELECT COUNT(*) FROM t")
+        .expect("unwritable trace sink must not fail the query");
+    let QueryOutput::Table { rows, .. } = out else {
+        panic!("expected a result table");
+    };
+    assert_eq!(rows[0][0], Value::I64(3));
+
+    // explicit TRACE statements degrade the same way and still return the
+    // profile table
+    let out = s.execute("TRACE SELECT COUNT(*) FROM t").unwrap();
+    let QueryOutput::Table { rows, .. } = out else {
+        panic!("expected a profile table");
+    };
+    assert!(!rows.is_empty());
+    // the profile is still captured programmatically
+    assert!(s.last_profile().is_some());
+
+    std::env::remove_var(TRACE_ENV);
+}

@@ -93,8 +93,12 @@ impl Table {
         Ok(&self.columns[i])
     }
 
-    /// Insert a full row; values are coerced to the column types.
-    pub fn insert_row(&mut self, row: &[Value]) -> Result<Oid> {
+    /// Check a row against the schema without mutating anything: arity,
+    /// NOT NULL, and type coercibility. [`Table::insert_row`] on a
+    /// validated row cannot fail, which is what both the WAL-before-mutate
+    /// discipline and column alignment rely on (a mid-row type error after
+    /// some columns were appended would leave the table misaligned).
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.arity() {
             return Err(Error::LengthMismatch {
                 left: row.len(),
@@ -102,13 +106,28 @@ impl Table {
             });
         }
         for (c, def) in row.iter().zip(&self.schema.columns) {
-            if c.is_null() && !def.nullable {
-                return Err(Error::Bind(format!(
-                    "NULL not allowed in column {}",
-                    def.name
-                )));
+            if c.is_null() {
+                if !def.nullable {
+                    return Err(Error::Bind(format!(
+                        "NULL not allowed in column {}",
+                        def.name
+                    )));
+                }
+                continue;
+            }
+            if c.coerce(def.ty).is_none() {
+                return Err(Error::TypeMismatch {
+                    expected: def.ty.name().into(),
+                    found: format!("{c:?}"),
+                });
             }
         }
+        Ok(())
+    }
+
+    /// Insert a full row; values are coerced to the column types.
+    pub fn insert_row(&mut self, row: &[Value]) -> Result<Oid> {
+        self.validate_row(row)?;
         let mut pos = 0;
         for (col, v) in self.columns.iter_mut().zip(row) {
             pos = col.insert(v)?;
@@ -139,11 +158,19 @@ impl Table {
             .iter()
             .any(|c| c.pending_inserts() + c.pending_deletes() > threshold_rows);
         if need {
-            for c in &mut self.columns {
-                c.merge();
-            }
+            self.merge_all();
         }
         need
+    }
+
+    /// Unconditionally merge every column's deltas into a fresh base.
+    /// WAL replay uses this: the online merge decision was already taken
+    /// and logged, so replay must repeat it exactly rather than re-apply
+    /// a (possibly different) threshold.
+    pub fn merge_all(&mut self) {
+        for c in &mut self.columns {
+            c.merge();
+        }
     }
 
     /// Read one full row (None if deleted/out of range).
@@ -153,6 +180,14 @@ impl Table {
             row.push(c.get(pos)?);
         }
         Some(row)
+    }
+
+    /// All live rows in position order — the table's *logical content*,
+    /// independent of how it is split between base and deltas.
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        (0..self.total_len() as Oid)
+            .filter_map(|p| self.get_row(p))
+            .collect()
     }
 }
 
@@ -231,6 +266,17 @@ impl Catalog {
 
     pub fn bat_names(&self) -> impl Iterator<Item = &str> {
         self.bats.keys().map(|s| s.as_str())
+    }
+
+    /// A logical dump of every table: (normalized name, schema, live rows
+    /// in position order). Two catalogs with equal dumps are observably
+    /// identical to queries — the crash-matrix oracle compares these.
+    /// Free-standing BATs are transient (not logged) and excluded.
+    pub fn logical_dump(&self) -> Vec<(String, TableSchema, Vec<Vec<Value>>)> {
+        self.tables
+            .iter()
+            .map(|(k, t)| (k.clone(), t.schema.clone(), t.rows()))
+            .collect()
     }
 }
 

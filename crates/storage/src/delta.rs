@@ -373,4 +373,76 @@ mod tests {
         let m = c.materialize();
         assert_eq!(m.tail_slice::<i32>().unwrap(), &[2]);
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        // Snapshot isolation under arbitrary insert/delete/merge
+        // interleavings: a snapshot taken at any point keeps scanning the
+        // exact image it saw, no matter what the writer does afterwards —
+        // including merges, which replace the writer's base out from under
+        // the shared Arc.
+        #[test]
+        fn prop_snapshot_isolated_under_interleavings(
+            ops in proptest::collection::vec((0u8..3, 0u32..40), 1..60),
+            snap_at in 0usize..60,
+        ) {
+            let mut c = col_with(&[100, 200, 300]);
+            // a parallel oracle of live values, in position-scan order
+            let live = |c: &VersionedColumn| -> Vec<Value> {
+                c.scan().map(|(_, v)| v).collect()
+            };
+            let mut snap: Option<(Snapshot, Vec<Value>)> = None;
+            for (i, &(op, arg)) in ops.iter().enumerate() {
+                if i == snap_at.min(ops.len() - 1) {
+                    snap = Some((c.snapshot(), live(&c)));
+                }
+                match op {
+                    0 => {
+                        c.insert(&Value::I32(arg as i32)).unwrap();
+                    }
+                    1 => {
+                        let total = c.total_len() as Oid;
+                        if total > 0 {
+                            c.delete(arg as Oid % total);
+                        }
+                    }
+                    _ => c.merge(),
+                }
+            }
+            let (snap, frozen) = snap.expect("snapshot taken");
+            let seen: Vec<Value> = snap.scan().map(|(_, v)| v).collect();
+            prop_assert_eq!(&seen, &frozen, "snapshot image must not move");
+            prop_assert_eq!(snap.live_len(), frozen.len());
+            // and materializing the snapshot yields the same image
+            let m = snap.materialize();
+            let mat: Vec<Value> = (0..m.len()).map(|i| m.value_at(i)).collect();
+            prop_assert_eq!(&mat, &frozen);
+        }
+
+        // maybe_merge never changes the live image, only the representation.
+        #[test]
+        fn prop_merge_preserves_live_image(
+            ops in proptest::collection::vec((0u8..2, 0u32..30), 0..40),
+        ) {
+            let mut c = col_with(&[1, 2, 3, 4, 5]);
+            for &(op, arg) in &ops {
+                match op {
+                    0 => {
+                        c.insert(&Value::I32(arg as i32)).unwrap();
+                    }
+                    _ => {
+                        let total = c.total_len() as Oid;
+                        c.delete(arg as Oid % total);
+                    }
+                }
+            }
+            let before: Vec<Value> = c.scan().map(|(_, v)| v).collect();
+            c.merge();
+            let after: Vec<Value> = c.scan().map(|(_, v)| v).collect();
+            prop_assert_eq!(&before, &after);
+            prop_assert_eq!(c.pending_inserts(), 0);
+            prop_assert_eq!(c.pending_deletes(), 0);
+        }
+    }
 }

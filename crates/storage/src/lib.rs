@@ -19,18 +19,27 @@
 //! * **Raw-heap persistence** — BATs serialize as little-endian raw heaps
 //!   plus a tiny descriptor, mimicking MonetDB's memory-mapped files
 //!   ([`persist`]).
+//! * **Crash safety** — a redo-only write-ahead log ([`wal`]), atomic
+//!   generation-numbered checkpoints ([`persist::checkpoint_catalog`]) and
+//!   a deterministic fault-injection VFS ([`fault`]) that the crash-matrix
+//!   tests drive to prove every kill point recovers the committed prefix.
 
 pub mod bat;
 pub mod catalog;
 pub mod delta;
+pub mod fault;
 pub mod heap;
 pub mod persist;
 pub mod properties;
 pub mod strheap;
+pub mod wal;
 
 pub use bat::{Bat, HeadColumn};
 pub use catalog::{Catalog, Table};
 pub use delta::{DeletionMap, Snapshot, VersionedColumn};
+pub use fault::{FaultFs, FaultKind, FaultPlan, RealFs, Vfs};
 pub use heap::{FixedTail, TailHeap};
+pub use persist::{checkpoint_catalog, recover, recover_vfs, Recovered};
 pub use properties::Properties;
 pub use strheap::StrHeap;
+pub use wal::{Wal, WalRecord, WalReplay};

@@ -183,50 +183,75 @@ impl StrHeap {
     /// Deserialize from the format written by [`StrHeap::write_to`].
     /// Returns the heap and the number of bytes consumed.
     pub fn read_from(buf: &[u8]) -> Result<(StrHeap, usize)> {
-        let need = |n: usize, have: usize| -> Result<()> {
-            if have < n {
-                Err(Error::Corrupt("truncated string heap".into()))
-            } else {
-                Ok(())
-            }
+        let take8 = |pos: usize| -> Result<(u64, usize)> {
+            let end = pos
+                .checked_add(8)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| Error::Corrupt("truncated string heap".into()))?;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[pos..end]);
+            Ok((u64::from_le_bytes(b), end))
         };
-        need(8, buf.len())?;
-        let nrows = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
-        let mut pos = 8;
-        need(pos + nrows * 8 + 8, buf.len())?;
+        let (nrows, mut pos) = take8(0)?;
+        // every length below is untrusted input: checked arithmetic only,
+        // and no allocation is sized beyond what the buffer can back
+        let nrows = usize::try_from(nrows)
+            .ok()
+            .and_then(|n| n.checked_mul(8))
+            .filter(|&bytes| bytes <= buf.len().saturating_sub(pos))
+            .map(|bytes| bytes / 8)
+            .ok_or_else(|| Error::Corrupt("truncated string heap".into()))?;
         let mut offsets = Vec::with_capacity(nrows);
         for _ in 0..nrows {
-            offsets.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
-            pos += 8;
+            let (o, next) = take8(pos)?;
+            offsets.push(o);
+            pos = next;
         }
-        let blob_len = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()) as usize;
-        pos += 8;
-        need(pos + blob_len, buf.len())?;
+        let (blob_len, next) = take8(pos)?;
+        pos = next;
+        let blob_len = usize::try_from(blob_len)
+            .ok()
+            .filter(|&n| n <= buf.len().saturating_sub(pos))
+            .ok_or_else(|| Error::Corrupt("truncated string heap".into()))?;
         let blob = buf[pos..pos + blob_len].to_vec();
         pos += blob_len;
 
-        // Rebuild the dedup index by walking the blob.
+        // Rebuild the dedup index by walking the blob, remembering every
+        // valid entry boundary along the way.
         let mut heap = StrHeap {
             offsets,
             blob,
             dedup: HashMap::new(),
             distinct: 0,
         };
+        let mut boundaries = std::collections::HashSet::new();
         let mut off = 0usize;
-        while off + 4 <= heap.blob.len() {
-            let len = u32::from_le_bytes(heap.blob[off..off + 4].try_into().unwrap()) as usize;
-            if off + 4 + len > heap.blob.len() {
+        while off < heap.blob.len() {
+            if off + 4 > heap.blob.len() {
                 return Err(Error::Corrupt("string heap blob overrun".into()));
             }
-            let h = hash_bytes(&heap.blob[off + 4..off + 4 + len]);
+            let mut lenb = [0u8; 4];
+            lenb.copy_from_slice(&heap.blob[off..off + 4]);
+            let len = u32::from_le_bytes(lenb) as usize;
+            let end = off
+                .checked_add(4)
+                .and_then(|s| s.checked_add(len))
+                .filter(|&e| e <= heap.blob.len())
+                .ok_or_else(|| Error::Corrupt("string heap blob overrun".into()))?;
+            // `get` hands these bytes out as &str, so reject non-utf8 now
+            std::str::from_utf8(&heap.blob[off + 4..end])
+                .map_err(|_| Error::Corrupt("invalid utf8 in string heap".into()))?;
+            let h = hash_bytes(&heap.blob[off + 4..end]);
             heap.dedup.entry(h).or_default().push(off as u64);
             heap.distinct += 1;
-            off += 4 + len;
+            boundaries.insert(off as u64);
+            off = end;
         }
-        // Validate offsets point at entry boundaries.
+        // Offsets must name entry boundaries: an offset into the middle of
+        // an entry would read garbage lengths and payloads.
         for &o in &heap.offsets {
-            if o != STR_NIL_OFFSET && o as usize + 4 > heap.blob.len() {
-                return Err(Error::Corrupt("string offset out of blob".into()));
+            if o != STR_NIL_OFFSET && !boundaries.contains(&o) {
+                return Err(Error::Corrupt("string offset not at entry boundary".into()));
             }
         }
         Ok((heap, pos))

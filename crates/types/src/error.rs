@@ -32,6 +32,10 @@ pub enum Error {
     Io(String),
     /// Corrupt or unreadable persisted data.
     Corrupt(String),
+    /// Crash recovery could not restore a consistent state (a checkpoint
+    /// referenced by the manifest is missing, or a WAL record does not
+    /// apply to the checkpoint it follows).
+    Recovery(String),
     /// An internal invariant was violated: this is a bug.
     Internal(String),
 }
@@ -55,6 +59,7 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Io(m) => write!(f, "i/o error: {m}"),
             Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Recovery(m) => write!(f, "recovery failed: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

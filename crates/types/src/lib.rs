@@ -25,6 +25,6 @@ pub use native::NativeType;
 pub use oid::{Oid, OID_NIL};
 pub use schema::{ColumnDef, TableSchema};
 pub use trace::{
-    validate_trace, validate_trace_line, EventKind, ProfiledRun, TraceEvent, TRACE_ENV,
+    validate_trace, validate_trace_line, EventKind, FlushGuard, ProfiledRun, TraceEvent, TRACE_ENV,
 };
 pub use value::{LogicalType, Value};

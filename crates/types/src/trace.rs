@@ -38,6 +38,12 @@ pub enum EventKind {
     CrackPartition,
     /// The cracker merged its pending delta into the cracked store.
     CrackMerge,
+    /// A batch of redo records was appended (and fsync'd) to the WAL.
+    WalAppend,
+    /// An atomic checkpoint was written and the WAL truncated.
+    Checkpoint,
+    /// Crash recovery loaded a checkpoint and replayed the WAL tail.
+    Recover,
 }
 
 impl EventKind {
@@ -50,6 +56,9 @@ impl EventKind {
             EventKind::RecyclerInvalidate => "recycler.invalidate",
             EventKind::CrackPartition => "crack.partition",
             EventKind::CrackMerge => "crack.merge",
+            EventKind::WalAppend => "wal.append",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Recover => "recover",
         }
     }
 
@@ -62,6 +71,9 @@ impl EventKind {
             "recycler.invalidate" => EventKind::RecyclerInvalidate,
             "crack.partition" => EventKind::CrackPartition,
             "crack.merge" => EventKind::CrackMerge,
+            "wal.append" => EventKind::WalAppend,
+            "checkpoint" => EventKind::Checkpoint,
+            "recover" => EventKind::Recover,
             _ => return None,
         })
     }
@@ -241,13 +253,17 @@ impl ProfiledRun {
     }
 
     /// Append the run to `path` as JSON lines. The full block goes through
-    /// one `write` call, so concurrent appenders do not interleave.
+    /// one `write` call, so concurrent appenders do not interleave; the
+    /// [`FlushGuard`] flushes again on drop so a panic between the write
+    /// and the close still leaves complete lines behind.
     pub fn append_to_path(&self, path: &str) -> std::io::Result<()> {
-        let mut f = std::fs::OpenOptions::new()
+        let f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
-        f.write_all(self.to_json_lines().as_bytes())
+        let mut guard = FlushGuard::new(f);
+        guard.write_all(self.to_json_lines().as_bytes())?;
+        guard.finish()
     }
 
     /// Export to the file named by `MAMMOTH_TRACE`, when set. Returns
@@ -259,6 +275,43 @@ impl ProfiledRun {
                 Ok(true)
             }
             _ => Ok(false),
+        }
+    }
+}
+
+/// A file wrapper that flushes on drop. Trace sinks are append-only side
+/// channels: losing buffered bytes on an early return or panic would leave
+/// a silently truncated trace, so the drop path flushes best-effort while
+/// [`FlushGuard::finish`] reports errors to callers that care.
+pub struct FlushGuard {
+    file: Option<std::fs::File>,
+}
+
+impl FlushGuard {
+    pub fn new(file: std::fs::File) -> FlushGuard {
+        FlushGuard { file: Some(file) }
+    }
+
+    pub fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("guard not finished")
+            .write_all(bytes)
+    }
+
+    /// Flush explicitly, consuming the guard and reporting the error.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        match self.file.take() {
+            Some(mut f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        if let Some(mut f) = self.file.take() {
+            let _ = f.flush();
         }
     }
 }
@@ -672,6 +725,9 @@ mod tests {
             EventKind::RecyclerInvalidate,
             EventKind::CrackPartition,
             EventKind::CrackMerge,
+            EventKind::WalAppend,
+            EventKind::Checkpoint,
+            EventKind::Recover,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

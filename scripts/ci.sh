@@ -17,6 +17,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> crash matrix: kill-point sweep under seeded workloads"
+for seed in 1 2 3 4; do
+    echo "    MAMMOTH_FAULT_SEED=$seed"
+    MAMMOTH_FAULT_SEED=$seed cargo test -q --test durability
+done
+
+echo "==> corrupt-image proptests: truncation/bitflips must error, never panic"
+cargo test -q -p mammoth-storage
+
 echo "==> engines agree under the MAMMOTH_THREADS matrix"
 for threads in 1 4; do
     echo "    MAMMOTH_THREADS=$threads"
@@ -27,6 +36,7 @@ echo "==> trace matrix: profiled test runs must emit a validating trace"
 trace_file=$(mktemp -u /tmp/mammoth_trace.XXXXXX.jsonl)
 MAMMOTH_TRACE=$trace_file cargo test -q --test sql_end_to_end
 MAMMOTH_TRACE=$trace_file MAMMOTH_THREADS=2 cargo test -q --test engines_agree
+MAMMOTH_TRACE=$trace_file cargo test -q --test durability
 cargo run -q -p mammoth-types --bin tracecheck -- "$trace_file"
 rm -f "$trace_file"
 
