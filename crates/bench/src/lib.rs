@@ -29,6 +29,7 @@ pub mod experiments {
     pub mod e18_sideways;
     pub mod e19_parallel;
     pub mod e20_wal;
+    pub mod e21_server;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -155,6 +156,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e20",
             "extension - WAL overhead: group-commit batch sweep + checkpoint cost",
             e20_wal::run,
+        ),
+        (
+            "e21",
+            "extension - mammoth-server: closed-loop client scaling, overload shedding, drain",
+            e21_server::run,
         ),
     ]
 }

@@ -182,8 +182,10 @@ impl Database {
     }
 
     /// Group-commit batch size: WAL records per fsync (default 1).
-    pub fn set_wal_batch(&mut self, n: usize) {
-        self.session.set_wal_batch(n)
+    /// Returns `&mut Self` for builder-style chaining.
+    pub fn set_wal_batch(&mut self, n: usize) -> &mut Self {
+        self.session.set_wal_batch(n);
+        self
     }
 }
 

@@ -22,7 +22,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// One optimizer module.
-pub trait OptimizerPass {
+/// An optimizer module. `Send + Sync` so a [`Pipeline`] (and the session
+/// holding it) can be shared across the network server's worker threads.
+pub trait OptimizerPass: Send + Sync {
     fn name(&self) -> &'static str;
     fn run(&self, prog: Program) -> Program;
 }

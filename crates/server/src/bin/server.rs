@@ -1,0 +1,116 @@
+//! The mammoth-server daemon.
+//!
+//! ```text
+//! mammoth-server [--addr HOST:PORT] [--data DIR] [--workers N]
+//!                [--backlog N] [--stmt-timeout-ms N] [--auth TOKEN]
+//!                [--wal-batch N] [--port-file PATH] [--no-remote-shutdown]
+//! ```
+//!
+//! Without `--data` the server runs in memory; with it, the session is
+//! durable (WAL + checkpoints under DIR) and the graceful shutdown ends
+//! with a checkpoint. `--port-file` writes the bound address (useful with
+//! `--addr 127.0.0.1:0`) so scripts can find an ephemeral port.
+//!
+//! The process exits 0 after a graceful shutdown (a client sent
+//! `SHUTDOWN`), 2 on bad usage, 1 on runtime errors.
+
+use mammoth_server::{Server, ServerConfig, SessionSpec};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mammoth-server [--addr HOST:PORT] [--data DIR] [--workers N] \
+         [--backlog N] [--stmt-timeout-ms N] [--auth TOKEN] [--wal-batch N] \
+         [--port-file PATH] [--no-remote-shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut data: Option<String> = None;
+    let mut wal_batch: Option<usize> = None;
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--data" => data = Some(val("--data")),
+            "--workers" => cfg.workers = parse(&val("--workers"), "--workers"),
+            "--backlog" => cfg.backlog = parse(&val("--backlog"), "--backlog"),
+            "--stmt-timeout-ms" => {
+                let ms: u64 = parse(&val("--stmt-timeout-ms"), "--stmt-timeout-ms");
+                cfg.stmt_timeout = if ms == 0 {
+                    None
+                } else {
+                    Some(Duration::from_millis(ms))
+                };
+            }
+            "--auth" => cfg.auth_token = Some(val("--auth")),
+            "--wal-batch" => wal_batch = Some(parse(&val("--wal-batch"), "--wal-batch")),
+            "--port-file" => port_file = Some(val("--port-file")),
+            "--no-remote-shutdown" => cfg.allow_remote_shutdown = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let mut spec = match data {
+        Some(dir) => SessionSpec::durable(dir),
+        None => SessionSpec::in_memory(),
+    };
+    spec.wal_batch = wal_batch;
+    cfg.spec = spec;
+
+    let srv = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mammoth-server: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = srv.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("mammoth-server: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("mammoth-server: listening on {addr}");
+
+    match srv.wait() {
+        Ok(stats) => {
+            eprintln!(
+                "mammoth-server: graceful shutdown — {} connections ({} shed), \
+                 {} statements ({} sql errors, {} timeouts, {} poisonings)",
+                stats.accepted,
+                stats.shed,
+                stats.statements,
+                stats.sql_errors,
+                stats.timeouts,
+                stats.poisonings
+            );
+        }
+        Err(e) => {
+            eprintln!("mammoth-server: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}

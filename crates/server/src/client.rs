@@ -1,0 +1,168 @@
+//! The programmatic client — what `mammoth-cli`, the E21 load experiment,
+//! and the concurrency tests all build on.
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{ClientMsg, ErrorCode, ServerMsg, PROTO_VERSION};
+use mammoth_types::Value;
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How a client call can fail.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server shed this connection (`SERVER_BUSY`): not an error in
+    /// the engine, a signal to back off and retry.
+    Busy(String),
+    /// The server refused or failed the request with a protocol error
+    /// frame other than `SERVER_BUSY`.
+    Server { code: ErrorCode, message: String },
+    /// Transport failure (connect, read, write, or framing).
+    Io(io::Error),
+    /// The server sent something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Busy(m) => write!(f, "SERVER_BUSY: {m}"),
+            ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<mammoth_types::Error> for ClientError {
+    fn from(e: mammoth_types::Error) -> ClientError {
+        match e {
+            mammoth_types::Error::Io(m) => ClientError::Io(io::Error::other(m)),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// One statement's successful result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A result set.
+    Table {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Rows affected by DML.
+    Affected(u64),
+    /// DDL / utility success.
+    Ok,
+}
+
+/// A connected, logged-in client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and run the handshake. `addr` is `host:port`; `name`
+    /// identifies the client in server traces; `token` must match the
+    /// server's `auth_token` when one is configured (empty otherwise).
+    pub fn connect(addr: &str, name: &str, token: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut c = Client { stream };
+        // The server answers a connect with Hello — or an error frame when
+        // admission control sheds us before a worker ever picks us up.
+        match c.read_msg()? {
+            ServerMsg::Hello { version, .. } => {
+                if version != PROTO_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server speaks protocol {version}, client speaks {PROTO_VERSION}"
+                    )));
+                }
+            }
+            ServerMsg::Err { code, message } => return Err(refusal(code, message)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Hello, got {other:?}"
+                )))
+            }
+        }
+        c.send(&ClientMsg::Login {
+            version: PROTO_VERSION,
+            client: name.into(),
+            token: token.into(),
+        })?;
+        match c.read_msg()? {
+            ServerMsg::Ready => Ok(c),
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Ready, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bound every read on this connection (handy for tests).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Execute one SQL statement and wait for its response.
+    pub fn query(&mut self, sql: &str) -> Result<Response, ClientError> {
+        self.send(&ClientMsg::Query { sql: sql.into() })?;
+        match self.read_msg()? {
+            ServerMsg::Table { columns, rows } => Ok(Response::Table { columns, rows }),
+            ServerMsg::Affected { n } => Ok(Response::Affected(n)),
+            ServerMsg::Ok => Ok(Response::Ok),
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully. On success the server has
+    /// acknowledged and begun draining (and will close this connection).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Shutdown)?;
+        match self.read_msg()? {
+            ServerMsg::Ok => Ok(()),
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly disconnect. Dropping the client without calling this is
+    /// fine too — the server treats EOF as a quit.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Quit)?;
+        Ok(())
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &msg.encode())?;
+        Ok(())
+    }
+
+    fn read_msg(&mut self) -> Result<ServerMsg, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(ServerMsg::decode(&payload)?)
+    }
+}
+
+fn refusal(code: ErrorCode, message: String) -> ClientError {
+    if code == ErrorCode::ServerBusy {
+        ClientError::Busy(message)
+    } else {
+        ClientError::Server { code, message }
+    }
+}

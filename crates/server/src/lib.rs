@@ -1,0 +1,162 @@
+//! mammoth-server — a MAPI-style network front end for the engine.
+//!
+//! MonetDB clients speak MAPI to a server that multiplexes sessions over a
+//! shared kernel (paper §2; the `mapi`/`mal_client` layers in MonetDB5).
+//! This crate reproduces that shape at small scale:
+//!
+//! * [`frame`] — length-prefixed, CRC32-guarded frames (the WAL's framing
+//!   discipline applied to a socket).
+//! * [`protocol`] — tagged messages: `Login`/`Query`/`Quit`/`Shutdown` up,
+//!   `Hello`/`Ready`/`Table`/`Affected`/`Ok`/`Err` down.
+//! * [`shared`] — one engine session multiplexed across connections:
+//!   concurrent readers, single writer with preference, per-statement
+//!   admission deadlines, and panic-poisoned-session rebuilds.
+//! * [`server`] — acceptor + fixed worker pool, bounded-backlog admission
+//!   control that sheds with `SERVER_BUSY`, and graceful drain-checkpoint
+//!   shutdown. The whole connection lifecycle traces through
+//!   `MAMMOTH_TRACE`.
+//! * [`client`] — the programmatic client that `mammoth-cli`, the load
+//!   experiment (E21), and the tests use.
+//!
+//! Binaries: `mammoth-server` (the daemon) and `mammoth-cli` (interactive
+//! shell / one-shot `-c "sql"`).
+
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod frame;
+pub mod protocol;
+pub mod server;
+pub mod shared;
+
+pub use client::{Client, ClientError, Response};
+pub use protocol::{ClientMsg, ErrorCode, ServerMsg, PROTO_VERSION, SERVER_NAME};
+pub use server::{Server, ServerConfig, StatsSnapshot};
+pub use shared::{ExecError, SessionSpec, SharedSession, Storage};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn start(cfg: ServerConfig) -> (Server, String) {
+        let srv = Server::start(cfg).unwrap();
+        let addr = srv.local_addr().to_string();
+        (srv, addr)
+    }
+
+    #[test]
+    fn end_to_end_query_lifecycle() {
+        let (srv, addr) = start(ServerConfig::default());
+        let mut c = Client::connect(&addr, "test", "").unwrap();
+        assert_eq!(c.query("CREATE TABLE t (a INT)").unwrap(), Response::Ok);
+        assert_eq!(
+            c.query("INSERT INTO t VALUES (1), (2)").unwrap(),
+            Response::Affected(2)
+        );
+        match c.query("SELECT a FROM t").unwrap() {
+            Response::Table { columns, rows } => {
+                assert_eq!(columns, vec!["a"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+        assert!(matches!(
+            c.query("SELECT nope FROM t"),
+            Err(ClientError::Server {
+                code: ErrorCode::Sql,
+                ..
+            })
+        ));
+        c.quit().unwrap();
+        let stats = srv.shutdown().unwrap();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.statements, 4);
+        assert_eq!(stats.sql_errors, 1);
+    }
+
+    #[test]
+    fn backlog_overflow_sheds_with_server_busy() {
+        let (srv, addr) = start(ServerConfig {
+            workers: 1,
+            backlog: 1,
+            ..ServerConfig::default()
+        });
+        // Occupy the only worker. Client::connect returns after Ready, so
+        // the worker has definitely adopted this connection (queue empty).
+        let holder = Client::connect(&addr, "holder", "").unwrap();
+        // Fill the single backlog slot with a connection that will never
+        // be served (the worker is busy with `holder`).
+        let filler = std::net::TcpStream::connect(&addr).unwrap();
+        for _ in 0..400 {
+            if srv.stats().accepted >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(srv.stats().accepted >= 2, "filler never reached the queue");
+        // Worker busy + backlog full: the next connect must be shed.
+        let err = Client::connect(&addr, "surplus", "").unwrap_err();
+        assert!(matches!(err, ClientError::Busy(_)), "got {err:?}");
+        assert_eq!(srv.stats().shed, 1);
+        drop(filler);
+        drop(holder);
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn auth_token_is_enforced() {
+        let (srv, addr) = start(ServerConfig {
+            auth_token: Some("sesame".into()),
+            ..ServerConfig::default()
+        });
+        assert!(matches!(
+            Client::connect(&addr, "x", "wrong"),
+            Err(ClientError::Server {
+                code: ErrorCode::AuthFailed,
+                ..
+            })
+        ));
+        let mut ok = Client::connect(&addr, "x", "sesame").unwrap();
+        assert_eq!(ok.query("CREATE TABLE t (a INT)").unwrap(), Response::Ok);
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn remote_shutdown_drains_gracefully() {
+        let (srv, addr) = start(ServerConfig::default());
+        let mut c = Client::connect(&addr, "boss", "").unwrap();
+        c.query("CREATE TABLE t (a INT)").unwrap();
+        let c2 = Client::connect(&addr, "bystander", "");
+        Client::connect(&addr, "killer", "")
+            .unwrap()
+            .shutdown_server()
+            .unwrap();
+        let stats = srv.wait().unwrap();
+        assert!(stats.accepted >= 2);
+        drop(c2);
+        // New connections are refused after drain.
+        assert!(Client::connect(&addr, "late", "").is_err());
+    }
+
+    #[test]
+    fn poisoned_statement_reported_and_survivable() {
+        let (srv, addr) = start(ServerConfig {
+            test_panics: true,
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(&addr, "x", "").unwrap();
+        c.query("CREATE TABLE t (a INT)").unwrap();
+        assert!(matches!(
+            c.query("__PANIC__"),
+            Err(ClientError::Server {
+                code: ErrorCode::SessionPoisoned,
+                ..
+            })
+        ));
+        // Same connection keeps working against the rebuilt session.
+        assert_eq!(c.query("CREATE TABLE t2 (a INT)").unwrap(), Response::Ok);
+        let stats = srv.shutdown().unwrap();
+        assert_eq!(stats.poisonings, 1);
+    }
+}

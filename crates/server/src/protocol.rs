@@ -1,0 +1,367 @@
+//! The MAPI-inspired message layer riding on [`crate::frame`].
+//!
+//! Connection lifecycle (client's view):
+//!
+//! ```text
+//! connect ──► read Hello ──► send Login ──► read Ready
+//!     │                                        │
+//!     │  (admission control may answer the     ▼
+//!     │   connect with Err(SERVER_BUSY) or   send Query ──► read Table /
+//!     │   Err(SHUTTING_DOWN) instead of        ▲            Affected / Ok /
+//!     │   Hello, then close)                   └──────────  Err(code, msg)
+//!     │
+//!     └─ send Quit ──► close          send Shutdown ──► read Ok (graceful
+//!                                     server drain begins), then close
+//! ```
+//!
+//! Every message is one frame; the payload's first byte is the tag. Tags
+//! `< 0x80` flow client→server, `>= 0x80` server→client.
+
+use crate::frame::{put_str, put_u16, put_u32, put_u64, put_value, Reader};
+use mammoth_sql::QueryOutput;
+use mammoth_types::{Error, Result, Value};
+use std::fmt;
+
+/// Wire protocol version, exchanged in [`ServerMsg::Hello`]/[`ClientMsg::Login`].
+pub const PROTO_VERSION: u16 = 1;
+
+/// The server's self-identification in the greeting.
+pub const SERVER_NAME: &str = "mammoth-server";
+
+/// Machine-readable error classes carried by [`ServerMsg::Err`] frames.
+/// The numeric discriminant is the wire encoding; the string form is what
+/// `mammoth-cli` prints and docs/server.md documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The statement was rejected by the SQL layer (parse/bind/execution).
+    Sql = 1,
+    /// Admission control shed this connection or statement; retry later.
+    ServerBusy = 2,
+    /// The statement missed its admission deadline (`stmt_timeout`).
+    StmtTimeout = 3,
+    /// Login rejected (bad token or malformed handshake).
+    AuthFailed = 4,
+    /// The server is draining for shutdown and refuses new work.
+    ShuttingDown = 5,
+    /// The statement crashed the session; the session was rebuilt from its
+    /// durable state (or reset, for in-memory servers) and the statement
+    /// must be considered not applied.
+    SessionPoisoned = 6,
+    /// The peer violated the protocol (bad frame, unexpected message).
+    Protocol = 7,
+    /// A server-side invariant failed; this is a bug.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Sql => "SQL_ERROR",
+            ErrorCode::ServerBusy => "SERVER_BUSY",
+            ErrorCode::StmtTimeout => "STMT_TIMEOUT",
+            ErrorCode::AuthFailed => "AUTH_FAILED",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::SessionPoisoned => "SESSION_POISONED",
+            ErrorCode::Protocol => "PROTOCOL_ERROR",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    pub fn from_u16(x: u16) -> Result<ErrorCode> {
+        Ok(match x {
+            1 => ErrorCode::Sql,
+            2 => ErrorCode::ServerBusy,
+            3 => ErrorCode::StmtTimeout,
+            4 => ErrorCode::AuthFailed,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::SessionPoisoned,
+            7 => ErrorCode::Protocol,
+            8 => ErrorCode::Internal,
+            t => return Err(Error::Corrupt(format!("unknown error code {t}"))),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Handshake reply to [`ServerMsg::Hello`]: who the client is, which
+    /// protocol version it speaks, and the (possibly empty) auth token.
+    Login {
+        version: u16,
+        client: String,
+        token: String,
+    },
+    /// Execute one SQL statement.
+    Query { sql: String },
+    /// Orderly disconnect.
+    Quit,
+    /// Request a graceful server shutdown (drain, checkpoint, exit).
+    Shutdown,
+}
+
+const T_LOGIN: u8 = 0x01;
+const T_QUERY: u8 = 0x02;
+const T_QUIT: u8 = 0x03;
+const T_SHUTDOWN: u8 = 0x04;
+
+const T_HELLO: u8 = 0x80;
+const T_READY: u8 = 0x81;
+const T_TABLE: u8 = 0x82;
+const T_AFFECTED: u8 = 0x83;
+const T_OK: u8 = 0x84;
+const T_ERR: u8 = 0x85;
+
+impl ClientMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ClientMsg::Login {
+                version,
+                client,
+                token,
+            } => {
+                out.push(T_LOGIN);
+                put_u16(*version, &mut out);
+                put_str(client, &mut out);
+                put_str(token, &mut out);
+            }
+            ClientMsg::Query { sql } => {
+                out.push(T_QUERY);
+                put_str(sql, &mut out);
+            }
+            ClientMsg::Quit => out.push(T_QUIT),
+            ClientMsg::Shutdown => out.push(T_SHUTDOWN),
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<ClientMsg> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            T_LOGIN => ClientMsg::Login {
+                version: r.u16()?,
+                client: r.str()?,
+                token: r.str()?,
+            },
+            T_QUERY => ClientMsg::Query { sql: r.str()? },
+            T_QUIT => ClientMsg::Quit,
+            T_SHUTDOWN => ClientMsg::Shutdown,
+            t => return Err(Error::Corrupt(format!("unknown client message tag {t}"))),
+        };
+        if !r.done() {
+            return Err(Error::Corrupt("trailing bytes in client message".into()));
+        }
+        Ok(msg)
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Greeting, sent as soon as a worker adopts the connection.
+    Hello { version: u16, server: String },
+    /// Login accepted; queries may flow.
+    Ready,
+    /// A result table: column names + row-major values.
+    Table {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// DML acknowledged; `n` rows affected (and, on durable servers,
+    /// fsync'd per the group-commit config before this frame is sent).
+    Affected { n: u64 },
+    /// DDL / utility statement succeeded.
+    Ok,
+    /// The statement or connection failed; see [`ErrorCode`].
+    Err { code: ErrorCode, message: String },
+}
+
+impl ServerMsg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ServerMsg::Hello { version, server } => {
+                out.push(T_HELLO);
+                put_u16(*version, &mut out);
+                put_str(server, &mut out);
+            }
+            ServerMsg::Ready => out.push(T_READY),
+            ServerMsg::Table { columns, rows } => {
+                out.push(T_TABLE);
+                put_u32(columns.len() as u32, &mut out);
+                for c in columns {
+                    put_str(c, &mut out);
+                }
+                put_u64(rows.len() as u64, &mut out);
+                for row in rows {
+                    for v in row {
+                        put_value(v, &mut out);
+                    }
+                }
+            }
+            ServerMsg::Affected { n } => {
+                out.push(T_AFFECTED);
+                put_u64(*n, &mut out);
+            }
+            ServerMsg::Ok => out.push(T_OK),
+            ServerMsg::Err { code, message } => {
+                out.push(T_ERR);
+                put_u16(*code as u16, &mut out);
+                put_str(message, &mut out);
+            }
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<ServerMsg> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            T_HELLO => ServerMsg::Hello {
+                version: r.u16()?,
+                server: r.str()?,
+            },
+            T_READY => ServerMsg::Ready,
+            T_TABLE => {
+                let ncols = r.u32()? as usize;
+                if ncols > r.remaining() {
+                    return Err(Error::Corrupt("column count overruns payload".into()));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(r.str()?);
+                }
+                let nrows = r.u64()? as usize;
+                if nrows > r.remaining() && nrows > 0 && ncols > 0 {
+                    return Err(Error::Corrupt("row count overruns payload".into()));
+                }
+                let mut rows = Vec::new();
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(r.value()?);
+                    }
+                    rows.push(row);
+                }
+                ServerMsg::Table { columns, rows }
+            }
+            T_AFFECTED => ServerMsg::Affected { n: r.u64()? },
+            T_OK => ServerMsg::Ok,
+            T_ERR => ServerMsg::Err {
+                code: ErrorCode::from_u16(r.u16()?)?,
+                message: r.str()?,
+            },
+            t => return Err(Error::Corrupt(format!("unknown server message tag {t}"))),
+        };
+        if !r.done() {
+            return Err(Error::Corrupt("trailing bytes in server message".into()));
+        }
+        Ok(msg)
+    }
+
+    /// Lift a SQL-layer result into its response message.
+    pub fn from_output(out: QueryOutput) -> ServerMsg {
+        match out {
+            QueryOutput::Ok => ServerMsg::Ok,
+            QueryOutput::Affected(n) => ServerMsg::Affected { n: n as u64 },
+            QueryOutput::Table { columns, rows } => ServerMsg::Table { columns, rows },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_messages_roundtrip() {
+        for msg in [
+            ClientMsg::Login {
+                version: PROTO_VERSION,
+                client: "cli".into(),
+                token: "s3cret".into(),
+            },
+            ClientMsg::Query {
+                sql: "SELECT 'naïve\n' FROM t".into(),
+            },
+            ClientMsg::Quit,
+            ClientMsg::Shutdown,
+        ] {
+            assert_eq!(ClientMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        for msg in [
+            ServerMsg::Hello {
+                version: PROTO_VERSION,
+                server: SERVER_NAME.into(),
+            },
+            ServerMsg::Ready,
+            ServerMsg::Table {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![
+                    vec![Value::I32(1), Value::Str("x".into())],
+                    vec![Value::Null, Value::F64(0.5)],
+                ],
+            },
+            ServerMsg::Table {
+                columns: vec![],
+                rows: vec![],
+            },
+            ServerMsg::Affected { n: 7 },
+            ServerMsg::Ok,
+            ServerMsg::Err {
+                code: ErrorCode::ServerBusy,
+                message: "backlog full".into(),
+            },
+        ] {
+            assert_eq!(ServerMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_rejected() {
+        assert!(ClientMsg::decode(&[]).is_err());
+        assert!(ClientMsg::decode(&[0x7f]).is_err());
+        // trailing garbage
+        let mut enc = ClientMsg::Quit.encode();
+        enc.push(0);
+        assert!(ClientMsg::decode(&enc).is_err());
+        // truncated table
+        let enc = ServerMsg::Table {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::I32(1)]],
+        }
+        .encode();
+        assert!(ServerMsg::decode(&enc[..enc.len() - 1]).is_err());
+        // absurd column count must not allocate
+        let mut bomb = vec![0x82u8];
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ServerMsg::decode(&bomb).is_err());
+        assert!(ErrorCode::from_u16(99).is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Sql,
+            ErrorCode::ServerBusy,
+            ErrorCode::StmtTimeout,
+            ErrorCode::AuthFailed,
+            ErrorCode::ShuttingDown,
+            ErrorCode::SessionPoisoned,
+            ErrorCode::Protocol,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16).unwrap(), code);
+        }
+    }
+}

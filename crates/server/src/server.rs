@@ -1,0 +1,614 @@
+//! The network server: acceptor + fixed worker pool + graceful shutdown.
+//!
+//! Threading model (no async runtime, mirroring `crates/parallel`):
+//!
+//! * **one acceptor thread** polls a nonblocking listener. Each accepted
+//!   socket goes into a bounded queue; when the queue is full the acceptor
+//!   answers with `Err(SERVER_BUSY)` and closes — that is the whole
+//!   admission-control story, and it sheds load in O(1) without touching
+//!   the engine.
+//! * **`workers` worker threads** each pop a connection and serve it until
+//!   the client quits, errors, or the server drains. `workers` therefore
+//!   bounds concurrently-served connections; `backlog` bounds the patient
+//!   waiting room behind them.
+//! * **graceful shutdown** flips one flag. The acceptor stops accepting,
+//!   workers finish the statement in flight, notify their client with
+//!   `Err(SHUTTING_DOWN)`, and exit; queued-but-unserved connections are
+//!   refused the same way. Then the server checkpoints (durable sessions)
+//!   and flushes the trace, so a shutdown under load loses nothing that
+//!   was acknowledged.
+//!
+//! Every lifecycle step emits a [`TraceEvent`] (`server.accept`,
+//! `server.handshake`, `server.statement`, `server.shed`,
+//! `server.shutdown`) into one `engine="server"` run, exported through
+//! `MAMMOTH_TRACE` like every other profiled run — `tracecheck` validates
+//! server traces with no special cases.
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{ClientMsg, ErrorCode, ServerMsg, PROTO_VERSION, SERVER_NAME};
+use crate::shared::{ExecError, SessionSpec, SharedSession};
+use mammoth_types::trace::{EventKind, ProfiledRun, TraceEvent};
+use mammoth_types::{Error, Result};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a server instance.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads = maximum concurrently-served connections.
+    pub workers: usize,
+    /// Accepted-but-unserved connections allowed to wait; the acceptor
+    /// sheds (`SERVER_BUSY`) beyond this.
+    pub backlog: usize,
+    /// Bound on a statement's wait for the session (None = unbounded).
+    pub stmt_timeout: Option<Duration>,
+    /// When set, `Login.token` must match or the handshake fails.
+    pub auth_token: Option<String>,
+    /// Whether a client `Shutdown` message is honored (mammoth-cli's
+    /// `SHUTDOWN`); servers embedded in tests may refuse it.
+    pub allow_remote_shutdown: bool,
+    /// Honor the `__PANIC__` statement (poison-recovery tests only).
+    pub test_panics: bool,
+    /// The engine session recipe (storage, WAL batch, merge threshold).
+    pub spec: SessionSpec,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            backlog: 16,
+            stmt_timeout: Some(Duration::from_secs(10)),
+            auth_token: None,
+            allow_remote_shutdown: true,
+            test_panics: false,
+            spec: SessionSpec::in_memory(),
+        }
+    }
+}
+
+/// Monotonic counters, readable while the server runs and returned as a
+/// snapshot by [`Server::shutdown`].
+#[derive(Default)]
+pub struct Stats {
+    pub accepted: AtomicU64,
+    pub shed: AtomicU64,
+    pub statements: AtomicU64,
+    pub sql_errors: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub poisonings: AtomicU64,
+}
+
+/// A plain-value snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub accepted: u64,
+    pub shed: u64,
+    pub statements: u64,
+    pub sql_errors: u64,
+    pub timeouts: u64,
+    pub poisonings: u64,
+}
+
+impl Stats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            statements: self.statements.load(Ordering::Relaxed),
+            sql_errors: self.sql_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            poisonings: self.poisonings.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    shared: SharedSession,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    stats: Stats,
+    events: Mutex<Vec<TraceEvent>>,
+    t0: Instant,
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn trace(&self, kind: EventKind, worker: usize, args: String, started: Instant, rows: u64) {
+        let now = Instant::now();
+        let ev = TraceEvent {
+            kind,
+            op: kind.as_str().into(),
+            args,
+            worker,
+            start_ns: started.duration_since(self.t0).as_nanos() as u64,
+            dur_ns: now.duration_since(started).as_nanos() as u64,
+            rows_out: rows,
+            ..TraceEvent::default()
+        };
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaks the listener until process exit; call `shutdown` (or `wait`).
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind, spin up the acceptor and worker pool, and return immediately.
+    pub fn start(cfg: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers_n = cfg.workers.max(1);
+        let test_panics = cfg.test_panics;
+        let mut shared = SharedSession::new(cfg.spec.clone(), cfg.stmt_timeout)?;
+        if test_panics {
+            shared = shared.enable_test_panics();
+        }
+        let inner = Arc::new(Inner {
+            shared,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+            events: Mutex::new(Vec::new()),
+            t0: Instant::now(),
+        });
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("mammoth-acceptor".into())
+                .spawn(move || acceptor_loop(&inner, listener))?
+        };
+        let workers = (0..workers_n)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("mammoth-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Server {
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live statistics counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Direct access to the shared session (tests and embedded use).
+    pub fn shared(&self) -> &SharedSession {
+        &self.inner.shared
+    }
+
+    /// Flip the drain flag; returns immediately. Idempotent.
+    pub fn request_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Whether a shutdown has been requested (locally or by a client).
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.draining()
+    }
+
+    /// Block until some client sends `Shutdown` (or a local
+    /// [`Server::request_shutdown`]), then drain and finish.
+    pub fn wait(self) -> Result<StatsSnapshot> {
+        while !self.inner.draining() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight statements,
+    /// refuse queued work, join every thread, checkpoint durable state,
+    /// and flush the trace. Returns the final statistics.
+    pub fn shutdown(mut self) -> Result<StatsSnapshot> {
+        let started = Instant::now();
+        self.request_shutdown();
+        if let Some(a) = self.acceptor.take() {
+            a.join()
+                .map_err(|_| Error::Internal("acceptor thread panicked".into()))?;
+        }
+        for w in self.workers.drain(..) {
+            w.join()
+                .map_err(|_| Error::Internal("worker thread panicked".into()))?;
+        }
+        // Workers are gone: any connection still queued was never served.
+        // (The workers drain the queue with SHUTTING_DOWN refusals before
+        // exiting, so this is normally empty; belt and suspenders.)
+        let leftover: Vec<TcpStream> = {
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.drain(..).collect()
+        };
+        for mut stream in leftover {
+            refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
+        }
+        // Persist what was acknowledged. In-memory sessions have nothing
+        // to checkpoint; that is not an error.
+        match self.inner.shared.with_session_mut(|s| s.checkpoint()) {
+            Ok(Ok(())) | Ok(Err(Error::Unsupported(_))) => {}
+            Ok(Err(e)) => return Err(e),
+            Err(e) => return Err(Error::Internal(format!("shutdown checkpoint skipped: {e}"))),
+        }
+        self.inner.trace(
+            EventKind::ServerShutdown,
+            0,
+            "drain+checkpoint".into(),
+            started,
+            0,
+        );
+        self.flush_trace()?;
+        Ok(self.inner.stats.snapshot())
+    }
+
+    /// Fold the lifecycle events into one `engine="server"` run and export
+    /// it through `MAMMOTH_TRACE` (no-op when the env var is unset).
+    fn flush_trace(&self) -> Result<()> {
+        let events = {
+            let mut g = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *g)
+        };
+        let mut run = ProfiledRun::new("server", self.inner.cfg.workers.max(1));
+        run.executed = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ServerStatement)
+            .count() as u64;
+        run.elapsed_ns = self.inner.t0.elapsed().as_nanos() as u64;
+        run.events = events;
+        run.export_env()?;
+        Ok(())
+    }
+}
+
+/// Best-effort error frame + close; used on the shed and refuse paths
+/// where the peer may already be gone.
+fn refuse(stream: &mut TcpStream, code: ErrorCode, msg: &str) {
+    let _ = write_frame(
+        stream,
+        &ServerMsg::Err {
+            code,
+            message: msg.into(),
+        }
+        .encode(),
+    );
+}
+
+fn acceptor_loop(inner: &Inner, listener: TcpListener) {
+    loop {
+        if inner.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, peer)) => {
+                let started = Instant::now();
+                inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                if inner.draining() {
+                    refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
+                    continue;
+                }
+                let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.len() >= inner.cfg.backlog {
+                    drop(q);
+                    inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    inner.trace(
+                        EventKind::ServerShed,
+                        0,
+                        format!("{peer} backlog={}", inner.cfg.backlog),
+                        started,
+                        0,
+                    );
+                    refuse(
+                        &mut stream,
+                        ErrorCode::ServerBusy,
+                        "connection backlog full; retry later",
+                    );
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    inner.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, widx: usize) {
+    loop {
+        let conn = {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if inner.draining() {
+                    break None;
+                }
+                q = inner
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        match conn {
+            Some(stream) => {
+                // Connection-level I/O errors just end that connection;
+                // the worker lives on.
+                let _ = serve_connection(inner, widx, stream);
+            }
+            None => return,
+        }
+    }
+}
+
+enum Wait {
+    /// Bytes are available; a frame read will not block indefinitely.
+    Data,
+    /// Peer closed the connection.
+    Closed,
+    /// The server began draining while the connection idled.
+    Drain,
+}
+
+/// Idle-poll for the next frame without consuming bytes, so the drain flag
+/// is observed between statements but a read timeout can never fire
+/// mid-frame and desynchronize the stream.
+fn wait_for_data(stream: &TcpStream, inner: &Inner) -> io::Result<Wait> {
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+    let mut b = [0u8; 1];
+    loop {
+        match stream.peek(&mut b) {
+            Ok(0) => return Ok(Wait::Closed),
+            Ok(_) => {
+                // Commit to the frame: generous timeout so a stalled peer
+                // cannot pin the worker forever, long enough that a frame
+                // split across packets always makes it.
+                stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                return Ok(Wait::Data);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if inner.draining() {
+                    return Ok(Wait::Drain);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, msg: &ServerMsg) -> Result<()> {
+    write_frame(stream, &msg.encode())
+}
+
+fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result<()> {
+    let accepted = Instant::now();
+    if inner.draining() {
+        refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
+        return Ok(());
+    }
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    inner.trace(EventKind::ServerAccept, widx, peer.clone(), accepted, 0);
+    send(
+        &mut stream,
+        &ServerMsg::Hello {
+            version: PROTO_VERSION,
+            server: SERVER_NAME.into(),
+        },
+    )?;
+
+    // Handshake: exactly one Login must follow the Hello.
+    let hs_started = Instant::now();
+    match wait_for_data(&stream, inner)? {
+        Wait::Data => {}
+        Wait::Closed => return Ok(()),
+        Wait::Drain => {
+            refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
+            return Ok(());
+        }
+    }
+    let payload = read_frame(&mut stream)?;
+    let client = match ClientMsg::decode(&payload) {
+        Ok(ClientMsg::Login {
+            version,
+            client,
+            token,
+        }) => {
+            if version != PROTO_VERSION {
+                refuse(
+                    &mut stream,
+                    ErrorCode::Protocol,
+                    &format!(
+                        "protocol version {version} unsupported (server speaks {PROTO_VERSION})"
+                    ),
+                );
+                return Ok(());
+            }
+            if let Some(expected) = &inner.cfg.auth_token {
+                if &token != expected {
+                    refuse(&mut stream, ErrorCode::AuthFailed, "bad auth token");
+                    return Ok(());
+                }
+            }
+            client
+        }
+        Ok(_) => {
+            refuse(
+                &mut stream,
+                ErrorCode::Protocol,
+                "expected Login after Hello",
+            );
+            return Ok(());
+        }
+        Err(e) => {
+            refuse(
+                &mut stream,
+                ErrorCode::Protocol,
+                &format!("bad login frame: {e}"),
+            );
+            return Ok(());
+        }
+    };
+    inner.trace(
+        EventKind::ServerHandshake,
+        widx,
+        format!("{peer} client={client}"),
+        hs_started,
+        0,
+    );
+    send(&mut stream, &ServerMsg::Ready)?;
+
+    loop {
+        match wait_for_data(&stream, inner)? {
+            Wait::Data => {
+                // A client pipelining statements back-to-back never idles;
+                // check the drain flag here too so shutdown means "finish
+                // the statement in flight", not "finish the client's whole
+                // future workload".
+                if inner.draining() {
+                    refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
+                    return Ok(());
+                }
+            }
+            Wait::Closed => return Ok(()),
+            Wait::Drain => {
+                refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
+                return Ok(());
+            }
+        }
+        let payload = read_frame(&mut stream)?;
+        match ClientMsg::decode(&payload) {
+            Ok(ClientMsg::Query { sql }) => {
+                let started = Instant::now();
+                let (resp, rows) = run_statement(inner, &sql);
+                let mut brief: String = sql.chars().take(64).collect();
+                if brief.len() < sql.len() {
+                    brief.push('…');
+                }
+                inner.trace(EventKind::ServerStatement, widx, brief, started, rows);
+                send(&mut stream, &resp)?;
+            }
+            Ok(ClientMsg::Quit) => return Ok(()),
+            Ok(ClientMsg::Shutdown) => {
+                if inner.cfg.allow_remote_shutdown {
+                    send(&mut stream, &ServerMsg::Ok)?;
+                    inner.shutdown.store(true, Ordering::SeqCst);
+                    inner.queue_cv.notify_all();
+                } else {
+                    refuse(
+                        &mut stream,
+                        ErrorCode::Protocol,
+                        "remote shutdown disabled on this server",
+                    );
+                }
+                return Ok(());
+            }
+            Ok(ClientMsg::Login { .. }) => {
+                refuse(&mut stream, ErrorCode::Protocol, "already logged in");
+                return Ok(());
+            }
+            Err(e) => {
+                refuse(&mut stream, ErrorCode::Protocol, &format!("bad frame: {e}"));
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Execute one statement against the shared session and translate the
+/// outcome into its wire response. Returns `(response, result_rows)`.
+fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
+    inner.stats.statements.fetch_add(1, Ordering::Relaxed);
+    match inner.shared.execute(sql) {
+        Ok(out) => {
+            let msg = ServerMsg::from_output(out);
+            let rows = match &msg {
+                ServerMsg::Table { rows, .. } => rows.len() as u64,
+                ServerMsg::Affected { n } => *n,
+                _ => 0,
+            };
+            (msg, rows)
+        }
+        Err(ExecError::Timeout) => {
+            inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            (
+                ServerMsg::Err {
+                    code: ErrorCode::StmtTimeout,
+                    message: "statement timed out waiting for the session".into(),
+                },
+                0,
+            )
+        }
+        Err(ExecError::Poisoned) => {
+            inner.stats.poisonings.fetch_add(1, Ordering::Relaxed);
+            (
+                ServerMsg::Err {
+                    code: ErrorCode::SessionPoisoned,
+                    message: "statement crashed; session rebuilt from committed state".into(),
+                },
+                0,
+            )
+        }
+        Err(ExecError::Engine(e)) => {
+            inner.stats.sql_errors.fetch_add(1, Ordering::Relaxed);
+            (
+                ServerMsg::Err {
+                    code: ErrorCode::Sql,
+                    message: e.to_string(),
+                },
+                0,
+            )
+        }
+        Err(ExecError::Fatal(m)) => (
+            ServerMsg::Err {
+                code: ErrorCode::Internal,
+                message: m,
+            },
+            0,
+        ),
+    }
+}

@@ -174,18 +174,23 @@ impl Session {
 
     /// Group-commit batch size: records per fsync (default 1 = commit at
     /// every statement boundary). Larger batches trade the durability of
-    /// the last `n-1` acknowledged records for fewer fsyncs.
-    pub fn set_wal_batch(&mut self, n: usize) {
+    /// the last `n-1` acknowledged records for fewer fsyncs. Returns
+    /// `&mut Self` so configuration chains builder-style, consistent with
+    /// [`Session::with_recycler`]/[`Session::with_executor`].
+    pub fn set_wal_batch(&mut self, n: usize) -> &mut Self {
         if let Some(d) = &mut self.durable {
             d.wal.set_batch(n);
         }
+        self
     }
 
     /// Pending-delta size at which a table is folded into its base columns.
     /// Lowering this makes merges (and their WAL records) frequent enough to
-    /// exercise in small tests.
-    pub fn set_merge_threshold(&mut self, rows: usize) {
+    /// exercise in small tests. Returns `&mut Self` for builder-style
+    /// chaining.
+    pub fn set_merge_threshold(&mut self, rows: usize) -> &mut Self {
         self.merge_threshold = rows.max(1);
+        self
     }
 
     /// Fold the current catalog into a fresh atomic checkpoint and start a
@@ -472,6 +477,56 @@ impl Session {
         }
     }
 
+    /// Execute a read-only statement (`SELECT` / `EXPLAIN`) through `&self`.
+    ///
+    /// This is the concurrent-reader path the network server schedules N
+    /// clients onto: it touches no session state, so any number of calls
+    /// may run at once while DML waits for exclusive access. The recycler
+    /// and the `MAMMOTH_TRACE` per-query profile both require `&mut self`
+    /// and are bypassed here — both are transparent to results, and the
+    /// server layer emits its own `server.statement` trace events instead.
+    ///
+    /// Statements that mutate anything (DML, DDL, `CHECKPOINT`, `TRACE` —
+    /// which records [`Session::last_profile`]) return
+    /// [`Error::Unsupported`]; route them through [`Session::execute`].
+    pub fn execute_read(&self, sql: &str) -> Result<QueryOutput> {
+        match parse_sql(sql)? {
+            Statement::Select(stmt) => {
+                let (prog, names) = compile_select(&self.catalog, &stmt)?;
+                if let Some(ex) = &self.executor {
+                    let prog = self.rewrite_parallel(prog)?;
+                    let outputs = ex.run_plan(&self.catalog, &prog)?;
+                    return render_outputs(names, outputs);
+                }
+                let prog = self.pipeline.optimize(prog);
+                let mut interp = Interpreter::new(&self.catalog);
+                let outputs = interp.run(&prog)?;
+                render_outputs(names, outputs)
+            }
+            Statement::Explain(stmt) => {
+                let (prog, _) = compile_select(&self.catalog, &stmt)?;
+                let prog = if self.executor.is_some() {
+                    self.rewrite_parallel(prog)?
+                } else {
+                    self.pipeline.optimize(prog)
+                };
+                let rows = prog
+                    .to_string()
+                    .lines()
+                    .map(|l| vec![Value::Str(l.to_string())])
+                    .collect();
+                Ok(QueryOutput::Table {
+                    columns: vec!["mal".to_string()],
+                    rows,
+                })
+            }
+            _ => Err(Error::Unsupported(
+                "execute_read handles only SELECT/EXPLAIN; use execute for mutating statements"
+                    .into(),
+            )),
+        }
+    }
+
     /// Rewrite a plan through the mitosis/mergetable pipeline for the
     /// attached executor.
     fn rewrite_parallel(&self, prog: Program) -> Result<Program> {
@@ -567,6 +622,20 @@ impl Session {
         }
         Ok(out)
     }
+}
+
+/// Whether `sql` is a statement [`Session::execute_read`] can run — i.e.
+/// its first keyword is `SELECT` or `EXPLAIN`. The grammar is keyword-led,
+/// so this textual test agrees with the parser on every valid statement
+/// (`TRACE` counts as non-read: it records the session's last profile).
+/// Invalid statements classify as non-read and fail in `execute` instead.
+pub fn is_read_only_statement(sql: &str) -> bool {
+    let first = sql
+        .trim_start()
+        .split(|c: char| !c.is_ascii_alphabetic())
+        .next()
+        .unwrap_or("");
+    first.eq_ignore_ascii_case("SELECT") || first.eq_ignore_ascii_case("EXPLAIN")
 }
 
 /// Whether `MAMMOTH_TRACE` names a trace sink.
@@ -1006,6 +1075,62 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_read_matches_execute_and_rejects_writes() {
+        let mut s = seeded();
+        for q in [
+            "SELECT name FROM people WHERE age = 1927",
+            "SELECT age, COUNT(*) FROM people GROUP BY age ORDER BY age",
+            "EXPLAIN SELECT name FROM people WHERE age = 1927",
+        ] {
+            let shared = s.execute_read(q).unwrap();
+            assert_eq!(shared, s.execute(q).unwrap(), "{q}");
+        }
+        for bad in [
+            "INSERT INTO people VALUES ('x', 1)",
+            "DELETE FROM people",
+            "DROP TABLE people",
+            "CREATE TABLE z (a INT)",
+            "CHECKPOINT",
+            "TRACE SELECT name FROM people",
+        ] {
+            assert!(
+                matches!(s.execute_read(bad), Err(Error::Unsupported(_))),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_only_classifier_agrees_with_grammar() {
+        for q in [
+            "SELECT 1",
+            "  select name FROM people",
+            "\n\tEXPLAIN SELECT 1",
+            "explain select a from t",
+        ] {
+            assert!(is_read_only_statement(q), "{q}");
+        }
+        for q in [
+            "INSERT INTO t VALUES (1)",
+            "TRACE SELECT 1",
+            "CHECKPOINT",
+            "DELETE FROM t",
+            "SELECTX FROM t",
+            "",
+        ] {
+            assert!(!is_read_only_statement(q), "{q}");
+        }
+    }
+
+    #[test]
+    fn setters_chain_builder_style() {
+        let mut s = Session::new();
+        // chaining compiles and the threshold clamps at >= 1
+        s.set_merge_threshold(0).set_wal_batch(64);
+        assert_eq!(s.merge_threshold, 1);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use heap::{FixedTail, TailHeap};
 pub use persist::{checkpoint_catalog, recover, recover_vfs, Recovered};
 pub use properties::Properties;
 pub use strheap::StrHeap;
-pub use wal::{Wal, WalRecord, WalReplay};
+pub use wal::{crc32, Wal, WalRecord, WalReplay};

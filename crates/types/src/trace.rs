@@ -44,6 +44,17 @@ pub enum EventKind {
     Checkpoint,
     /// Crash recovery loaded a checkpoint and replayed the WAL tail.
     Recover,
+    /// The network server accepted (and admitted) a client connection.
+    ServerAccept,
+    /// A client completed the protocol handshake (greeting + login).
+    ServerHandshake,
+    /// The server executed one client statement end to end.
+    ServerStatement,
+    /// Admission control shed work (`SERVER_BUSY`): a connection over the
+    /// backlog bound, or a statement past its admission deadline.
+    ServerShed,
+    /// The server drained in-flight work and shut down gracefully.
+    ServerShutdown,
 }
 
 impl EventKind {
@@ -59,6 +70,11 @@ impl EventKind {
             EventKind::WalAppend => "wal.append",
             EventKind::Checkpoint => "checkpoint",
             EventKind::Recover => "recover",
+            EventKind::ServerAccept => "server.accept",
+            EventKind::ServerHandshake => "server.handshake",
+            EventKind::ServerStatement => "server.statement",
+            EventKind::ServerShed => "server.shed",
+            EventKind::ServerShutdown => "server.shutdown",
         }
     }
 
@@ -74,6 +90,11 @@ impl EventKind {
             "wal.append" => EventKind::WalAppend,
             "checkpoint" => EventKind::Checkpoint,
             "recover" => EventKind::Recover,
+            "server.accept" => EventKind::ServerAccept,
+            "server.handshake" => EventKind::ServerHandshake,
+            "server.statement" => EventKind::ServerStatement,
+            "server.shed" => EventKind::ServerShed,
+            "server.shutdown" => EventKind::ServerShutdown,
             _ => return None,
         })
     }
@@ -728,6 +749,11 @@ mod tests {
             EventKind::WalAppend,
             EventKind::Checkpoint,
             EventKind::Recover,
+            EventKind::ServerAccept,
+            EventKind::ServerHandshake,
+            EventKind::ServerStatement,
+            EventKind::ServerShed,
+            EventKind::ServerShutdown,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

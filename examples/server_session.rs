@@ -1,0 +1,99 @@
+//! A programmatic client session against an in-process mammoth-server.
+//!
+//! Starts a server on an ephemeral port, connects with the same [`Client`]
+//! that `mammoth-cli` uses, and walks the whole connection lifecycle:
+//! handshake, DDL, a bulk load, queries, EXPLAIN over the wire, CHECKPOINT
+//! on a durable store, orderly disconnect, and a graceful server shutdown.
+//!
+//! Run with: `cargo run --release --example server_session`
+
+use mammoth::server::{Client, Response, Server, ServerConfig, SessionSpec};
+
+fn show(label: &str, resp: &Response) {
+    match resp {
+        Response::Ok => println!("{label}: ok"),
+        Response::Affected(n) => println!("{label}: {n} rows affected"),
+        Response::Table { columns, rows } => {
+            println!("{label}: {} ({} rows)", columns.join(", "), rows.len());
+            for row in rows.iter().take(5) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("    {}", cells.join(" | "));
+            }
+            if rows.len() > 5 {
+                println!("    … {} more", rows.len() - 5);
+            }
+        }
+    }
+}
+
+fn main() {
+    // A durable store so CHECKPOINT has something to do.
+    let dir = std::env::temp_dir().join(format!("mammoth-example-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        backlog: 16,
+        spec: SessionSpec::durable(&dir),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+    println!("server listening on {addr}\n");
+
+    // -- connect + handshake (Hello → Login → Ready under the hood)
+    let mut c = Client::connect(&addr, "example", "").expect("connect");
+
+    // -- DDL + bulk load
+    show(
+        "create",
+        &c.query("CREATE TABLE readings (sensor INT NOT NULL, v INT NOT NULL)")
+            .unwrap(),
+    );
+    let rows: Vec<String> = (0..1000)
+        .map(|i| format!("({}, {})", i % 16, (i * 37) % 1000))
+        .collect();
+    show(
+        "load",
+        &c.query(&format!("INSERT INTO readings VALUES {}", rows.join(", ")))
+            .unwrap(),
+    );
+
+    // -- queries
+    show(
+        "aggregate",
+        &c.query("SELECT COUNT(*) FROM readings WHERE v < 500")
+            .unwrap(),
+    );
+    show(
+        "filter",
+        &c.query("SELECT sensor, v FROM readings WHERE sensor = 3 AND v > 900")
+            .unwrap(),
+    );
+
+    // -- the MAL plan for that query, over the wire
+    println!("\nEXPLAIN SELECT COUNT(*) FROM readings WHERE v < 500:");
+    if let Response::Table { rows, .. } = c
+        .query("EXPLAIN SELECT COUNT(*) FROM readings WHERE v < 500")
+        .unwrap()
+    {
+        for row in rows.iter().take(8) {
+            println!("    {}", row[0]);
+        }
+        if rows.len() > 8 {
+            println!("    … {} more instructions", rows.len() - 8);
+        }
+    }
+
+    // -- persist, then leave politely
+    show("\ncheckpoint", &c.query("CHECKPOINT").unwrap());
+    c.quit().expect("quit");
+
+    // -- graceful shutdown: drains, checkpoints, reports
+    let stats = server.shutdown().expect("graceful shutdown");
+    println!(
+        "\nserver drained: {} connections, {} statements, {} shed",
+        stats.accepted, stats.statements, stats.shed
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -36,6 +36,7 @@
 //! | [`mal`] | MAL programs, optimizer pipeline, interpreter |
 //! | [`parallel`] | multi-core dataflow execution of MAL plans |
 //! | [`sql`] | the SQL front-end |
+//! | [`server`] | the MAPI-style network server + client |
 //! | [`xpath`] | pre/post XML encoding + staircase join |
 //! | [`workload`] | deterministic data/query generators |
 
@@ -52,6 +53,7 @@ pub use mammoth_index as index;
 pub use mammoth_mal as mal;
 pub use mammoth_parallel as parallel;
 pub use mammoth_recycler as recycler;
+pub use mammoth_server as server;
 pub use mammoth_sql as sql;
 pub use mammoth_storage as storage;
 pub use mammoth_stream as stream;
