@@ -30,6 +30,7 @@ pub mod experiments {
     pub mod e19_parallel;
     pub mod e20_wal;
     pub mod e21_server;
+    pub mod e22_props;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -161,6 +162,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e21",
             "extension - mammoth-server: closed-loop client scaling, overload shedding, drain",
             e21_server::run,
+        ),
+        (
+            "e22",
+            "extension - property-driven rewrites: sorted binary-search select + select elimination",
+            e22_props::run,
         ),
     ]
 }

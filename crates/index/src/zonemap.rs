@@ -79,6 +79,24 @@ impl<K: Ord + Copy + Debug> ZoneMap<K> {
         out
     }
 
+    /// Global `[min, max]` over the whole column, folded from the zones.
+    /// `None` for an empty column. Feeds base-bind value intervals in the
+    /// MAL property analysis.
+    pub fn bounds(&self) -> Option<(K, K)> {
+        let mut it = self.zones.iter();
+        let first = it.next()?;
+        let (mut min, mut max) = (first.min, first.max);
+        for z in it {
+            if z.min < min {
+                min = z.min;
+            }
+            if z.max > max {
+                max = z.max;
+            }
+        }
+        Some((min, max))
+    }
+
     /// Fraction of blocks pruned for `[lo, hi]` (selectivity diagnostic).
     pub fn pruning_ratio(&self, lo: K, hi: K) -> f64 {
         if self.zones.is_empty() {
@@ -131,6 +149,15 @@ mod tests {
         assert_eq!(zm.zone_count(), 10);
         let r = zm.candidate_ranges(90, 200);
         assert_eq!(r, vec![90..95]);
+    }
+
+    #[test]
+    fn bounds_fold_all_zones() {
+        let data = vec![7i64, 3, 9, 1, 8];
+        let zm = ZoneMap::build(&data, 2);
+        assert_eq!(zm.bounds(), Some((1, 9)));
+        let empty = ZoneMap::build(&[] as &[i64], 4);
+        assert_eq!(empty.bounds(), None);
     }
 
     #[test]

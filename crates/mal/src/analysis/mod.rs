@@ -12,7 +12,13 @@
 //! [`Program`]: crate::program::Program
 
 pub mod liveness;
+pub mod props;
 pub mod verify;
 
 pub use liveness::{analyze as analyze_liveness, Liveness};
+pub use props::{
+    analyze_with_catalog as analyze_props, analyze_with_facts as analyze_props_with_facts,
+    check_bat, check_props_enabled, column_facts, column_facts_with_zonemaps, Analysis,
+    ColumnFacts as PropFacts, Props, PropsError, CHECK_PROPS_ENV,
+};
 pub use verify::{lint, verify, verify_with_catalog, Lint, VarTy, VerifyError, VerifyErrorKind};

@@ -406,6 +406,7 @@ impl Verifier<'_> {
             | OpCode::Sort { .. }
             | OpCode::Count
             | OpCode::Mirror => 1,
+            OpCode::SetProps => 2,
             OpCode::Result | OpCode::Free | OpCode::Pack | OpCode::PackSum => {
                 unreachable!("handled above")
             }
@@ -610,6 +611,22 @@ impl Verifier<'_> {
             OpCode::Mirror => {
                 self.bat_arg(idx, instr, 0, state)?;
                 Ok(vec![VarTy::Bat(Some(LogicalType::Oid))])
+            }
+            OpCode::SetProps => {
+                let t = self.bat_arg(idx, instr, 0, state)?;
+                match instr.args.get(1) {
+                    Some(Arg::Const(Value::Str(s)))
+                        if crate::analysis::props::parse_claims(s).is_some() => {}
+                    _ => {
+                        return Err(err(VerifyErrorKind::TypeMismatch {
+                            arg: 1,
+                            detail: "expected a string constant of property claims \
+                                     (sorted, revsorted, key, nonil)"
+                                .into(),
+                        }))
+                    }
+                }
+                Ok(vec![VarTy::Bat(t)])
             }
             OpCode::Result | OpCode::Free | OpCode::Pack | OpCode::PackSum => {
                 unreachable!("handled above")

@@ -1,12 +1,15 @@
 //! `malcheck` — lint and verify textual MAL plans.
 //!
-//! For each `.mal` file: parse it, run the plan verifier, report the
-//! liveness profile, then push the plan through the default optimizer
-//! pipeline (plus `garbage_collect`) one pass at a time, re-verifying and
-//! printing an instruction-count diff after each pass.
+//! For each `.mal` file: parse it, run the plan verifier, run the property
+//! analysis (any `bat.setprops` claim the abstract interpretation cannot
+//! confirm rejects the plan), report the liveness profile, then push the
+//! plan through the default optimizer pipeline (plus `garbage_collect`)
+//! one pass at a time, re-verifying and printing an instruction-count diff
+//! after each pass. With `--props`, additionally dump the inferred
+//! per-instruction properties (the golden-snapshot surface).
 //!
 //! ```text
-//! malcheck [--expect-error] [--no-pipeline] <plan.mal>...
+//! malcheck [--expect-error] [--no-pipeline] [--props] <plan.mal>...
 //! ```
 //!
 //! Exits non-zero if any plan fails to parse or verify (or, with
@@ -23,13 +26,17 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut expect_error = false;
     let mut run_pipeline = true;
+    let mut show_props = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--expect-error" => expect_error = true,
             "--no-pipeline" => run_pipeline = false,
+            "--props" => show_props = true,
             "-h" | "--help" => {
-                eprintln!("usage: malcheck [--expect-error] [--no-pipeline] <plan.mal>...");
+                eprintln!(
+                    "usage: malcheck [--expect-error] [--no-pipeline] [--props] <plan.mal>..."
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -40,13 +47,13 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("usage: malcheck [--expect-error] [--no-pipeline] <plan.mal>...");
+        eprintln!("usage: malcheck [--expect-error] [--no-pipeline] [--props] <plan.mal>...");
         return ExitCode::FAILURE;
     }
 
     let mut failures = 0usize;
     for file in &files {
-        if !check_file(file, expect_error, run_pipeline) {
+        if !check_file(file, expect_error, run_pipeline, show_props) {
             failures += 1;
         }
     }
@@ -60,7 +67,7 @@ fn main() -> ExitCode {
 
 /// Returns true when the file meets expectations (verifies, or fails to
 /// verify under `--expect-error`).
-fn check_file(file: &str, expect_error: bool, run_pipeline: bool) -> bool {
+fn check_file(file: &str, expect_error: bool, run_pipeline: bool, show_props: bool) -> bool {
     println!("== {file}");
     let src = match std::fs::read_to_string(file) {
         Ok(s) => s,
@@ -90,9 +97,26 @@ fn check_file(file: &str, expect_error: bool, run_pipeline: bool) -> bool {
         }
         Ok(()) => println!("   verify: ok"),
     }
+    // the property walk: a `bat.setprops` claim the analysis cannot
+    // confirm (with no catalog, binds carry no statistics) rejects the plan
+    let an = match analysis::props::analyze(&prog) {
+        Err(e) => {
+            println!("   props: FAIL — {e}");
+            return expect_error;
+        }
+        Ok(a) => a,
+    };
     if expect_error {
         println!("   expected this plan to be rejected, but it verifies");
         return false;
+    }
+    if show_props {
+        for (idx, instr) in prog.instrs.iter().enumerate() {
+            if instr.results.is_empty() {
+                continue;
+            }
+            println!("   props[{idx}]: {}", an.describe_instr(instr));
+        }
     }
 
     let lv = analysis::analyze_liveness(&prog);

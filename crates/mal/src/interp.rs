@@ -58,6 +58,7 @@ pub struct Interpreter<'a> {
     stats: ExecStats,
     eager_release: bool,
     profiled: bool,
+    check_props: bool,
     events: Vec<TraceEvent>,
 }
 
@@ -69,6 +70,7 @@ impl<'a> Interpreter<'a> {
             stats: ExecStats::default(),
             eager_release: false,
             profiled: false,
+            check_props: crate::analysis::check_props_enabled(),
             events: Vec::new(),
         }
     }
@@ -81,8 +83,20 @@ impl<'a> Interpreter<'a> {
             stats: ExecStats::default(),
             eager_release: false,
             profiled: false,
+            check_props: crate::analysis::check_props_enabled(),
             events: Vec::new(),
         }
+    }
+
+    /// Cross-check every materialized BAT (executed *and* recycled) against
+    /// the properties the abstract interpretation inferred for its variable;
+    /// a violation aborts the run with an internal error naming the
+    /// instruction. Defaults to the `MAMMOTH_CHECK_PROPS` environment
+    /// variable; this builder pins it explicitly (tests use it to avoid
+    /// process-global environment races).
+    pub fn check_props(mut self, on: bool) -> Interpreter<'a> {
+        self.check_props = on;
+        self
     }
 
     /// Record one [`TraceEvent`] per executed (or recycled) instruction:
@@ -129,6 +143,14 @@ impl<'a> Interpreter<'a> {
         let liveness = self
             .eager_release
             .then(|| crate::analysis::liveness::analyze(prog));
+        let analysis = match self.check_props {
+            false => None,
+            true => Some(
+                crate::analysis::analyze_props(prog, self.catalog).map_err(|e| {
+                    Error::Internal(format!("MAMMOTH_CHECK_PROPS: unconfirmable claim: {e}"))
+                })?,
+            ),
+        };
         let mut live_bats: u64 = 0;
         let mut peak_live: u64 = 0;
 
@@ -238,6 +260,20 @@ impl<'a> Interpreter<'a> {
                     }
                     deps[*rv] = instr_deps.clone();
                     set_slot(&mut vars[*rv], val, &mut live_bats, &mut peak_live);
+                }
+            }
+            // property checker: every BAT this instruction materialized (or
+            // recycled) must satisfy the statically inferred properties
+            if let Some(an) = &analysis {
+                for &rv in &instr.results {
+                    if let (Some(p), Some(MalValue::Bat(b))) = (an.props_of(rv), &vars[rv]) {
+                        if let Err(msg) = crate::analysis::check_bat(p, b) {
+                            return Err(Error::Internal(format!(
+                                "MAMMOTH_CHECK_PROPS: instr {idx} ({}) result x{rv}: {msg}",
+                                instr.op.name()
+                            )));
+                        }
+                    }
                 }
             }
             // liveness-driven eager release: drop every operand whose last
@@ -511,6 +547,39 @@ pub fn execute_instr(catalog: &Catalog, instr: &Instr, args: &[MalValue]) -> Res
         OpCode::Mirror => {
             let b = instr_bat(args, 0)?;
             vec![bat(b.mirror())]
+        }
+        OpCode::SetProps => {
+            let b = instr_bat(args, 0)?;
+            let claims = match instr_const(args, 1)? {
+                Value::Str(s) => crate::analysis::props::parse_claims(&s).ok_or_else(|| {
+                    Error::Internal(format!("bat.setprops: malformed claim '{s}'"))
+                })?,
+                v => {
+                    return Err(Error::Internal(format!(
+                        "bat.setprops expects a string claim, got {v}"
+                    )))
+                }
+            };
+            let have = b.props();
+            let implied = (!claims.sorted || have.sorted)
+                && (!claims.revsorted || have.revsorted)
+                && (!claims.key || have.key)
+                && (!claims.nonil || have.nonil);
+            if implied {
+                // already tagged: pass the Arc through, O(1)
+                vec![MalValue::Bat(b)]
+            } else {
+                // tag a copy — sound because the checked pipeline only
+                // emits claims the property analysis proved
+                let mut nb = (*b).clone();
+                let mut props = nb.props().clone();
+                props.sorted |= claims.sorted;
+                props.revsorted |= claims.revsorted;
+                props.key |= claims.key;
+                props.nonil |= claims.nonil;
+                nb.set_props(props);
+                vec![bat(nb)]
+            }
         }
         OpCode::Result | OpCode::Free => unreachable!("handled by the scheduler"),
     })

@@ -36,10 +36,19 @@ pub mod optimizer;
 pub mod parser;
 pub mod program;
 
+pub use analysis::{
+    analyze_props, analyze_props_with_facts, check_bat, check_props_enabled, column_facts,
+    column_facts_with_zonemaps, Analysis, PropFacts, Props, PropsError, CHECK_PROPS_ENV,
+};
 pub use analysis::{verify, verify_with_catalog, Liveness, VerifyError, VerifyErrorKind};
 pub use interp::{bat_rows_bytes, execute_instr, ExecStats, Interpreter, PlanExecutor};
 pub use mammoth_types::{EventKind, ProfiledRun, TraceEvent, TRACE_ENV};
-pub use mitosis::{column_types, parallel_pipeline, ColumnTypes, Mergetable, Mitosis};
-pub use optimizer::{default_pipeline, GarbageCollect, OptimizerPass, PassError, Pipeline};
+pub use mitosis::{
+    column_types, parallel_pipeline, parallel_pipeline_with_props, ColumnTypes, Mergetable, Mitosis,
+};
+pub use optimizer::{
+    default_pipeline, default_pipeline_with_props, GarbageCollect, OptimizerPass, PassError,
+    Pipeline, SelectElimination, SortedSelect,
+};
 pub use parser::parse_program;
 pub use program::{Arg, Instr, MalValue, OpCode, Program, VarId};

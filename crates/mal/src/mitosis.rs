@@ -40,6 +40,7 @@
 
 use crate::optimizer::{
     CommonSubexpr, ConstantFold, DeadCode, GarbageCollect, OptimizerPass, Pipeline,
+    SelectElimination, SortedSelect,
 };
 use crate::program::{Arg, Instr, OpCode, Program, VarId};
 use mammoth_algebra::AggKind;
@@ -509,6 +510,31 @@ pub fn parallel_pipeline(pieces: usize, types: ColumnTypes) -> Pipeline {
         .with(CommonSubexpr)
         .with(Mitosis::new(pieces))
         .with(Mergetable::with_types(types))
+        .with(DeadCode)
+        .with(GarbageCollect)
+        .checked()
+}
+
+/// [`parallel_pipeline`] extended with the property tier. Interval-based
+/// select elimination runs *before* mitosis (a select proven trivial need
+/// not be fragmented at all); sorted-input specialization runs *after*
+/// mergetable, because the per-fragment `algebra.slice` results inherit
+/// the base column's sortedness through the analysis's exact slice
+/// transfer function — so each fragment's select gets its own
+/// binary-search annotation. `facts` must describe the catalog the plan
+/// executes against.
+pub fn parallel_pipeline_with_props(
+    pieces: usize,
+    types: ColumnTypes,
+    facts: crate::analysis::PropFacts,
+) -> Pipeline {
+    Pipeline::new()
+        .with(ConstantFold)
+        .with(CommonSubexpr)
+        .with(SelectElimination::new(facts.clone()))
+        .with(Mitosis::new(pieces))
+        .with(Mergetable::with_types(types))
+        .with(SortedSelect::new(facts))
         .with(DeadCode)
         .with(GarbageCollect)
         .checked()

@@ -14,9 +14,10 @@
 //! [`Pipeline::checked`] in release) and attributes any failure to the
 //! offending pass.
 
+use crate::analysis::props::{BatFacts, SelectVerdict};
 use crate::analysis::{self, VerifyError};
-use crate::program::{Arg, Instr, OpCode, Program};
-use mammoth_algebra::ArithOp;
+use crate::program::{Arg, Instr, OpCode, Program, VarId};
+use mammoth_algebra::{ArithOp, CmpOp};
 use mammoth_types::Value;
 use std::collections::HashMap;
 use std::fmt;
@@ -116,6 +117,25 @@ pub fn default_pipeline() -> Pipeline {
         .with(ConstantFold)
         .with(CommonSubexpr)
         .with(DeadCode)
+}
+
+/// [`default_pipeline`] extended with the abstract-interpretation property
+/// tier: after folding and CSE, [`SelectElimination`] and [`SortedSelect`]
+/// rewrite selections using per-column statistics (`facts`, from
+/// [`analysis::column_facts`] over the catalog the plan will run against),
+/// then dead code is swept. The pipeline is [`Pipeline::checked`] because
+/// these passes rewrite based on facts external to the plan text.
+///
+/// Invariant: `facts` must describe the catalog state the plan executes
+/// against — the passes' proofs are only as sound as their premises.
+pub fn default_pipeline_with_props(facts: analysis::PropFacts) -> Pipeline {
+    Pipeline::new()
+        .with(ConstantFold)
+        .with(CommonSubexpr)
+        .with(SelectElimination::new(facts.clone()))
+        .with(SortedSelect::new(facts))
+        .with(DeadCode)
+        .checked()
 }
 
 /// Fold `batcalc` instructions whose *both* operands are constants, and
@@ -340,10 +360,232 @@ impl OptimizerPass for GarbageCollect {
     }
 }
 
+/// Interval-based select elimination — the property tier's first consumer
+/// (§3.1's "properties drive rewriting"). A selection whose predicate the
+/// analysis proves accepts *every* row is replaced by a `bat.mirror`
+/// pass-through (the candidate list of a dense-headed input at seqbase 0
+/// is exactly its mirror); one that provably accepts *no* row becomes an
+/// empty candidate list built as `bat.slice(b, 0, 0)` + `bat.mirror`.
+/// Both proofs compare the input's inferred value interval (seeded from
+/// column statistics and zone maps) against the constant predicate.
+///
+/// Soundness guards, in order:
+/// * plans containing `language.pass` are left untouched (the rewrite
+///   would have to re-derive end-of-life markers);
+/// * the input must have a statically dense head at seqbase 0, so the
+///   mirrored oid list is bit-identical to the select's candidate output;
+/// * every non-nil predicate constant must coerce losslessly into the
+///   column's value type — otherwise the select would raise a type error
+///   at runtime, and eliminating it would mask that error.
+pub struct SelectElimination {
+    facts: analysis::PropFacts,
+}
+
+impl SelectElimination {
+    pub fn new(facts: analysis::PropFacts) -> SelectElimination {
+        SelectElimination { facts }
+    }
+
+    fn verdict(an: &analysis::Analysis, instr: &Instr) -> SelectVerdict {
+        let Some(Arg::Var(v)) = instr.args.first() else {
+            return SelectVerdict::Unknown;
+        };
+        let Some(f) = an.bat_facts(*v) else {
+            return SelectVerdict::Unknown;
+        };
+        if !(f.props.void_head && f.seqbase == Some(0)) {
+            return SelectVerdict::Unknown;
+        }
+        if !consts_coerce(f, &instr.args[1..]) {
+            return SelectVerdict::Unknown;
+        }
+        match &instr.op {
+            OpCode::ThetaSelect(op) => analysis::props::select_verdict_theta(f, instr, *op),
+            OpCode::RangeSelect { lo_incl, hi_incl } => {
+                analysis::props::select_verdict_range(f, instr, *lo_incl, *hi_incl)
+            }
+            _ => SelectVerdict::Unknown,
+        }
+    }
+}
+
+/// True when every constant predicate argument either is nil (an open /
+/// no-candidates bound the runtime handles without touching the column
+/// type) or coerces losslessly into the type of the column's bounds.
+fn consts_coerce(f: &BatFacts, preds: &[Arg]) -> bool {
+    let consts = preds.iter().map(|a| match a {
+        Arg::Const(c) => Some(c),
+        Arg::Var(_) => None,
+    });
+    let bty = f
+        .props
+        .min
+        .as_ref()
+        .or(f.props.max.as_ref())
+        .and_then(|v| v.logical_type());
+    match bty {
+        Some(ty) => consts
+            .flatten()
+            .all(|c| c.is_null() || c.coerce(ty).is_some()),
+        None => consts.flatten().all(|c| c.is_null()),
+    }
+}
+
+impl OptimizerPass for SelectElimination {
+    fn name(&self) -> &'static str {
+        "select_elimination"
+    }
+
+    fn run(&self, prog: Program) -> Program {
+        if prog.instrs.iter().any(|i| i.op == OpCode::Free) {
+            return prog;
+        }
+        let Ok(an) = analysis::analyze_props_with_facts(&prog, &self.facts) else {
+            return prog;
+        };
+        let mut out = prog.clone();
+        out.instrs = Vec::with_capacity(prog.instrs.len());
+        for instr in &prog.instrs {
+            match Self::verdict(&an, instr) {
+                SelectVerdict::All => out.instrs.push(Instr {
+                    results: instr.results.clone(),
+                    op: OpCode::Mirror,
+                    args: vec![instr.args[0].clone()],
+                }),
+                SelectVerdict::None => {
+                    let empty = out.var();
+                    out.instrs.push(Instr {
+                        results: vec![empty],
+                        op: OpCode::Slice,
+                        args: vec![
+                            instr.args[0].clone(),
+                            Arg::Const(Value::I64(0)),
+                            Arg::Const(Value::I64(0)),
+                        ],
+                    });
+                    out.instrs.push(Instr {
+                        results: instr.results.clone(),
+                        op: OpCode::Mirror,
+                        args: vec![Arg::Var(empty)],
+                    });
+                }
+                SelectVerdict::Unknown => out.instrs.push(instr.clone()),
+            }
+        }
+        out
+    }
+}
+
+/// Sorted-input select specialization. A theta-select over a column the
+/// analysis proves `sorted` and `nonil` is rewritten into the equivalent
+/// `algebra.select` range form over a `bat.setprops(b, "sorted,nonil")`
+/// annotated input; the interpreter's binary-search fast path keys off the
+/// *runtime* sorted/nonil flags the annotation establishes, replacing the
+/// scan with two `partition_point` probes. Existing range selects over
+/// proven-sorted inputs get the same annotation.
+///
+/// Answer preservation is independent of the annotation: the range form
+/// computes the identical candidate set by scan whenever the runtime flags
+/// are absent, and `bat.setprops` itself only asserts claims the analysis
+/// already confirmed (the plan would not pass the property walk
+/// otherwise). `!=` selects are not range-expressible and stay scans.
+pub struct SortedSelect {
+    facts: analysis::PropFacts,
+}
+
+impl SortedSelect {
+    pub fn new(facts: analysis::PropFacts) -> SortedSelect {
+        SortedSelect { facts }
+    }
+
+    /// Reuse or insert `sv := bat.setprops(v, "sorted,nonil")`.
+    fn annotate(out: &mut Program, annotated: &mut HashMap<VarId, VarId>, v: VarId) -> VarId {
+        if let Some(&sv) = annotated.get(&v) {
+            return sv;
+        }
+        let sv = out.var();
+        out.instrs.push(Instr {
+            results: vec![sv],
+            op: OpCode::SetProps,
+            args: vec![Arg::Var(v), Arg::Const(Value::Str("sorted,nonil".into()))],
+        });
+        annotated.insert(v, sv);
+        sv
+    }
+}
+
+impl OptimizerPass for SortedSelect {
+    fn name(&self) -> &'static str {
+        "sorted_select"
+    }
+
+    fn run(&self, prog: Program) -> Program {
+        if prog.instrs.iter().any(|i| i.op == OpCode::Free) {
+            return prog;
+        }
+        let Ok(an) = analysis::analyze_props_with_facts(&prog, &self.facts) else {
+            return prog;
+        };
+        let mut out = prog.clone();
+        out.instrs = Vec::with_capacity(prog.instrs.len());
+        let mut annotated: HashMap<VarId, VarId> = HashMap::new();
+        for instr in &prog.instrs {
+            let sorted_input = match instr.args.first() {
+                Some(Arg::Var(v)) => an
+                    .bat_facts(*v)
+                    .filter(|f| f.props.sorted && f.props.nonil)
+                    .map(|_| *v),
+                _ => None,
+            };
+            match (&instr.op, sorted_input) {
+                (OpCode::ThetaSelect(op), Some(v)) if *op != CmpOp::Ne => {
+                    let c = match instr.args.get(1) {
+                        Some(Arg::Const(c)) if !c.is_null() => c.clone(),
+                        _ => {
+                            out.instrs.push(instr.clone());
+                            continue;
+                        }
+                    };
+                    let sv = Self::annotate(&mut out, &mut annotated, v);
+                    let nil = || Arg::Const(Value::Null);
+                    let cst = Arg::Const(c);
+                    let (op2, lo, hi) = match op {
+                        CmpOp::Lt => (range_op(true, false), nil(), cst),
+                        CmpOp::Le => (range_op(true, true), nil(), cst),
+                        CmpOp::Gt => (range_op(false, true), cst, nil()),
+                        CmpOp::Ge => (range_op(true, true), cst, nil()),
+                        CmpOp::Eq => (range_op(true, true), cst.clone(), cst),
+                        CmpOp::Ne => unreachable!("guarded above"),
+                    };
+                    out.instrs.push(Instr {
+                        results: instr.results.clone(),
+                        op: op2,
+                        args: vec![Arg::Var(sv), lo, hi],
+                    });
+                }
+                (OpCode::RangeSelect { .. }, Some(v)) => {
+                    let sv = Self::annotate(&mut out, &mut annotated, v);
+                    let mut ni = instr.clone();
+                    ni.args[0] = Arg::Var(sv);
+                    out.instrs.push(ni);
+                }
+                _ => out.instrs.push(instr.clone()),
+            }
+        }
+        out
+    }
+}
+
+fn range_op(lo_incl: bool, hi_incl: bool) -> OpCode {
+    OpCode::RangeSelect { lo_incl, hi_incl }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mammoth_algebra::CmpOp;
+    use crate::interp::Interpreter;
+    use mammoth_storage::{Bat, Catalog, Table};
+    use mammoth_types::{ColumnDef, LogicalType, TableSchema};
 
     fn bind(p: &mut Program, t: &str, c: &str) -> usize {
         p.push(
@@ -547,5 +789,164 @@ mod tests {
         let out = pl.optimize(p);
         // bind(t.a) + select + result — dup bind and dead bind removed
         assert_eq!(out.instrs.len(), 3);
+    }
+
+    /// t.s is sorted 0..100 (statistics known); t.r is a scramble of the
+    /// same values, so its interval is known but its order is not.
+    fn props_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = Table::from_bats(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("s", LogicalType::I64),
+                    ColumnDef::new("r", LogicalType::I64),
+                ],
+            ),
+            vec![
+                Bat::from_vec((0..100i64).collect::<Vec<_>>()),
+                Bat::from_vec((0..100i64).map(|i| (i * 37) % 100).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap();
+        cat.create_table(t).unwrap();
+        cat
+    }
+
+    fn select_plan(col: &str, op: CmpOp, cut: i64) -> Program {
+        let mut p = Program::new();
+        let b = bind(&mut p, "t", col);
+        let c = p.push(
+            OpCode::ThetaSelect(op),
+            vec![Arg::Var(b), Arg::Const(Value::I64(cut))],
+        )[0];
+        let v = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(b)])[0];
+        p.push_result(&[v]);
+        p
+    }
+
+    fn run_tail(cat: &Catalog, p: &Program) -> Vec<i64> {
+        let out = Interpreter::new(cat).run(p).unwrap();
+        out[0]
+            .as_bat()
+            .unwrap()
+            .tail_slice::<i64>()
+            .unwrap()
+            .to_vec()
+    }
+
+    #[test]
+    fn select_elimination_rewrites_trivial_selects() {
+        let cat = props_catalog();
+        let facts = analysis::column_facts(&cat);
+
+        // every row < 1000: the select collapses into a mirror
+        let p = select_plan("s", CmpOp::Lt, 1000);
+        let out = SelectElimination::new(facts.clone()).run(p.clone());
+        assert!(out.instrs.iter().any(|i| i.op == OpCode::Mirror));
+        assert!(!out
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, OpCode::ThetaSelect(_))));
+        assert_eq!(run_tail(&cat, &p), run_tail(&cat, &out));
+
+        // no row > 1000: the select collapses into an empty candidate list
+        let p = select_plan("s", CmpOp::Gt, 1000);
+        let out = SelectElimination::new(facts.clone()).run(p.clone());
+        assert!(!out
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, OpCode::ThetaSelect(_))));
+        assert_eq!(run_tail(&cat, &p), Vec::<i64>::new());
+        assert_eq!(run_tail(&cat, &out), Vec::<i64>::new());
+
+        // a cut inside the interval: no proof, no rewrite
+        let p = select_plan("r", CmpOp::Lt, 50);
+        let out = SelectElimination::new(facts).run(p.clone());
+        assert_eq!(out.instrs.len(), p.instrs.len());
+    }
+
+    #[test]
+    fn select_elimination_keeps_type_error_behavior() {
+        // i8 column, predicate constant outside the i8 range: the select
+        // raises a type error at runtime, so the pass must leave it in
+        // place even though the interval proof says "all rows match".
+        let mut cat = Catalog::new();
+        let t = Table::from_bats(
+            TableSchema::new("t8", vec![ColumnDef::new("c", LogicalType::I8)]),
+            vec![Bat::from_vec((0..10i8).collect::<Vec<_>>())],
+        )
+        .unwrap();
+        cat.create_table(t).unwrap();
+        let mut p = Program::new();
+        let b = bind(&mut p, "t8", "c");
+        let s = p.push(
+            OpCode::ThetaSelect(CmpOp::Lt),
+            vec![Arg::Var(b), Arg::Const(Value::I64(1000))],
+        )[0];
+        p.push_result(&[s]);
+        let out = SelectElimination::new(analysis::column_facts(&cat)).run(p.clone());
+        assert!(out
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, OpCode::ThetaSelect(_))));
+        assert!(Interpreter::new(&cat).run(&out).is_err());
+    }
+
+    #[test]
+    fn sorted_select_specializes_to_annotated_range() {
+        let cat = props_catalog();
+        let facts = analysis::column_facts(&cat);
+        for (op, cut) in [
+            (CmpOp::Lt, 50),
+            (CmpOp::Le, 50),
+            (CmpOp::Gt, 97),
+            (CmpOp::Ge, 0),
+            (CmpOp::Eq, 42),
+        ] {
+            let p = select_plan("s", op, cut);
+            let out = SortedSelect::new(facts.clone()).run(p.clone());
+            assert!(
+                out.instrs.iter().any(|i| i.op == OpCode::SetProps),
+                "{op:?}"
+            );
+            assert!(
+                out.instrs
+                    .iter()
+                    .any(|i| matches!(i.op, OpCode::RangeSelect { .. })),
+                "{op:?}"
+            );
+            assert_eq!(run_tail(&cat, &p), run_tail(&cat, &out), "{op:?}");
+        }
+        // unsorted column: untouched
+        let p = select_plan("r", CmpOp::Lt, 50);
+        let out = SortedSelect::new(facts.clone()).run(p.clone());
+        assert!(!out.instrs.iter().any(|i| i.op == OpCode::SetProps));
+        // != is not range-expressible: untouched
+        let p = select_plan("s", CmpOp::Ne, 50);
+        let out = SortedSelect::new(facts).run(p.clone());
+        assert!(!out
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, OpCode::RangeSelect { .. })));
+    }
+
+    #[test]
+    fn props_pipelines_preserve_answers() {
+        let cat = props_catalog();
+        let facts = analysis::column_facts(&cat);
+        for (col, op, cut) in [
+            ("s", CmpOp::Lt, 30),
+            ("s", CmpOp::Gt, 1000),
+            ("s", CmpOp::Lt, -5),
+            ("s", CmpOp::Eq, 42),
+            ("r", CmpOp::Ge, 50),
+            ("r", CmpOp::Lt, 1000),
+        ] {
+            let p = select_plan(col, op, cut);
+            let base = run_tail(&cat, &p);
+            let opt = default_pipeline_with_props(facts.clone()).optimize(p);
+            assert_eq!(base, run_tail(&cat, &opt), "{col} {op:?} {cut}");
+        }
     }
 }

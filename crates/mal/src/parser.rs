@@ -369,6 +369,7 @@ fn parse_stmt(
         "mat.pack" => OpCode::Pack,
         "mat.packsum" => OpCode::PackSum,
         "bat.mirror" => OpCode::Mirror,
+        "bat.setprops" => OpCode::SetProps,
         "aggr.count" => OpCode::Count,
         "io.result" => OpCode::Result,
         "language.pass" => OpCode::Free,

@@ -86,6 +86,12 @@ pub enum OpCode {
     Count,
     /// `bat.mirror(b)` — dense identity candidates over b.
     Mirror,
+    /// `bat.setprops(b, "sorted,nonil")` — runtime identity carrying an
+    /// explicit property annotation. The property analysis must confirm
+    /// every claimed flag; the interpreter tags the BAT's runtime props so
+    /// downstream operators (binary-search range selection) can exploit
+    /// them.
+    SetProps,
     /// `io.result(b, ...)` — mark outputs (side effect; ends the plan).
     Result,
     /// `language.pass(v)` — end-of-life marker: the variable's value is
@@ -125,6 +131,7 @@ impl OpCode {
             OpCode::PackSum => "mat.packsum".into(),
             OpCode::Count => "aggr.count".into(),
             OpCode::Mirror => "bat.mirror".into(),
+            OpCode::SetProps => "bat.setprops".into(),
             OpCode::Result => "io.result".into(),
             OpCode::Free => "language.pass".into(),
         }

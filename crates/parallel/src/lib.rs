@@ -33,7 +33,8 @@
 #![deny(unsafe_code)]
 
 use mammoth_mal::{
-    bat_rows_bytes, execute_instr, Arg, Instr, MalValue, OpCode, PlanExecutor, Program,
+    analyze_props, bat_rows_bytes, check_bat, check_props_enabled, execute_instr, Analysis, Arg,
+    Instr, MalValue, OpCode, PlanExecutor, Program,
 };
 use mammoth_storage::Catalog;
 use mammoth_types::{Error, ProfiledRun, Result, TraceEvent};
@@ -219,6 +220,14 @@ fn run_dataflow_inner(
     let t0 = Instant::now();
     let threads = threads.max(1);
     let total = prog.instrs.len();
+    // MAMMOTH_CHECK_PROPS: cross-check every materialized BAT against the
+    // statically inferred properties (same oracle as the serial engine)
+    let analysis = match check_props_enabled() {
+        false => None,
+        true => Some(analyze_props(prog, catalog).map_err(|e| {
+            Error::Internal(format!("MAMMOTH_CHECK_PROPS: unconfirmable claim: {e}"))
+        })?),
+    };
     let dag = build_dag(prog);
     let ready: VecDeque<usize> = (0..total).filter(|&i| dag.indeg[i] == 0).collect();
     let state = Mutex::new(State {
@@ -244,6 +253,7 @@ fn run_dataflow_inner(
             let state = &state;
             let cv = &cv;
             let succs = &dag.succs;
+            let analysis = analysis.as_ref();
             s.spawn(move || {
                 worker(
                     catalog,
@@ -253,6 +263,7 @@ fn run_dataflow_inner(
                     state,
                     cv,
                     profiled.then_some((wid, t0)),
+                    analysis,
                 )
             });
         }
@@ -297,6 +308,7 @@ fn instr_event(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker(
     catalog: &Catalog,
     prog: &Program,
@@ -305,6 +317,7 @@ fn worker(
     state: &Mutex<State>,
     cv: &Condvar,
     profile: Option<(usize, Instant)>,
+    analysis: Option<&Analysis>,
 ) {
     let mut guard = state.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
@@ -346,7 +359,22 @@ fn worker(
                     Ok(args) => {
                         drop(guard);
                         let start = Instant::now();
-                        let r = execute_instr(catalog, instr, &args);
+                        let r = execute_instr(catalog, instr, &args).and_then(|vals| {
+                            if let Some(an) = analysis {
+                                for (rv, val) in instr.results.iter().zip(&vals) {
+                                    if let (Some(p), MalValue::Bat(b)) = (an.props_of(*rv), val) {
+                                        check_bat(p, b).map_err(|msg| {
+                                            Error::Internal(format!(
+                                                "MAMMOTH_CHECK_PROPS: instr {idx} ({}) result \
+                                                 x{rv}: {msg}",
+                                                instr.op.name()
+                                            ))
+                                        })?;
+                                    }
+                                }
+                            }
+                            Ok(vals)
+                        });
                         let event = match (&profile, &r) {
                             (Some((wid, t0)), Ok(vals)) => Some(instr_event(
                                 idx,

@@ -4,8 +4,9 @@ use crate::ast::{Predicate, SelectStmt, Statement};
 use crate::compile::compile_select;
 use crate::parser::parse_sql;
 use mammoth_mal::{
-    column_types, default_pipeline, parallel_pipeline, EventKind, Interpreter, MalValue, Pipeline,
-    PlanExecutor, ProfiledRun, Program, TraceEvent, TRACE_ENV,
+    analyze_props, column_facts, column_types, default_pipeline_with_props,
+    parallel_pipeline_with_props, EventKind, Interpreter, MalValue, Pipeline, PlanExecutor,
+    ProfiledRun, Program, TraceEvent, TRACE_ENV,
 };
 use mammoth_recycler::{EvictPolicy, Recycler};
 use mammoth_storage::{persist, Catalog, RealFs, Table, VersionedColumn, Vfs, Wal, WalRecord};
@@ -74,11 +75,11 @@ struct Durability {
     wal: Wal,
 }
 
-/// A database session: a catalog, an optimizer pipeline, and optionally the
-/// recycler.
+/// A database session: a catalog, per-statement optimizer pipelines (rebuilt
+/// so the property-driven passes see column statistics for the catalog state
+/// each plan runs against), and optionally the recycler.
 pub struct Session {
     catalog: Catalog,
-    pipeline: Pipeline,
     recycler: Option<Recycler>,
     /// WAL + checkpoint state; `None` for in-memory sessions.
     durable: Option<Durability>,
@@ -106,7 +107,6 @@ impl Session {
     pub fn new() -> Session {
         Session {
             catalog: Catalog::new(),
-            pipeline: default_pipeline(),
             recycler: None,
             durable: None,
             executor: None,
@@ -437,7 +437,7 @@ impl Session {
                     let outputs = ex.run_plan(&self.catalog, &prog)?;
                     return render_outputs(names, outputs);
                 }
-                let prog = self.pipeline.optimize(prog);
+                let prog = self.serial_pipeline().optimize(prog);
                 let outputs = match &mut self.recycler {
                     Some(r) => {
                         let mut interp = Interpreter::with_recycler(&self.catalog, r);
@@ -455,17 +455,9 @@ impl Session {
                 let prog = if self.executor.is_some() {
                     self.rewrite_parallel(prog)?
                 } else {
-                    self.pipeline.optimize(prog)
+                    self.serial_pipeline().optimize(prog)
                 };
-                let rows = prog
-                    .to_string()
-                    .lines()
-                    .map(|l| vec![Value::Str(l.to_string())])
-                    .collect();
-                Ok(QueryOutput::Table {
-                    columns: vec!["mal".to_string()],
-                    rows,
-                })
+                Ok(self.explain_table(&prog))
             }
             Statement::Trace(stmt) => {
                 let (_, run) = self.run_select_profiled(&stmt)?;
@@ -498,7 +490,7 @@ impl Session {
                     let outputs = ex.run_plan(&self.catalog, &prog)?;
                     return render_outputs(names, outputs);
                 }
-                let prog = self.pipeline.optimize(prog);
+                let prog = self.serial_pipeline().optimize(prog);
                 let mut interp = Interpreter::new(&self.catalog);
                 let outputs = interp.run(&prog)?;
                 render_outputs(names, outputs)
@@ -508,17 +500,9 @@ impl Session {
                 let prog = if self.executor.is_some() {
                     self.rewrite_parallel(prog)?
                 } else {
-                    self.pipeline.optimize(prog)
+                    self.serial_pipeline().optimize(prog)
                 };
-                let rows = prog
-                    .to_string()
-                    .lines()
-                    .map(|l| vec![Value::Str(l.to_string())])
-                    .collect();
-                Ok(QueryOutput::Table {
-                    columns: vec!["mal".to_string()],
-                    rows,
-                })
+                Ok(self.explain_table(&prog))
             }
             _ => Err(Error::Unsupported(
                 "execute_read handles only SELECT/EXPLAIN; use execute for mutating statements"
@@ -527,13 +511,48 @@ impl Session {
         }
     }
 
-    /// Rewrite a plan through the mitosis/mergetable pipeline for the
-    /// attached executor.
+    /// The serial optimizer pipeline, rebuilt per statement so the
+    /// property-driven passes ([`mammoth_mal::SelectElimination`],
+    /// [`mammoth_mal::SortedSelect`]) prove their rewrites against column
+    /// statistics of the catalog state the plan executes under.
+    fn serial_pipeline(&self) -> Pipeline {
+        default_pipeline_with_props(column_facts(&self.catalog))
+    }
+
+    /// Rewrite a plan through the mitosis/mergetable pipeline (extended
+    /// with the property-driven passes) for the attached executor.
     fn rewrite_parallel(&self, prog: Program) -> Result<Program> {
-        let pipeline = parallel_pipeline(self.pieces, column_types(&self.catalog));
+        let pipeline = parallel_pipeline_with_props(
+            self.pieces,
+            column_types(&self.catalog),
+            column_facts(&self.catalog),
+        );
         pipeline
             .try_optimize(prog)
             .map_err(|e| Error::Internal(format!("parallel pipeline rejected plan: {e}")))
+    }
+
+    /// Render an optimized plan as the `EXPLAIN` result: one row per
+    /// instruction, the MAL text beside the properties the abstract
+    /// interpretation inferred for its results.
+    fn explain_table(&self, prog: &Program) -> QueryOutput {
+        let analysis = analyze_props(prog, &self.catalog).ok();
+        let text = prog.to_string();
+        let rows = text
+            .lines()
+            .zip(&prog.instrs)
+            .map(|(l, i)| {
+                let props = analysis
+                    .as_ref()
+                    .map(|a| a.describe_instr(i))
+                    .unwrap_or_default();
+                vec![Value::Str(l.to_string()), Value::Str(props)]
+            })
+            .collect();
+        QueryOutput::Table {
+            columns: vec!["mal".to_string(), "props".to_string()],
+            rows,
+        }
     }
 
     /// Compile, optimize and execute a SELECT with the per-instruction
@@ -545,7 +564,7 @@ impl Session {
             let (outputs, run) = ex.run_plan_profiled(&self.catalog, &prog)?;
             return Ok((render_outputs(names, outputs)?, run));
         }
-        let prog = self.pipeline.optimize(prog);
+        let prog = self.serial_pipeline().optimize(prog);
         match &mut self.recycler {
             Some(r) => {
                 r.set_tracing(true);
@@ -894,7 +913,7 @@ mod tests {
         let QueryOutput::Table { columns, rows } = out else {
             panic!()
         };
-        assert_eq!(columns, vec!["mal".to_string()]);
+        assert_eq!(columns, vec!["mal".to_string(), "props".to_string()]);
         let text: Vec<String> = rows
             .iter()
             .map(|r| match &r[0] {
@@ -905,6 +924,16 @@ mod tests {
         assert!(text.iter().any(|l| l.contains("sql.bind")));
         assert!(text.iter().any(|l| l.contains("algebra.thetaselect")));
         assert!(text.iter().any(|l| l.contains("io.result")));
+        // the props column carries the inferred facts: the binds over the
+        // 4-row people table get an exact cardinality
+        let props: Vec<String> = rows
+            .iter()
+            .map(|r| match &r[1] {
+                Value::Str(s) => s.clone(),
+                v => panic!("non-string props {v:?}"),
+            })
+            .collect();
+        assert!(props.iter().any(|p| p.contains("rows=4")), "{props:?}");
     }
 
     #[test]

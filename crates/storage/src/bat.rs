@@ -242,6 +242,13 @@ impl Bat {
     /// Scan the tail and (re)derive all properties. O(n); used when an
     /// operator wants facts it cannot infer.
     pub fn compute_props(&mut self) {
+        self.props = self.computed_props();
+    }
+
+    /// Scan the tail and derive ground-truth properties without mutating
+    /// the BAT. This is the oracle the `MAMMOTH_CHECK_PROPS` runtime
+    /// checker compares statically inferred properties against.
+    pub fn computed_props(&self) -> Properties {
         fn scan<T: NativeType>(v: &[T]) -> Properties {
             let mut p = Properties::empty();
             let mut min_i: Option<usize> = None;
@@ -282,7 +289,7 @@ impl Bat {
             p.max = max_i.map(|i| v[i].to_value());
             p
         }
-        self.props = match &self.tail {
+        match &self.tail {
             TailHeap::Bool(v) => scan(v),
             TailHeap::I8(v) => scan(v),
             TailHeap::I16(v) => scan(v),
@@ -335,7 +342,7 @@ impl Bat {
                 p.max = max.map(|s| Value::Str(s.to_string()));
                 p
             }
-        };
+        }
     }
 }
 

@@ -77,8 +77,14 @@ impl VersionedColumn {
     }
 
     /// Adopt an existing BAT as the base.
-    pub fn from_bat(bat: Bat) -> Self {
+    ///
+    /// The base is immutable until the next [`VersionedColumn::merge`], so
+    /// this is the one cheap moment to establish ground-truth properties:
+    /// one O(n) scan here lets every later zero-copy bind carry exact
+    /// sortedness and min/max facts for free.
+    pub fn from_bat(mut bat: Bat) -> Self {
         let ty = bat.ty();
+        bat.compute_props();
         VersionedColumn {
             base: Arc::new(bat),
             inserts: TailHeap::new(ty),
@@ -112,6 +118,14 @@ impl VersionedColumn {
 
     pub fn base(&self) -> &Arc<Bat> {
         &self.base
+    }
+
+    /// Properties of what [`VersionedColumn::materialize_shared`] would
+    /// return, but only when that is the clean shared base (no pending
+    /// deltas). With deltas pending the materialized image differs from
+    /// the base, so no stable facts exist and callers must assume `Top`.
+    pub fn stable_props(&self) -> Option<&Properties> {
+        (self.inserts.is_empty() && self.deleted.is_empty()).then(|| self.base.props())
     }
 
     /// Append a row to the insert delta; returns its position oid.
@@ -218,7 +232,8 @@ impl VersionedColumn {
 
     /// Unconditionally fold the deltas into a fresh base.
     pub fn merge(&mut self) {
-        let merged = self.materialize();
+        let mut merged = self.materialize();
+        merged.compute_props();
         let ty = self.ty();
         self.base = Arc::new(merged);
         self.inserts = TailHeap::new(ty);
@@ -351,6 +366,21 @@ mod tests {
         c.delete(0);
         let m = c.materialize();
         assert_eq!(m.tail_slice::<i32>().unwrap(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn base_props_are_eager_and_stable_only_when_clean() {
+        let mut c = col_with(&[1, 2, 3]);
+        let p = c.stable_props().expect("clean column has stable props");
+        assert!(p.sorted && p.nonil && p.key);
+        assert_eq!(p.min, Some(Value::I32(1)));
+        assert_eq!(p.max, Some(Value::I32(3)));
+        c.insert(&Value::I32(0)).unwrap();
+        assert!(c.stable_props().is_none(), "pending delta voids the facts");
+        c.merge();
+        let p = c.stable_props().expect("merge re-establishes facts");
+        assert!(!p.sorted, "[1,2,3,0] is not sorted");
+        assert_eq!(p.min, Some(Value::I32(0)));
     }
 
     #[test]

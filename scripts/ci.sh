@@ -84,4 +84,20 @@ MAMMOTH_TRACE=/dev/null cargo run -q -p mammoth-mal --bin malcheck -- $good
 echo "==> malcheck: malformed plans must be rejected"
 cargo run -q -p mammoth-mal --bin malcheck -- --expect-error examples/plans/bad_*.mal
 
+echo "==> props: inferred properties match the golden snapshot (BLESS=1 re-blesses)"
+props_golden=tests/golden/malcheck_props.golden
+# shellcheck disable=SC2086
+props_out=$(cargo run -q -p mammoth-mal --bin malcheck -- --props --no-pipeline $good \
+    | grep -E '^==|^   props')
+if [ "${BLESS:-0}" = "1" ]; then
+    printf '%s\n' "$props_out" > "$props_golden"
+    echo "    blessed $props_golden"
+else
+    diff -u "$props_golden" <(printf '%s\n' "$props_out") \
+        || { echo "props: snapshot drifted (re-bless with BLESS=1 scripts/ci.sh)"; exit 1; }
+fi
+
+echo "==> props: runtime checker finds zero violations across engines"
+MAMMOTH_CHECK_PROPS=1 cargo test -q --test props_soundness
+
 echo "==> ci: all gates passed"

@@ -279,6 +279,100 @@ fn parallel_engine_default_thread_resolution_agrees() {
     assert_eq!(serial.execute(&q).unwrap(), par.execute(&q).unwrap());
 }
 
+mod props_compat {
+    use super::*;
+    use mammoth::algebra::{AggKind, CmpOp};
+    use mammoth::mal::{
+        analyze_props, column_facts, column_types, default_pipeline_with_props,
+        parallel_pipeline_with_props, Arg, Interpreter, OpCode, Program,
+    };
+    use mammoth::storage::Catalog;
+
+    fn catalog(n: i64) -> Catalog {
+        let mut cat = Catalog::new();
+        let t = Table::from_bats(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("v", LogicalType::I64),
+                    ColumnDef::new("w", LogicalType::I64),
+                ],
+            ),
+            vec![
+                Bat::from_vec((0..n).collect::<Vec<_>>()), // sorted
+                Bat::from_vec((0..n).map(|i| (i * 131) % n).collect::<Vec<_>>()), // scrambled
+            ],
+        )
+        .unwrap();
+        cat.create_table(t).unwrap();
+        cat
+    }
+
+    fn plan(col: &str, cut: i64) -> Program {
+        let mut p = Program::new();
+        let b = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str(col.into())),
+            ],
+        )[0];
+        let c = p.push(
+            OpCode::ThetaSelect(CmpOp::Lt),
+            vec![Arg::Var(b), Arg::Const(Value::I64(cut))],
+        )[0];
+        let v = p.push(OpCode::Projection, vec![Arg::Var(c), Arg::Var(b)])[0];
+        let s = p.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(v)])[0];
+        let n = p.push(OpCode::Count, vec![Arg::Var(v)])[0];
+        p.push_result(&[s, n]);
+        p
+    }
+
+    /// The serial and the mitosis/mergetable plan for the same query must
+    /// infer *compatible* properties: both pass the property walk (every
+    /// `bat.setprops` claim confirmed), and executing either plan under
+    /// the runtime property checker reports zero violations — including
+    /// the fragments `algebra.slice` makes and the `mat.pack`
+    /// re-assemblies, whose transfer functions restore the parent's facts.
+    /// Answers must of course still agree.
+    #[test]
+    fn serial_and_parallel_plans_infer_compatible_props() {
+        let n = 4096;
+        let cat = catalog(n);
+        let facts = column_facts(&cat);
+        for col in ["v", "w"] {
+            for cut in [-1, 100, n / 2, n + 50] {
+                let p = plan(col, cut);
+                let serial = default_pipeline_with_props(facts.clone()).optimize(p.clone());
+                analyze_props(&serial, &cat).expect("serial plan claims confirmed");
+                let a = Interpreter::new(&cat)
+                    .check_props(true)
+                    .run(&serial)
+                    .expect("serial: zero property violations");
+                for pieces in [2usize, 3, 7] {
+                    let par =
+                        parallel_pipeline_with_props(pieces, column_types(&cat), facts.clone())
+                            .try_optimize(p.clone())
+                            .unwrap();
+                    analyze_props(&par, &cat).expect("parallel plan claims confirmed");
+                    let b = Interpreter::new(&cat)
+                        .check_props(true)
+                        .run(&par)
+                        .expect("parallel: zero property violations");
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(
+                            x.as_scalar().unwrap(),
+                            y.as_scalar().unwrap(),
+                            "col={col} cut={cut} pieces={pieces}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 mod pack_props {
     use super::*;
     use proptest::prelude::*;
