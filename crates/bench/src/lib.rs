@@ -31,6 +31,7 @@ pub mod experiments {
     pub mod e20_wal;
     pub mod e21_server;
     pub mod e22_props;
+    pub mod e23_replication;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -167,6 +168,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e22",
             "extension - property-driven rewrites: sorted binary-search select + select elimination",
             e22_props::run,
+        ),
+        (
+            "e23",
+            "extension - WAL-shipping replication: read scale-out, steady lag, failover",
+            e23_replication::run,
         ),
     ]
 }

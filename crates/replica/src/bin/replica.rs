@@ -1,0 +1,117 @@
+//! The mammoth-replica daemon.
+//!
+//! ```text
+//! mammoth-replica --primary HOST:PORT --data DIR
+//!                 [--addr HOST:PORT] [--workers N] [--poll-ms N]
+//!                 [--primary-auth TOKEN] [--name NAME] [--port-file PATH]
+//! ```
+//!
+//! Starts a read-only replica of the primary at `--primary`: bootstraps
+//! the local mirror under `--data`, tails the primary's WAL, and serves
+//! SELECT / EXPLAIN on its own port (writes are refused with
+//! `READ_ONLY`). `--port-file` writes the bound address (useful with
+//! `--addr 127.0.0.1:0`) so scripts can find an ephemeral port.
+//!
+//! The process exits 0 after a graceful shutdown (a client sent
+//! `SHUTDOWN` to the replica's own port), 2 on bad usage, 1 on runtime
+//! errors.
+
+use mammoth_replica::{Replica, ReplicaConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mammoth-replica --primary HOST:PORT --data DIR [--addr HOST:PORT] \
+         [--workers N] [--poll-ms N] [--primary-auth TOKEN] [--name NAME] \
+         [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut primary: Option<String> = None;
+    let mut data: Option<String> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = 2usize;
+    let mut poll_ms = 20u64;
+    let mut primary_auth = String::new();
+    let mut name = "replica".to_string();
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--primary" => primary = Some(val("--primary")),
+            "--data" => data = Some(val("--data")),
+            "--addr" => addr = val("--addr"),
+            "--workers" => workers = parse(&val("--workers"), "--workers"),
+            "--poll-ms" => poll_ms = parse(&val("--poll-ms"), "--poll-ms"),
+            "--primary-auth" => primary_auth = val("--primary-auth"),
+            "--name" => name = val("--name"),
+            "--port-file" => port_file = Some(val("--port-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let (Some(primary), Some(data)) = (primary, data) else {
+        eprintln!("--primary and --data are required");
+        usage();
+    };
+
+    let mut cfg = ReplicaConfig::new(primary, data);
+    cfg.addr = addr;
+    cfg.workers = workers;
+    cfg.poll_interval = Duration::from_millis(poll_ms.max(1));
+    cfg.primary_token = primary_auth;
+    cfg.name = name;
+
+    let replica = match Replica::start(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mammoth-replica: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = replica.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, local.to_string()) {
+            eprintln!("mammoth-replica: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("mammoth-replica: serving reads on {local}");
+
+    match replica.wait() {
+        Ok(status) => {
+            eprintln!(
+                "mammoth-replica: graceful shutdown — generation {}, {} bytes applied \
+                 ({} groups, {} bootstraps, lag {} bytes)",
+                status.generation,
+                status.local_offset,
+                status.applied_groups,
+                status.bootstraps,
+                status.lag_bytes
+            );
+        }
+        Err(e) => {
+            eprintln!("mammoth-replica: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}

@@ -1,0 +1,546 @@
+//! The replica node: a read-only server plus the puller that feeds it.
+//!
+//! [`Replica::start`] recovers the local mirror (wiping it when the
+//! divergence discipline demands), starts a read-only `mammoth-server`
+//! on it — writes are refused with `READ_ONLY`, reads and
+//! `EXPLAIN REPLICATION` are served — and spawns the puller thread that
+//! polls the primary's `Subscribe` endpoint, stages what it ships through
+//! [`crate::applier::Applier`], and folds committed statement groups into
+//! the serving session.
+//!
+//! Failover: [`Replica::promote`] stops replication, drains whatever the
+//! dead primary's surviving directory still holds beyond the replicated
+//! prefix (WAL shipping is asynchronous, so the replica may trail by the
+//! last poll interval), and returns the data directory — now a valid
+//! primary directory — for a read-write server to start on.
+
+use crate::applier::Applier;
+use mammoth_server::{Client, RetryPolicy, Server, ServerConfig, SessionSpec, SharedSession};
+use mammoth_storage::persist::apply_wal_record;
+use mammoth_storage::persist::wal_file_name;
+use mammoth_storage::ship::{durable_tip, read_wal_range};
+use mammoth_storage::{RealFs, Vfs};
+use mammoth_types::trace::{EventKind, ProfiledRun, TraceEvent};
+use mammoth_types::{Error, Result};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How to run one replica node.
+#[derive(Clone)]
+pub struct ReplicaConfig {
+    /// The primary's `host:port`.
+    pub primary_addr: String,
+    /// Local mirror directory (created if missing).
+    pub data: PathBuf,
+    /// Listen address for the replica's own read-only server.
+    pub addr: String,
+    /// Worker threads for the read-only server.
+    pub workers: usize,
+    /// How long to sleep between polls once caught up.
+    pub poll_interval: Duration,
+    /// Auth token to present to the primary (empty when it requires none).
+    pub primary_token: String,
+    /// Client name shown in the primary's traces.
+    pub name: String,
+    /// Reconnect discipline for the puller's connection to the primary.
+    pub retry: RetryPolicy,
+}
+
+impl ReplicaConfig {
+    pub fn new(primary_addr: impl Into<String>, data: impl Into<PathBuf>) -> ReplicaConfig {
+        ReplicaConfig {
+            primary_addr: primary_addr.into(),
+            data: data.into(),
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            poll_interval: Duration::from_millis(20),
+            primary_token: String::new(),
+            name: "replica".into(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A point-in-time view of replication progress (also what
+/// `EXPLAIN REPLICATION` reports, stringified).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    pub generation: u64,
+    /// Local WAL bytes staged (the next poll's resume offset).
+    pub local_offset: u64,
+    /// The primary's WAL length at the last `CaughtUp`.
+    pub primary_offset: u64,
+    pub lag_bytes: u64,
+    pub caught_up: bool,
+    /// Committed statement groups applied to the serving session.
+    pub applied_groups: u64,
+    /// Full re-anchors (first sync, checkpoint flips, divergence wipes).
+    pub bootstraps: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    generation: AtomicU64,
+    local: AtomicU64,
+    primary: AtomicU64,
+    groups: AtomicU64,
+    bootstraps: AtomicU64,
+    caught_up: AtomicBool,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ReplicaStatus {
+        let local = self.local.load(Ordering::SeqCst);
+        let primary = self.primary.load(Ordering::SeqCst);
+        ReplicaStatus {
+            generation: self.generation.load(Ordering::SeqCst),
+            local_offset: local,
+            primary_offset: primary,
+            lag_bytes: primary.saturating_sub(local),
+            caught_up: self.caught_up.load(Ordering::SeqCst),
+            applied_groups: self.groups.load(Ordering::SeqCst),
+            bootstraps: self.bootstraps.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A running replica: read-only server + puller thread.
+pub struct Replica {
+    server: Option<Server>,
+    cfg: ReplicaConfig,
+    fs: Arc<dyn Vfs>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    puller: Option<JoinHandle<()>>,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    t0: Instant,
+    local_addr: SocketAddr,
+}
+
+impl Replica {
+    /// Recover/validate the local mirror, start the read-only server, and
+    /// begin pulling from the primary. The primary does not need to be up
+    /// yet — the puller retries per `cfg.retry` and the server meanwhile
+    /// answers from whatever the mirror already holds.
+    pub fn start(cfg: ReplicaConfig) -> Result<Replica> {
+        let fs: Arc<dyn Vfs> = Arc::new(RealFs);
+        let t0 = Instant::now();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(Counters::default());
+
+        let (mut applier, wiped) = Applier::open(Arc::clone(&fs), &cfg.data)?;
+
+        let status = Arc::clone(&counters);
+        let mut spec = SessionSpec::durable_with(Arc::clone(&fs), &cfg.data);
+        spec.status_provider = Some(Arc::new(move || {
+            let s = status.snapshot();
+            vec![
+                ("role".into(), "replica".into()),
+                ("generation".into(), s.generation.to_string()),
+                ("local_offset".into(), s.local_offset.to_string()),
+                ("primary_offset".into(), s.primary_offset.to_string()),
+                ("lag_bytes".into(), s.lag_bytes.to_string()),
+                ("caught_up".into(), s.caught_up.to_string()),
+                ("applied_groups".into(), s.applied_groups.to_string()),
+                ("bootstraps".into(), s.bootstraps.to_string()),
+            ]
+        }));
+
+        let server = Server::start(ServerConfig {
+            addr: cfg.addr.clone(),
+            workers: cfg.workers,
+            read_only: true,
+            spec: spec.clone(),
+            ..ServerConfig::default()
+        })?;
+        let local_addr = server.local_addr();
+        let shared = server.shared_arc();
+
+        // The server's recovery just (re)created the local WAL header, or
+        // replayed the validated mirror; adopt the on-disk state as-is.
+        if !applier.resync()? {
+            // Cannot happen after a successful recovery, but if it does,
+            // fall back to the divergence discipline.
+            applier.reset()?;
+        }
+        counters
+            .generation
+            .store(applier.generation(), Ordering::SeqCst);
+        counters.local.store(applier.offset(), Ordering::SeqCst);
+
+        let mut r = Replica {
+            server: Some(server),
+            cfg,
+            fs,
+            counters,
+            stop: Arc::new(AtomicBool::new(false)),
+            puller: None,
+            events,
+            t0,
+            local_addr,
+        };
+        if wiped {
+            r.trace(
+                EventKind::ReplBootstrap,
+                "wiped divergent mirror at start",
+                t0,
+            );
+        }
+        r.spawn_puller(applier, spec, shared);
+        Ok(r)
+    }
+
+    /// Address of the replica's read-only server.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current replication progress.
+    pub fn status(&self) -> ReplicaStatus {
+        self.counters.snapshot()
+    }
+
+    /// Block until the replica has observed a `CaughtUp` matching its
+    /// local state, or `timeout` elapses. Returns whether it caught up.
+    pub fn wait_caught_up(&self, timeout: Duration) -> bool {
+        let t0 = Instant::now();
+        while t0.elapsed() < timeout {
+            if self.counters.caught_up.load(Ordering::SeqCst) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Block until a client sends `SHUTDOWN` to the replica's own port,
+    /// then stop replication and flush the trace (the daemon's main loop).
+    pub fn wait(mut self) -> Result<ReplicaStatus> {
+        if let Some(server) = self.server.take() {
+            server.wait()?;
+        }
+        self.stop_puller();
+        self.flush_trace()?;
+        Ok(self.counters.snapshot())
+    }
+
+    /// Stop pulling and serving; flush the replica's trace. The mirror
+    /// stays on disk, ready for a restart to resume from.
+    pub fn shutdown(mut self) -> Result<ReplicaStatus> {
+        self.stop_puller();
+        if let Some(server) = self.server.take() {
+            server.shutdown()?;
+        }
+        self.flush_trace()?;
+        Ok(self.counters.snapshot())
+    }
+
+    /// Fail over: stop replication, drain whatever `dead_primary`'s
+    /// directory holds beyond the replicated prefix (pass `None` when the
+    /// primary's disk is lost — then the replicated prefix is all that
+    /// survives), and return the data directory for a read-write server
+    /// to start on.
+    ///
+    /// The drain reads the dead primary's files directly — no server is
+    /// involved — and only ever *extends* the local WAL: if the dead
+    /// primary sits on a generation the replica never reached, the local
+    /// mirror is replaced by a verbatim copy. A torn tail in the drained
+    /// bytes is fine; the promoted server's recovery discards it exactly
+    /// as it would after its own crash.
+    pub fn promote(mut self, dead_primary: Option<&Path>) -> Result<PathBuf> {
+        self.stop_puller();
+        if let Some(server) = self.server.take() {
+            server.shutdown()?;
+        }
+        let t = Instant::now();
+        let mut drained = 0u64;
+        if let Some(proot) = dead_primary {
+            drained = self.drain_from(proot)?;
+        }
+        self.trace(
+            EventKind::ReplPromote,
+            format!(
+                "drained={drained} bytes from {:?}",
+                dead_primary.map(|p| p.display().to_string())
+            ),
+            t,
+        );
+        self.flush_trace()?;
+        Ok(self.cfg.data.clone())
+    }
+
+    /// Copy everything the dead primary's directory holds that the local
+    /// mirror does not. Returns the number of WAL bytes gained.
+    fn drain_from(&self, proot: &Path) -> Result<u64> {
+        let fs = self.fs.as_ref();
+        let Some(tip) = durable_tip(fs, proot)? else {
+            return Ok(0); // primary never committed anything
+        };
+        let (mut applier, _) = Applier::open(Arc::clone(&self.fs), &self.cfg.data)?;
+        if tip.gen == applier.generation() {
+            if let Some(bytes) = read_wal_range(fs, proot, tip.gen, applier.offset())? {
+                let wal = self.cfg.data.join(wal_file_name(tip.gen));
+                self.fs.append(&wal, &bytes)?;
+                self.fs.sync(&wal)?;
+                return Ok(bytes.len() as u64);
+            }
+        }
+        // The primary is on a generation we cannot extend: take a verbatim
+        // copy of its whole directory (it is small: one checkpoint image,
+        // one WAL, CURRENT).
+        applier.reset()?;
+        let mut copied = 0u64;
+        for path in fs.read_dir(proot)? {
+            copied += copy_tree(fs, &path, &self.cfg.data)?;
+        }
+        Ok(copied)
+    }
+
+    fn spawn_puller(
+        &mut self,
+        mut applier: Applier,
+        spec: SessionSpec,
+        shared: Arc<SharedSession>,
+    ) {
+        let cfg = self.cfg.clone();
+        let stop = Arc::clone(&self.stop);
+        let counters = Arc::clone(&self.counters);
+        let events = Arc::clone(&self.events);
+        let t0 = self.t0;
+        self.puller = Some(std::thread::spawn(move || {
+            puller_loop(
+                &cfg,
+                &stop,
+                &counters,
+                &events,
+                t0,
+                &mut applier,
+                &spec,
+                &shared,
+            );
+        }));
+    }
+
+    fn stop_puller(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.puller.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn trace(&self, kind: EventKind, args: impl Into<String>, started: Instant) {
+        push_event(&self.events, self.t0, kind, args.into(), started);
+    }
+
+    /// Fold the replication events into one `engine="replica"` run and
+    /// export it through `MAMMOTH_TRACE` (no-op when the env var is
+    /// unset) — same discipline as the server's lifecycle trace.
+    fn flush_trace(&self) -> Result<()> {
+        let events = {
+            let mut g = self.events.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *g)
+        };
+        let mut run = ProfiledRun::new("replica", 1);
+        run.executed = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ReplApply)
+            .count() as u64;
+        run.elapsed_ns = self.t0.elapsed().as_nanos() as u64;
+        run.events = events;
+        run.export_env().map_err(|e| Error::Io(e.to_string()))?;
+        Ok(())
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.puller.take() {
+            let _ = h.join();
+        }
+        if let Some(server) = self.server.take() {
+            let _ = server.shutdown();
+        }
+    }
+}
+
+fn push_event(
+    events: &Mutex<Vec<TraceEvent>>,
+    t0: Instant,
+    kind: EventKind,
+    args: String,
+    started: Instant,
+) {
+    let now = Instant::now();
+    let ev = TraceEvent {
+        kind,
+        op: kind.as_str().into(),
+        args,
+        start_ns: started.duration_since(t0).as_nanos() as u64,
+        dur_ns: now.duration_since(started).as_nanos() as u64,
+        ..TraceEvent::default()
+    };
+    events.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+}
+
+/// Replace the serving session with a fresh recovery of the mirror.
+fn rebuild_session(shared: &SharedSession, spec: &SessionSpec) -> Result<()> {
+    let fresh = spec.build()?;
+    shared
+        .with_session_mut(|s| *s = fresh)
+        .map_err(|e| Error::Internal(format!("replica session rebuild refused: {e}")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn puller_loop(
+    cfg: &ReplicaConfig,
+    stop: &AtomicBool,
+    counters: &Counters,
+    events: &Mutex<Vec<TraceEvent>>,
+    t0: Instant,
+    applier: &mut Applier,
+    spec: &SessionSpec,
+    shared: &SharedSession,
+) {
+    'reconnect: while !stop.load(Ordering::SeqCst) {
+        let mut client = match Client::connect_with_retry(
+            &cfg.primary_addr,
+            &cfg.name,
+            &cfg.primary_token,
+            &cfg.retry,
+        ) {
+            Ok(c) => c,
+            Err(_) => {
+                counters.caught_up.store(false, Ordering::SeqCst);
+                std::thread::sleep(cfg.poll_interval);
+                continue;
+            }
+        };
+        while !stop.load(Ordering::SeqCst) {
+            let started = Instant::now();
+            let batch = match client.subscribe_poll(applier.generation(), applier.offset()) {
+                Ok(b) => b,
+                Err(_) => {
+                    counters.caught_up.store(false, Ordering::SeqCst);
+                    continue 'reconnect;
+                }
+            };
+            match applier.apply_batch(&batch) {
+                Ok(out) => {
+                    if out.bootstrapped {
+                        if rebuild_session(shared, spec).is_err() {
+                            // Mirror and session disagree irrecoverably;
+                            // start over rather than serve mixed state.
+                            let _ = applier.reset();
+                            counters.caught_up.store(false, Ordering::SeqCst);
+                            continue 'reconnect;
+                        }
+                        counters.bootstraps.fetch_add(1, Ordering::SeqCst);
+                        push_event(
+                            events,
+                            t0,
+                            EventKind::ReplBootstrap,
+                            format!("gen={} len={}", applier.generation(), applier.offset()),
+                            started,
+                        );
+                    } else if !out.groups.is_empty() {
+                        let n = out.groups.len() as u64;
+                        let applied = shared.with_session_mut(|s| -> Result<()> {
+                            for group in &out.groups {
+                                for rec in group {
+                                    apply_wal_record(s.catalog_mut(), rec)?;
+                                }
+                            }
+                            Ok(())
+                        });
+                        match applied {
+                            Ok(Ok(())) => {
+                                counters.groups.fetch_add(n, Ordering::SeqCst);
+                                push_event(
+                                    events,
+                                    t0,
+                                    EventKind::ReplApply,
+                                    format!("groups={n} off={}", applier.offset()),
+                                    started,
+                                );
+                            }
+                            _ => {
+                                // A record the session cannot apply is
+                                // divergence like any other.
+                                let _ = applier.reset();
+                                let _ = rebuild_session(shared, spec);
+                                counters.caught_up.store(false, Ordering::SeqCst);
+                                continue;
+                            }
+                        }
+                    }
+                    counters
+                        .generation
+                        .store(applier.generation(), Ordering::SeqCst);
+                    counters.local.store(applier.offset(), Ordering::SeqCst);
+                    if let Some((tip_gen, tip_off)) = out.tip {
+                        counters.primary.store(tip_off, Ordering::SeqCst);
+                        let caught = tip_gen == applier.generation() && tip_off == applier.offset();
+                        let was = counters.caught_up.swap(caught, Ordering::SeqCst);
+                        if caught && !was {
+                            push_event(
+                                events,
+                                t0,
+                                EventKind::ReplCaughtUp,
+                                format!("gen={tip_gen} off={tip_off}"),
+                                started,
+                            );
+                        }
+                        if caught {
+                            std::thread::sleep(cfg.poll_interval);
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Divergence discipline: wipe, serve nothing stale,
+                    // re-anchor on the next poll.
+                    let _ = applier.reset();
+                    let _ = rebuild_session(shared, spec);
+                    counters.caught_up.store(false, Ordering::SeqCst);
+                    push_event(
+                        events,
+                        t0,
+                        EventKind::ReplBootstrap,
+                        format!("reset: {e}"),
+                        started,
+                    );
+                }
+            }
+        }
+        return;
+    }
+}
+
+/// Recursively copy `src` (file or directory) into directory `dst_dir`.
+fn copy_tree(fs: &dyn Vfs, src: &Path, dst_dir: &Path) -> Result<u64> {
+    let name = src
+        .file_name()
+        .ok_or_else(|| Error::Corrupt("unnameable file in primary directory".into()))?;
+    let dst = dst_dir.join(name);
+    // `read` fails on directories, which routes them to the recursive arm.
+    match fs.read(src) {
+        Ok(bytes) => {
+            fs.write_file(&dst, &bytes)?;
+            fs.sync(&dst)?;
+            Ok(bytes.len() as u64)
+        }
+        Err(_) => {
+            fs.create_dir_all(&dst)?;
+            let mut copied = 0u64;
+            for child in fs.read_dir(src)? {
+                copied += copy_tree(fs, &child, &dst)?;
+            }
+            fs.sync_dir(&dst)?;
+            Ok(copied)
+        }
+    }
+}

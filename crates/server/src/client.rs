@@ -2,8 +2,10 @@
 //! and the concurrency tests all build on.
 
 use crate::frame::{read_frame, write_frame};
-use crate::protocol::{ClientMsg, ErrorCode, ServerMsg, PROTO_VERSION};
+use crate::protocol::{ClientMsg, ErrorCode, ServerMsg, MIN_PROTO_VERSION, PROTO_VERSION};
 use mammoth_types::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
@@ -64,29 +66,70 @@ pub enum Response {
     Ok,
 }
 
+/// Reconnect discipline for [`Client::connect_with_retry`]: bounded
+/// attempts, exponential backoff, deterministic jitter. Retryable
+/// failures are `SERVER_BUSY` sheds and transport-level resets — the
+/// kinds a briefly-overloaded or restarting server produces; anything
+/// else (auth failure, protocol error, SQL error) surfaces immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts, including the first (>= 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry up to `max_delay`.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the jitter RNG — deterministic so tests can replay a
+    /// schedule. Each delay is scaled by a factor in [0.5, 1.0].
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
 /// A connected, logged-in client.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    negotiated: u16,
 }
 
 impl Client {
     /// Connect and run the handshake. `addr` is `host:port`; `name`
     /// identifies the client in server traces; `token` must match the
     /// server's `auth_token` when one is configured (empty otherwise).
+    ///
+    /// Version negotiation: the server's Hello advertises the newest
+    /// protocol it speaks; we log in with the highest version both sides
+    /// support. An older server therefore still works (we just lose the
+    /// v2 messages); only a server older than [`MIN_PROTO_VERSION`] — or
+    /// one that refuses our answer — fails the handshake.
     pub fn connect(addr: &str, name: &str, token: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let mut c = Client { stream };
+        let mut c = Client {
+            stream,
+            negotiated: PROTO_VERSION,
+        };
         // The server answers a connect with Hello — or an error frame when
         // admission control sheds us before a worker ever picks us up.
         match c.read_msg()? {
             ServerMsg::Hello { version, .. } => {
-                if version != PROTO_VERSION {
+                if version < MIN_PROTO_VERSION {
                     return Err(ClientError::Protocol(format!(
-                        "server speaks protocol {version}, client speaks {PROTO_VERSION}"
+                        "server speaks protocol {version}, client requires at least \
+                         {MIN_PROTO_VERSION}"
                     )));
                 }
+                c.negotiated = version.min(PROTO_VERSION);
             }
             ServerMsg::Err { code, message } => return Err(refusal(code, message)),
             other => {
@@ -95,8 +138,9 @@ impl Client {
                 )))
             }
         }
+        let negotiated = c.negotiated;
         c.send(&ClientMsg::Login {
-            version: PROTO_VERSION,
+            version: negotiated,
             client: name.into(),
             token: token.into(),
         })?;
@@ -107,6 +151,42 @@ impl Client {
                 "expected Ready, got {other:?}"
             ))),
         }
+    }
+
+    /// Like [`Client::connect`], retrying on transient failures per
+    /// `policy`. Used by the replication puller (the primary may shed it
+    /// under load, or be mid-restart) and anything else that prefers
+    /// waiting out a busy server to failing fast.
+    pub fn connect_with_retry(
+        addr: &str,
+        name: &str,
+        token: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        let mut delay = policy.base_delay;
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Jitter to a fraction in [0.5, 1.0] of the nominal delay so
+                // a fleet of reconnecting replicas does not stampede in sync.
+                let frac = rng.random_range(0.5f64..1.0);
+                std::thread::sleep(delay.mul_f64(frac));
+                delay = (delay * 2).min(policy.max_delay);
+            }
+            match Client::connect(addr, name, token) {
+                Ok(c) => return Ok(c),
+                Err(e) if retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt was made"))
+    }
+
+    /// The protocol version negotiated at connect time.
+    pub fn protocol_version(&self) -> u16 {
+        self.negotiated
     }
 
     /// Bound every read on this connection (handy for tests).
@@ -141,6 +221,43 @@ impl Client {
         }
     }
 
+    /// One replication poll (protocol v2): tell the server the generation
+    /// and WAL byte offset we hold, and collect everything it ships back —
+    /// `CheckpointImage` and `WalChunk` messages — up to and including the
+    /// final `CaughtUp`. The caller interprets the batch (re-anchor vs.
+    /// tail-append); this method only enforces message-level shape.
+    pub fn subscribe_poll(
+        &mut self,
+        generation: u64,
+        offset: u64,
+    ) -> Result<Vec<ServerMsg>, ClientError> {
+        if self.negotiated < 2 {
+            return Err(ClientError::Protocol(format!(
+                "Subscribe requires protocol v2; negotiated v{}",
+                self.negotiated
+            )));
+        }
+        self.send(&ClientMsg::Subscribe { generation, offset })?;
+        let mut batch = Vec::new();
+        loop {
+            match self.read_msg()? {
+                m @ (ServerMsg::WalChunk { .. } | ServerMsg::CheckpointImage { .. }) => {
+                    batch.push(m)
+                }
+                m @ ServerMsg::CaughtUp { .. } => {
+                    batch.push(m);
+                    return Ok(batch);
+                }
+                ServerMsg::Err { code, message } => return Err(refusal(code, message)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected subscription message {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Orderly disconnect. Dropping the client without calling this is
     /// fine too — the server treats EOF as a quit.
     pub fn quit(mut self) -> Result<(), ClientError> {
@@ -164,5 +281,22 @@ fn refusal(code: ErrorCode, message: String) -> ClientError {
         ClientError::Busy(message)
     } else {
         ClientError::Server { code, message }
+    }
+}
+
+/// Transient failures worth another connection attempt: admission-control
+/// sheds and the io errors a dying or not-yet-listening peer produces.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Busy(_) => true,
+        ClientError::Io(io) => matches!(
+            io.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        ),
+        _ => false,
     }
 }

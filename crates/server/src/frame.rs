@@ -6,19 +6,18 @@
 //! frame := u32-le payload_len | u32-le crc32(payload) | payload
 //! ```
 //!
-//! exactly the record frame of `crates/storage/src/wal.rs` — the CRC is the
-//! same IEEE CRC-32 ([`mammoth_storage::crc32`]). A socket is a less hostile
-//! medium than a crashed disk (TCP already checksums), but the frame CRC
-//! catches desynchronized streams and misbehaving clients cheaply, and one
-//! framing discipline across the system means one set of tools reasons
-//! about both.
+//! exactly the record frame of `crates/storage/src/wal.rs` — both sides
+//! delegate to the one shared codec, [`mammoth_types::framing`]. A socket
+//! is a less hostile medium than a crashed disk (TCP already checksums),
+//! but the frame CRC catches desynchronized streams and misbehaving
+//! clients cheaply, and one framing discipline across the system is what
+//! lets replication ship raw WAL byte ranges as message payloads.
 //!
 //! The payload's first byte is a message tag (see [`crate::protocol`]).
 //! Frames above [`MAX_FRAME`] are rejected before allocation — a client
 //! cannot make the server allocate gigabytes with an 8-byte header.
 
-use mammoth_storage::crc32;
-use mammoth_types::{Error, Result, Value};
+use mammoth_types::{framing, Error, Result, Value};
 use std::io::{Read, Write};
 
 /// Sanity cap on one frame's payload, either direction.
@@ -27,33 +26,13 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// Write one frame (header + payload) with a single `write_all`.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME);
-    let mut buf = Vec::with_capacity(8 + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&crc32(payload).to_le_bytes());
-    buf.extend_from_slice(payload);
-    w.write_all(&buf)?;
-    w.flush()?;
-    Ok(())
+    framing::write_frame(w, payload)
 }
 
 /// Read one frame, verifying length bound and CRC. Blocks until a whole
 /// frame arrives; returns `Err` on EOF, oversized frames, or CRC mismatch.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
-    let mut head = [0u8; 8];
-    r.read_exact(&mut head)?;
-    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
-    let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
-    if len > MAX_FRAME {
-        return Err(Error::Corrupt(format!(
-            "frame length {len} exceeds the {MAX_FRAME}-byte cap"
-        )));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    if crc32(&payload) != crc {
-        return Err(Error::Corrupt("frame CRC mismatch".into()));
-    }
-    Ok(payload)
+    framing::read_frame(r, MAX_FRAME)
 }
 
 // ---------------------------------------------------------------------------

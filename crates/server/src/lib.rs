@@ -29,8 +29,10 @@ pub mod protocol;
 pub mod server;
 pub mod shared;
 
-pub use client::{Client, ClientError, Response};
-pub use protocol::{ClientMsg, ErrorCode, ServerMsg, PROTO_VERSION, SERVER_NAME};
+pub use client::{Client, ClientError, Response, RetryPolicy};
+pub use protocol::{
+    ClientMsg, ErrorCode, ServerMsg, MIN_PROTO_VERSION, PROTO_VERSION, SERVER_NAME,
+};
 pub use server::{Server, ServerConfig, StatsSnapshot};
 pub use shared::{ExecError, SessionSpec, SharedSession, Storage};
 
@@ -137,6 +139,274 @@ mod tests {
         drop(c2);
         // New connections are refused after drain.
         assert!(Client::connect(&addr, "late", "").is_err());
+    }
+
+    /// A protocol-v1 client (no Subscribe, logs in with version 1) must be
+    /// served unchanged by a v2 server. No old binary exists to test with,
+    /// so speak v1 by hand over a raw socket.
+    #[test]
+    fn v1_client_still_served() {
+        let (srv, addr) = start(ServerConfig::default());
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        match ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap() {
+            ServerMsg::Hello { version, .. } => assert_eq!(version, PROTO_VERSION),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        let login = ClientMsg::Login {
+            version: 1,
+            client: "antique".into(),
+            token: String::new(),
+        };
+        frame::write_frame(&mut stream, &login.encode()).unwrap();
+        assert!(matches!(
+            ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap(),
+            ServerMsg::Ready
+        ));
+        let q = ClientMsg::Query {
+            sql: "CREATE TABLE t (a INT)".into(),
+        };
+        frame::write_frame(&mut stream, &q.encode()).unwrap();
+        assert!(matches!(
+            ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap(),
+            ServerMsg::Ok
+        ));
+        let q = ClientMsg::Query {
+            sql: "SELECT a FROM t".into(),
+        };
+        frame::write_frame(&mut stream, &q.encode()).unwrap();
+        assert!(matches!(
+            ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap(),
+            ServerMsg::Table { .. }
+        ));
+        // ...but v2-only messages on a v1 connection are refused.
+        let sub = ClientMsg::Subscribe {
+            generation: 0,
+            offset: 0,
+        };
+        frame::write_frame(&mut stream, &sub.encode()).unwrap();
+        match ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap() {
+            ServerMsg::Err { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        srv.shutdown().unwrap();
+    }
+
+    /// Versions outside the supported range are refused at login.
+    #[test]
+    fn unsupported_versions_refused() {
+        let (srv, addr) = start(ServerConfig::default());
+        for version in [0u16, 99] {
+            let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+            frame::read_frame(&mut stream).unwrap(); // Hello
+            let login = ClientMsg::Login {
+                version,
+                client: "weird".into(),
+                token: String::new(),
+            };
+            frame::write_frame(&mut stream, &login.encode()).unwrap();
+            match ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap() {
+                ServerMsg::Err { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+                other => panic!("version {version}: expected refusal, got {other:?}"),
+            }
+        }
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn read_only_server_refuses_writes_serves_reads() {
+        let dir = std::env::temp_dir().join(format!("mammoth-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Seed the directory with a table by running a read-write server.
+        let (rw, addr) = start(ServerConfig {
+            spec: SessionSpec::durable(&dir),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(&addr, "seed", "").unwrap();
+        c.query("CREATE TABLE t (a INT)").unwrap();
+        c.query("INSERT INTO t VALUES (5)").unwrap();
+        drop(c);
+        rw.shutdown().unwrap();
+        let (ro, addr) = start(ServerConfig {
+            read_only: true,
+            spec: SessionSpec::durable(&dir),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(&addr, "reader", "").unwrap();
+        match c.query("INSERT INTO t VALUES (6)") {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ReadOnly),
+            other => panic!("expected READ_ONLY, got {other:?}"),
+        }
+        assert_eq!(
+            c.query("SELECT a FROM t").unwrap(),
+            Response::Table {
+                columns: vec!["a".into()],
+                rows: vec![vec![mammoth_types::Value::I32(5)]],
+            }
+        );
+        // Status queries are reads and must work on a replica.
+        assert!(matches!(
+            c.query("EXPLAIN REPLICATION").unwrap(),
+            Response::Table { .. }
+        ));
+        drop(c);
+        ro.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subscription_ships_wal_a_cursor_can_replay() {
+        use mammoth_storage::WalCursor;
+        let dir = std::env::temp_dir().join(format!("mammoth-sub-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (srv, addr) = start(ServerConfig {
+            spec: SessionSpec::durable(&dir),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(&addr, "writer", "").unwrap();
+        assert_eq!(c.protocol_version(), PROTO_VERSION);
+        c.query("CREATE TABLE t (a INT)").unwrap();
+        c.query("INSERT INTO t VALUES (1), (2)").unwrap();
+        // No checkpoint has run, and a (0,0) subscriber is tailing the
+        // live generation: the fast path ships the whole WAL verbatim,
+        // no image, then CaughtUp at the file's current length.
+        let batch = c.subscribe_poll(0, 0).unwrap();
+        let mut cursor = WalCursor::new();
+        let mut groups = Vec::new();
+        let mut end = None;
+        for msg in &batch {
+            match msg {
+                ServerMsg::WalChunk {
+                    generation, bytes, ..
+                } => {
+                    assert_eq!(*generation, 0);
+                    groups.extend(cursor.feed(bytes).unwrap());
+                }
+                ServerMsg::CaughtUp { generation, offset } => {
+                    assert_eq!(*generation, 0);
+                    end = Some(*offset);
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        assert_eq!(end, Some(cursor.offset()), "shipped exactly to the tip");
+        assert_eq!(groups.len(), 2, "CREATE and INSERT commit groups");
+        // Polling again from the tip is an empty catch-up.
+        let batch = c.subscribe_poll(0, end.unwrap()).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(batch[0], ServerMsg::CaughtUp { .. }));
+        drop(c);
+        srv.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_server_refuses_subscriptions() {
+        let (srv, addr) = start(ServerConfig::default());
+        let mut c = Client::connect(&addr, "sub", "").unwrap();
+        match c.subscribe_poll(0, 0) {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::Protocol);
+                assert!(message.contains("durable"), "{message}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        drop(c);
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connect_with_retry_waits_out_saturation() {
+        let (srv, addr) = start(ServerConfig {
+            workers: 1,
+            backlog: 1,
+            ..ServerConfig::default()
+        });
+        let holder = Client::connect(&addr, "holder", "").unwrap();
+        let filler = std::net::TcpStream::connect(&addr).unwrap();
+        for _ in 0..400 {
+            if srv.stats().accepted >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Free the worker shortly after the retrying client starts
+        // colliding with the full backlog.
+        let freer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            drop(holder);
+            drop(filler);
+        });
+        let c = Client::connect_with_retry(
+            &addr,
+            "patient",
+            "",
+            &RetryPolicy {
+                attempts: 20,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(100),
+                seed: 7,
+            },
+        )
+        .unwrap();
+        freer.join().unwrap();
+        assert!(srv.stats().shed >= 1, "the retrier was never shed");
+        drop(c);
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connect_with_retry_fails_fast_on_auth() {
+        let (srv, addr) = start(ServerConfig {
+            auth_token: Some("sesame".into()),
+            ..ServerConfig::default()
+        });
+        let t0 = std::time::Instant::now();
+        let err = Client::connect_with_retry(
+            &addr,
+            "x",
+            "wrong",
+            &RetryPolicy {
+                attempts: 50,
+                base_delay: Duration::from_millis(200),
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Server {
+                code: ErrorCode::AuthFailed,
+                ..
+            }
+        ));
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "auth failure must not be retried"
+        );
+        srv.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connect_with_retry_bounds_attempts() {
+        // Grab a port nobody will be listening on by the time we dial it.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .to_string();
+        let err = Client::connect_with_retry(
+            &dead,
+            "x",
+            "",
+            &RetryPolicy {
+                attempts: 3,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(4),
+                seed: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
     }
 
     #[test]

@@ -22,8 +22,20 @@ use mammoth_sql::QueryOutput;
 use mammoth_types::{Error, Result, Value};
 use std::fmt;
 
-/// Wire protocol version, exchanged in [`ServerMsg::Hello`]/[`ClientMsg::Login`].
-pub const PROTO_VERSION: u16 = 1;
+/// Newest wire protocol version this build speaks. Version 1 is the PR 5
+/// query protocol; version 2 adds the replication messages
+/// ([`ClientMsg::Subscribe`], [`ServerMsg::WalChunk`] and friends).
+///
+/// Negotiation: [`ServerMsg::Hello`] advertises the server's newest
+/// version, the client replies in [`ClientMsg::Login`] with
+/// `min(its newest, server's)`, and the server accepts any version in
+/// `MIN_PROTO_VERSION..=PROTO_VERSION`. A v1 client therefore logs in with
+/// version 1 exactly as before, and a v2 client downgrades itself against
+/// a v1 server (which still hard-rejects anything but 1).
+pub const PROTO_VERSION: u16 = 2;
+
+/// Oldest protocol version the server still accepts in `Login`.
+pub const MIN_PROTO_VERSION: u16 = 1;
 
 /// The server's self-identification in the greeting.
 pub const SERVER_NAME: &str = "mammoth-server";
@@ -51,6 +63,8 @@ pub enum ErrorCode {
     Protocol = 7,
     /// A server-side invariant failed; this is a bug.
     Internal = 8,
+    /// The server is a read-only replica; writes must go to the primary.
+    ReadOnly = 9,
 }
 
 impl ErrorCode {
@@ -64,6 +78,7 @@ impl ErrorCode {
             ErrorCode::SessionPoisoned => "SESSION_POISONED",
             ErrorCode::Protocol => "PROTOCOL_ERROR",
             ErrorCode::Internal => "INTERNAL",
+            ErrorCode::ReadOnly => "READ_ONLY",
         }
     }
 
@@ -77,6 +92,7 @@ impl ErrorCode {
             6 => ErrorCode::SessionPoisoned,
             7 => ErrorCode::Protocol,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::ReadOnly,
             t => return Err(Error::Corrupt(format!("unknown error code {t}"))),
         })
     }
@@ -104,12 +120,22 @@ pub enum ClientMsg {
     Quit,
     /// Request a graceful server shutdown (drain, checkpoint, exit).
     Shutdown,
+    /// (v2) Ask for the primary's WAL stream starting at `(generation,
+    /// offset)` — `offset` is a raw byte offset into `wal-<generation>`,
+    /// including its 8-byte header; `Subscribe { 0, 0 }` means "I have
+    /// nothing, bootstrap me". The server answers with a catch-up batch:
+    /// [`ServerMsg::CheckpointImage`] chunks if the asked-for range is
+    /// gone (or the subscriber is behind the last checkpoint), then
+    /// [`ServerMsg::WalChunk`]s, then [`ServerMsg::CaughtUp`]. Polling the
+    /// same connection with successive `Subscribe`s tails the log.
+    Subscribe { generation: u64, offset: u64 },
 }
 
 const T_LOGIN: u8 = 0x01;
 const T_QUERY: u8 = 0x02;
 const T_QUIT: u8 = 0x03;
 const T_SHUTDOWN: u8 = 0x04;
+const T_SUBSCRIBE: u8 = 0x05;
 
 const T_HELLO: u8 = 0x80;
 const T_READY: u8 = 0x81;
@@ -117,6 +143,9 @@ const T_TABLE: u8 = 0x82;
 const T_AFFECTED: u8 = 0x83;
 const T_OK: u8 = 0x84;
 const T_ERR: u8 = 0x85;
+const T_WALCHUNK: u8 = 0x86;
+const T_IMAGE: u8 = 0x87;
+const T_CAUGHTUP: u8 = 0x88;
 
 impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
@@ -138,6 +167,11 @@ impl ClientMsg {
             }
             ClientMsg::Quit => out.push(T_QUIT),
             ClientMsg::Shutdown => out.push(T_SHUTDOWN),
+            ClientMsg::Subscribe { generation, offset } => {
+                out.push(T_SUBSCRIBE);
+                put_u64(*generation, &mut out);
+                put_u64(*offset, &mut out);
+            }
         }
         out
     }
@@ -153,6 +187,10 @@ impl ClientMsg {
             T_QUERY => ClientMsg::Query { sql: r.str()? },
             T_QUIT => ClientMsg::Quit,
             T_SHUTDOWN => ClientMsg::Shutdown,
+            T_SUBSCRIBE => ClientMsg::Subscribe {
+                generation: r.u64()?,
+                offset: r.u64()?,
+            },
             t => return Err(Error::Corrupt(format!("unknown client message tag {t}"))),
         };
         if !r.done() {
@@ -181,6 +219,28 @@ pub enum ServerMsg {
     Ok,
     /// The statement or connection failed; see [`ErrorCode`].
     Err { code: ErrorCode, message: String },
+    /// (v2) A raw byte range of `wal-<generation>`, starting at `offset`.
+    /// The bytes are verbatim file content — CRC32-framed redo records —
+    /// so the subscriber can append them to its own log unchanged.
+    WalChunk {
+        generation: u64,
+        offset: u64,
+        bytes: Vec<u8>,
+    },
+    /// (v2) One chunk of a checkpoint image file during bootstrap. Chunks
+    /// of one file arrive in order under the same `name`; `last` marks the
+    /// end of the *whole image*, after which `wal-<generation>` chunks
+    /// follow. A `last` chunk with an empty `name` and no bytes means "no
+    /// checkpoint exists yet" (generation 0): start from an empty catalog.
+    CheckpointImage {
+        generation: u64,
+        name: String,
+        last: bool,
+        bytes: Vec<u8>,
+    },
+    /// (v2) The subscriber now holds every durable byte the primary has:
+    /// its `(generation, offset)` tip at the time of the poll.
+    CaughtUp { generation: u64, offset: u64 },
 }
 
 impl ServerMsg {
@@ -215,6 +275,35 @@ impl ServerMsg {
                 out.push(T_ERR);
                 put_u16(*code as u16, &mut out);
                 put_str(message, &mut out);
+            }
+            ServerMsg::WalChunk {
+                generation,
+                offset,
+                bytes,
+            } => {
+                out.push(T_WALCHUNK);
+                put_u64(*generation, &mut out);
+                put_u64(*offset, &mut out);
+                put_u32(bytes.len() as u32, &mut out);
+                out.extend_from_slice(bytes);
+            }
+            ServerMsg::CheckpointImage {
+                generation,
+                name,
+                last,
+                bytes,
+            } => {
+                out.push(T_IMAGE);
+                put_u64(*generation, &mut out);
+                put_str(name, &mut out);
+                out.push(*last as u8);
+                put_u32(bytes.len() as u32, &mut out);
+                out.extend_from_slice(bytes);
+            }
+            ServerMsg::CaughtUp { generation, offset } => {
+                out.push(T_CAUGHTUP);
+                put_u64(*generation, &mut out);
+                put_u64(*offset, &mut out);
             }
         }
         out
@@ -257,6 +346,32 @@ impl ServerMsg {
                 code: ErrorCode::from_u16(r.u16()?)?,
                 message: r.str()?,
             },
+            T_WALCHUNK => {
+                let generation = r.u64()?;
+                let offset = r.u64()?;
+                let n = r.u32()? as usize;
+                ServerMsg::WalChunk {
+                    generation,
+                    offset,
+                    bytes: r.bytes(n)?.to_vec(),
+                }
+            }
+            T_IMAGE => {
+                let generation = r.u64()?;
+                let name = r.str()?;
+                let last = r.u8()? != 0;
+                let n = r.u32()? as usize;
+                ServerMsg::CheckpointImage {
+                    generation,
+                    name,
+                    last,
+                    bytes: r.bytes(n)?.to_vec(),
+                }
+            }
+            T_CAUGHTUP => ServerMsg::CaughtUp {
+                generation: r.u64()?,
+                offset: r.u64()?,
+            },
             t => return Err(Error::Corrupt(format!("unknown server message tag {t}"))),
         };
         if !r.done() {
@@ -292,6 +407,10 @@ mod tests {
             },
             ClientMsg::Quit,
             ClientMsg::Shutdown,
+            ClientMsg::Subscribe {
+                generation: 3,
+                offset: 4096,
+            },
         ] {
             assert_eq!(ClientMsg::decode(&msg.encode()).unwrap(), msg);
         }
@@ -321,6 +440,27 @@ mod tests {
             ServerMsg::Err {
                 code: ErrorCode::ServerBusy,
                 message: "backlog full".into(),
+            },
+            ServerMsg::WalChunk {
+                generation: 2,
+                offset: 8,
+                bytes: vec![0xde, 0xad, 0xbe, 0xef],
+            },
+            ServerMsg::CheckpointImage {
+                generation: 2,
+                name: "catalog.mmth".into(),
+                last: false,
+                bytes: vec![1, 2, 3],
+            },
+            ServerMsg::CheckpointImage {
+                generation: 0,
+                name: String::new(),
+                last: true,
+                bytes: vec![],
+            },
+            ServerMsg::CaughtUp {
+                generation: 2,
+                offset: 1234,
             },
         ] {
             assert_eq!(ServerMsg::decode(&msg.encode()).unwrap(), msg);
@@ -360,6 +500,7 @@ mod tests {
             ErrorCode::SessionPoisoned,
             ErrorCode::Protocol,
             ErrorCode::Internal,
+            ErrorCode::ReadOnly,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16).unwrap(), code);
         }

@@ -25,17 +25,28 @@
 //! server traces with no special cases.
 
 use crate::frame::{read_frame, write_frame};
-use crate::protocol::{ClientMsg, ErrorCode, ServerMsg, PROTO_VERSION, SERVER_NAME};
-use crate::shared::{ExecError, SessionSpec, SharedSession};
+use crate::protocol::{
+    ClientMsg, ErrorCode, ServerMsg, MIN_PROTO_VERSION, PROTO_VERSION, SERVER_NAME,
+};
+use crate::shared::{ExecError, SessionSpec, SharedSession, Storage};
+use mammoth_sql::is_read_only_statement;
+use mammoth_storage::ship::{durable_tip, export_image, read_wal_range, Tip};
+use mammoth_storage::{RealFs, Vfs};
 use mammoth_types::trace::{EventKind, ProfiledRun, TraceEvent};
 use mammoth_types::{Error, Result};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Byte granularity for shipped WAL ranges and checkpoint image files:
+/// well under [`crate::frame::MAX_FRAME`] with message-header room to
+/// spare, so one oversized catalog can never produce an unsendable frame.
+const SHIP_CHUNK: usize = 4 << 20;
 
 /// Tuning knobs for a server instance.
 #[derive(Clone)]
@@ -56,6 +67,12 @@ pub struct ServerConfig {
     pub allow_remote_shutdown: bool,
     /// Honor the `__PANIC__` statement (poison-recovery tests only).
     pub test_panics: bool,
+    /// Serve reads only: mutating statements are refused with
+    /// [`ErrorCode::ReadOnly`]. Replicas run this way — their catalog is
+    /// written by the replication applier, never by clients — and the
+    /// shutdown checkpoint is skipped so the local generation numbering
+    /// stays in lock-step with the primary's.
+    pub read_only: bool,
     /// The engine session recipe (storage, WAL batch, merge threshold).
     pub spec: SessionSpec,
 }
@@ -70,6 +87,7 @@ impl Default for ServerConfig {
             auth_token: None,
             allow_remote_shutdown: true,
             test_panics: false,
+            read_only: false,
             spec: SessionSpec::in_memory(),
         }
     }
@@ -112,7 +130,7 @@ impl Stats {
 }
 
 struct Inner {
-    shared: SharedSession,
+    shared: Arc<SharedSession>,
     cfg: ServerConfig,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
@@ -168,7 +186,7 @@ impl Server {
             shared = shared.enable_test_panics();
         }
         let inner = Arc::new(Inner {
-            shared,
+            shared: Arc::new(shared),
             cfg,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -212,6 +230,13 @@ impl Server {
     /// Direct access to the shared session (tests and embedded use).
     pub fn shared(&self) -> &SharedSession {
         &self.inner.shared
+    }
+
+    /// A clonable handle to the shared session — what the replication
+    /// applier holds to apply shipped records while the server serves
+    /// reads from the same catalog.
+    pub fn shared_arc(&self) -> Arc<SharedSession> {
+        Arc::clone(&self.inner.shared)
     }
 
     /// Flip the drain flag; returns immediately. Idempotent.
@@ -259,11 +284,15 @@ impl Server {
             refuse(&mut stream, ErrorCode::ShuttingDown, "server shutting down");
         }
         // Persist what was acknowledged. In-memory sessions have nothing
-        // to checkpoint; that is not an error.
-        match self.inner.shared.with_session_mut(|s| s.checkpoint()) {
-            Ok(Ok(())) | Ok(Err(Error::Unsupported(_))) => {}
-            Ok(Err(e)) => return Err(e),
-            Err(e) => return Err(Error::Internal(format!("shutdown checkpoint skipped: {e}"))),
+        // to checkpoint; that is not an error. Read-only replicas skip the
+        // checkpoint on purpose: checkpointing would bump the local
+        // generation past the primary's and desynchronize the stream.
+        if !self.inner.cfg.read_only {
+            match self.inner.shared.with_session_mut(|s| s.checkpoint()) {
+                Ok(Ok(())) | Ok(Err(Error::Unsupported(_))) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(e) => return Err(Error::Internal(format!("shutdown checkpoint skipped: {e}"))),
+            }
         }
         self.inner.trace(
             EventKind::ServerShutdown,
@@ -452,18 +481,21 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
         }
     }
     let payload = read_frame(&mut stream)?;
-    let client = match ClientMsg::decode(&payload) {
+    let (client, proto) = match ClientMsg::decode(&payload) {
         Ok(ClientMsg::Login {
             version,
             client,
             token,
         }) => {
-            if version != PROTO_VERSION {
+            // Negotiation: Hello advertised our newest version; the client
+            // answered with the highest version both sides speak. Accept
+            // the whole supported range so a v1 client is served unchanged.
+            if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
                 refuse(
                     &mut stream,
                     ErrorCode::Protocol,
                     &format!(
-                        "protocol version {version} unsupported (server speaks {PROTO_VERSION})"
+                        "protocol version {version} unsupported (server speaks                          {MIN_PROTO_VERSION}..={PROTO_VERSION})"
                     ),
                 );
                 return Ok(());
@@ -474,7 +506,7 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
                     return Ok(());
                 }
             }
-            client
+            (client, version)
         }
         Ok(_) => {
             refuse(
@@ -547,6 +579,17 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
                 }
                 return Ok(());
             }
+            Ok(ClientMsg::Subscribe { generation, offset }) => {
+                if proto < 2 {
+                    refuse(
+                        &mut stream,
+                        ErrorCode::Protocol,
+                        "Subscribe requires protocol version 2",
+                    );
+                    return Ok(());
+                }
+                handle_subscribe(inner, widx, &mut stream, generation, offset)?;
+            }
             Ok(ClientMsg::Login { .. }) => {
                 refuse(&mut stream, ErrorCode::Protocol, "already logged in");
                 return Ok(());
@@ -563,6 +606,15 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
 /// outcome into its wire response. Returns `(response, result_rows)`.
 fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
     inner.stats.statements.fetch_add(1, Ordering::Relaxed);
+    if inner.cfg.read_only && !is_read_only_statement(sql) {
+        return (
+            ServerMsg::Err {
+                code: ErrorCode::ReadOnly,
+                message: "server is a read-only replica; send writes to the primary".into(),
+            },
+            0,
+        );
+    }
     match inner.shared.execute(sql) {
         Ok(out) => {
             let msg = ServerMsg::from_output(out);
@@ -611,4 +663,160 @@ fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
             0,
         ),
     }
+}
+
+// ---------------------------------------------------------------------------
+// WAL-shipping subscriptions (protocol v2).
+// ---------------------------------------------------------------------------
+
+/// Serve one `Subscribe` poll: compute the catch-up batch against the
+/// durable directory, then send it — `CheckpointImage` chunks when the
+/// subscriber must re-anchor, `WalChunk`s for the byte range it is
+/// missing, and a final `CaughtUp` carrying the tip. The batch is fully
+/// materialized before the first byte goes out, so a checkpoint flip
+/// racing the read never leaves the subscriber with a half-shipped image:
+/// the batch computation fails, we retry against the fresh tip, and only
+/// a complete batch is ever transmitted.
+fn handle_subscribe(
+    inner: &Inner,
+    widx: usize,
+    stream: &mut TcpStream,
+    sub_gen: u64,
+    sub_off: u64,
+) -> Result<()> {
+    let started = Instant::now();
+    let (fs, root): (Arc<dyn Vfs>, PathBuf) = match &inner.cfg.spec.storage {
+        Storage::Durable { root } => (Arc::new(RealFs), root.clone()),
+        Storage::DurableVfs { fs, root } => (Arc::clone(fs), root.clone()),
+        Storage::InMemory => {
+            refuse(
+                stream,
+                ErrorCode::Protocol,
+                "replication requires a durable server",
+            );
+            return Ok(());
+        }
+    };
+    inner.trace(
+        EventKind::ReplSubscribe,
+        widx,
+        format!("gen={sub_gen} off={sub_off}"),
+        started,
+        0,
+    );
+    let mut last_err = None;
+    for _ in 0..3 {
+        match subscription_batch(fs.as_ref(), &root, sub_gen, sub_off) {
+            Ok((msgs, shipped)) => {
+                let n = msgs.len() as u64;
+                for m in &msgs {
+                    send(stream, m)?;
+                }
+                inner.trace(
+                    EventKind::ReplShip,
+                    widx,
+                    format!("gen={sub_gen} off={sub_off} msgs={n} bytes={shipped}"),
+                    started,
+                    0,
+                );
+                return Ok(());
+            }
+            // Lost a race with the checkpoint flip (the generation we were
+            // reading vanished mid-batch); retry against the fresh tip.
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let e = last_err.expect("three failed attempts leave an error");
+    refuse(
+        stream,
+        ErrorCode::Internal,
+        &format!("subscription source unavailable: {e}"),
+    );
+    Ok(())
+}
+
+/// Compute one poll's messages: either a tail of the subscriber's own
+/// generation, or a full re-anchor (image + WAL) of the current one.
+/// Returns the messages and the total payload bytes shipped.
+fn subscription_batch(
+    fs: &dyn Vfs,
+    root: &std::path::Path,
+    sub_gen: u64,
+    sub_off: u64,
+) -> Result<(Vec<ServerMsg>, u64)> {
+    let tip = durable_tip(fs, root)?.unwrap_or(Tip { gen: 0, wal_len: 0 });
+    let mut msgs = Vec::new();
+    let mut shipped = 0u64;
+    // Fast path: the subscriber is tailing the live generation and the
+    // range it wants still exists.
+    if sub_gen == tip.gen {
+        if let Some(bytes) = read_wal_range(fs, root, sub_gen, sub_off)? {
+            let end = sub_off + bytes.len() as u64;
+            shipped += bytes.len() as u64;
+            let mut off = sub_off;
+            for chunk in bytes.chunks(SHIP_CHUNK) {
+                msgs.push(ServerMsg::WalChunk {
+                    generation: sub_gen,
+                    offset: off,
+                    bytes: chunk.to_vec(),
+                });
+                off += chunk.len() as u64;
+            }
+            msgs.push(ServerMsg::CaughtUp {
+                generation: sub_gen,
+                offset: end,
+            });
+            return Ok((msgs, shipped));
+        }
+    }
+    // Re-anchor: the subscriber is behind the last checkpoint (or brand
+    // new, or its generation's WAL is gone). Ship the current image, then
+    // the current WAL from byte zero.
+    if tip.gen == 0 {
+        // No checkpoint has ever committed: the "image" is the empty
+        // catalog. One marker chunk says so.
+        msgs.push(ServerMsg::CheckpointImage {
+            generation: 0,
+            name: String::new(),
+            last: true,
+            bytes: Vec::new(),
+        });
+    } else {
+        let files = export_image(fs, root, tip.gen)?;
+        let nfiles = files.len();
+        for (fi, (name, bytes)) in files.into_iter().enumerate() {
+            shipped += bytes.len() as u64;
+            let chunks: Vec<&[u8]> = if bytes.is_empty() {
+                vec![&[][..]]
+            } else {
+                bytes.chunks(SHIP_CHUNK).collect()
+            };
+            let nchunks = chunks.len();
+            for (ci, chunk) in chunks.into_iter().enumerate() {
+                msgs.push(ServerMsg::CheckpointImage {
+                    generation: tip.gen,
+                    name: name.clone(),
+                    last: fi == nfiles - 1 && ci == nchunks - 1,
+                    bytes: chunk.to_vec(),
+                });
+            }
+        }
+    }
+    let bytes = read_wal_range(fs, root, tip.gen, 0)?.unwrap_or_default();
+    let end = bytes.len() as u64;
+    shipped += end;
+    let mut off = 0u64;
+    for chunk in bytes.chunks(SHIP_CHUNK) {
+        msgs.push(ServerMsg::WalChunk {
+            generation: tip.gen,
+            offset: off,
+            bytes: chunk.to_vec(),
+        });
+        off += chunk.len() as u64;
+    }
+    msgs.push(ServerMsg::CaughtUp {
+        generation: tip.gen,
+        offset: end,
+    });
+    Ok((msgs, shipped))
 }

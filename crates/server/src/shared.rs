@@ -22,7 +22,7 @@
 //!   *committed* statement survives — and the client gets
 //!   [`ExecError::Poisoned`].
 
-use mammoth_sql::{is_read_only_statement, QueryOutput, Session};
+use mammoth_sql::{is_read_only_statement, QueryOutput, Session, StatusProvider};
 use mammoth_storage::Vfs;
 use mammoth_types::{Error, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,6 +50,9 @@ pub struct SessionSpec {
     pub wal_batch: Option<usize>,
     /// Delta-merge threshold override.
     pub merge_threshold: Option<usize>,
+    /// `EXPLAIN REPLICATION` callback, carried in the spec so poison
+    /// rebuilds preserve it (a rebuilt replica session still reports lag).
+    pub status_provider: Option<StatusProvider>,
 }
 
 impl SessionSpec {
@@ -58,6 +61,7 @@ impl SessionSpec {
             storage: Storage::InMemory,
             wal_batch: None,
             merge_threshold: None,
+            status_provider: None,
         }
     }
 
@@ -66,6 +70,7 @@ impl SessionSpec {
             storage: Storage::Durable { root: root.into() },
             wal_batch: None,
             merge_threshold: None,
+            status_provider: None,
         }
     }
 
@@ -77,6 +82,7 @@ impl SessionSpec {
             },
             wal_batch: None,
             merge_threshold: None,
+            status_provider: None,
         }
     }
 
@@ -95,6 +101,9 @@ impl SessionSpec {
         }
         if let Some(rows) = self.merge_threshold {
             s.set_merge_threshold(rows);
+        }
+        if let Some(p) = &self.status_provider {
+            s.set_status_provider(p.clone());
         }
         Ok(s)
     }
@@ -378,8 +387,11 @@ mod tests {
                     b.wait();
                     // All four admitted before any finishes would be flaky
                     // to assert exactly; instead show overlap happened at
-                    // least once across the batch.
-                    for _ in 0..50 {
+                    // least once across the batch. On a single-core box
+                    // overlap only comes from preemption landing inside the
+                    // read window, so run enough iterations that at least
+                    // one timeslice boundary does.
+                    for _ in 0..2000 {
                         let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                         peak.fetch_max(now, Ordering::SeqCst);
                         s.execute("SELECT a FROM t").unwrap();

@@ -24,4 +24,4 @@ pub mod session;
 pub use ast::{Predicate, SelectItem, SelectStmt, Statement};
 pub use compile::compile_select;
 pub use parser::parse_sql;
-pub use session::{is_read_only_statement, QueryOutput, Session};
+pub use session::{is_read_only_statement, QueryOutput, Session, StatusProvider};

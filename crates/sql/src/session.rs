@@ -75,6 +75,12 @@ struct Durability {
     wal: Wal,
 }
 
+/// A callback surfacing replication status as `(field, value)` pairs —
+/// what `EXPLAIN REPLICATION` renders. A replica's server installs one
+/// that reports its role, generation, stream offsets and lag; sessions
+/// without a provider report `role = primary`.
+pub type StatusProvider = Arc<dyn Fn() -> Vec<(String, String)> + Send + Sync>;
+
 /// A database session: a catalog, per-statement optimizer pipelines (rebuilt
 /// so the property-driven passes see column statistics for the catalog state
 /// each plan runs against), and optionally the recycler.
@@ -95,6 +101,8 @@ pub struct Session {
     /// The profile of the most recent profiled SELECT (a `TRACE` statement,
     /// or any SELECT while `MAMMOTH_TRACE` is set).
     last_profile: Option<ProfiledRun>,
+    /// Replication status callback for `EXPLAIN REPLICATION`.
+    status_provider: Option<StatusProvider>,
 }
 
 impl Default for Session {
@@ -113,6 +121,7 @@ impl Session {
             pieces: 1,
             merge_threshold: 64 * 1024,
             last_profile: None,
+            status_provider: None,
         }
     }
 
@@ -294,6 +303,29 @@ impl Session {
         self
     }
 
+    /// Install the `EXPLAIN REPLICATION` status callback. Returns `&mut
+    /// Self` so the builder chain reads naturally.
+    pub fn set_status_provider(&mut self, p: StatusProvider) -> &mut Self {
+        self.status_provider = Some(p);
+        self
+    }
+
+    /// The `EXPLAIN REPLICATION` result: a two-column `(field, value)`
+    /// table from the installed provider, or `role = primary` without one.
+    fn replication_status(&self) -> QueryOutput {
+        let pairs = match &self.status_provider {
+            Some(p) => p(),
+            None => vec![("role".to_string(), "primary".to_string())],
+        };
+        QueryOutput::Table {
+            columns: vec!["field".into(), "value".into()],
+            rows: pairs
+                .into_iter()
+                .map(|(k, v)| vec![Value::Str(k), Value::Str(v)])
+                .collect(),
+        }
+    }
+
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -320,6 +352,9 @@ impl Session {
     /// statement boundary. A failure before the mutation leaves both log
     /// and catalog untouched.
     pub fn execute(&mut self, sql: &str) -> Result<QueryOutput> {
+        if wants_replication_status(sql) {
+            return Ok(self.replication_status());
+        }
         match parse_sql(sql)? {
             Statement::CreateTable { name, columns } => {
                 let defs: Vec<ColumnDef> = columns
@@ -482,6 +517,9 @@ impl Session {
     /// which records [`Session::last_profile`]) return
     /// [`Error::Unsupported`]; route them through [`Session::execute`].
     pub fn execute_read(&self, sql: &str) -> Result<QueryOutput> {
+        if wants_replication_status(sql) {
+            return Ok(self.replication_status());
+        }
         match parse_sql(sql)? {
             Statement::Select(stmt) => {
                 let (prog, names) = compile_select(&self.catalog, &stmt)?;
@@ -655,6 +693,15 @@ pub fn is_read_only_statement(sql: &str) -> bool {
         .next()
         .unwrap_or("");
     first.eq_ignore_ascii_case("SELECT") || first.eq_ignore_ascii_case("EXPLAIN")
+}
+
+/// Whether `sql` is the `EXPLAIN REPLICATION` status statement, handled
+/// by the session directly (it is not part of the SQL grammar — there is
+/// nothing to plan; its first keyword still classifies it read-only for
+/// [`is_read_only_statement`], so it runs on the concurrent-reader path).
+fn wants_replication_status(sql: &str) -> bool {
+    let t = sql.trim().trim_end_matches(';').trim();
+    t.eq_ignore_ascii_case("EXPLAIN REPLICATION")
 }
 
 /// Whether `MAMMOTH_TRACE` names a trace sink.
@@ -1104,6 +1151,38 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_replication_reports_role_and_provider_pairs() {
+        let mut s = seeded();
+        assert!(is_read_only_statement("EXPLAIN REPLICATION"));
+        let want_primary = QueryOutput::Table {
+            columns: vec!["field".into(), "value".into()],
+            rows: vec![vec![
+                Value::Str("role".into()),
+                Value::Str("primary".into()),
+            ]],
+        };
+        assert_eq!(s.execute_read("EXPLAIN REPLICATION").unwrap(), want_primary);
+        assert_eq!(
+            s.execute("  explain replication ; ").unwrap(),
+            want_primary,
+            "case- and whitespace-insensitive, via execute too"
+        );
+        s.set_status_provider(Arc::new(|| {
+            vec![
+                ("role".into(), "replica".into()),
+                ("lag_bytes".into(), "42".into()),
+            ]
+        }));
+        match s.execute_read("EXPLAIN REPLICATION").unwrap() {
+            QueryOutput::Table { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Value::Str("42".into()));
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
     }
 
     #[test]

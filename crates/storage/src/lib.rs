@@ -31,6 +31,7 @@ pub mod fault;
 pub mod heap;
 pub mod persist;
 pub mod properties;
+pub mod ship;
 pub mod strheap;
 pub mod wal;
 
@@ -41,5 +42,6 @@ pub use fault::{FaultFs, FaultKind, FaultPlan, RealFs, Vfs};
 pub use heap::{FixedTail, TailHeap};
 pub use persist::{checkpoint_catalog, recover, recover_vfs, Recovered};
 pub use properties::Properties;
+pub use ship::{durable_tip, export_image, read_wal_range, Tip};
 pub use strheap::StrHeap;
-pub use wal::{crc32, Wal, WalRecord, WalReplay};
+pub use wal::{crc32, Wal, WalCursor, WalRecord, WalReplay};

@@ -452,7 +452,11 @@ pub fn read_current(fs: &dyn Vfs, root: &Path) -> Result<Option<u64>> {
     Ok(Some(g))
 }
 
-fn write_current(fs: &dyn Vfs, root: &Path, g: u64) -> Result<()> {
+/// Atomically point `root/CURRENT` at generation `g` (tmp + rename +
+/// dir-fsync). Public for the replication applier, which commits a
+/// received checkpoint image the same way the checkpointer commits a
+/// locally-written one.
+pub fn write_current(fs: &dyn Vfs, root: &Path, g: u64) -> Result<()> {
     let tmp = root.join(format!("{CURRENT_FILE}.tmp"));
     let fin = root.join(CURRENT_FILE);
     fs.write_file(&tmp, format!("ckpt-{g}\n").as_bytes())?;

@@ -60,39 +60,12 @@ pub enum WalRecord {
     Commit,
 }
 
-// --------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3), table-driven. Small and dependency-free.
-// --------------------------------------------------------------------------
-
-fn crc32_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xedb8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
-        }
-        t
-    })
-}
-
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let t = crc32_table();
-    let mut c = 0xffff_ffffu32;
-    for &b in bytes {
-        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
-    }
-    c ^ 0xffff_ffff
-}
+// Record frames are the shared CRC32 length-prefixed codec — the same
+// discipline the wire protocol speaks, which is what lets replication ship
+// raw WAL byte ranges. Re-exported so `mammoth_storage::crc32` keeps
+// resolving for existing call sites.
+pub use mammoth_types::framing::crc32;
+use mammoth_types::framing::{self, Frame};
 
 // --------------------------------------------------------------------------
 // Payload codec.
@@ -372,40 +345,35 @@ pub fn replay_bytes(buf: &[u8]) -> Result<WalReplay> {
     let mut out = WalReplay::default();
     // records staged until their statement's commit marker arrives
     let mut staged: Vec<WalRecord> = Vec::new();
-    let mut pos = 8usize;
-    while pos < buf.len() {
-        if pos + 8 > buf.len() {
-            out.tail_discarded = true;
-            break;
-        }
-        let len = u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]) as usize;
-        let crc = u32::from_le_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
-        let body_start = pos + 8;
-        if len > MAX_RECORD
-            || body_start
-                .checked_add(len)
-                .is_none_or(|end| end > buf.len())
-        {
-            out.tail_discarded = true;
-            break;
-        }
-        let payload = &buf[body_start..body_start + len];
-        if crc32(payload) != crc {
-            out.tail_discarded = true;
-            break;
-        }
-        match WalRecord::decode(payload) {
-            Ok(WalRecord::Commit) => out.records.append(&mut staged),
-            Ok(rec) => staged.push(rec),
-            Err(_) => {
-                // framed and checksummed but undecodable: a torn tail can't
-                // produce this (CRC would fail first), but treat it the same
-                // way — replay stops at the last good record
+    let mut rest = &buf[8..];
+    loop {
+        match framing::split_frame(rest, MAX_RECORD) {
+            Frame::Complete { payload, consumed } => {
+                match WalRecord::decode(payload) {
+                    Ok(WalRecord::Commit) => out.records.append(&mut staged),
+                    Ok(rec) => staged.push(rec),
+                    Err(_) => {
+                        // framed and checksummed but undecodable: a torn
+                        // tail can't produce this (CRC would fail first),
+                        // but treat it the same way — replay stops at the
+                        // last good record
+                        out.tail_discarded = true;
+                        break;
+                    }
+                }
+                rest = &rest[consumed..];
+            }
+            Frame::Incomplete => {
+                // mid-frame end of file is a torn append; the exact end of
+                // the last frame is a clean log
+                out.tail_discarded |= !rest.is_empty();
+                break;
+            }
+            Frame::Corrupt(_) => {
                 out.tail_discarded = true;
                 break;
             }
         }
-        pos = body_start + len;
     }
     if !staged.is_empty() {
         // intact records with no commit marker: the unterminated batch of
@@ -516,10 +484,7 @@ impl Wal {
     fn frame(&mut self, rec: &WalRecord) {
         let mut payload = Vec::new();
         rec.encode(&mut payload);
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.buf.extend_from_slice(&payload);
+        framing::frame_into(&payload, &mut self.buf);
     }
 
     /// Buffer one record of the statement in flight. Nothing touches the
@@ -593,6 +558,81 @@ impl Wal {
         self.since_boundary = 0;
         self.stmts_pending = 0;
         self.write_header()
+    }
+}
+
+/// Incremental parser over a WAL byte *stream*: the replication applier's
+/// view of the log, where bytes arrive in arbitrarily-sliced chunks off
+/// the wire rather than as one file image.
+///
+/// Unlike [`replay_bytes`], which charitably discards a bad tail (a crash
+/// tears the final append), the cursor treats any bad frame as an error:
+/// the primary only ships frames it has durably written, so a CRC mismatch
+/// or undecodable record mid-stream means the replica's copy has diverged
+/// and must re-bootstrap. Incomplete frames simply buffer until more bytes
+/// arrive.
+#[derive(Default)]
+pub struct WalCursor {
+    buf: Vec<u8>,
+    header_done: bool,
+    /// Records of the statement group in flight (no commit marker yet).
+    staged: Vec<WalRecord>,
+    /// Bytes consumed off the front of the stream so far, including the
+    /// 8-byte header — i.e. the stream offset this cursor has applied to.
+    consumed: u64,
+}
+
+impl WalCursor {
+    pub fn new() -> WalCursor {
+        WalCursor::default()
+    }
+
+    /// Stream offset fully parsed so far (header + whole frames).
+    pub fn offset(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Feed the next chunk of the stream; returns the statement groups
+    /// completed by it (each group is one committed statement's records,
+    /// commit markers filtered out).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Vec<WalRecord>>> {
+        self.buf.extend_from_slice(bytes);
+        let mut groups = Vec::new();
+        let mut pos = 0usize;
+        if !self.header_done {
+            if self.buf.len() < 8 {
+                return Ok(groups);
+            }
+            if &self.buf[0..6] != WAL_MAGIC {
+                return Err(Error::Corrupt("bad WAL magic in stream".into()));
+            }
+            let version = u16::from_le_bytes([self.buf[6], self.buf[7]]);
+            if version != WAL_VERSION {
+                return Err(Error::Corrupt(format!(
+                    "unknown WAL version {version} in stream"
+                )));
+            }
+            self.header_done = true;
+            pos = 8;
+        }
+        loop {
+            match framing::split_frame(&self.buf[pos..], MAX_RECORD) {
+                Frame::Complete { payload, consumed } => {
+                    match WalRecord::decode(payload)? {
+                        WalRecord::Commit => groups.push(std::mem::take(&mut self.staged)),
+                        rec => self.staged.push(rec),
+                    }
+                    pos += consumed;
+                }
+                Frame::Incomplete => break,
+                Frame::Corrupt(e) => {
+                    return Err(Error::Corrupt(format!("WAL stream diverged: {e}")))
+                }
+            }
+        }
+        self.buf.drain(..pos);
+        self.consumed += pos as u64;
+        Ok(groups)
     }
 }
 
@@ -794,6 +834,50 @@ mod tests {
         assert!(ev.iter().all(|e| e.kind == EventKind::WalAppend));
         let back = replay(fs.as_ref(), &path).unwrap();
         assert_eq!(back.records.len(), 7);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn cursor_agrees_with_replay_at_any_chunking() {
+        let d = tmp("cursor");
+        let fs: Arc<dyn Vfs> = Arc::new(RealFs);
+        let path = d.join("wal");
+        let mut wal = Wal::open(Arc::clone(&fs), path.clone()).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+            wal.statement_boundary().unwrap();
+        }
+        let full = fs.read(&path).unwrap();
+        let want = replay_bytes(&full).unwrap().records;
+        for chunk in [1usize, 3, 7, full.len()] {
+            let mut cur = WalCursor::new();
+            let mut got: Vec<WalRecord> = Vec::new();
+            for piece in full.chunks(chunk) {
+                for group in cur.feed(piece).unwrap() {
+                    got.extend(group);
+                }
+            }
+            assert_eq!(got, want, "chunk size {chunk}");
+            assert_eq!(cur.offset(), full.len() as u64);
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn cursor_rejects_divergence() {
+        let d = tmp("cursor-bad");
+        let fs: Arc<dyn Vfs> = Arc::new(RealFs);
+        let path = d.join("wal");
+        let mut wal = Wal::open(Arc::clone(&fs), path.clone()).unwrap();
+        wal.append(&WalRecord::Merge { table: "t".into() }).unwrap();
+        wal.statement_boundary().unwrap();
+        let mut full = fs.read(&path).unwrap();
+        let last = full.len() - 1;
+        full[last] ^= 0x40;
+        let mut cur = WalCursor::new();
+        assert!(cur.feed(&full).is_err(), "CRC mismatch is fatal mid-stream");
+        let mut cur = WalCursor::new();
+        assert!(cur.feed(b"NOTAWAL!").is_err(), "bad magic is fatal");
         let _ = std::fs::remove_dir_all(&d);
     }
 

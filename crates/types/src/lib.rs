@@ -14,6 +14,7 @@
 #![deny(unsafe_code)]
 
 pub mod error;
+pub mod framing;
 pub mod native;
 pub mod oid;
 pub mod schema;
@@ -21,6 +22,7 @@ pub mod trace;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use framing::crc32;
 pub use native::NativeType;
 pub use oid::{Oid, OID_NIL};
 pub use schema::{ColumnDef, TableSchema};

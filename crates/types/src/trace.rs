@@ -55,6 +55,18 @@ pub enum EventKind {
     ServerShed,
     /// The server drained in-flight work and shut down gracefully.
     ServerShutdown,
+    /// A replica subscribed to the primary's WAL stream.
+    ReplSubscribe,
+    /// The primary shipped a WAL byte range (or checkpoint image chunk).
+    ReplShip,
+    /// A replica (re-)bootstrapped from a checkpoint image.
+    ReplBootstrap,
+    /// A replica applied a committed statement group from the stream.
+    ReplApply,
+    /// A replica drained the stream to the primary's durable tip.
+    ReplCaughtUp,
+    /// A replica was promoted to read-write primary.
+    ReplPromote,
 }
 
 impl EventKind {
@@ -75,6 +87,12 @@ impl EventKind {
             EventKind::ServerStatement => "server.statement",
             EventKind::ServerShed => "server.shed",
             EventKind::ServerShutdown => "server.shutdown",
+            EventKind::ReplSubscribe => "repl.subscribe",
+            EventKind::ReplShip => "repl.ship",
+            EventKind::ReplBootstrap => "repl.bootstrap",
+            EventKind::ReplApply => "repl.apply",
+            EventKind::ReplCaughtUp => "repl.caughtup",
+            EventKind::ReplPromote => "repl.promote",
         }
     }
 
@@ -95,6 +113,12 @@ impl EventKind {
             "server.statement" => EventKind::ServerStatement,
             "server.shed" => EventKind::ServerShed,
             "server.shutdown" => EventKind::ServerShutdown,
+            "repl.subscribe" => EventKind::ReplSubscribe,
+            "repl.ship" => EventKind::ReplShip,
+            "repl.bootstrap" => EventKind::ReplBootstrap,
+            "repl.apply" => EventKind::ReplApply,
+            "repl.caughtup" => EventKind::ReplCaughtUp,
+            "repl.promote" => EventKind::ReplPromote,
             _ => return None,
         })
     }
@@ -754,6 +778,12 @@ mod tests {
             EventKind::ServerStatement,
             EventKind::ServerShed,
             EventKind::ServerShutdown,
+            EventKind::ReplSubscribe,
+            EventKind::ReplShip,
+            EventKind::ReplBootstrap,
+            EventKind::ReplApply,
+            EventKind::ReplCaughtUp,
+            EventKind::ReplPromote,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }
