@@ -1,0 +1,264 @@
+//! E24 — sharded scale-out: write routing throughput, cross-shard
+//! aggregate latency, and bounded partial failure (mammoth-shard
+//! extension).
+//!
+//! Three claims, measured over real sockets to real `mammoth-server`
+//! shard processes:
+//!
+//! * **Write throughput, 1 vs 3 shards** — the same multi-row INSERT
+//!   stream applied to a single durable server (via a direct client) and
+//!   to a 3-shard durable cluster (via the coordinator, which splits each
+//!   statement's rows by partition key and ships per-shard subsets).
+//!   Every row is WAL-durable on its owning shard before the statement
+//!   acks. All "nodes" share one benchmark machine, so this measures
+//!   routing overhead and fan-out cost, not real horizontal scaling.
+//! * **Cross-shard aggregate latency** — `COUNT/SUM/MIN/MAX` scalar
+//!   aggregates merge from one-row per-shard partials (`mat.packsum`),
+//!   while GROUP BY takes the gather path (ship fragments, re-run the
+//!   verified plan on the recombined table). Both are timed against the
+//!   single-node latency for the same statements.
+//! * **Typed partial failure** — one shard is killed and a fan-out read
+//!   must fail with `SHARD_UNAVAILABLE` within the coordinator deadline;
+//!   the survivors' WALs then recover with
+//!   `acked <= recovered <= acked + 1` per shard.
+
+use crate::table::TextTable;
+use crate::{record_metric, Metric, Scale};
+use mammoth_server::{Client, RetryPolicy, Server, ServerConfig, SessionSpec};
+use mammoth_shard::{shard_of, CoordError, Coordinator, CoordinatorConfig};
+use mammoth_sql::{QueryOutput, Session};
+use mammoth_types::Value;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const NSHARDS: usize = 3;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mammoth-e24-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn start_server(dir: &PathBuf) -> Server {
+    Server::start(ServerConfig {
+        workers: 4,
+        spec: SessionSpec::durable(dir),
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+fn coordinator(addrs: Vec<String>, deadline: Duration) -> Coordinator {
+    let mut cfg = CoordinatorConfig::new(addrs);
+    cfg.deadline = deadline;
+    cfg.retry = RetryPolicy {
+        attempts: 2,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(25),
+        seed: 24,
+    };
+    Coordinator::new(cfg)
+}
+
+/// Stream `total` rows as `batch`-row INSERTs through `apply`; returns
+/// elapsed seconds.
+fn write_stream(total: usize, batch: usize, mut apply: impl FnMut(&str)) -> f64 {
+    let t0 = Instant::now();
+    let mut row = 0usize;
+    while row < total {
+        let chunk: Vec<String> = (row..(row + batch).min(total))
+            .map(|i| format!("({i}, {}, 'w{}')", (i as i64 % 97) - 48, i % 10))
+            .collect();
+        apply(&format!("INSERT INTO bench VALUES {}", chunk.join(", ")));
+        row += batch;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Median latency (ms) of `reps` executions of `sql` through `run`.
+fn med_latency_ms(reps: usize, sql: &str, mut run: impl FnMut(&str)) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            run(sql);
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+pub fn run(scale: Scale) -> String {
+    let rows = scale.pick(1 << 9, 1 << 13);
+    let batch = 64;
+    let reps = scale.pick(5, 21);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E24  sharded scale-out: {rows} rows in {batch}-row INSERTs, durable WALs\n"
+    ));
+    out.push_str("single server via direct client vs 3 shards via scatter-gather coordinator\n\n");
+
+    let ddl = "CREATE TABLE bench (id BIGINT NOT NULL, v BIGINT, s VARCHAR)";
+
+    // --- write throughput: 1 shard (direct) vs 3 shards (routed) ----------
+    let sdir = tmpdir("single");
+    let single = start_server(&sdir);
+    let saddr = single.local_addr().to_string();
+    let mut sc = Client::connect(&saddr, "e24-single", "").unwrap();
+    sc.query(ddl).unwrap();
+    let single_secs = write_stream(rows, batch, |sql| {
+        sc.query(sql).unwrap();
+    });
+
+    let dirs: Vec<PathBuf> = (0..NSHARDS)
+        .map(|i| tmpdir(&format!("shard-{i}")))
+        .collect();
+    let mut shards: Vec<Option<Server>> = dirs.iter().map(|d| Some(start_server(d))).collect();
+    let addrs: Vec<String> = shards
+        .iter()
+        .map(|s| s.as_ref().unwrap().local_addr().to_string())
+        .collect();
+    let coord = coordinator(addrs, Duration::from_secs(2));
+    coord.execute(ddl).unwrap();
+    let sharded_secs = write_stream(rows, batch, |sql| {
+        coord.execute(sql).unwrap();
+    });
+
+    let mut t = TextTable::new(vec!["topology", "rows", "elapsed s", "rows/s"]);
+    for (name, secs) in [
+        ("1 server, direct", single_secs),
+        ("3 shards, routed", sharded_secs),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            rows.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", rows as f64 / secs.max(1e-9)),
+        ]);
+    }
+    out.push_str(&t.render());
+    record_metric(Metric {
+        experiment: "e24",
+        name: "write_throughput_single".into(),
+        params: vec![("rows".into(), rows.to_string())],
+        wall_secs: single_secs,
+        simulated_misses: None,
+    });
+    record_metric(Metric {
+        experiment: "e24",
+        name: "write_throughput_sharded".into(),
+        params: vec![
+            ("rows".into(), rows.to_string()),
+            ("shards".into(), NSHARDS.to_string()),
+        ],
+        wall_secs: sharded_secs,
+        simulated_misses: None,
+    });
+
+    // --- cross-shard aggregate latency ------------------------------------
+    let queries = [
+        (
+            "packsum pushdown",
+            "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM bench WHERE v > 0",
+        ),
+        (
+            "gather + re-run",
+            "SELECT s, COUNT(*) FROM bench GROUP BY s",
+        ),
+    ];
+    let mut t = TextTable::new(vec!["query", "single ms", "sharded ms"]);
+    for (label, sql) in queries {
+        let single_ms = med_latency_ms(reps, sql, |q| {
+            sc.query(q).unwrap();
+        });
+        let sharded_ms = med_latency_ms(reps, sql, |q| {
+            coord.execute(q).unwrap();
+        });
+        t.row(vec![
+            label.to_string(),
+            format!("{single_ms:.2}"),
+            format!("{sharded_ms:.2}"),
+        ]);
+        record_metric(Metric {
+            experiment: "e24",
+            name: format!("aggregate_latency_{}", label.split(' ').next().unwrap()),
+            params: vec![
+                ("single_ms".into(), format!("{single_ms:.3}")),
+                ("sharded_ms".into(), format!("{sharded_ms:.3}")),
+            ],
+            wall_secs: sharded_ms / 1e3,
+            simulated_misses: None,
+        });
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    sc.quit().unwrap();
+    single.shutdown().expect("single shutdown");
+
+    // --- failure coda: kill a shard, verify typed + bounded failure -------
+    let mut acked = [0u64; NSHARDS];
+    for i in 0..rows as i64 {
+        acked[shard_of(&Value::I64(i), NSHARDS)] += 1;
+    }
+    let deadline = Duration::from_secs(2);
+    shards[1]
+        .take()
+        .unwrap()
+        .shutdown()
+        .expect("victim shutdown");
+    let t0 = Instant::now();
+    let failure = coord.execute("SELECT COUNT(*) FROM bench");
+    let fail_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        matches!(failure, Err(CoordError::Unavailable(_))),
+        "fan-out over a dead shard must fail typed, got {failure:?}"
+    );
+    assert!(
+        t0.elapsed() < deadline * 2 + Duration::from_secs(1),
+        "failure took {fail_ms:.0} ms — not bounded by the deadline"
+    );
+    for s in shards.iter_mut() {
+        if let Some(srv) = s.take() {
+            srv.shutdown().expect("shard shutdown");
+        }
+    }
+    let mut recovered_total = 0u64;
+    for (i, dir) in dirs.iter().enumerate() {
+        let recovered = match Session::open_durable(dir)
+            .expect("shard dir must recover")
+            .execute("SELECT COUNT(*) FROM bench")
+            .unwrap()
+        {
+            QueryOutput::Table { rows, .. } => match rows[0][0] {
+                Value::I64(n) => n as u64,
+                ref other => panic!("COUNT(*) gave {other:?}"),
+            },
+            other => panic!("COUNT(*) gave {other:?}"),
+        };
+        assert!(
+            acked[i] <= recovered && recovered <= acked[i] + 1,
+            "shard {i}: acked {} recovered {recovered}",
+            acked[i]
+        );
+        recovered_total += recovered;
+    }
+    out.push_str(&format!(
+        "\nfailure: shard 1 killed → SHARD_UNAVAILABLE in {fail_ms:.1} ms \
+         (deadline {:.0} ms); WALs recovered {recovered_total}/{rows} rows, \
+         acked <= recovered <= acked+1 per shard\n",
+        deadline.as_secs_f64() * 1e3
+    ));
+    record_metric(Metric {
+        experiment: "e24",
+        name: "shard_kill_detect_ms".into(),
+        params: vec![("recovered".into(), recovered_total.to_string())],
+        wall_secs: fail_ms / 1e3,
+        simulated_misses: None,
+    });
+
+    for d in std::iter::once(&sdir).chain(dirs.iter()) {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    out
+}

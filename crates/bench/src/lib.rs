@@ -32,6 +32,7 @@ pub mod experiments {
     pub mod e21_server;
     pub mod e22_props;
     pub mod e23_replication;
+    pub mod e24_sharding;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -173,6 +174,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e23",
             "extension - WAL-shipping replication: read scale-out, steady lag, failover",
             e23_replication::run,
+        ),
+        (
+            "e24",
+            "extension - sharded scale-out: routed write throughput, cross-shard aggregates, shard kill",
+            e24_sharding::run,
         ),
     ]
 }

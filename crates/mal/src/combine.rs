@@ -1,0 +1,354 @@
+//! Combine plans for shard scatter-gather.
+//!
+//! The shard coordinator (`crates/shard`) treats a network hop as a slower
+//! slice boundary: each shard ships back either a *horizontal fragment* of
+//! the referenced columns or a *partial aggregate*, staged in per-shard
+//! tables of a scratch catalog. The builders here emit the plans that glue
+//! those fragments back together — the same two merge operators the
+//! in-process mergetable ([`crate::mitosis`]) inserts around `PartSlice`
+//! fragments:
+//!
+//! * **gather** — per-shard column fragments are [`Kind::LocalValues`]
+//!   groups (seqbase-0 values, concatenated in shard order), merged with
+//!   `mat.pack` exactly like mergetable's `ensure_whole`;
+//! * **partial aggregates** — per-shard scalar partials merged with
+//!   `mat.packsum` (counts and integer sums) or `mat.pack` + `aggr.min`/
+//!   `aggr.max`, mirroring mergetable's `rewrite_aggregate`. Like the
+//!   mergetable, float sums are *not* merged this way (f64 addition is not
+//!   associative); the coordinator routes those through the gather path so
+//!   the distributed result stays bit-identical to single-node.
+//!
+//! Every emitted plan is a plain [`Program`]: the coordinator runs it
+//! through `verify_with_catalog` and the property analysis before
+//! executing, so the existing MAL analysis tier keeps holding on the
+//! recombined plan.
+
+use crate::mitosis::{Kind, Lineage};
+use crate::program::{Arg, OpCode, Program, VarId};
+use mammoth_algebra::AggKind;
+use mammoth_types::{Error, Result, Value};
+
+/// Name of shard `i`'s staging table for `table` in the combine catalog.
+/// The `__shard` prefix keeps staging names out of the user namespace
+/// (the SQL lexer never produces identifiers with leading underscores
+/// into DDL the coordinator accepts — see `crates/shard`).
+pub fn shard_table_name(i: usize, table: &str) -> String {
+    format!("__shard{i}__{table}")
+}
+
+/// One fragment group delivered over the wire: the per-shard variables
+/// holding the same logical column, tagged with the mergetable taxonomy so
+/// merges are gated the same way the in-process rewriter gates them.
+struct ShardGroup {
+    parts: Vec<VarId>,
+    kind: Kind,
+    #[allow(dead_code)] // documents row-alignment; asserted in tests
+    lineage: Lineage,
+}
+
+impl ShardGroup {
+    /// Emit `v := mat.pack(parts…)` — legal for value-space fragment
+    /// groups only. [`Kind::AbsCands`] fragments (absolute base oids)
+    /// never cross the wire: shards ship values, not candidate lists.
+    fn pack(&self, prog: &mut Program) -> Result<VarId> {
+        if self.kind == Kind::AbsCands {
+            return Err(Error::Unsupported(
+                "candidate fragments cannot be packed across shards".into(),
+            ));
+        }
+        let args = self.parts.iter().map(|&p| Arg::Var(p)).collect();
+        Ok(prog.push(OpCode::Pack, args)[0])
+    }
+}
+
+/// One column of the gather: bind `table.column` from every shard's
+/// staging table and concatenate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherColumn {
+    pub table: String,
+    pub column: String,
+}
+
+/// Build the gather-combine plan: for every requested column, bind its
+/// fragment from each shard's staging table, `mat.pack` the fragments in
+/// shard order, and mark the packed columns as outputs (one output per
+/// column, in input order).
+///
+/// The packed outputs are dense void-headed BATs starting at 0, exactly
+/// what [`mammoth_storage`]'s `Table::from_bats` accepts — the coordinator
+/// rebuilds each logical table from them and runs the original verified
+/// plan unchanged.
+pub fn gather_combine(columns: &[GatherColumn], nshards: usize) -> Result<Program> {
+    if columns.is_empty() || nshards == 0 {
+        return Err(Error::Unsupported(
+            "gather needs at least one column and one shard".into(),
+        ));
+    }
+    let mut prog = Program::new();
+    let mut outputs = Vec::with_capacity(columns.len());
+    for col in columns {
+        let parts: Vec<VarId> = (0..nshards)
+            .map(|i| {
+                prog.push(
+                    OpCode::Bind,
+                    vec![
+                        Arg::Const(Value::Str(shard_table_name(i, &col.table))),
+                        Arg::Const(Value::Str(col.column.clone())),
+                    ],
+                )[0]
+            })
+            .collect();
+        let group = ShardGroup {
+            parts,
+            // Staging tables rebase every fragment to seqbase 0: value
+            // fragments in fragment-local space, packed in shard order.
+            kind: Kind::LocalValues,
+            lineage: Lineage::Table(col.table.clone()),
+        };
+        outputs.push(group.pack(&mut prog)?);
+    }
+    prog.push_result(&outputs);
+    Ok(prog)
+}
+
+/// How one output column's per-shard partials merge back into the final
+/// scalar. The set is exactly what mergetable's `rewrite_aggregate`
+/// accepts plus min/max (which merge by packing and re-aggregating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialMerge {
+    /// Partial counts sum: `mat.packsum` over the per-shard scalars.
+    Count,
+    /// Partial integer sums sum (wrapping i64 — associative, so any
+    /// shard order matches the serial result). Float sums are excluded
+    /// upstream, mirroring the mergetable.
+    SumInt,
+    /// min(min_0, …, min_{n-1}) — pack the 1-row partials, re-minimize.
+    Min,
+    /// max of the per-shard maxima, same shape as [`PartialMerge::Min`].
+    Max,
+}
+
+/// Name of the single-row staging table holding shard `i`'s partials.
+pub fn shard_partials_table(i: usize) -> String {
+    shard_table_name(i, "partials")
+}
+
+/// Column name of partial `j` inside a shard's partials staging table.
+pub fn partial_column(j: usize) -> String {
+    format!("p{j}")
+}
+
+/// Build the aggregate-combine plan: shard `i`'s partials are staged as a
+/// one-row table `__shard{i}__partials` with columns `p0..p{m-1}`; output
+/// `j` merges column `p{j}` across shards per `merges[j]`. Outputs are
+/// scalars, one per merge, in input order.
+pub fn aggregate_combine(merges: &[PartialMerge], nshards: usize) -> Result<Program> {
+    if merges.is_empty() || nshards == 0 {
+        return Err(Error::Unsupported(
+            "aggregate combine needs at least one partial and one shard".into(),
+        ));
+    }
+    let mut prog = Program::new();
+    let mut outputs = Vec::with_capacity(merges.len());
+    for (j, merge) in merges.iter().enumerate() {
+        let parts: Vec<VarId> = (0..nshards)
+            .map(|i| {
+                prog.push(
+                    OpCode::Bind,
+                    vec![
+                        Arg::Const(Value::Str(shard_partials_table(i))),
+                        Arg::Const(Value::Str(partial_column(j))),
+                    ],
+                )[0]
+            })
+            .collect();
+        let out = match merge {
+            PartialMerge::Count | PartialMerge::SumInt => {
+                // Scalarize each 1-row partial (sum of a single value is
+                // the value; a nil partial stays nil and packsum skips
+                // it), then merge with the mergetable's partial-sum op.
+                let scalars: Vec<Arg> = parts
+                    .into_iter()
+                    .map(|p| Arg::Var(prog.push(OpCode::Aggr(AggKind::Sum), vec![Arg::Var(p)])[0]))
+                    .collect();
+                prog.push(OpCode::PackSum, scalars)[0]
+            }
+            PartialMerge::Min | PartialMerge::Max => {
+                let group = ShardGroup {
+                    parts,
+                    kind: Kind::LocalValues,
+                    lineage: Lineage::Table(shard_partials_table(0)),
+                };
+                let packed = group.pack(&mut prog)?;
+                let kind = if *merge == PartialMerge::Min {
+                    AggKind::Min
+                } else {
+                    AggKind::Max
+                };
+                prog.push(OpCode::Aggr(kind), vec![Arg::Var(packed)])[0]
+            }
+        };
+        outputs.push(out);
+    }
+    prog.push_result(&outputs);
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::verify_with_catalog;
+    use crate::interp::Interpreter;
+    use mammoth_storage::{Catalog, Table};
+    use mammoth_types::{ColumnDef, LogicalType, TableSchema};
+
+    fn schema(name: &str, cols: &[(&str, LogicalType)]) -> TableSchema {
+        TableSchema::new(
+            name,
+            cols.iter().map(|&(n, t)| ColumnDef::new(n, t)).collect(),
+        )
+    }
+
+    fn staged_catalog() -> Catalog {
+        // Two shards, one logical table t(a INT, s TEXT) split 2 + 1 rows,
+        // plus one-row partials tables for [count, sum, min, max].
+        let mut cat = Catalog::new();
+        for (i, rows) in [vec![(1i64, "x"), (2, "y")], vec![(3i64, "z")]]
+            .into_iter()
+            .enumerate()
+        {
+            let mut t = Table::new(schema(
+                &shard_table_name(i, "t"),
+                &[("a", LogicalType::I64), ("s", LogicalType::Str)],
+            ))
+            .unwrap();
+            for (a, s) in rows {
+                t.insert_row(&[Value::I64(a), Value::Str(s.into())])
+                    .unwrap();
+            }
+            cat.create_table(t).unwrap();
+        }
+        for (i, (cnt, sum, min, max)) in [(2i64, 3i64, 1i64, 2i64), (1, 3, 3, 3)]
+            .into_iter()
+            .enumerate()
+        {
+            let mut t = Table::new(schema(
+                &shard_partials_table(i),
+                &[
+                    ("p0", LogicalType::I64),
+                    ("p1", LogicalType::I64),
+                    ("p2", LogicalType::I64),
+                    ("p3", LogicalType::I64),
+                ],
+            ))
+            .unwrap();
+            t.insert_row(&[
+                Value::I64(cnt),
+                Value::I64(sum),
+                Value::I64(min),
+                Value::I64(max),
+            ])
+            .unwrap();
+            cat.create_table(t).unwrap();
+        }
+        cat
+    }
+
+    #[test]
+    fn gather_combine_packs_in_shard_order() {
+        let cat = staged_catalog();
+        let prog = gather_combine(
+            &[
+                GatherColumn {
+                    table: "t".into(),
+                    column: "a".into(),
+                },
+                GatherColumn {
+                    table: "t".into(),
+                    column: "s".into(),
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        verify_with_catalog(&prog, &cat).expect("combine plan must verify");
+        let out = Interpreter::new(&cat).run(&prog).unwrap();
+        let a = out[0].as_bat().unwrap();
+        assert_eq!(
+            (0..3).map(|i| a.value_at(i)).collect::<Vec<_>>(),
+            vec![Value::I64(1), Value::I64(2), Value::I64(3)]
+        );
+        let s = out[1].as_bat().unwrap();
+        assert_eq!(s.value_at(2), Value::Str("z".into()));
+        // Packed fragments are dense from 0 — Table::from_bats material.
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_combine_merges_partials() {
+        let cat = staged_catalog();
+        let prog = aggregate_combine(
+            &[
+                PartialMerge::Count,
+                PartialMerge::SumInt,
+                PartialMerge::Min,
+                PartialMerge::Max,
+            ],
+            2,
+        )
+        .unwrap();
+        verify_with_catalog(&prog, &cat).expect("combine plan must verify");
+        let out = Interpreter::new(&cat).run(&prog).unwrap();
+        let scalars: Vec<Value> = out.iter().map(|v| v.as_scalar().unwrap().clone()).collect();
+        assert_eq!(
+            scalars,
+            vec![Value::I64(3), Value::I64(6), Value::I64(1), Value::I64(3)]
+        );
+    }
+
+    #[test]
+    fn empty_shard_partials_stay_nil_skipping() {
+        // One shard saw no rows: its SUM partial is nil; packsum skips it.
+        let mut cat = Catalog::new();
+        for (i, v) in [Some(5i64), None].into_iter().enumerate() {
+            let mut t = Table::new(schema(
+                &shard_partials_table(i),
+                &[("p0", LogicalType::I64)],
+            ))
+            .unwrap();
+            t.insert_row(&[v.map(Value::I64).unwrap_or(Value::Null)])
+                .unwrap();
+            cat.create_table(t).unwrap();
+        }
+        let prog = aggregate_combine(&[PartialMerge::SumInt], 2).unwrap();
+        verify_with_catalog(&prog, &cat).unwrap();
+        let out = Interpreter::new(&cat).run(&prog).unwrap();
+        assert_eq!(out[0].as_scalar(), Some(&Value::I64(5)));
+        // All shards empty → nil, matching the single-node empty SUM.
+        let prog2 = aggregate_combine(&[PartialMerge::Min], 2).unwrap();
+        let mut cat2 = Catalog::new();
+        for i in 0..2 {
+            let mut t = Table::new(schema(
+                &shard_partials_table(i),
+                &[("p0", LogicalType::I64)],
+            ))
+            .unwrap();
+            t.insert_row(&[Value::Null]).unwrap();
+            cat2.create_table(t).unwrap();
+        }
+        let out2 = Interpreter::new(&cat2).run(&prog2).unwrap();
+        assert_eq!(out2[0].as_scalar(), Some(&Value::Null));
+    }
+
+    #[test]
+    fn candidate_fragments_refuse_to_pack() {
+        let mut prog = Program::new();
+        let v = prog.var();
+        let g = ShardGroup {
+            parts: vec![v],
+            kind: Kind::AbsCands,
+            lineage: Lineage::Instr(0),
+        };
+        assert!(g.pack(&mut prog).is_err());
+    }
+}

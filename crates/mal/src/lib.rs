@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod analysis;
+pub mod combine;
 pub mod interp;
 pub mod mitosis;
 pub mod optimizer;
@@ -41,6 +42,10 @@ pub use analysis::{
     column_facts_with_zonemaps, Analysis, PropFacts, Props, PropsError, CHECK_PROPS_ENV,
 };
 pub use analysis::{verify, verify_with_catalog, Liveness, VerifyError, VerifyErrorKind};
+pub use combine::{
+    aggregate_combine, gather_combine, partial_column, shard_partials_table, shard_table_name,
+    GatherColumn, PartialMerge,
+};
 pub use interp::{bat_rows_bytes, execute_instr, ExecStats, Interpreter, PlanExecutor};
 pub use mammoth_types::{EventKind, ProfiledRun, TraceEvent, TRACE_ENV};
 pub use mitosis::{

@@ -114,8 +114,11 @@ impl OptimizerPass for Mitosis {
 }
 
 /// What a fragment group's tails hold, relative to the base row space.
+/// Public so the shard scatter-gather combine builder ([`crate::combine`])
+/// can tag network-delivered fragment groups with the same taxonomy the
+/// in-process mergetable uses, and gate merges on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
+pub enum Kind {
     /// Range-aligned slices of a base column: fragment heads are void with
     /// the absolute seqbase, and packing them reproduces the original.
     AlignedBase,
@@ -130,7 +133,7 @@ enum Kind {
 
 /// Which selection a fragment group is row-aligned with.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Lineage {
+pub enum Lineage {
     /// The base rows of a table: all bind fragments of one table share it.
     Table(String),
     /// The candidate group born at this instruction index.

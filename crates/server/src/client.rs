@@ -258,6 +258,46 @@ impl Client {
         }
     }
 
+    /// Execute one read-only statement as a scatter-gather fragment
+    /// (protocol v3) and wait for its correlated result table. The shard
+    /// coordinator is the intended caller; `id` is echoed back by the
+    /// server and checked here so a desynchronized connection surfaces as
+    /// a typed protocol error rather than a misattributed result.
+    pub fn fragment(
+        &mut self,
+        id: u64,
+        sql: &str,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>), ClientError> {
+        if self.negotiated < 3 {
+            return Err(ClientError::Protocol(format!(
+                "Fragment requires protocol v3; negotiated v{}",
+                self.negotiated
+            )));
+        }
+        self.send(&ClientMsg::Fragment {
+            id,
+            sql: sql.into(),
+        })?;
+        match self.read_msg()? {
+            ServerMsg::FragmentResult {
+                id: got,
+                columns,
+                rows,
+            } => {
+                if got != id {
+                    return Err(ClientError::Protocol(format!(
+                        "fragment id mismatch: sent {id}, got {got}"
+                    )));
+                }
+                Ok((columns, rows))
+            }
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
     /// Orderly disconnect. Dropping the client without calling this is
     /// fine too — the server treats EOF as a quit.
     pub fn quit(mut self) -> Result<(), ClientError> {

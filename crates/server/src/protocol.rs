@@ -24,15 +24,18 @@ use std::fmt;
 
 /// Newest wire protocol version this build speaks. Version 1 is the PR 5
 /// query protocol; version 2 adds the replication messages
-/// ([`ClientMsg::Subscribe`], [`ServerMsg::WalChunk`] and friends).
+/// ([`ClientMsg::Subscribe`], [`ServerMsg::WalChunk`] and friends);
+/// version 3 adds the sharding fragment messages
+/// ([`ClientMsg::Fragment`] / [`ServerMsg::FragmentResult`]).
 ///
 /// Negotiation: [`ServerMsg::Hello`] advertises the server's newest
 /// version, the client replies in [`ClientMsg::Login`] with
 /// `min(its newest, server's)`, and the server accepts any version in
 /// `MIN_PROTO_VERSION..=PROTO_VERSION`. A v1 client therefore logs in with
-/// version 1 exactly as before, and a v2 client downgrades itself against
-/// a v1 server (which still hard-rejects anything but 1).
-pub const PROTO_VERSION: u16 = 2;
+/// version 1 exactly as before, and a v2/v3 client downgrades itself
+/// against an older server (a v1 server still hard-rejects anything
+/// but 1).
+pub const PROTO_VERSION: u16 = 3;
 
 /// Oldest protocol version the server still accepts in `Login`.
 pub const MIN_PROTO_VERSION: u16 = 1;
@@ -65,6 +68,10 @@ pub enum ErrorCode {
     Internal = 8,
     /// The server is a read-only replica; writes must go to the primary.
     ReadOnly = 9,
+    /// A shard did not answer within the coordinator's deadline (dead
+    /// process, dropped connection, or timeout). The statement was not
+    /// (fully) applied; no partial result is returned.
+    ShardUnavailable = 10,
 }
 
 impl ErrorCode {
@@ -79,6 +86,7 @@ impl ErrorCode {
             ErrorCode::Protocol => "PROTOCOL_ERROR",
             ErrorCode::Internal => "INTERNAL",
             ErrorCode::ReadOnly => "READ_ONLY",
+            ErrorCode::ShardUnavailable => "SHARD_UNAVAILABLE",
         }
     }
 
@@ -93,6 +101,7 @@ impl ErrorCode {
             7 => ErrorCode::Protocol,
             8 => ErrorCode::Internal,
             9 => ErrorCode::ReadOnly,
+            10 => ErrorCode::ShardUnavailable,
             t => return Err(Error::Corrupt(format!("unknown error code {t}"))),
         })
     }
@@ -129,6 +138,12 @@ pub enum ClientMsg {
     /// [`ServerMsg::WalChunk`]s, then [`ServerMsg::CaughtUp`]. Polling the
     /// same connection with successive `Subscribe`s tails the log.
     Subscribe { generation: u64, offset: u64 },
+    /// (v3) Execute one read-only statement as a scatter leg for a shard
+    /// coordinator. `id` is the coordinator's correlation id, echoed back
+    /// in [`ServerMsg::FragmentResult`]. The statement must satisfy
+    /// `is_read_only_statement`; writes travel as plain [`ClientMsg::Query`]
+    /// so they take the shard's normal WAL-durable commit path.
+    Fragment { id: u64, sql: String },
 }
 
 const T_LOGIN: u8 = 0x01;
@@ -136,6 +151,7 @@ const T_QUERY: u8 = 0x02;
 const T_QUIT: u8 = 0x03;
 const T_SHUTDOWN: u8 = 0x04;
 const T_SUBSCRIBE: u8 = 0x05;
+const T_FRAGMENT: u8 = 0x06;
 
 const T_HELLO: u8 = 0x80;
 const T_READY: u8 = 0x81;
@@ -146,6 +162,7 @@ const T_ERR: u8 = 0x85;
 const T_WALCHUNK: u8 = 0x86;
 const T_IMAGE: u8 = 0x87;
 const T_CAUGHTUP: u8 = 0x88;
+const T_FRAGRESULT: u8 = 0x89;
 
 impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
@@ -172,6 +189,11 @@ impl ClientMsg {
                 put_u64(*generation, &mut out);
                 put_u64(*offset, &mut out);
             }
+            ClientMsg::Fragment { id, sql } => {
+                out.push(T_FRAGMENT);
+                put_u64(*id, &mut out);
+                put_str(sql, &mut out);
+            }
         }
         out
     }
@@ -190,6 +212,10 @@ impl ClientMsg {
             T_SUBSCRIBE => ClientMsg::Subscribe {
                 generation: r.u64()?,
                 offset: r.u64()?,
+            },
+            T_FRAGMENT => ClientMsg::Fragment {
+                id: r.u64()?,
+                sql: r.str()?,
             },
             t => return Err(Error::Corrupt(format!("unknown client message tag {t}"))),
         };
@@ -241,6 +267,15 @@ pub enum ServerMsg {
     /// (v2) The subscriber now holds every durable byte the primary has:
     /// its `(generation, offset)` tip at the time of the poll.
     CaughtUp { generation: u64, offset: u64 },
+    /// (v3) One shard's partial result for [`ClientMsg::Fragment`] `id`:
+    /// the fragment statement's result table, verbatim. Errors still
+    /// travel as [`ServerMsg::Err`] so the coordinator's typed-error
+    /// mapping is shared with the query path.
+    FragmentResult {
+        id: u64,
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 impl ServerMsg {
@@ -304,6 +339,20 @@ impl ServerMsg {
                 out.push(T_CAUGHTUP);
                 put_u64(*generation, &mut out);
                 put_u64(*offset, &mut out);
+            }
+            ServerMsg::FragmentResult { id, columns, rows } => {
+                out.push(T_FRAGRESULT);
+                put_u64(*id, &mut out);
+                put_u32(columns.len() as u32, &mut out);
+                for c in columns {
+                    put_str(c, &mut out);
+                }
+                put_u64(rows.len() as u64, &mut out);
+                for row in rows {
+                    for v in row {
+                        put_value(v, &mut out);
+                    }
+                }
             }
         }
         out
@@ -372,6 +421,30 @@ impl ServerMsg {
                 generation: r.u64()?,
                 offset: r.u64()?,
             },
+            T_FRAGRESULT => {
+                let id = r.u64()?;
+                let ncols = r.u32()? as usize;
+                if ncols > r.remaining() {
+                    return Err(Error::Corrupt("column count overruns payload".into()));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(r.str()?);
+                }
+                let nrows = r.u64()? as usize;
+                if nrows > r.remaining() && nrows > 0 && ncols > 0 {
+                    return Err(Error::Corrupt("row count overruns payload".into()));
+                }
+                let mut rows = Vec::new();
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(r.value()?);
+                    }
+                    rows.push(row);
+                }
+                ServerMsg::FragmentResult { id, columns, rows }
+            }
             t => return Err(Error::Corrupt(format!("unknown server message tag {t}"))),
         };
         if !r.done() {
@@ -410,6 +483,10 @@ mod tests {
             ClientMsg::Subscribe {
                 generation: 3,
                 offset: 4096,
+            },
+            ClientMsg::Fragment {
+                id: 42,
+                sql: "SELECT COUNT(*) FROM t".into(),
             },
         ] {
             assert_eq!(ClientMsg::decode(&msg.encode()).unwrap(), msg);
@@ -462,6 +539,16 @@ mod tests {
                 generation: 2,
                 offset: 1234,
             },
+            ServerMsg::FragmentResult {
+                id: 42,
+                columns: vec!["cnt".into()],
+                rows: vec![vec![Value::I64(9)]],
+            },
+            ServerMsg::FragmentResult {
+                id: 0,
+                columns: vec![],
+                rows: vec![],
+            },
         ] {
             assert_eq!(ServerMsg::decode(&msg.encode()).unwrap(), msg);
         }
@@ -501,8 +588,90 @@ mod tests {
             ErrorCode::Protocol,
             ErrorCode::Internal,
             ErrorCode::ReadOnly,
+            ErrorCode::ShardUnavailable,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16).unwrap(), code);
+        }
+    }
+
+    /// Fuzz-style decode hardening for the v3 fragment messages: every
+    /// truncation, every single-bit flip, and allocation-bomb headers must
+    /// come back as typed `Err`s (or decode to *some* message for the rare
+    /// flip that lands on another valid encoding) — never a panic, never a
+    /// huge allocation.
+    #[test]
+    fn fragment_frames_survive_fuzzing() {
+        use rand::{RngCore, RngExt, SeedableRng};
+
+        let samples: Vec<Vec<u8>> = vec![
+            ClientMsg::Fragment {
+                id: u64::MAX,
+                sql: "SELECT a, b FROM t WHERE a > 10".into(),
+            }
+            .encode(),
+            ServerMsg::FragmentResult {
+                id: 7,
+                columns: vec!["a".into(), "s".into()],
+                rows: vec![
+                    vec![Value::I64(-3), Value::Str("naïve".into())],
+                    vec![Value::Null, Value::Str(String::new())],
+                ],
+            }
+            .encode(),
+        ];
+        for enc in &samples {
+            // Every proper prefix is a truncation; none may panic.
+            for cut in 0..enc.len() {
+                let _ = ClientMsg::decode(&enc[..cut]);
+                let _ = ServerMsg::decode(&enc[..cut]);
+            }
+            // Single-bit flips across the whole payload.
+            for byte in 0..enc.len() {
+                for bit in 0..8 {
+                    let mut m = enc.clone();
+                    m[byte] ^= 1 << bit;
+                    let _ = ClientMsg::decode(&m);
+                    let _ = ServerMsg::decode(&m);
+                }
+            }
+        }
+        // Oversized counts must be rejected before allocating.
+        for tag in [T_FRAGMENT, T_FRAGRESULT] {
+            let mut bomb = vec![tag];
+            bomb.extend_from_slice(&u64::MAX.to_le_bytes()); // id
+            bomb.extend_from_slice(&u32::MAX.to_le_bytes()); // len/count
+            assert!(ClientMsg::decode(&bomb).is_err());
+            assert!(ServerMsg::decode(&bomb).is_err());
+        }
+        // A row count that overruns the payload is rejected up front.
+        let mut trick = vec![T_FRAGRESULT];
+        trick.extend_from_slice(&1u64.to_le_bytes()); // id
+        trick.extend_from_slice(&1u32.to_le_bytes()); // 1 column
+        trick.extend_from_slice(&1u32.to_le_bytes()); // name len 1
+        trick.push(b'a');
+        trick.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd row count
+        assert!(ServerMsg::decode(&trick).is_err());
+        // Seeded random byte soup: decoders must stay total.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5a5d);
+        for _ in 0..2000 {
+            let n = rng.random_range(0usize..128);
+            let mut buf = vec![0u8; n];
+            for b in buf.iter_mut() {
+                *b = (rng.next_u64() & 0xff) as u8;
+            }
+            if !buf.is_empty() {
+                // Bias half the cases onto the fragment tags so the new
+                // arms see deep coverage, not just tag rejection.
+                if rng.random_bool(0.5) {
+                    buf[0] = if rng.random_bool(0.5) {
+                        T_FRAGMENT
+                    } else {
+                        T_FRAGRESULT
+                    };
+                }
+            }
+            let _ = ClientMsg::decode(&buf);
+            let _ = ServerMsg::decode(&buf);
         }
     }
 }

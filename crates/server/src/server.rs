@@ -590,6 +590,48 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
                 }
                 handle_subscribe(inner, widx, &mut stream, generation, offset)?;
             }
+            Ok(ClientMsg::Fragment { id, sql }) => {
+                if proto < 3 {
+                    refuse(
+                        &mut stream,
+                        ErrorCode::Protocol,
+                        "Fragment requires protocol version 3",
+                    );
+                    return Ok(());
+                }
+                // Fragments are the read half of scatter-gather; writes
+                // must arrive as Query so they take the normal WAL path.
+                if !is_read_only_statement(&sql) {
+                    send(
+                        &mut stream,
+                        &ServerMsg::Err {
+                            code: ErrorCode::Protocol,
+                            message: "fragments must be read-only statements".into(),
+                        },
+                    )?;
+                    continue;
+                }
+                let started = Instant::now();
+                let (resp, rows) = run_statement(inner, &sql);
+                let resp = match resp {
+                    ServerMsg::Table { columns, rows } => {
+                        ServerMsg::FragmentResult { id, columns, rows }
+                    }
+                    err @ ServerMsg::Err { .. } => err,
+                    _ => ServerMsg::Err {
+                        code: ErrorCode::Internal,
+                        message: "read-only fragment produced no table".into(),
+                    },
+                };
+                inner.trace(
+                    EventKind::ShardFragment,
+                    widx,
+                    format!("id={id}"),
+                    started,
+                    rows,
+                );
+                send(&mut stream, &resp)?;
+            }
             Ok(ClientMsg::Login { .. }) => {
                 refuse(&mut stream, ErrorCode::Protocol, "already logged in");
                 return Ok(());

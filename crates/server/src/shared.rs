@@ -22,6 +22,7 @@
 //!   *committed* statement survives — and the client gets
 //!   [`ExecError::Poisoned`].
 
+use mammoth_parallel::ParallelExecutor;
 use mammoth_sql::{is_read_only_statement, QueryOutput, Session, StatusProvider};
 use mammoth_storage::Vfs;
 use mammoth_types::{Error, Result};
@@ -53,6 +54,9 @@ pub struct SessionSpec {
     /// `EXPLAIN REPLICATION` callback, carried in the spec so poison
     /// rebuilds preserve it (a rebuilt replica session still reports lag).
     pub status_provider: Option<StatusProvider>,
+    /// Run SELECTs on the dataflow engine with this many worker threads
+    /// (`Engine::Parallel` for a networked shard). `None` = serial.
+    pub parallel: Option<usize>,
 }
 
 impl SessionSpec {
@@ -62,6 +66,7 @@ impl SessionSpec {
             wal_batch: None,
             merge_threshold: None,
             status_provider: None,
+            parallel: None,
         }
     }
 
@@ -71,6 +76,7 @@ impl SessionSpec {
             wal_batch: None,
             merge_threshold: None,
             status_provider: None,
+            parallel: None,
         }
     }
 
@@ -83,6 +89,7 @@ impl SessionSpec {
             wal_batch: None,
             merge_threshold: None,
             status_provider: None,
+            parallel: None,
         }
     }
 
@@ -104,6 +111,10 @@ impl SessionSpec {
         }
         if let Some(p) = &self.status_provider {
             s.set_status_provider(p.clone());
+        }
+        if let Some(threads) = self.parallel {
+            let threads = threads.max(1);
+            s = s.with_executor(Box::new(ParallelExecutor::new(threads)), threads.max(2));
         }
         Ok(s)
     }

@@ -1,0 +1,107 @@
+//! The mammoth-shardd daemon: a scatter-gather coordinator in front of a
+//! set of `mammoth-server` shards.
+//!
+//! ```text
+//! mammoth-shardd --shard HOST:PORT [--shard HOST:PORT ...]
+//!                [--addr HOST:PORT] [--auth TOKEN] [--shard-auth TOKEN]
+//!                [--deadline-ms N] [--port-file PATH]
+//! ```
+//!
+//! `--shard` repeats once per shard; **order defines shard ids**, so a
+//! restarted coordinator must list the same shards in the same order for
+//! routing to stay stable. `--auth` gates logins to the coordinator
+//! itself; `--shard-auth` is forwarded to the shards. `--deadline-ms`
+//! bounds every scatter leg (default 2000). `--port-file` writes the
+//! bound address (useful with `--addr 127.0.0.1:0`).
+//!
+//! Exits 0 after a graceful shutdown (a client sent `SHUTDOWN`), 2 on bad
+//! usage, 1 on runtime errors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mammoth_shard::{Coordinator, CoordinatorConfig, FrontConfig, FrontEnd};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mammoth-shardd --shard HOST:PORT [--shard HOST:PORT ...] \
+         [--addr HOST:PORT] [--auth TOKEN] [--shard-auth TOKEN] \
+         [--deadline-ms N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut shards: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut auth: Option<String> = None;
+    let mut shard_auth = String::new();
+    let mut deadline_ms = 2000u64;
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--shard" => shards.push(val("--shard")),
+            "--addr" => addr = val("--addr"),
+            "--auth" => auth = Some(val("--auth")),
+            "--shard-auth" => shard_auth = val("--shard-auth"),
+            "--deadline-ms" => deadline_ms = parse(&val("--deadline-ms"), "--deadline-ms"),
+            "--port-file" => port_file = Some(val("--port-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if shards.is_empty() {
+        eprintln!("at least one --shard is required");
+        usage();
+    }
+
+    let mut cfg = CoordinatorConfig::new(shards);
+    cfg.token = shard_auth;
+    cfg.deadline = Duration::from_millis(deadline_ms.max(1));
+    let coordinator = Arc::new(Coordinator::new(cfg));
+
+    let mut front_cfg = FrontConfig::new(addr);
+    front_cfg.auth_token = auth;
+    front_cfg.allow_remote_shutdown = true;
+    let front = match FrontEnd::start(front_cfg, coordinator) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mammoth-shardd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = front.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, local.to_string()) {
+            eprintln!("mammoth-shardd: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("mammoth-shardd: coordinating on {local}");
+
+    match front.wait() {
+        Ok(()) => eprintln!("mammoth-shardd: graceful shutdown"),
+        Err(e) => {
+            eprintln!("mammoth-shardd: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}

@@ -1,0 +1,752 @@
+//! The scatter-gather coordinator.
+//!
+//! A [`Coordinator`] owns one client connection per shard (`mammoth-server`
+//! processes it does not manage) plus a **planning catalog**: the sharded
+//! schemas with no rows. Every statement is parsed and compiled exactly
+//! once, here, and verified with the MAL analysis tier before any fragment
+//! touches the network — a shard never sees a plan the coordinator could
+//! not prove well-formed.
+//!
+//! Execution strategies, in the order [`Coordinator::execute`] tries them:
+//!
+//! * **DDL** (`CREATE`/`DROP TABLE`, `CHECKPOINT`) broadcasts the raw
+//!   statement to every shard and mirrors the change into the planning
+//!   catalog and partition map.
+//! * **DML** routes by partition key: an `INSERT` splits its rows by
+//!   [`shard_of`] and ships each shard only its subset (durable via that
+//!   shard's WAL); a `DELETE` whose predicate pins the key goes to the one
+//!   owning shard, anything else broadcasts.
+//! * **SELECT** scatters read-only fragments (protocol v3 `Fragment`
+//!   messages) and merges through the same `mat.pack` / `mat.packsum`
+//!   machinery the in-process mergetable uses — see
+//!   [`mammoth_mal::combine`]. Lossless scalar aggregates merge from
+//!   one-row partials; everything else gathers column fragments and
+//!   re-runs the original verified plan against the recombined catalog.
+//!
+//! **Partial failure is typed, never silent**: if any shard is
+//! unreachable or times out mid-scatter the statement fails with
+//! [`CoordError::Unavailable`] (wire code `SHARD_UNAVAILABLE`); no
+//! truncated result table is ever returned. Each statement is bounded by
+//! the configured deadline via per-connection read timeouts.
+//!
+//! A subtlety worth keeping: the gather path optimizes the *original*
+//! plan with [`column_facts`] of the **rebuilt** catalog (real gathered
+//! rows), never the planning catalog — empty-table facts (0 rows,
+//! degenerate min/max) would license rewrites that are unsound for the
+//! data actually shipped back.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mammoth_algebra::CmpOp;
+use mammoth_mal::{
+    aggregate_combine, column_facts, default_pipeline, default_pipeline_with_props, gather_combine,
+    partial_column, shard_partials_table, shard_table_name, verify_with_catalog, GatherColumn,
+    Interpreter, MalValue, PartialMerge, Program,
+};
+use mammoth_server::{Client, ClientError, ErrorCode, Response, RetryPolicy};
+use mammoth_sql::{
+    classify, compile_select, insert_sql, parse_sql, render_outputs, wants_sharding_status,
+    GatherTable, Predicate, QueryOutput, ScatterPlan, SelectStmt, Statement,
+};
+use mammoth_storage::{Bat, Catalog, Table};
+use mammoth_types::{
+    ColumnDef, Error, EventKind, LogicalType, ProfiledRun, TableSchema, TraceEvent, Value,
+};
+
+use crate::partition::{shard_of, PartitionMap, PartitionSpec};
+
+/// How to reach and pace the shard set.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Shard addresses (`host:port`), one `mammoth-server` each. Shard
+    /// index in this vector is the shard id the partitioner targets — the
+    /// order must be stable across coordinator restarts.
+    pub shards: Vec<String>,
+    /// Auth token forwarded to every shard (empty when shards run open).
+    pub token: String,
+    /// Per-statement bound: read timeout on every shard connection. A
+    /// shard that dies mid-scatter surfaces as `SHARD_UNAVAILABLE` within
+    /// roughly this bound, never as a hang.
+    pub deadline: Duration,
+    /// Reconnect discipline for (re)dialing a shard. Keep it short — the
+    /// retries run inside the statement's deadline budget.
+    pub retry: RetryPolicy,
+}
+
+impl CoordinatorConfig {
+    /// Sensible defaults for `shards`: 2 s deadline, 2 quick dial attempts.
+    pub fn new(shards: Vec<String>) -> CoordinatorConfig {
+        CoordinatorConfig {
+            shards,
+            token: String::new(),
+            deadline: Duration::from_secs(2),
+            retry: RetryPolicy {
+                attempts: 2,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(50),
+                seed: 0,
+            },
+        }
+    }
+}
+
+/// How a coordinated statement fails.
+#[derive(Debug)]
+pub enum CoordError {
+    /// A shard could not be dialed, died mid-statement, or blew the
+    /// deadline. Maps to the wire code `SHARD_UNAVAILABLE`; the statement
+    /// has no (even partial) result.
+    Unavailable(String),
+    /// A shard answered with an error frame; passed through verbatim.
+    Remote { code: ErrorCode, message: String },
+    /// The statement itself is wrong (parse, bind, unsupported shape) or
+    /// the coordinator's own merge failed.
+    Sql(Error),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::Unavailable(m) => write!(f, "SHARD_UNAVAILABLE: {m}"),
+            CoordError::Remote { code, message } => write!(f, "{code}: {message}"),
+            CoordError::Sql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+fn internal(e: impl std::fmt::Display) -> CoordError {
+    CoordError::Sql(Error::Internal(e.to_string()))
+}
+
+/// The scatter-gather coordinator. Thread-safe: the front end serves each
+/// client connection from its own thread against one shared `Coordinator`.
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    /// One lazily-dialed connection slot per shard; a slot is cleared on
+    /// any transport error so the next statement redials.
+    pools: Vec<Mutex<Option<Client>>>,
+    /// Schemas only — zero rows. Compilation and verification target.
+    planning: Mutex<Catalog>,
+    parts: Mutex<PartitionMap>,
+    next_frag: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+    t0: Instant,
+    stmts: AtomicU64,
+}
+
+impl Coordinator {
+    pub fn new(cfg: CoordinatorConfig) -> Coordinator {
+        assert!(
+            !cfg.shards.is_empty(),
+            "coordinator needs at least one shard"
+        );
+        let pools = cfg.shards.iter().map(|_| Mutex::new(None)).collect();
+        Coordinator {
+            cfg,
+            pools,
+            planning: Mutex::new(Catalog::new()),
+            parts: Mutex::new(PartitionMap::default()),
+            next_frag: AtomicU64::new(1),
+            events: Mutex::new(Vec::new()),
+            t0: Instant::now(),
+            stmts: AtomicU64::new(0),
+        }
+    }
+
+    pub fn nshards(&self) -> usize {
+        self.cfg.shards.len()
+    }
+
+    /// Statements executed so far (including failed ones).
+    pub fn statements(&self) -> u64 {
+        self.stmts.load(Ordering::Relaxed)
+    }
+
+    fn trace(&self, kind: EventKind, args: String, started: Instant, rows: u64) {
+        let now = Instant::now();
+        let ev = TraceEvent {
+            kind,
+            op: kind.as_str().into(),
+            args,
+            start_ns: started.duration_since(self.t0).as_nanos() as u64,
+            dur_ns: now.duration_since(started).as_nanos() as u64,
+            rows_out: rows,
+            ..TraceEvent::default()
+        };
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+    }
+
+    /// Fold accumulated `shard.*` events into a [`ProfiledRun`] and append
+    /// it to the `MAMMOTH_TRACE` path, mirroring the server's flush.
+    pub fn flush_trace(&self) -> std::io::Result<bool> {
+        let events = {
+            let mut g = self.events.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *g)
+        };
+        let mut run = ProfiledRun::new("shard", self.nshards());
+        run.executed = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ShardScatter | EventKind::ShardRoute))
+            .count() as u64;
+        run.elapsed_ns = self.t0.elapsed().as_nanos() as u64;
+        run.events = events;
+        run.export_env()
+    }
+
+    /// Run `f` on shard `i`'s connection, dialing if needed. Transport
+    /// failures clear the slot (the next statement redials) and map to
+    /// [`CoordError::Unavailable`]; shard-side error frames pass through
+    /// and keep the connection.
+    fn with_shard<T>(
+        &self,
+        i: usize,
+        f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, CoordError> {
+        let addr = &self.cfg.shards[i];
+        let mut slot = self.pools[i].lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            let started = Instant::now();
+            match Client::connect_with_retry(
+                addr,
+                "mammoth-shard",
+                &self.cfg.token,
+                &self.cfg.retry,
+            ) {
+                Ok(c) => {
+                    if let Err(e) = c.set_read_timeout(Some(self.cfg.deadline)) {
+                        self.trace(
+                            EventKind::ShardUnavailable,
+                            format!("shard={i} addr={addr}"),
+                            started,
+                            0,
+                        );
+                        return Err(CoordError::Unavailable(format!("shard {i} ({addr}): {e}")));
+                    }
+                    *slot = Some(c);
+                }
+                Err(e) => {
+                    self.trace(
+                        EventKind::ShardUnavailable,
+                        format!("shard={i} addr={addr}"),
+                        started,
+                        0,
+                    );
+                    return Err(CoordError::Unavailable(format!("shard {i} ({addr}): {e}")));
+                }
+            }
+        }
+        let started = Instant::now();
+        let out = f(slot.as_mut().expect("dialed above"));
+        match out {
+            Ok(v) => Ok(v),
+            Err(ClientError::Server {
+                code: ErrorCode::ShuttingDown,
+                message,
+            }) => {
+                // A draining shard is as gone as a dead one for this
+                // statement; reclassify so clients see the typed code.
+                *slot = None;
+                self.trace(
+                    EventKind::ShardUnavailable,
+                    format!("shard={i} addr={addr}"),
+                    started,
+                    0,
+                );
+                Err(CoordError::Unavailable(format!(
+                    "shard {i} ({addr}): {message}"
+                )))
+            }
+            Err(ClientError::Server { code, message }) => {
+                // The shard answered; the connection is still in protocol.
+                Err(CoordError::Remote { code, message })
+            }
+            Err(e) => {
+                *slot = None;
+                self.trace(
+                    EventKind::ShardUnavailable,
+                    format!("shard={i} addr={addr}"),
+                    started,
+                    0,
+                );
+                Err(CoordError::Unavailable(format!("shard {i} ({addr}): {e}")))
+            }
+        }
+    }
+
+    /// Run `f(i)` for every shard concurrently; one OS thread per leg so a
+    /// slow shard cannot starve the others of its deadline budget.
+    fn scatter<T: Send>(
+        &self,
+        f: impl Fn(usize) -> Result<T, CoordError> + Sync,
+    ) -> Vec<Result<T, CoordError>> {
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.nshards()).map(|i| s.spawn(move || f(i))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter leg panicked"))
+                .collect()
+        })
+    }
+
+    /// Broadcast a raw statement to every shard, failing on the first
+    /// error (in shard order).
+    fn broadcast(&self, sql: &str) -> Result<Vec<Response>, CoordError> {
+        let legs = self.scatter(|i| self.with_shard(i, |c| c.query(sql)));
+        legs.into_iter().collect()
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    fn create_table(
+        &self,
+        sql: &str,
+        name: &str,
+        columns: &[(String, LogicalType, bool)],
+    ) -> Result<QueryOutput, CoordError> {
+        let defs: Vec<ColumnDef> = columns
+            .iter()
+            .map(|(n, ty, nullable)| {
+                let d = ColumnDef::new(n.clone(), *ty);
+                if *nullable {
+                    d
+                } else {
+                    d.not_null()
+                }
+            })
+            .collect();
+        let schema = TableSchema::new(name, defs);
+        {
+            let mut planning = self.planning.lock().unwrap_or_else(|e| e.into_inner());
+            let table = Table::new(schema.clone()).map_err(CoordError::Sql)?;
+            planning.create_table(table).map_err(CoordError::Sql)?;
+            if let Err(e) = self
+                .parts
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .add_table(&schema)
+            {
+                let _ = planning.drop_table(name);
+                return Err(CoordError::Sql(e));
+            }
+        }
+        self.broadcast(sql)?;
+        Ok(QueryOutput::Ok)
+    }
+
+    fn drop_table(&self, sql: &str, name: &str) -> Result<QueryOutput, CoordError> {
+        self.planning
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drop_table(name)
+            .map_err(CoordError::Sql)?;
+        self.parts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove_table(name);
+        self.broadcast(sql)?;
+        Ok(QueryOutput::Ok)
+    }
+
+    // ---------------------------------------------------------------- DML
+
+    fn insert(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<QueryOutput, CoordError> {
+        let spec = self.spec_for(table)?;
+        let n = self.nshards();
+        let started = Instant::now();
+        let mut per_shard: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n];
+        for row in rows {
+            let key = row.get(spec.key_index).ok_or_else(|| {
+                CoordError::Sql(Error::Internal(format!(
+                    "INSERT row has no value for partition key column {}",
+                    spec.key_column
+                )))
+            })?;
+            per_shard[shard_of(key, n)].push(row);
+        }
+        let mut total: u64 = 0;
+        let mut touched = 0usize;
+        for (i, shard_rows) in per_shard.iter().enumerate() {
+            if shard_rows.is_empty() {
+                continue;
+            }
+            touched += 1;
+            let frag = insert_sql(table, shard_rows);
+            match self.with_shard(i, |c| c.query(&frag))? {
+                Response::Affected(k) => total += k,
+                other => {
+                    return Err(internal(format!(
+                        "shard {i} answered INSERT with {other:?}"
+                    )))
+                }
+            }
+        }
+        self.trace(
+            EventKind::ShardRoute,
+            format!("insert table={table} shards_touched={touched}"),
+            started,
+            total,
+        );
+        Ok(QueryOutput::Affected(total as usize))
+    }
+
+    fn delete(
+        &self,
+        sql: &str,
+        table: &str,
+        where_: &[Predicate],
+    ) -> Result<QueryOutput, CoordError> {
+        let spec = self.spec_for(table)?;
+        let n = self.nshards();
+        let started = Instant::now();
+        // A predicate that pins the partition key to one value means only
+        // the owning shard can hold matching rows.
+        let pinned = where_.iter().find(|p| {
+            p.op == CmpOp::Eq
+                && p.col.column.eq_ignore_ascii_case(&spec.key_column)
+                && p.col
+                    .table
+                    .as_ref()
+                    .is_none_or(|t| t.eq_ignore_ascii_case(table))
+        });
+        let (total, routed) = match pinned {
+            Some(p) => {
+                let target = shard_of(&p.value, n);
+                let resp = self.with_shard(target, |c| c.query(sql))?;
+                match resp {
+                    Response::Affected(k) => (k, format!("shard={target}")),
+                    other => {
+                        return Err(internal(format!(
+                            "shard {target} answered DELETE with {other:?}"
+                        )))
+                    }
+                }
+            }
+            None => {
+                let mut total = 0;
+                for resp in self.broadcast(sql)? {
+                    match resp {
+                        Response::Affected(k) => total += k,
+                        other => {
+                            return Err(internal(format!("a shard answered DELETE with {other:?}")))
+                        }
+                    }
+                }
+                (total, "broadcast".into())
+            }
+        };
+        self.trace(
+            EventKind::ShardRoute,
+            format!("delete table={table} {routed}"),
+            started,
+            total,
+        );
+        Ok(QueryOutput::Affected(total as usize))
+    }
+
+    fn spec_for(&self, table: &str) -> Result<PartitionSpec, CoordError> {
+        self.parts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spec(table)
+            .cloned()
+            .ok_or_else(|| {
+                CoordError::Sql(Error::NotFound {
+                    kind: "table",
+                    name: table.to_string(),
+                })
+            })
+    }
+
+    // ------------------------------------------------------------- SELECT
+
+    fn select(&self, sel: &SelectStmt) -> Result<QueryOutput, CoordError> {
+        // Compile once, verify, classify — all against the planning
+        // catalog, with the lock released before any network hop.
+        let (prog, names, plan, schemas) = {
+            let planning = self.planning.lock().unwrap_or_else(|e| e.into_inner());
+            let (prog, names) = compile_select(&planning, sel).map_err(CoordError::Sql)?;
+            verify_with_catalog(&prog, &planning)
+                .map_err(|e| internal(format!("coordinator plan failed verification: {e}")))?;
+            let plan = classify(&planning, sel);
+            let schemas: Vec<TableSchema> = match &plan {
+                ScatterPlan::Gather { tables } => tables
+                    .iter()
+                    .map(|t| planning.table(&t.table).map(|tb| tb.schema.clone()))
+                    .collect::<mammoth_types::Result<_>>()
+                    .map_err(CoordError::Sql)?,
+                ScatterPlan::Aggregates { .. } => Vec::new(),
+            };
+            (prog, names, plan, schemas)
+        };
+        match plan {
+            ScatterPlan::Aggregates {
+                fragment_sql,
+                merges,
+            } => self.select_aggregates(names, &fragment_sql, &merges),
+            ScatterPlan::Gather { tables } => self.select_gather(prog, names, &tables, &schemas),
+        }
+    }
+
+    /// Lossless scalar aggregates: ship the statement whole, merge the
+    /// one-row partials with the verified [`aggregate_combine`] plan.
+    fn select_aggregates(
+        &self,
+        names: Vec<String>,
+        fragment_sql: &str,
+        merges: &[PartialMerge],
+    ) -> Result<QueryOutput, CoordError> {
+        let n = self.nshards();
+        let m = merges.len();
+        let id = self.next_frag.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        self.trace(
+            EventKind::ShardScatter,
+            format!("id={id} aggregate shards={n}"),
+            started,
+            0,
+        );
+        let legs = self.scatter(|i| self.with_shard(i, |c| c.fragment(id, fragment_sql)));
+        let mut partials: Vec<Vec<Value>> = Vec::with_capacity(n);
+        for (i, leg) in legs.into_iter().enumerate() {
+            let (cols, mut rows) = leg?;
+            if rows.len() != 1 || cols.len() != m {
+                return Err(internal(format!(
+                    "shard {i} partial has shape {}x{}, expected 1x{m}",
+                    rows.len(),
+                    cols.len()
+                )));
+            }
+            partials.push(rows.pop().expect("one row"));
+        }
+        // The engine types every lossless partial I64 or F64; a column is
+        // F64 iff some shard produced a float (all-NULL defaults to I64,
+        // which packsum/pack treat identically for nil).
+        let types: Vec<LogicalType> = (0..m)
+            .map(|j| {
+                if partials.iter().any(|r| matches!(r[j], Value::F64(_))) {
+                    LogicalType::F64
+                } else {
+                    LogicalType::I64
+                }
+            })
+            .collect();
+        let gather_started = Instant::now();
+        let mut stage = Catalog::new();
+        for (i, row) in partials.iter().enumerate() {
+            let defs = types
+                .iter()
+                .enumerate()
+                .map(|(j, ty)| ColumnDef::new(partial_column(j), *ty))
+                .collect();
+            let mut t =
+                Table::new(TableSchema::new(shard_partials_table(i), defs)).map_err(internal)?;
+            t.insert_row(row).map_err(internal)?;
+            stage.create_table(t).map_err(internal)?;
+        }
+        let comb = aggregate_combine(merges, n).map_err(internal)?;
+        verify_with_catalog(&comb, &stage)
+            .map_err(|e| internal(format!("combine plan failed verification: {e}")))?;
+        let outs = Interpreter::new(&stage).run(&comb).map_err(internal)?;
+        self.trace(
+            EventKind::ShardGather,
+            format!("id={id} partials={n}"),
+            gather_started,
+            1,
+        );
+        render_outputs(names, outs).map_err(internal)
+    }
+
+    /// Everything else: gather each referenced table's column fragments,
+    /// rebuild the tables, and re-run the original verified plan.
+    fn select_gather(
+        &self,
+        prog: Program,
+        names: Vec<String>,
+        tables: &[GatherTable],
+        schemas: &[TableSchema],
+    ) -> Result<QueryOutput, CoordError> {
+        let n = self.nshards();
+        let id = self.next_frag.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        self.trace(
+            EventKind::ShardScatter,
+            format!("id={id} gather tables={}", tables.len()),
+            started,
+            0,
+        );
+        let legs = self.scatter(|i| {
+            self.with_shard(i, |c| {
+                let mut per_table = Vec::with_capacity(tables.len());
+                for t in tables {
+                    per_table.push(c.fragment(id, &t.fragment_sql)?);
+                }
+                Ok(per_table)
+            })
+        });
+        let mut per_shard = Vec::with_capacity(n);
+        for leg in legs {
+            per_shard.push(leg?);
+        }
+        let gather_started = Instant::now();
+        // Stage every shard's fragments under __shard{i}__{table} so the
+        // verified gather plan can pack them in shard order.
+        let mut stage = Catalog::new();
+        for (i, shard_tables) in per_shard.iter().enumerate() {
+            for ((t, schema), (_, rows)) in tables.iter().zip(schemas).zip(shard_tables.iter()) {
+                let mut s = schema.clone();
+                s.name = shard_table_name(i, &t.table);
+                let mut tb = Table::new(s).map_err(internal)?;
+                for row in rows {
+                    tb.insert_row(row).map_err(internal)?;
+                }
+                stage.create_table(tb).map_err(internal)?;
+            }
+        }
+        let columns: Vec<GatherColumn> = tables
+            .iter()
+            .flat_map(|t| {
+                t.columns.iter().map(|c| GatherColumn {
+                    table: t.table.clone(),
+                    column: c.clone(),
+                })
+            })
+            .collect();
+        let comb = gather_combine(&columns, n).map_err(internal)?;
+        verify_with_catalog(&comb, &stage)
+            .map_err(|e| internal(format!("gather plan failed verification: {e}")))?;
+        let packed = Interpreter::new(&stage).run(&comb).map_err(internal)?;
+        // Rebuild each table whole from its packed columns.
+        let mut gathered = Catalog::new();
+        let mut packed = packed.into_iter();
+        let mut total_rows: u64 = 0;
+        for (t, schema) in tables.iter().zip(schemas) {
+            let bats: Vec<Bat> = t
+                .columns
+                .iter()
+                .map(|c| match packed.next() {
+                    Some(MalValue::Bat(b)) => {
+                        Ok(Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone()))
+                    }
+                    other => Err(internal(format!(
+                        "gather of {}.{c} produced {other:?}, expected a BAT",
+                        t.table
+                    ))),
+                })
+                .collect::<Result<_, _>>()?;
+            total_rows += bats.first().map_or(0, |b| b.len() as u64);
+            gathered
+                .create_table(Table::from_bats(schema.clone(), bats).map_err(internal)?)
+                .map_err(internal)?;
+        }
+        // Optimize the original plan with facts of the REAL gathered data;
+        // planning-catalog facts (0 rows) would be unsound here.
+        let facts = column_facts(&gathered);
+        let opt = default_pipeline_with_props(facts)
+            .try_optimize(prog)
+            .map_err(|e| internal(format!("optimizer rejected gathered plan: {e}")))?;
+        let outs = Interpreter::new(&gathered).run(&opt).map_err(internal)?;
+        self.trace(
+            EventKind::ShardGather,
+            format!("id={id} rows={total_rows}"),
+            gather_started,
+            total_rows,
+        );
+        render_outputs(names, outs).map_err(internal)
+    }
+
+    // ---------------------------------------------------------- utilities
+
+    fn explain(&self, sel: &SelectStmt) -> Result<QueryOutput, CoordError> {
+        let planning = self.planning.lock().unwrap_or_else(|e| e.into_inner());
+        let (prog, _) = compile_select(&planning, sel).map_err(CoordError::Sql)?;
+        drop(planning);
+        // Display only: the coordinator's single-node view of the plan.
+        // Fact-dependent rewrites are skipped (no real rows here).
+        let opt = default_pipeline()
+            .try_optimize(prog)
+            .map_err(|e| internal(format!("optimizer rejected plan: {e}")))?;
+        let rows = opt
+            .to_string()
+            .lines()
+            .map(|l| vec![Value::Str(l.to_string())])
+            .collect();
+        Ok(QueryOutput::Table {
+            columns: vec!["mal".to_string()],
+            rows,
+        })
+    }
+
+    /// `EXPLAIN SHARDING`: the partition map plus live per-shard row
+    /// counts — one result row per (table, shard).
+    fn explain_sharding(&self) -> Result<QueryOutput, CoordError> {
+        let specs: Vec<(String, PartitionSpec)> = self
+            .parts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(t, s)| (t.clone(), s.clone()))
+            .collect();
+        let mut rows = Vec::new();
+        for (table, spec) in &specs {
+            let id = self.next_frag.fetch_add(1, Ordering::Relaxed);
+            let frag = format!("SELECT COUNT(*) FROM {table}");
+            let legs = self.scatter(|i| self.with_shard(i, |c| c.fragment(id, &frag)));
+            for (i, leg) in legs.into_iter().enumerate() {
+                let (_, mut count_rows) = leg?;
+                let count = count_rows
+                    .pop()
+                    .and_then(|mut r| r.pop())
+                    .ok_or_else(|| internal("COUNT(*) fragment returned no rows"))?;
+                rows.push(vec![
+                    Value::Str(table.clone()),
+                    Value::Str(spec.key_column.clone()),
+                    Value::I64(i as i64),
+                    Value::Str(self.cfg.shards[i].clone()),
+                    count,
+                ]);
+            }
+        }
+        Ok(QueryOutput::Table {
+            columns: vec![
+                "table".into(),
+                "key_column".into(),
+                "shard".into(),
+                "addr".into(),
+                "rows".into(),
+            ],
+            rows,
+        })
+    }
+
+    /// Execute one SQL statement across the shard set.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput, CoordError> {
+        self.stmts.fetch_add(1, Ordering::Relaxed);
+        let sql = sql.trim();
+        if wants_sharding_status(sql) {
+            return self.explain_sharding();
+        }
+        match parse_sql(sql).map_err(CoordError::Sql)? {
+            Statement::CreateTable { name, columns } => self.create_table(sql, &name, &columns),
+            Statement::DropTable { name } => self.drop_table(sql, &name),
+            Statement::Insert { table, rows } => self.insert(&table, rows),
+            Statement::Delete { table, where_ } => self.delete(sql, &table, &where_),
+            Statement::Checkpoint => {
+                self.broadcast(sql)?;
+                Ok(QueryOutput::Ok)
+            }
+            Statement::Trace(_) => Err(CoordError::Sql(Error::Unsupported(
+                "TRACE profiles a single node; connect to a shard directly".into(),
+            ))),
+            Statement::Explain(sel) => self.explain(&sel),
+            Statement::Select(sel) => self.select(&sel),
+        }
+    }
+}

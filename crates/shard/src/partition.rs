@@ -1,0 +1,183 @@
+//! Hash partitioning: which shard owns a row.
+//!
+//! Every sharded table is hash-partitioned on a single **partition key**
+//! column (by convention the table's first column). A row lives on exactly
+//! one shard, chosen by hashing the canonical encoding of its key value
+//! with FNV-1a and reducing modulo the shard count. The encoding is
+//! deliberately type-class based — `I32(5)` and `I64(5)` hash identically —
+//! so that routing a literal from SQL text agrees with routing the stored
+//! value regardless of which integer width the parser picked.
+//!
+//! The map is pure arithmetic over the key value and the shard count:
+//! restarting the coordinator (or building a second coordinator over the
+//! same shard list) reproduces the same placement, which is what the
+//! partitioner proptests in `tests/sharding.rs` pin down.
+
+use std::collections::BTreeMap;
+
+use mammoth_types::{Error, Result, TableSchema, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a over the canonical encoding of a value.
+///
+/// Each type class gets a tag byte so `Str("")` and `Null` cannot collide
+/// structurally; integers normalise to `i64` little-endian so the two
+/// integer widths route identically.
+pub fn hash_value(v: &Value) -> u64 {
+    let mut h = FNV_OFFSET;
+    match v {
+        Value::Null => fnv1a(&mut h, &[0]),
+        Value::Bool(b) => fnv1a(&mut h, &[1, u8::from(*b)]),
+        Value::I8(x) => {
+            fnv1a(&mut h, &[2]);
+            fnv1a(&mut h, &i64::from(*x).to_le_bytes());
+        }
+        Value::I16(x) => {
+            fnv1a(&mut h, &[2]);
+            fnv1a(&mut h, &i64::from(*x).to_le_bytes());
+        }
+        Value::I32(x) => {
+            fnv1a(&mut h, &[2]);
+            fnv1a(&mut h, &i64::from(*x).to_le_bytes());
+        }
+        Value::I64(x) => {
+            fnv1a(&mut h, &[2]);
+            fnv1a(&mut h, &x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            fnv1a(&mut h, &[3]);
+            fnv1a(&mut h, &x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            fnv1a(&mut h, &[4]);
+            fnv1a(&mut h, s.as_bytes());
+        }
+        Value::Oid(o) => {
+            fnv1a(&mut h, &[5]);
+            fnv1a(&mut h, &o.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// The shard that owns a row whose partition key is `v`, out of `nshards`.
+pub fn shard_of(v: &Value, nshards: usize) -> usize {
+    debug_assert!(nshards > 0);
+    (hash_value(v) % nshards as u64) as usize
+}
+
+/// How one table is partitioned.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    /// Name of the partition key column.
+    pub key_column: String,
+    /// Index of the key column in the table's schema (and in INSERT rows,
+    /// which mammoth requires to list every column in schema order).
+    pub key_index: usize,
+}
+
+/// Partition specs for every sharded table, keyed by lowercased name.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionMap {
+    specs: BTreeMap<String, PartitionSpec>,
+}
+
+impl PartitionMap {
+    /// Register a table: its first column becomes the partition key.
+    pub fn add_table(&mut self, schema: &TableSchema) -> Result<()> {
+        let first = schema
+            .columns
+            .first()
+            .ok_or_else(|| Error::Unsupported("cannot shard a table with no columns".into()))?;
+        self.specs.insert(
+            schema.name.to_ascii_lowercase(),
+            PartitionSpec {
+                key_column: first.name.clone(),
+                key_index: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Forget a dropped table.
+    pub fn remove_table(&mut self, name: &str) {
+        self.specs.remove(&name.to_ascii_lowercase());
+    }
+
+    /// The partition spec for `table`, if it is sharded.
+    pub fn spec(&self, table: &str) -> Option<&PartitionSpec> {
+        self.specs.get(&table.to_ascii_lowercase())
+    }
+
+    /// Iterate `(table, spec)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &PartitionSpec)> {
+        self.specs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mammoth_types::{ColumnDef, LogicalType};
+
+    #[test]
+    fn integer_widths_route_identically() {
+        for n in 1..8usize {
+            for x in [-3i64, 0, 5, 41, i32::MAX as i64] {
+                assert_eq!(
+                    shard_of(&Value::I32(x as i32), n),
+                    shard_of(&Value::I64(x), n),
+                    "I32/I64 {x} disagree at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        for v in [Value::Null, Value::Str("abc".into()), Value::I64(99)] {
+            assert_eq!(shard_of(&v, 1), 0);
+        }
+    }
+
+    #[test]
+    fn spread_is_not_degenerate() {
+        // 1000 consecutive keys over 3 shards: each shard gets a
+        // non-trivial share. FNV-1a is not cryptographic, but it must not
+        // collapse onto one shard for the workloads the tests generate.
+        let mut counts = [0usize; 3];
+        for k in 0..1000i64 {
+            counts[shard_of(&Value::I64(k), 3)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 100, "shard {i} got only {c}/1000 keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn map_tracks_first_column_and_drops() {
+        let schema = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("id", LogicalType::I64),
+                ColumnDef::new("v", LogicalType::Str),
+            ],
+        );
+        let mut map = PartitionMap::default();
+        map.add_table(&schema).unwrap();
+        let spec = map.spec("t").expect("lowercased lookup");
+        assert_eq!(spec.key_column, "id");
+        assert_eq!(spec.key_index, 0);
+        map.remove_table("T");
+        assert!(map.spec("t").is_none());
+    }
+}

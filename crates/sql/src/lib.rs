@@ -19,9 +19,14 @@ pub mod ast;
 pub mod compile;
 pub mod lexer;
 pub mod parser;
+pub mod routing;
 pub mod session;
 
+pub use ast::{ColumnRef, JoinClause};
 pub use ast::{Predicate, SelectItem, SelectStmt, Statement};
 pub use compile::compile_select;
 pub use parser::parse_sql;
-pub use session::{is_read_only_statement, QueryOutput, Session, StatusProvider};
+pub use routing::{
+    classify, insert_sql, select_sql, sql_literal, wants_sharding_status, GatherTable, ScatterPlan,
+};
+pub use session::{is_read_only_statement, render_outputs, QueryOutput, Session, StatusProvider};

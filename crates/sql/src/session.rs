@@ -755,7 +755,11 @@ fn profile_table(run: &ProfiledRun) -> QueryOutput {
     QueryOutput::Table { columns, rows }
 }
 
-fn render_outputs(names: Vec<String>, outputs: Vec<MalValue>) -> Result<QueryOutput> {
+/// Align a plan's outputs with their column names as a result table:
+/// all-scalar outputs become a single row, BAT outputs become aligned
+/// columns. Public for the shard coordinator, which runs verified plans
+/// outside a [`Session`] and renders through the same rules.
+pub fn render_outputs(names: Vec<String>, outputs: Vec<MalValue>) -> Result<QueryOutput> {
     if names.len() != outputs.len() {
         return Err(Error::Internal(format!(
             "plan produced {} outputs for {} columns",

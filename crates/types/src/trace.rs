@@ -67,6 +67,16 @@ pub enum EventKind {
     ReplCaughtUp,
     /// A replica was promoted to read-write primary.
     ReplPromote,
+    /// The shard coordinator fanned a statement out to its shards.
+    ShardScatter,
+    /// A shard server executed one read-only fragment for a coordinator.
+    ShardFragment,
+    /// The coordinator merged per-shard partials into one result.
+    ShardGather,
+    /// A DML statement was routed to the owning shard(s) by partition key.
+    ShardRoute,
+    /// A scatter leg failed (dead shard, deadline) — `SHARD_UNAVAILABLE`.
+    ShardUnavailable,
 }
 
 impl EventKind {
@@ -93,6 +103,11 @@ impl EventKind {
             EventKind::ReplApply => "repl.apply",
             EventKind::ReplCaughtUp => "repl.caughtup",
             EventKind::ReplPromote => "repl.promote",
+            EventKind::ShardScatter => "shard.scatter",
+            EventKind::ShardFragment => "shard.fragment",
+            EventKind::ShardGather => "shard.gather",
+            EventKind::ShardRoute => "shard.route",
+            EventKind::ShardUnavailable => "shard.unavailable",
         }
     }
 
@@ -119,6 +134,11 @@ impl EventKind {
             "repl.apply" => EventKind::ReplApply,
             "repl.caughtup" => EventKind::ReplCaughtUp,
             "repl.promote" => EventKind::ReplPromote,
+            "shard.scatter" => EventKind::ShardScatter,
+            "shard.fragment" => EventKind::ShardFragment,
+            "shard.gather" => EventKind::ShardGather,
+            "shard.route" => EventKind::ShardRoute,
+            "shard.unavailable" => EventKind::ShardUnavailable,
             _ => return None,
         })
     }
@@ -784,6 +804,11 @@ mod tests {
             EventKind::ReplApply,
             EventKind::ReplCaughtUp,
             EventKind::ReplPromote,
+            EventKind::ShardScatter,
+            EventKind::ShardFragment,
+            EventKind::ShardGather,
+            EventKind::ShardRoute,
+            EventKind::ShardUnavailable,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

@@ -132,6 +132,61 @@ cargo run -q -p mammoth-types --bin tracecheck -- "$repl_rtrace"
 rm -rf "$repl_ptrace" "$repl_rtrace" "$repl_pport" "$repl_rport" \
     "$repl_pdir" "$repl_rdir"
 
+echo "==> shard smoke: 3 shards + coordinator, routed DML, cross-shard aggregate, shard kill"
+shd_trace=$(mktemp -u /tmp/mammoth_shd_trace.XXXXXX.jsonl)
+shd_pids=()
+shd_addrs=()
+for i in 0 1 2; do
+    shd_pf=$(mktemp -u /tmp/mammoth_shd_port.XXXXXX)
+    ./target/release/mammoth-server --addr 127.0.0.1:0 --port-file "$shd_pf" &
+    shd_pids+=($!)
+    # shellcheck disable=SC2064
+    trap "kill ${shd_pids[*]} 2>/dev/null || true" EXIT
+    for _ in $(seq 1 100); do [ -s "$shd_pf" ] && break; sleep 0.05; done
+    shd_addrs+=("$(cat "$shd_pf")")
+    rm -f "$shd_pf"
+done
+coord_pf=$(mktemp -u /tmp/mammoth_coord_port.XXXXXX)
+MAMMOTH_TRACE=$shd_trace ./target/release/mammoth-shardd \
+    --addr 127.0.0.1:0 --port-file "$coord_pf" \
+    --shard "${shd_addrs[0]}" --shard "${shd_addrs[1]}" --shard "${shd_addrs[2]}" &
+coord_pid=$!
+# shellcheck disable=SC2064
+trap "kill $coord_pid ${shd_pids[*]} 2>/dev/null || true" EXIT
+for _ in $(seq 1 100); do [ -s "$coord_pf" ] && break; sleep 0.05; done
+coord_addr=$(cat "$coord_pf")
+# Routed DML + a packsum-pushdown aggregate + a gather-path GROUP BY,
+# all through the ordinary client against the coordinator.
+shd_out=$(./target/release/mammoth-cli --addr "$coord_addr" \
+    -c "CREATE TABLE smoke (id BIGINT NOT NULL, v BIGINT)" \
+    -c "INSERT INTO smoke VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (6, 60)" \
+    -c "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM smoke" \
+    -c "SELECT v, COUNT(*) FROM smoke WHERE v >= 40 GROUP BY v")
+echo "$shd_out" | grep -q "210" \
+    || { echo "shard smoke: cross-shard aggregate wrong: $shd_out"; exit 1; }
+# The partition map must account for the table on every shard.
+placement=$(./target/release/mammoth-cli --addr "$coord_addr" -c "EXPLAIN SHARDING")
+[ "$(echo "$placement" | grep -c "smoke")" -eq 3 ] \
+    || { echo "shard smoke: EXPLAIN SHARDING missing shards: $placement"; exit 1; }
+# Kill one shard hard; a fan-out read must fail typed, never truncate.
+kill -9 "${shd_pids[1]}"
+wait "${shd_pids[1]}" 2>/dev/null || true
+dead_out=$(./target/release/mammoth-cli --addr "$coord_addr" \
+    -c "SELECT COUNT(*) FROM smoke" 2>&1) && {
+    echo "shard smoke: fan-out over a dead shard unexpectedly succeeded"; exit 1; }
+echo "$dead_out" | grep -q "SHARD_UNAVAILABLE" \
+    || { echo "shard smoke: expected SHARD_UNAVAILABLE, got: $dead_out"; exit 1; }
+# Graceful shutdown everywhere; the coordinator must exit 0 with a clean trace.
+./target/release/mammoth-cli --addr "$coord_addr" -c "SHUTDOWN" >/dev/null
+wait $coord_pid || { echo "shard smoke: coordinator exited non-zero"; exit 1; }
+for i in 0 2; do
+    ./target/release/mammoth-cli --addr "${shd_addrs[$i]}" -c "SHUTDOWN" >/dev/null
+    wait "${shd_pids[$i]}" || { echo "shard smoke: shard $i exited non-zero"; exit 1; }
+done
+trap - EXIT
+cargo run -q -p mammoth-types --bin tracecheck -- "$shd_trace"
+rm -f "$shd_trace" "$coord_pf"
+
 echo "==> malcheck: well-formed plans must verify (profiler must not interfere)"
 good=$(ls examples/plans/*.mal | grep -v '/bad_')
 # shellcheck disable=SC2086

@@ -37,6 +37,7 @@
 //! | [`parallel`] | multi-core dataflow execution of MAL plans |
 //! | [`sql`] | the SQL front-end |
 //! | [`server`] | the MAPI-style network server + client |
+//! | [`shard`] | hash-partitioned scale-out: scatter-gather coordinator |
 //! | [`xpath`] | pre/post XML encoding + staircase join |
 //! | [`workload`] | deterministic data/query generators |
 
@@ -54,6 +55,7 @@ pub use mammoth_mal as mal;
 pub use mammoth_parallel as parallel;
 pub use mammoth_recycler as recycler;
 pub use mammoth_server as server;
+pub use mammoth_shard as shard;
 pub use mammoth_sql as sql;
 pub use mammoth_storage as storage;
 pub use mammoth_stream as stream;
