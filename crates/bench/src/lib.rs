@@ -33,6 +33,7 @@ pub mod experiments {
     pub mod e22_props;
     pub mod e23_replication;
     pub mod e24_sharding;
+    pub mod e25_failover;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -179,6 +180,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e24",
             "extension - sharded scale-out: routed write throughput, cross-shard aggregates, shard kill",
             e24_sharding::run,
+        ),
+        (
+            "e25",
+            "extension - shard-replica failover: time to detect/degrade/promote, zero acked loss",
+            e25_failover::run,
         ),
     ]
 }

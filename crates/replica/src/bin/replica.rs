@@ -4,6 +4,7 @@
 //! mammoth-replica --primary HOST:PORT --data DIR
 //!                 [--addr HOST:PORT] [--workers N] [--poll-ms N]
 //!                 [--primary-auth TOKEN] [--name NAME] [--port-file PATH]
+//!                 [--primary-data DIR]
 //! ```
 //!
 //! Starts a read-only replica of the primary at `--primary`: bootstraps
@@ -11,6 +12,12 @@
 //! SELECT / EXPLAIN on its own port (writes are refused with
 //! `READ_ONLY`). `--port-file` writes the bound address (useful with
 //! `--addr 127.0.0.1:0`) so scripts can find an ephemeral port.
+//!
+//! `--primary-data DIR` names the primary's data directory when this node
+//! can see it. It arms in-place failover: a `PROMOTE` statement drains the
+//! unreplicated WAL tail from that directory, then lifts the read-only
+//! gate — the shard coordinator's health monitor sends `PROMOTE`
+//! automatically when it confirms the primary dead.
 //!
 //! The process exits 0 after a graceful shutdown (a client sent
 //! `SHUTDOWN` to the replica's own port), 2 on bad usage, 1 on runtime
@@ -23,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mammoth-replica --primary HOST:PORT --data DIR [--addr HOST:PORT] \
          [--workers N] [--poll-ms N] [--primary-auth TOKEN] [--name NAME] \
-         [--port-file PATH]"
+         [--port-file PATH] [--primary-data DIR]"
     );
     std::process::exit(2);
 }
@@ -37,6 +44,7 @@ fn main() {
     let mut primary_auth = String::new();
     let mut name = "replica".to_string();
     let mut port_file: Option<String> = None;
+    let mut primary_data: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +63,7 @@ fn main() {
             "--primary-auth" => primary_auth = val("--primary-auth"),
             "--name" => name = val("--name"),
             "--port-file" => port_file = Some(val("--port-file")),
+            "--primary-data" => primary_data = Some(val("--primary-data")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -73,6 +82,7 @@ fn main() {
     cfg.poll_interval = Duration::from_millis(poll_ms.max(1));
     cfg.primary_token = primary_auth;
     cfg.name = name;
+    cfg.primary_data = primary_data.map(Into::into);
 
     let replica = match Replica::start(cfg) {
         Ok(r) => r,

@@ -8,11 +8,21 @@
 //! [`crate::applier::Applier`], and folds committed statement groups into
 //! the serving session.
 //!
-//! Failover: [`Replica::promote`] stops replication, drains whatever the
-//! dead primary's surviving directory still holds beyond the replicated
-//! prefix (WAL shipping is asynchronous, so the replica may trail by the
-//! last poll interval), and returns the data directory — now a valid
-//! primary directory — for a read-write server to start on.
+//! Failover comes in two shapes:
+//!
+//! * [`Replica::promote`] (consuming) stops replication, drains whatever
+//!   the dead primary's surviving directory still holds beyond the
+//!   replicated prefix (WAL shipping is asynchronous, so the replica may
+//!   trail by the last poll interval), and returns the data directory —
+//!   now a valid primary directory — for a read-write server to start on.
+//! * **In-place promotion** keeps the replica's server (and its client
+//!   connections) alive: a `PROMOTE` statement — sent by an operator or by
+//!   the shard coordinator's health monitor — stops the puller, drains the
+//!   dead primary's directory (`ReplicaConfig::primary_data`), rebuilds
+//!   the serving session over the recovered state, and only then lifts the
+//!   server's read-only gate. Progress is observable through
+//!   `EXPLAIN REPLICATION`: `role` flips from `replica` to `primary` when
+//!   promotion completes, which is exactly what the coordinator polls for.
 
 use crate::applier::Applier;
 use mammoth_server::{Client, RetryPolicy, Server, ServerConfig, SessionSpec, SharedSession};
@@ -48,6 +58,11 @@ pub struct ReplicaConfig {
     pub name: String,
     /// Reconnect discipline for the puller's connection to the primary.
     pub retry: RetryPolicy,
+    /// Where the primary's data directory lives, when this node can see
+    /// it. In-place promotion (`PROMOTE`) drains the unreplicated WAL tail
+    /// from here before going read-write; `None` means the primary's disk
+    /// is unreachable and the replicated prefix is all that survives.
+    pub primary_data: Option<PathBuf>,
 }
 
 impl ReplicaConfig {
@@ -61,6 +76,7 @@ impl ReplicaConfig {
             primary_token: String::new(),
             name: "replica".into(),
             retry: RetryPolicy::default(),
+            primary_data: None,
         }
     }
 }
@@ -80,6 +96,9 @@ pub struct ReplicaStatus {
     pub applied_groups: u64,
     /// Full re-anchors (first sync, checkpoint flips, divergence wipes).
     pub bootstraps: u64,
+    /// Whether in-place promotion has completed: this node is now a
+    /// read-write primary (`role=primary` in `EXPLAIN REPLICATION`).
+    pub promoted: bool,
 }
 
 #[derive(Default)]
@@ -90,6 +109,7 @@ struct Counters {
     groups: AtomicU64,
     bootstraps: AtomicU64,
     caught_up: AtomicBool,
+    promoted: AtomicBool,
 }
 
 impl Counters {
@@ -104,8 +124,35 @@ impl Counters {
             caught_up: self.caught_up.load(Ordering::SeqCst),
             applied_groups: self.groups.load(Ordering::SeqCst),
             bootstraps: self.bootstraps.load(Ordering::SeqCst),
+            promoted: self.promoted.load(Ordering::SeqCst),
         }
     }
+}
+
+/// Everything in-place promotion needs, shared between the running
+/// [`Replica`] and the server's `PROMOTE` handler (which outlives any
+/// borrow of the `Replica` itself — the handler fires on a server worker
+/// thread and spawns the promotion onto its own thread).
+struct PromoteShared {
+    cfg: ReplicaConfig,
+    fs: Arc<dyn Vfs>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    puller: Arc<Mutex<Option<JoinHandle<()>>>>,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+    t0: Instant,
+    /// Server-side handles, filled right after `Server::start` (the
+    /// handler must be installed *before* the server exists).
+    wiring: Mutex<Option<PromoteWiring>>,
+    /// First-promotion latch: `PROMOTE` is idempotent.
+    begun: AtomicBool,
+}
+
+#[derive(Clone)]
+struct PromoteWiring {
+    read_only: Arc<AtomicBool>,
+    shared: Arc<SharedSession>,
+    spec: SessionSpec,
 }
 
 /// A running replica: read-only server + puller thread.
@@ -115,7 +162,8 @@ pub struct Replica {
     fs: Arc<dyn Vfs>,
     counters: Arc<Counters>,
     stop: Arc<AtomicBool>,
-    puller: Option<JoinHandle<()>>,
+    puller: Arc<Mutex<Option<JoinHandle<()>>>>,
+    promo: Arc<PromoteShared>,
     events: Arc<Mutex<Vec<TraceEvent>>>,
     t0: Instant,
     local_addr: SocketAddr,
@@ -138,8 +186,9 @@ impl Replica {
         let mut spec = SessionSpec::durable_with(Arc::clone(&fs), &cfg.data);
         spec.status_provider = Some(Arc::new(move || {
             let s = status.snapshot();
+            let role = if s.promoted { "primary" } else { "replica" };
             vec![
-                ("role".into(), "replica".into()),
+                ("role".into(), role.into()),
                 ("generation".into(), s.generation.to_string()),
                 ("local_offset".into(), s.local_offset.to_string()),
                 ("primary_offset".into(), s.primary_offset.to_string()),
@@ -147,18 +196,47 @@ impl Replica {
                 ("caught_up".into(), s.caught_up.to_string()),
                 ("applied_groups".into(), s.applied_groups.to_string()),
                 ("bootstraps".into(), s.bootstraps.to_string()),
+                ("promoted".into(), s.promoted.to_string()),
             ]
         }));
 
+        let stop = Arc::new(AtomicBool::new(false));
+        let puller_slot: Arc<Mutex<Option<JoinHandle<()>>>> = Arc::new(Mutex::new(None));
+        let promo = Arc::new(PromoteShared {
+            cfg: cfg.clone(),
+            fs: Arc::clone(&fs),
+            counters: Arc::clone(&counters),
+            stop: Arc::clone(&stop),
+            puller: Arc::clone(&puller_slot),
+            events: Arc::clone(&events),
+            t0,
+            wiring: Mutex::new(None),
+            begun: AtomicBool::new(false),
+        });
+        let handler_promo = Arc::clone(&promo);
         let server = Server::start(ServerConfig {
             addr: cfg.addr.clone(),
             workers: cfg.workers,
             read_only: true,
+            // The handler only *starts* promotion (on its own thread): the
+            // Ok frame means "promotion begun", and the worker thread that
+            // relayed the PROMOTE goes back to serving reads immediately.
+            promote_handler: Some(Arc::new(move || {
+                let p = Arc::clone(&handler_promo);
+                std::thread::spawn(move || {
+                    let _ = run_promotion(&p);
+                });
+            })),
             spec: spec.clone(),
             ..ServerConfig::default()
         })?;
         let local_addr = server.local_addr();
         let shared = server.shared_arc();
+        *promo.wiring.lock().unwrap_or_else(|e| e.into_inner()) = Some(PromoteWiring {
+            read_only: server.read_only_switch(),
+            shared: Arc::clone(&shared),
+            spec: spec.clone(),
+        });
 
         // The server's recovery just (re)created the local WAL header, or
         // replayed the validated mirror; adopt the on-disk state as-is.
@@ -177,8 +255,9 @@ impl Replica {
             cfg,
             fs,
             counters,
-            stop: Arc::new(AtomicBool::new(false)),
-            puller: None,
+            stop,
+            puller: puller_slot,
+            promo,
             events,
             t0,
             local_addr,
@@ -259,7 +338,7 @@ impl Replica {
         let t = Instant::now();
         let mut drained = 0u64;
         if let Some(proot) = dead_primary {
-            drained = self.drain_from(proot)?;
+            drained = drain_into(&self.fs, &self.cfg.data, proot)?;
         }
         self.trace(
             EventKind::ReplPromote,
@@ -273,31 +352,15 @@ impl Replica {
         Ok(self.cfg.data.clone())
     }
 
-    /// Copy everything the dead primary's directory holds that the local
-    /// mirror does not. Returns the number of WAL bytes gained.
-    fn drain_from(&self, proot: &Path) -> Result<u64> {
-        let fs = self.fs.as_ref();
-        let Some(tip) = durable_tip(fs, proot)? else {
-            return Ok(0); // primary never committed anything
-        };
-        let (mut applier, _) = Applier::open(Arc::clone(&self.fs), &self.cfg.data)?;
-        if tip.gen == applier.generation() {
-            if let Some(bytes) = read_wal_range(fs, proot, tip.gen, applier.offset())? {
-                let wal = self.cfg.data.join(wal_file_name(tip.gen));
-                self.fs.append(&wal, &bytes)?;
-                self.fs.sync(&wal)?;
-                return Ok(bytes.len() as u64);
-            }
-        }
-        // The primary is on a generation we cannot extend: take a verbatim
-        // copy of its whole directory (it is small: one checkpoint image,
-        // one WAL, CURRENT).
-        applier.reset()?;
-        let mut copied = 0u64;
-        for path in fs.read_dir(proot)? {
-            copied += copy_tree(fs, &path, &self.cfg.data)?;
-        }
-        Ok(copied)
+    /// Fail over *without* tearing the server down: stop replication,
+    /// drain the dead primary's directory (`cfg.primary_data`), rebuild
+    /// the serving session over the recovered state, then lift the
+    /// read-only gate — existing connections ride through and `role`
+    /// flips to `primary`. This is what the `PROMOTE` statement runs
+    /// (asynchronously); tests and embedders may call it directly.
+    /// Idempotent: a second call is a no-op. Returns WAL bytes drained.
+    pub fn promote_in_place(&self) -> Result<u64> {
+        run_promotion(&self.promo)
     }
 
     fn spawn_puller(
@@ -311,7 +374,7 @@ impl Replica {
         let counters = Arc::clone(&self.counters);
         let events = Arc::clone(&self.events);
         let t0 = self.t0;
-        self.puller = Some(std::thread::spawn(move || {
+        let handle = std::thread::spawn(move || {
             puller_loop(
                 &cfg,
                 &stop,
@@ -322,12 +385,14 @@ impl Replica {
                 &spec,
                 &shared,
             );
-        }));
+        });
+        *self.puller.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
     }
 
     fn stop_puller(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.puller.take() {
+        let handle = self.puller.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
     }
@@ -359,13 +424,111 @@ impl Replica {
 impl Drop for Replica {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.puller.take() {
+        let handle = self.puller.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
         if let Some(server) = self.server.take() {
             let _ = server.shutdown();
         }
     }
+}
+
+/// In-place promotion, shared by the `PROMOTE` handler's thread and
+/// [`Replica::promote_in_place`]. Ordering is the whole point:
+///
+/// 1. latch `begun` (idempotency — a retried `PROMOTE` must not run two
+///    promotions);
+/// 2. stop the puller, so nothing mutates the mirror under the drain;
+/// 3. drain the dead primary's directory: after this, every statement the
+///    old primary ever acked is in the local mirror (`acked <= recovered`,
+///    and at most one in-flight unacked statement rides along);
+/// 4. rebuild the serving session — a fresh recovery over mirror + drained
+///    tail;
+/// 5. only then flip `promoted` and lift the read-only gate: no write can
+///    land on pre-promotion state.
+///
+/// On failure the latch is released and the gate stays down, so a later
+/// `PROMOTE` can retry and readers never see a half-promoted node.
+fn run_promotion(promo: &PromoteShared) -> Result<u64> {
+    if promo.begun.swap(true, Ordering::SeqCst) {
+        return Ok(0);
+    }
+    let t = Instant::now();
+    let result = (|| {
+        let wiring = promo
+            .wiring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .ok_or_else(|| Error::Internal("promotion requested before server wiring".into()))?;
+        promo.stop.store(true, Ordering::SeqCst);
+        let handle = promo
+            .puller
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        let mut drained = 0u64;
+        if let Some(proot) = &promo.cfg.primary_data {
+            drained = drain_into(&promo.fs, &promo.cfg.data, proot)?;
+        }
+        rebuild_session(&wiring.shared, &wiring.spec)?;
+        promo.counters.promoted.store(true, Ordering::SeqCst);
+        wiring.read_only.store(false, Ordering::SeqCst);
+        Ok(drained)
+    })();
+    match result {
+        Ok(drained) => {
+            push_event(
+                &promo.events,
+                promo.t0,
+                EventKind::ReplPromote,
+                format!(
+                    "in-place drained={drained} bytes from {:?}",
+                    promo
+                        .cfg
+                        .primary_data
+                        .as_ref()
+                        .map(|p| p.display().to_string())
+                ),
+                t,
+            );
+            Ok(drained)
+        }
+        Err(e) => {
+            promo.begun.store(false, Ordering::SeqCst);
+            Err(e)
+        }
+    }
+}
+
+/// Copy everything the dead primary's directory holds that the local
+/// mirror under `data` does not. Returns the number of bytes gained.
+fn drain_into(fs: &Arc<dyn Vfs>, data: &Path, proot: &Path) -> Result<u64> {
+    let Some(tip) = durable_tip(fs.as_ref(), proot)? else {
+        return Ok(0); // primary never committed anything
+    };
+    let (mut applier, _) = Applier::open(Arc::clone(fs), data)?;
+    if tip.gen == applier.generation() {
+        if let Some(bytes) = read_wal_range(fs.as_ref(), proot, tip.gen, applier.offset())? {
+            let wal = data.join(wal_file_name(tip.gen));
+            fs.append(&wal, &bytes)?;
+            fs.sync(&wal)?;
+            return Ok(bytes.len() as u64);
+        }
+    }
+    // The primary is on a generation we cannot extend: take a verbatim
+    // copy of its whole directory (it is small: one checkpoint image,
+    // one WAL, CURRENT).
+    applier.reset()?;
+    let mut copied = 0u64;
+    for path in fs.read_dir(proot)? {
+        copied += copy_tree(fs.as_ref(), &path, data)?;
+    }
+    Ok(copied)
 }
 
 fn push_event(

@@ -3,13 +3,21 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::protocol::{ClientMsg, ErrorCode, ServerMsg, MIN_PROTO_VERSION, PROTO_VERSION};
-use mammoth_types::Value;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mammoth_types::{netfault, Value};
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// The reconnect discipline all retrying callers share — see
+/// [`mammoth_types::retry`]. Re-exported here because the client is where
+/// most callers meet it ([`Client::connect_with_retry`]).
+pub use mammoth_types::retry::RetryPolicy;
+
+/// Upper bound on the connect handshake (Hello/Login/Ready). Generous —
+/// a live server answers in microseconds; only a one-way partition or a
+/// wedged peer ever spends it.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// How a client call can fail.
 #[derive(Debug)]
@@ -66,40 +74,19 @@ pub enum Response {
     Ok,
 }
 
-/// Reconnect discipline for [`Client::connect_with_retry`]: bounded
-/// attempts, exponential backoff, deterministic jitter. Retryable
-/// failures are `SERVER_BUSY` sheds and transport-level resets — the
-/// kinds a briefly-overloaded or restarting server produces; anything
-/// else (auth failure, protocol error, SQL error) surfaces immediately.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Total connection attempts, including the first (>= 1).
-    pub attempts: u32,
-    /// Sleep before the first retry; doubles per retry up to `max_delay`.
-    pub base_delay: Duration,
-    /// Backoff ceiling.
-    pub max_delay: Duration,
-    /// Seed for the jitter RNG — deterministic so tests can replay a
-    /// schedule. Each delay is scaled by a factor in [0.5, 1.0].
-    pub seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> RetryPolicy {
-        RetryPolicy {
-            attempts: 6,
-            base_delay: Duration::from_millis(20),
-            max_delay: Duration::from_secs(1),
-            seed: 0,
-        }
-    }
-}
-
 /// A connected, logged-in client.
+///
+/// A client that suffers any transport-level failure mid-conversation —
+/// a read timeout, a torn frame, an undecodable response — marks itself
+/// **poisoned** and refuses further requests: after such a failure the
+/// stream may be desynchronized (e.g. half a frame consumed), and reusing
+/// it would misattribute the next response. Callers observe the typed
+/// poison error (or check [`Client::is_poisoned`]) and reconnect.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     negotiated: u16,
+    poisoned: bool,
 }
 
 impl Client {
@@ -113,11 +100,27 @@ impl Client {
     /// v2 messages); only a server older than [`MIN_PROTO_VERSION`] — or
     /// one that refuses our answer — fails the handshake.
     pub fn connect(addr: &str, name: &str, token: &str) -> Result<Client, ClientError> {
+        // FaultNet's connect hook: a scheduled refusal fires here, before
+        // any socket is opened, with a genuine `ConnectionRefused` kind so
+        // retry classification sees exactly what a dead listener produces.
+        if let Some(e) = netfault::on_connect() {
+            return Err(ClientError::Io(e));
+        }
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        // Bound the handshake: a peer that accepts the TCP connection but
+        // never sends Hello/Ready (or whose frames a partition swallows)
+        // must surface as a timed-out dial that `connect_with_retry` can
+        // classify and retry — not hang the dialer forever. The bound is
+        // lifted once logged in; statement reads opt into their own
+        // deadline via [`Client::set_read_timeout`].
+        stream
+            .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+            .map_err(ClientError::Io)?;
         let mut c = Client {
             stream,
             negotiated: PROTO_VERSION,
+            poisoned: false,
         };
         // The server answers a connect with Hello — or an error frame when
         // admission control sheds us before a worker ever picks us up.
@@ -145,7 +148,10 @@ impl Client {
             token: token.into(),
         })?;
         match c.read_msg()? {
-            ServerMsg::Ready => Ok(c),
+            ServerMsg::Ready => {
+                c.stream.set_read_timeout(None).map_err(ClientError::Io)?;
+                Ok(c)
+            }
             ServerMsg::Err { code, message } => Err(refusal(code, message)),
             other => Err(ClientError::Protocol(format!(
                 "expected Ready, got {other:?}"
@@ -157,36 +163,37 @@ impl Client {
     /// `policy`. Used by the replication puller (the primary may shed it
     /// under load, or be mid-restart) and anything else that prefers
     /// waiting out a busy server to failing fast.
+    /// Retryable failures are `SERVER_BUSY` sheds and the transport-level
+    /// errors a dying or not-yet-listening peer produces; anything else
+    /// (auth failure, protocol error, SQL error) surfaces immediately.
+    /// Pacing comes from the shared [`mammoth_types::retry`] policy.
     pub fn connect_with_retry(
         addr: &str,
         name: &str,
         token: &str,
         policy: &RetryPolicy,
     ) -> Result<Client, ClientError> {
-        let mut rng = StdRng::seed_from_u64(policy.seed);
-        let mut delay = policy.base_delay;
-        let attempts = policy.attempts.max(1);
-        let mut last = None;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                // Jitter to a fraction in [0.5, 1.0] of the nominal delay so
-                // a fleet of reconnecting replicas does not stampede in sync.
-                let frac = rng.random_range(0.5f64..1.0);
-                std::thread::sleep(delay.mul_f64(frac));
-                delay = (delay * 2).min(policy.max_delay);
-            }
-            match Client::connect(addr, name, token) {
-                Ok(c) => return Ok(c),
-                Err(e) if retryable(&e) => last = Some(e),
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last.expect("at least one attempt was made"))
+        policy.run(retryable, |_| Client::connect(addr, name, token))
     }
 
     /// The protocol version negotiated at connect time.
     pub fn protocol_version(&self) -> u16 {
         self.negotiated
+    }
+
+    /// Whether a transport failure has desynchronized this connection.
+    /// A poisoned client refuses further requests; reconnect instead.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn ensure_usable(&self) -> Result<(), ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Protocol(
+                "connection poisoned by an earlier mid-frame failure; reconnect".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Bound every read on this connection (handy for tests).
@@ -196,6 +203,7 @@ impl Client {
 
     /// Execute one SQL statement and wait for its response.
     pub fn query(&mut self, sql: &str) -> Result<Response, ClientError> {
+        self.ensure_usable()?;
         self.send(&ClientMsg::Query { sql: sql.into() })?;
         match self.read_msg()? {
             ServerMsg::Table { columns, rows } => Ok(Response::Table { columns, rows }),
@@ -211,6 +219,7 @@ impl Client {
     /// Ask the server to shut down gracefully. On success the server has
     /// acknowledged and begun draining (and will close this connection).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.ensure_usable()?;
         self.send(&ClientMsg::Shutdown)?;
         match self.read_msg()? {
             ServerMsg::Ok => Ok(()),
@@ -237,6 +246,7 @@ impl Client {
                 self.negotiated
             )));
         }
+        self.ensure_usable()?;
         self.send(&ClientMsg::Subscribe { generation, offset })?;
         let mut batch = Vec::new();
         loop {
@@ -274,6 +284,7 @@ impl Client {
                 self.negotiated
             )));
         }
+        self.ensure_usable()?;
         self.send(&ClientMsg::Fragment {
             id,
             sql: sql.into(),
@@ -305,14 +316,37 @@ impl Client {
         Ok(())
     }
 
+    // Both frame helpers poison the connection on failure: a failed write
+    // leaves the request possibly half-sent, a failed read leaves the
+    // response possibly half-consumed (a timeout mid-frame is the classic
+    // case), and an undecodable frame means the two sides already
+    // disagree. In every case the only safe continuation is a new
+    // connection.
     fn send(&mut self, msg: &ClientMsg) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, &msg.encode())?;
-        Ok(())
+        match write_frame(&mut self.stream, &msg.encode()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
     }
 
     fn read_msg(&mut self) -> Result<ServerMsg, ClientError> {
-        let payload = read_frame(&mut self.stream)?;
-        Ok(ServerMsg::decode(&payload)?)
+        let payload = match read_frame(&mut self.stream) {
+            Ok(p) => p,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        };
+        match ServerMsg::decode(&payload) {
+            Ok(m) => Ok(m),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
     }
 }
 

@@ -409,6 +409,67 @@ mod tests {
         assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
     }
 
+    /// A transport failure mid-conversation (here: a response frame whose
+    /// CRC lies, i.e. torn on the wire) must poison the client: the next
+    /// request fails fast with a typed refusal instead of reading from a
+    /// desynchronized stream. The shard coordinator relies on this to
+    /// rebuild scatter connections after any deadline miss.
+    #[test]
+    fn mid_frame_failure_poisons_the_client() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let fake = std::thread::spawn(move || {
+            use std::io::Write;
+            let (mut s, _) = listener.accept().unwrap();
+            let hello = ServerMsg::Hello {
+                version: PROTO_VERSION,
+                server: "fake".into(),
+            };
+            frame::write_frame(&mut s, &hello.encode()).unwrap();
+            let _ = frame::read_frame(&mut s).unwrap(); // Login
+            frame::write_frame(&mut s, &ServerMsg::Ready.encode()).unwrap();
+            let _ = frame::read_frame(&mut s).unwrap(); // Query
+            let mut bad = Vec::new();
+            mammoth_types::framing::frame_into(&ServerMsg::Ok.encode(), &mut bad);
+            let last = bad.len() - 1;
+            bad[last] ^= 0x01; // damage the payload: CRC check must fail
+            s.write_all(&bad).unwrap();
+            s.flush().unwrap();
+        });
+        let mut c = Client::connect(&addr, "x", "").unwrap();
+        assert!(!c.is_poisoned());
+        let err = c.query("SELECT 1").unwrap_err();
+        assert!(
+            !matches!(err, ClientError::Server { .. }),
+            "expected a transport failure, got {err:?}"
+        );
+        assert!(c.is_poisoned());
+        match c.query("SELECT 1") {
+            Err(ClientError::Protocol(m)) => {
+                assert!(m.contains("poisoned"), "refusal should say why: {m}")
+            }
+            other => panic!("expected a fast poisoned refusal, got {other:?}"),
+        }
+        fake.join().unwrap();
+    }
+
+    /// `PROMOTE` is only meaningful on a replica wired with a promotion
+    /// handler; a plain server must refuse it, typed.
+    #[test]
+    fn promote_refused_without_a_promotion_path() {
+        let (srv, addr) = start(ServerConfig::default());
+        let mut c = Client::connect(&addr, "x", "").unwrap();
+        match c.query("PROMOTE") {
+            Err(ClientError::Server {
+                code: ErrorCode::Protocol,
+                message,
+            }) => assert!(message.contains("promotion"), "{message}"),
+            other => panic!("expected a typed refusal, got {other:?}"),
+        }
+        drop(c);
+        srv.shutdown().unwrap();
+    }
+
     #[test]
     fn poisoned_statement_reported_and_survivable() {
         let (srv, addr) = start(ServerConfig {

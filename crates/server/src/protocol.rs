@@ -376,7 +376,10 @@ impl ServerMsg {
                     columns.push(r.str()?);
                 }
                 let nrows = r.u64()? as usize;
-                if nrows > r.remaining() && nrows > 0 && ncols > 0 {
+                // Every row consumes at least one byte per value, and a
+                // zero-column table cannot justify any row count — reject
+                // both before the row loop spins on a corrupt length.
+                if nrows > r.remaining() || (ncols == 0 && nrows > 0) {
                     return Err(Error::Corrupt("row count overruns payload".into()));
                 }
                 let mut rows = Vec::new();
@@ -432,7 +435,10 @@ impl ServerMsg {
                     columns.push(r.str()?);
                 }
                 let nrows = r.u64()? as usize;
-                if nrows > r.remaining() && nrows > 0 && ncols > 0 {
+                // Every row consumes at least one byte per value, and a
+                // zero-column table cannot justify any row count — reject
+                // both before the row loop spins on a corrupt length.
+                if nrows > r.remaining() || (ncols == 0 && nrows > 0) {
                     return Err(Error::Corrupt("row count overruns payload".into()));
                 }
                 let mut rows = Vec::new();

@@ -73,6 +73,12 @@ pub struct ServerConfig {
     /// shutdown checkpoint is skipped so the local generation numbering
     /// stays in lock-step with the primary's.
     pub read_only: bool,
+    /// Invoked when a client sends the `PROMOTE` statement. A replica
+    /// installs a handler that kicks off its in-place promotion (and the
+    /// server later leaves read-only mode via [`Server::set_read_only`]);
+    /// servers without one refuse `PROMOTE` with a protocol error. The
+    /// handler must return promptly — promotion itself runs elsewhere.
+    pub promote_handler: Option<Arc<dyn Fn() + Send + Sync>>,
     /// The engine session recipe (storage, WAL batch, merge threshold).
     pub spec: SessionSpec,
 }
@@ -88,6 +94,7 @@ impl Default for ServerConfig {
             allow_remote_shutdown: true,
             test_panics: false,
             read_only: false,
+            promote_handler: None,
             spec: SessionSpec::in_memory(),
         }
     }
@@ -132,6 +139,10 @@ impl Stats {
 struct Inner {
     shared: Arc<SharedSession>,
     cfg: ServerConfig,
+    /// Runtime read-only switch, seeded from `cfg.read_only`. An `Arc` so
+    /// promotion can flip a replica to read-write *in place* — existing
+    /// connections included — without rebinding the listener.
+    read_only: Arc<AtomicBool>,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -185,9 +196,11 @@ impl Server {
         if test_panics {
             shared = shared.enable_test_panics();
         }
+        let read_only = Arc::new(AtomicBool::new(cfg.read_only));
         let inner = Arc::new(Inner {
             shared: Arc::new(shared),
             cfg,
+            read_only,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -239,6 +252,24 @@ impl Server {
         Arc::clone(&self.inner.shared)
     }
 
+    /// Whether mutating statements are currently refused.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Flip the read-only gate at runtime. Promotion calls this *after*
+    /// the serving session has been rebuilt over the recovered state, so
+    /// no write can sneak in against the pre-promotion catalog.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.inner.read_only.store(read_only, Ordering::SeqCst);
+    }
+
+    /// A clonable handle to the runtime read-only switch, for promotion
+    /// machinery that outlives the `Server` borrow.
+    pub fn read_only_switch(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner.read_only)
+    }
+
     /// Flip the drain flag; returns immediately. Idempotent.
     pub fn request_shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
@@ -286,8 +317,10 @@ impl Server {
         // Persist what was acknowledged. In-memory sessions have nothing
         // to checkpoint; that is not an error. Read-only replicas skip the
         // checkpoint on purpose: checkpointing would bump the local
-        // generation past the primary's and desynchronize the stream.
-        if !self.inner.cfg.read_only {
+        // generation past the primary's and desynchronize the stream. (A
+        // *promoted* replica is read-write by now and checkpoints like any
+        // primary — it owns its generation numbering from promotion on.)
+        if !self.inner.read_only.load(Ordering::SeqCst) {
             match self.inner.shared.with_session_mut(|s| s.checkpoint()) {
                 Ok(Ok(())) | Ok(Err(Error::Unsupported(_))) => {}
                 Ok(Err(e)) => return Err(e),
@@ -648,7 +681,27 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
 /// outcome into its wire response. Returns `(response, result_rows)`.
 fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
     inner.stats.statements.fetch_add(1, Ordering::Relaxed);
-    if inner.cfg.read_only && !is_read_only_statement(sql) {
+    // PROMOTE is a server-level statement and must be answered *before*
+    // the read-only gate — its whole purpose is to lift that gate. The
+    // handler only signals the promotion machinery; the Ok acknowledges
+    // "promotion started", and callers confirm completion by polling
+    // EXPLAIN REPLICATION until role=primary.
+    if mammoth_sql::wants_promotion(sql) {
+        return match &inner.cfg.promote_handler {
+            Some(h) => {
+                h();
+                (ServerMsg::Ok, 0)
+            }
+            None => (
+                ServerMsg::Err {
+                    code: ErrorCode::Protocol,
+                    message: "this server has no promotion path (not a replica)".into(),
+                },
+                0,
+            ),
+        };
+    }
+    if inner.read_only.load(Ordering::SeqCst) && !is_read_only_statement(sql) {
         return (
             ServerMsg::Err {
                 code: ErrorCode::ReadOnly,

@@ -3,8 +3,11 @@
 //!
 //! ```text
 //! mammoth-shardd --shard HOST:PORT [--shard HOST:PORT ...]
+//!                [--replica IDX=HOST:PORT ...]
 //!                [--addr HOST:PORT] [--auth TOKEN] [--shard-auth TOKEN]
 //!                [--deadline-ms N] [--port-file PATH]
+//!                [--probe-ms N] [--suspect-after N]
+//!                [--promote-timeout-ms N]
 //! ```
 //!
 //! `--shard` repeats once per shard; **order defines shard ids**, so a
@@ -13,6 +16,15 @@
 //! itself; `--shard-auth` is forwarded to the shards. `--deadline-ms`
 //! bounds every scatter leg (default 2000). `--port-file` writes the
 //! bound address (useful with `--addr 127.0.0.1:0`).
+//!
+//! `--replica IDX=HOST:PORT` names a `mammoth-replica` of shard `IDX`
+//! (index into the `--shard` list) and arms high availability: the
+//! coordinator starts a health monitor that probes each primary every
+//! `--probe-ms` (default 100), declares it dead after `--suspect-after`
+//! consecutive misses (default 3), serves the dead shard's reads from
+//! its replica, and drives `PROMOTE` on the replica — waiting up to
+//! `--promote-timeout-ms` (default 5000) for `role=primary` — to
+//! restore writes. See `docs/ha.md`.
 //!
 //! Exits 0 after a graceful shutdown (a client sent `SHUTDOWN`), 2 on bad
 //! usage, 1 on runtime errors.
@@ -25,19 +37,25 @@ use mammoth_shard::{Coordinator, CoordinatorConfig, FrontConfig, FrontEnd};
 fn usage() -> ! {
     eprintln!(
         "usage: mammoth-shardd --shard HOST:PORT [--shard HOST:PORT ...] \
+         [--replica IDX=HOST:PORT ...] \
          [--addr HOST:PORT] [--auth TOKEN] [--shard-auth TOKEN] \
-         [--deadline-ms N] [--port-file PATH]"
+         [--deadline-ms N] [--port-file PATH] \
+         [--probe-ms N] [--suspect-after N] [--promote-timeout-ms N]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut shards: Vec<String> = Vec::new();
+    let mut replica_specs: Vec<(usize, String)> = Vec::new();
     let mut addr = "127.0.0.1:0".to_string();
     let mut auth: Option<String> = None;
     let mut shard_auth = String::new();
     let mut deadline_ms = 2000u64;
     let mut port_file: Option<String> = None;
+    let mut probe_ms = 100u64;
+    let mut suspect_after = 3u32;
+    let mut promote_timeout_ms = 5000u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,11 +67,24 @@ fn main() {
         };
         match arg.as_str() {
             "--shard" => shards.push(val("--shard")),
+            "--replica" => {
+                let v = val("--replica");
+                let Some((idx, raddr)) = v.split_once('=') else {
+                    eprintln!("--replica wants IDX=HOST:PORT, got {v:?}");
+                    usage();
+                };
+                replica_specs.push((parse(idx, "--replica"), raddr.to_string()));
+            }
             "--addr" => addr = val("--addr"),
             "--auth" => auth = Some(val("--auth")),
             "--shard-auth" => shard_auth = val("--shard-auth"),
             "--deadline-ms" => deadline_ms = parse(&val("--deadline-ms"), "--deadline-ms"),
             "--port-file" => port_file = Some(val("--port-file")),
+            "--probe-ms" => probe_ms = parse(&val("--probe-ms"), "--probe-ms"),
+            "--suspect-after" => suspect_after = parse(&val("--suspect-after"), "--suspect-after"),
+            "--promote-timeout-ms" => {
+                promote_timeout_ms = parse(&val("--promote-timeout-ms"), "--promote-timeout-ms")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -65,11 +96,30 @@ fn main() {
         eprintln!("at least one --shard is required");
         usage();
     }
+    let mut replicas: Vec<Option<String>> = vec![None; shards.len()];
+    for (idx, raddr) in replica_specs {
+        if idx >= shards.len() {
+            eprintln!(
+                "--replica shard index {idx} out of range ({} shards configured)",
+                shards.len()
+            );
+            usage();
+        }
+        replicas[idx] = Some(raddr);
+    }
+    let has_replicas = replicas.iter().any(Option::is_some);
 
     let mut cfg = CoordinatorConfig::new(shards);
     cfg.token = shard_auth;
     cfg.deadline = Duration::from_millis(deadline_ms.max(1));
+    cfg.replicas = replicas;
+    cfg.probe_interval = Duration::from_millis(probe_ms.max(1));
+    cfg.suspect_after = suspect_after.max(1);
+    cfg.promote_timeout = Duration::from_millis(promote_timeout_ms.max(1));
     let coordinator = Arc::new(Coordinator::new(cfg));
+    if has_replicas {
+        coordinator.start_health_monitor();
+    }
 
     let mut front_cfg = FrontConfig::new(addr);
     front_cfg.auth_token = auth;

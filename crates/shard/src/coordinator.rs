@@ -34,9 +34,24 @@
 //! rows), never the planning catalog — empty-table facts (0 rows,
 //! degenerate min/max) would license rewrites that are unsound for the
 //! data actually shipped back.
+//!
+//! **High availability** (opt-in via [`CoordinatorConfig::replicas`]): a
+//! background health monitor ([`Coordinator::start_health_monitor`])
+//! probes every primary each `probe_interval`; `suspect_after`
+//! consecutive misses confirm a death (`ha.suspect` → `ha.degraded`
+//! trace events). While a shard is degraded its **reads** are served by
+//! its replica — bounded staleness, never a torn result — and its
+//! **writes** fail fast with `SHARD_UNAVAILABLE` rather than land on a
+//! WAL that would not survive failover. The monitor then drives the
+//! replica's `PROMOTE` path (`ha.promote`), polls `EXPLAIN REPLICATION`
+//! until `role=primary`, and swaps the promoted replica in as the
+//! shard's new primary (`ha.recovered`), restoring write availability.
+//! `EXPLAIN SHARDING` surfaces the whole state machine in its `health`
+//! and `replica` columns.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mammoth_algebra::CmpOp;
@@ -73,10 +88,27 @@ pub struct CoordinatorConfig {
     /// Reconnect discipline for (re)dialing a shard. Keep it short — the
     /// retries run inside the statement's deadline budget.
     pub retry: RetryPolicy,
+    /// Optional replica address per shard, index-aligned with `shards`
+    /// (missing or `None` entries leave that shard without a failover
+    /// target). A replica serves degraded reads while its primary is
+    /// down and is the `PROMOTE` target once the health monitor confirms
+    /// the death.
+    pub replicas: Vec<Option<String>>,
+    /// How often the health monitor probes each primary; also bounds one
+    /// probe's connect timeout.
+    pub probe_interval: Duration,
+    /// Consecutive missed probes before a primary is declared dead. The
+    /// first miss marks the shard *suspect* (`ha.suspect`); this many
+    /// marks it *degraded* (`ha.degraded`) and starts failover when a
+    /// replica is configured.
+    pub suspect_after: u32,
+    /// Budget for a replica to reach `role=primary` after `PROMOTE`.
+    pub promote_timeout: Duration,
 }
 
 impl CoordinatorConfig {
-    /// Sensible defaults for `shards`: 2 s deadline, 2 quick dial attempts.
+    /// Sensible defaults for `shards`: 2 s deadline, 2 quick dial
+    /// attempts, no replicas, 100 ms probes, death after 3 misses.
     pub fn new(shards: Vec<String>) -> CoordinatorConfig {
         CoordinatorConfig {
             shards,
@@ -88,7 +120,43 @@ impl CoordinatorConfig {
                 max_delay: Duration::from_millis(50),
                 seed: 0,
             },
+            replicas: Vec::new(),
+            probe_interval: Duration::from_millis(100),
+            suspect_after: 3,
+            promote_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+/// Per-shard availability as the health monitor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    /// Probes succeed; every statement routes to the primary.
+    Healthy,
+    /// `n` consecutive probes missed, still below the death threshold.
+    /// Statements keep routing to the primary (it may just be slow).
+    Suspect(u32),
+    /// Confirmed unreachable: reads degrade to the replica, writes fail
+    /// fast with `SHARD_UNAVAILABLE`.
+    Degraded,
+    /// Failover in flight: the replica has been told to `PROMOTE`; reads
+    /// still degrade to it (promotion never blocks its read path).
+    Promoting,
+}
+
+impl Health {
+    fn label(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Suspect(_) => "suspect",
+            Health::Degraded => "degraded",
+            Health::Promoting => "promoting",
+        }
+    }
+
+    /// Is the primary confirmed dead (reads reroute, writes fail fast)?
+    fn is_down(self) -> bool {
+        matches!(self, Health::Degraded | Health::Promoting)
     }
 }
 
@@ -126,9 +194,20 @@ fn internal(e: impl std::fmt::Display) -> CoordError {
 /// client connection from its own thread against one shared `Coordinator`.
 pub struct Coordinator {
     cfg: CoordinatorConfig,
-    /// One lazily-dialed connection slot per shard; a slot is cleared on
-    /// any transport error so the next statement redials.
+    /// One lazily-dialed connection slot per shard primary; a slot is
+    /// cleared on any transport error so the next statement redials.
     pools: Vec<Mutex<Option<Client>>>,
+    /// Current primary address per shard. Starts as `cfg.shards` and is
+    /// swapped in place when a replica is promoted.
+    addrs: Vec<Mutex<String>>,
+    /// Failover target per shard; consumed (set `None`) on promotion —
+    /// the promoted node is a primary now, not a replica.
+    replicas: Vec<Mutex<Option<String>>>,
+    /// Lazily-dialed replica connections for degraded reads.
+    rpools: Vec<Mutex<Option<Client>>>,
+    health: Vec<Mutex<Health>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
     /// Schemas only — zero rows. Compilation and verification target.
     planning: Mutex<Catalog>,
     parts: Mutex<PartitionMap>,
@@ -144,10 +223,23 @@ impl Coordinator {
             !cfg.shards.is_empty(),
             "coordinator needs at least one shard"
         );
+        let n = cfg.shards.len();
         let pools = cfg.shards.iter().map(|_| Mutex::new(None)).collect();
+        let addrs = cfg.shards.iter().map(|a| Mutex::new(a.clone())).collect();
+        let replicas = (0..n)
+            .map(|i| Mutex::new(cfg.replicas.get(i).cloned().flatten()))
+            .collect();
+        let rpools = (0..n).map(|_| Mutex::new(None)).collect();
+        let health = (0..n).map(|_| Mutex::new(Health::Healthy)).collect();
         Coordinator {
             cfg,
             pools,
+            addrs,
+            replicas,
+            rpools,
+            health,
+            monitor: Mutex::new(None),
+            stop: Arc::new(AtomicBool::new(false)),
             planning: Mutex::new(Catalog::new()),
             parts: Mutex::new(PartitionMap::default()),
             next_frag: AtomicU64::new(1),
@@ -200,17 +292,77 @@ impl Coordinator {
         run.export_env()
     }
 
-    /// Run `f` on shard `i`'s connection, dialing if needed. Transport
-    /// failures clear the slot (the next statement redials) and map to
-    /// [`CoordError::Unavailable`]; shard-side error frames pass through
-    /// and keep the connection.
+    /// The shard's current primary address (swapped on failover).
+    fn addr_of(&self, i: usize) -> String {
+        self.addrs[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn health_of(&self, i: usize) -> Health {
+        *self.health[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Run `f` on shard `i`'s **primary** connection, dialing if needed.
+    /// A shard the monitor has confirmed dead (degraded or promoting)
+    /// fails fast without touching the network: writes are never
+    /// silently redirected to a replica, so an acked write always landed
+    /// on a WAL that survives failover.
     fn with_shard<T>(
         &self,
         i: usize,
         f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
     ) -> Result<T, CoordError> {
-        let addr = &self.cfg.shards[i];
-        let mut slot = self.pools[i].lock().unwrap_or_else(|e| e.into_inner());
+        let h = self.health_of(i);
+        let addr = self.addr_of(i);
+        if h.is_down() {
+            return Err(CoordError::Unavailable(format!(
+                "shard {i} ({addr}) is {}; writes are held until promotion restores a primary",
+                h.label()
+            )));
+        }
+        self.run_on(i, &self.pools[i], &addr, f)
+    }
+
+    /// Run a **read-only** `f` for shard `i`: against the primary while
+    /// it answers probes, degraded to the shard's replica once the
+    /// monitor confirms the primary dead. Degraded reads have bounded
+    /// staleness — the replica may lag by the statements in flight at
+    /// the crash, but a result is always a complete, CRC-checked frame,
+    /// never torn. Without a configured replica the read fails typed
+    /// like a write would.
+    fn with_shard_read<T>(
+        &self,
+        i: usize,
+        f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, CoordError> {
+        if self.health_of(i).is_down() {
+            let replica = self.replicas[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            if let Some(raddr) = replica {
+                return self.run_on(i, &self.rpools[i], &raddr, f);
+            }
+        }
+        let addr = self.addr_of(i);
+        self.run_on(i, &self.pools[i], &addr, f)
+    }
+
+    /// Dial-and-run against one connection slot. Transport failures —
+    /// including a poisoned client after a deadline miss mid-frame —
+    /// clear the slot (the next statement redials a fresh connection)
+    /// and map to [`CoordError::Unavailable`]; shard-side error frames
+    /// pass through and keep the connection.
+    fn run_on<T>(
+        &self,
+        i: usize,
+        slot: &Mutex<Option<Client>>,
+        addr: &str,
+        f: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, CoordError> {
+        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
         if slot.is_none() {
             let started = Instant::now();
             match Client::connect_with_retry(
@@ -465,6 +617,221 @@ impl Coordinator {
             })
     }
 
+    // ------------------------------------------------------------- health
+
+    /// Per-shard health labels, index-aligned with shard ids — the same
+    /// strings the `health` column of `EXPLAIN SHARDING` reports.
+    pub fn shard_health(&self) -> Vec<&'static str> {
+        self.health
+            .iter()
+            .map(|h| h.lock().unwrap_or_else(|e| e.into_inner()).label())
+            .collect()
+    }
+
+    /// Start the background health monitor: probe every primary each
+    /// `probe_interval`, declare a death after `suspect_after`
+    /// consecutive misses, and drive replica promotion to restore write
+    /// availability. The thread holds only a [`std::sync::Weak`]
+    /// reference, so dropping the coordinator (without
+    /// [`Coordinator::stop_health_monitor`]) also ends it. Idempotent.
+    pub fn start_health_monitor(self: &Arc<Coordinator>) {
+        let mut guard = self.monitor.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_some() {
+            return;
+        }
+        self.stop.store(false, Ordering::SeqCst);
+        let weak = Arc::downgrade(self);
+        let stop = Arc::clone(&self.stop);
+        let interval = self.cfg.probe_interval;
+        let handle = std::thread::Builder::new()
+            .name("shard-health".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let Some(c) = weak.upgrade() else { return };
+                    c.health_tick();
+                    drop(c);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn shard health monitor");
+        *guard = Some(handle);
+    }
+
+    /// Stop and join the health monitor (waits out an in-flight
+    /// promotion attempt, bounded by `promote_timeout`). Idempotent.
+    pub fn stop_health_monitor(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let handle = self
+            .monitor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// One probe round over every shard, advancing the health state
+    /// machine: Healthy → Suspect(1..) → Degraded → (replica configured)
+    /// Promoting → Healthy-under-new-address. A primary that answers a
+    /// probe while merely suspect or degraded recovers without failover.
+    fn health_tick(&self) {
+        for i in 0..self.nshards() {
+            let addr = self.addr_of(i);
+            let started = Instant::now();
+            if probe(
+                &addr,
+                self.cfg.probe_interval.max(Duration::from_millis(10)),
+            ) {
+                let recovered = {
+                    let mut h = self.health[i].lock().unwrap_or_else(|e| e.into_inner());
+                    let was_down = matches!(*h, Health::Suspect(_) | Health::Degraded);
+                    if was_down {
+                        *h = Health::Healthy;
+                    }
+                    was_down
+                };
+                if recovered {
+                    self.trace(
+                        EventKind::HaRecovered,
+                        format!("shard={i} addr={addr} probe answered"),
+                        started,
+                        0,
+                    );
+                }
+                continue;
+            }
+            let (event, confirmed_dead) = {
+                let mut h = self.health[i].lock().unwrap_or_else(|e| e.into_inner());
+                match *h {
+                    Health::Healthy => {
+                        *h = Health::Suspect(1);
+                        (Some((EventKind::HaSuspect, 1)), false)
+                    }
+                    Health::Suspect(k) if k + 1 >= self.cfg.suspect_after => {
+                        *h = Health::Degraded;
+                        (Some((EventKind::HaDegraded, k + 1)), true)
+                    }
+                    Health::Suspect(k) => {
+                        *h = Health::Suspect(k + 1);
+                        (None, false)
+                    }
+                    // Still degraded: keep retrying failover each tick.
+                    Health::Degraded => (None, true),
+                    Health::Promoting => (None, false),
+                }
+            };
+            if let Some((kind, misses)) = event {
+                self.trace(
+                    kind,
+                    format!("shard={i} addr={addr} misses={misses}"),
+                    started,
+                    0,
+                );
+            }
+            if confirmed_dead {
+                self.try_failover(i, &addr);
+            }
+        }
+    }
+
+    /// Drive the replica-promotion path for shard `i` and swap the
+    /// promoted node in as the new primary. Leaves the shard degraded
+    /// (retried next tick) if promotion fails; a no-op without a
+    /// configured replica.
+    fn try_failover(&self, i: usize, dead: &str) {
+        let Some(raddr) = self.replicas[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+        else {
+            return;
+        };
+        *self.health[i].lock().unwrap_or_else(|e| e.into_inner()) = Health::Promoting;
+        let started = Instant::now();
+        self.trace(
+            EventKind::HaPromote,
+            format!("shard={i} dead={dead} replica={raddr}"),
+            started,
+            0,
+        );
+        match self.drive_promotion(&raddr) {
+            Ok(()) => {
+                *self.addrs[i].lock().unwrap_or_else(|e| e.into_inner()) = raddr.clone();
+                *self.pools[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                *self.rpools[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                *self.replicas[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                *self.health[i].lock().unwrap_or_else(|e| e.into_inner()) = Health::Healthy;
+                self.trace(
+                    EventKind::HaRecovered,
+                    format!("shard={i} promoted={raddr}"),
+                    started,
+                    0,
+                );
+            }
+            Err(e) => {
+                *self.health[i].lock().unwrap_or_else(|e| e.into_inner()) = Health::Degraded;
+                self.trace(
+                    EventKind::ShardUnavailable,
+                    format!("shard={i} promotion of {raddr} failed: {e}"),
+                    started,
+                    0,
+                );
+            }
+        }
+    }
+
+    /// Tell the replica to `PROMOTE`, then poll `EXPLAIN REPLICATION`
+    /// until it reports `role=primary` — the in-place WAL drain finished
+    /// and the read-only gate lifted — within `promote_timeout`.
+    /// `PROMOTE` is idempotent on the replica, so redialing after a
+    /// transport hiccup mid-poll is safe.
+    fn drive_promotion(&self, raddr: &str) -> std::result::Result<(), String> {
+        let deadline = Instant::now() + self.cfg.promote_timeout;
+        let dial = || -> std::result::Result<Client, String> {
+            let c =
+                Client::connect_with_retry(raddr, "mammoth-ha", &self.cfg.token, &self.cfg.retry)
+                    .map_err(|e| format!("dial: {e}"))?;
+            c.set_read_timeout(Some(self.cfg.deadline))
+                .map_err(|e| format!("set timeout: {e}"))?;
+            Ok(c)
+        };
+        let mut client = dial()?;
+        client
+            .query("PROMOTE")
+            .map_err(|e| format!("PROMOTE: {e}"))?;
+        loop {
+            let role = match client.query("EXPLAIN REPLICATION") {
+                Ok(Response::Table { rows, .. }) => {
+                    rows.iter().find_map(|r| match (r.first(), r.get(1)) {
+                        (Some(Value::Str(k)), Some(Value::Str(v))) if k == "role" => {
+                            Some(v.clone())
+                        }
+                        _ => None,
+                    })
+                }
+                Ok(_) => None,
+                Err(_) => {
+                    // Poisoned or dropped connection: redial, keep polling.
+                    if let Ok(c) = dial() {
+                        client = c;
+                    }
+                    None
+                }
+            };
+            if role.as_deref() == Some("primary") {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "replica {raddr} did not reach role=primary within {:?}",
+                    self.cfg.promote_timeout
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
     // ------------------------------------------------------------- SELECT
 
     fn select(&self, sel: &SelectStmt) -> Result<QueryOutput, CoordError> {
@@ -513,7 +880,7 @@ impl Coordinator {
             started,
             0,
         );
-        let legs = self.scatter(|i| self.with_shard(i, |c| c.fragment(id, fragment_sql)));
+        let legs = self.scatter(|i| self.with_shard_read(i, |c| c.fragment(id, fragment_sql)));
         let mut partials: Vec<Vec<Value>> = Vec::with_capacity(n);
         for (i, leg) in legs.into_iter().enumerate() {
             let (cols, mut rows) = leg?;
@@ -583,7 +950,7 @@ impl Coordinator {
             0,
         );
         let legs = self.scatter(|i| {
-            self.with_shard(i, |c| {
+            self.with_shard_read(i, |c| {
                 let mut per_table = Vec::with_capacity(tables.len());
                 for t in tables {
                     per_table.push(c.fragment(id, &t.fragment_sql)?);
@@ -698,7 +1065,7 @@ impl Coordinator {
         for (table, spec) in &specs {
             let id = self.next_frag.fetch_add(1, Ordering::Relaxed);
             let frag = format!("SELECT COUNT(*) FROM {table}");
-            let legs = self.scatter(|i| self.with_shard(i, |c| c.fragment(id, &frag)));
+            let legs = self.scatter(|i| self.with_shard_read(i, |c| c.fragment(id, &frag)));
             for (i, leg) in legs.into_iter().enumerate() {
                 let (_, mut count_rows) = leg?;
                 let count = count_rows
@@ -709,8 +1076,16 @@ impl Coordinator {
                     Value::Str(table.clone()),
                     Value::Str(spec.key_column.clone()),
                     Value::I64(i as i64),
-                    Value::Str(self.cfg.shards[i].clone()),
+                    Value::Str(self.addr_of(i)),
                     count,
+                    Value::Str(self.health_of(i).label().into()),
+                    Value::Str(
+                        self.replicas[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .clone()
+                            .unwrap_or_default(),
+                    ),
                 ]);
             }
         }
@@ -721,6 +1096,8 @@ impl Coordinator {
                 "shard".into(),
                 "addr".into(),
                 "rows".into(),
+                "health".into(),
+                "replica".into(),
             ],
             rows,
         })
@@ -749,4 +1126,19 @@ impl Coordinator {
             Statement::Select(sel) => self.select(&sel),
         }
     }
+}
+
+/// Liveness probe: can a TCP connect to `addr` complete within
+/// `timeout`? Deliberately below the protocol layer — it costs the shard
+/// one accept and no session, and it bypasses FaultNet's connect hook so
+/// the chaos tier's scheduled faults land on real statements, never on
+/// probes.
+fn probe(addr: &str, timeout: Duration) -> bool {
+    use std::net::ToSocketAddrs;
+    let Ok(mut resolved) = addr.to_socket_addrs() else {
+        return false;
+    };
+    resolved
+        .next()
+        .is_some_and(|sa| std::net::TcpStream::connect_timeout(&sa, timeout).is_ok())
 }

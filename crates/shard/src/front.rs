@@ -134,6 +134,7 @@ impl FrontEnd {
             c.join()
                 .map_err(|_| Error::Internal("shard connection thread panicked".into()))?;
         }
+        self.inner.coordinator.stop_health_monitor();
         self.inner.coordinator.flush_trace()?;
         Ok(())
     }

@@ -22,9 +22,12 @@
 //!   protocol, so any existing client talks to a cluster unchanged; the
 //!   `mammoth-shardd` binary wraps it as a daemon.
 //!
-//! `EXPLAIN SHARDING` reports the partition map and live per-shard row
-//! counts; `shard.*` trace events profile scatter, route, and gather
-//! through the standard `MAMMOTH_TRACE` machinery.
+//! `EXPLAIN SHARDING` reports the partition map, live per-shard row
+//! counts, and each shard's health/replica state; `shard.*` trace events
+//! profile scatter, route, and gather through the standard
+//! `MAMMOTH_TRACE` machinery, and `ha.*` events record the health
+//! monitor's suspect → degraded → promote → recovered state machine
+//! (see `docs/ha.md` and [`coordinator::CoordinatorConfig::replicas`]).
 
 pub mod coordinator;
 pub mod front;

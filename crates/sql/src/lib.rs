@@ -27,6 +27,7 @@ pub use ast::{Predicate, SelectItem, SelectStmt, Statement};
 pub use compile::compile_select;
 pub use parser::parse_sql;
 pub use routing::{
-    classify, insert_sql, select_sql, sql_literal, wants_sharding_status, GatherTable, ScatterPlan,
+    classify, insert_sql, select_sql, sql_literal, wants_promotion, wants_sharding_status,
+    GatherTable, ScatterPlan,
 };
 pub use session::{is_read_only_statement, render_outputs, QueryOutput, Session, StatusProvider};

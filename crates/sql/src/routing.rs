@@ -32,6 +32,17 @@ pub fn wants_sharding_status(sql: &str) -> bool {
         .eq_ignore_ascii_case("EXPLAIN SHARDING")
 }
 
+/// `PROMOTE` asks a read-only replica to take over as primary. It is a
+/// server-level statement (the serving session never sees it), detected
+/// with the same textual intercept as the EXPLAIN surfaces so the shard
+/// coordinator can drive failover over the ordinary query protocol.
+pub fn wants_promotion(sql: &str) -> bool {
+    sql.trim()
+        .trim_end_matches(';')
+        .trim()
+        .eq_ignore_ascii_case("PROMOTE")
+}
+
 /// Render a literal exactly as the lexer reads it back: `''`-doubled
 /// strings, `{:?}` floats (so `1.0` stays a float), bare digits for
 /// integers.

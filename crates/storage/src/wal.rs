@@ -881,6 +881,62 @@ mod tests {
         let _ = std::fs::remove_dir_all(&d);
     }
 
+    mod fuzz {
+        //! FaultNet-style damage against the stream parser: whatever the
+        //! wire does to WAL bytes — torn tails, flipped bits, truncated
+        //! chunks — [`WalCursor`] must error cleanly or stall waiting for
+        //! more input. It may never panic, never consume bytes it has not
+        //! parsed, and never fabricate a committed group the pristine
+        //! stream does not contain.
+        use super::*;
+        use mammoth_types::netfault::mangle;
+        use proptest::prelude::*;
+
+        fn encoded_wal(tables: &[String], tag: u64) -> Vec<u8> {
+            let d = tmp(&format!("fuzz-{tag}"));
+            let fs: Arc<dyn Vfs> = Arc::new(RealFs);
+            let path = d.join("wal");
+            let mut wal = Wal::open(Arc::clone(&fs), path.clone()).unwrap();
+            for t in tables {
+                wal.append(&WalRecord::Merge { table: t.clone() }).unwrap();
+                wal.statement_boundary().unwrap();
+            }
+            let bytes = fs.read(&path).unwrap();
+            let _ = std::fs::remove_dir_all(&d);
+            bytes
+        }
+
+        proptest! {
+            #[test]
+            fn cursor_survives_mangled_streams(
+                tables in proptest::collection::vec("[a-z]{1,8}", 1..6),
+                seed in 0u64..512,
+                chunk in 1usize..96,
+            ) {
+                let clean = encoded_wal(&tables, seed);
+                // Ground truth: the groups a pristine feed yields.
+                let want = WalCursor::new().feed(&clean).unwrap();
+                let bad = mangle(&clean, seed);
+                prop_assert_ne!(&bad, &clean, "mangle must damage the stream");
+                let mut cur = WalCursor::new();
+                let mut got: Vec<Vec<WalRecord>> = Vec::new();
+                for piece in bad.chunks(chunk) {
+                    match cur.feed(piece) {
+                        Ok(groups) => got.extend(groups),
+                        // A clean typed error is a correct outcome; so is
+                        // stalling on an incomplete frame (more bytes
+                        // would surface the divergence). Panicking,
+                        // over-reading, or inventing groups is not.
+                        Err(_) => break,
+                    }
+                }
+                prop_assert!(cur.offset() <= bad.len() as u64, "over-consumed");
+                prop_assert!(got.len() <= want.len(), "fabricated a group");
+                prop_assert_eq!(&want[..got.len()], &got[..], "diverged from truth");
+            }
+        }
+    }
+
     #[test]
     fn rollback_pending_drops_uncommitted() {
         let d = tmp("rollback");

@@ -103,7 +103,21 @@ pub fn split_frame(buf: &[u8], max: usize) -> Frame<'_> {
 }
 
 /// Write one frame (header + payload) with a single `write_all`.
+///
+/// This is the wire half of the codec (the WAL appends frames through the
+/// pure [`frame_into`]), so it is also the write-side FaultNet injection
+/// point: a scheduled fault here models a broken pipe or a one-way
+/// partition on a live socket.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    match crate::netfault::on_write() {
+        Some(crate::netfault::WriteFault::Broken) => {
+            return Err(Error::Io("injected fault: broken pipe".into()));
+        }
+        // One-way partition: report success, send nothing. Only the
+        // peer's read deadline can surface this.
+        Some(crate::netfault::WriteFault::Drop) => return Ok(()),
+        None => {}
+    }
     let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
     frame_into(payload, &mut buf);
     w.write_all(&buf)?;
@@ -117,8 +131,30 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
 /// allocation, so an 8-byte header cannot make the reader allocate
 /// gigabytes.
 pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>> {
+    let fault = crate::netfault::on_read();
+    if let Some(crate::netfault::ReadFault::Disconnect) = fault {
+        return Err(Error::Io(
+            "injected fault: peer disconnected before frame".into(),
+        ));
+    }
+    if let Some(crate::netfault::ReadFault::Stall(d)) = fault {
+        // The read blocks past its deadline, then fails as the timeout
+        // would. The sleep is what real stall victims pay.
+        std::thread::sleep(d);
+        return Err(Error::Io(
+            "injected fault: read stalled past deadline".into(),
+        ));
+    }
     let mut head = [0u8; FRAME_HEADER];
     r.read_exact(&mut head)?;
+    if let Some(crate::netfault::ReadFault::Torn) = fault {
+        // Header consumed, connection dies mid-payload: the stream is now
+        // desynchronized, which is exactly what connection poisoning must
+        // catch — a reused stream would misparse from here on.
+        return Err(Error::Io(
+            "injected fault: connection torn mid-frame".into(),
+        ));
+    }
     let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
     let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
     if len > max {
@@ -130,6 +166,11 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>> {
     r.read_exact(&mut payload)?;
     if crc32(&payload) != crc {
         return Err(Error::Corrupt("frame CRC mismatch".into()));
+    }
+    if let Some(crate::netfault::ReadFault::Corrupt) = fault {
+        // The real payload is dropped on the floor: injected corruption
+        // must never be able to leak the genuine bytes upward.
+        return Err(Error::Corrupt("injected fault: frame CRC mismatch".into()));
     }
     Ok(payload)
 }
@@ -276,8 +317,93 @@ mod tests {
         }
     }
 
+    proptest! {
+        // Decoder fuzz against FaultNet-shaped damage: mangled streams
+        // (torn tails, bit flips, both) must decode to a genuine prefix or
+        // a clean error — never a panic, never a read past the buffer.
+        #[test]
+        fn prop_mangled_streams_decode_cleanly(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 0..40), 1..8),
+            seed in 0u64..512,
+        ) {
+            let _g = crate::netfault::test_lock()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut buf = Vec::new();
+            for p in &payloads {
+                frame_into(p, &mut buf);
+            }
+            let bad = crate::netfault::mangle(&buf, seed);
+            prop_assert_ne!(&bad, &buf, "mangle must damage the stream");
+            // pure decoder: terminates, never consumes past the buffer
+            let mut rest: &[u8] = &bad;
+            while let Frame::Complete { consumed, .. } = split_frame(rest, 1 << 20) {
+                prop_assert!(consumed <= rest.len());
+                rest = &rest[consumed..];
+            }
+            // io decoder: every successful read is a genuine prefix frame
+            let mut r: &[u8] = &bad;
+            let mut k = 0usize;
+            while let Ok(p) = read_frame(&mut r, 1 << 20) {
+                prop_assert!(k < payloads.len(), "fabricated frame past the input");
+                prop_assert_eq!(&p, &payloads[k]);
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn injected_faults_surface_as_clean_errors() {
+        let _g = crate::netfault::test_lock()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        use crate::netfault::{self, NetFaultPlan, ReadFault, WriteFault};
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        let mut plan = NetFaultPlan::none();
+        plan.reads.push((0, ReadFault::Disconnect));
+        plan.reads.push((1, ReadFault::Torn));
+        plan.reads.push((2, ReadFault::Corrupt));
+        plan.writes.push((0, WriteFault::Drop));
+        plan.writes.push((1, WriteFault::Broken));
+        netfault::install(plan);
+        assert!(read_frame(&mut &wire[..], 1 << 20).is_err(), "disconnect");
+        let mut r: &[u8] = &wire;
+        assert!(read_frame(&mut r, 1 << 20).is_err(), "torn");
+        assert_eq!(
+            r.len(),
+            wire.len() - FRAME_HEADER,
+            "torn fault consumed the header: the stream is desynchronized"
+        );
+        let mut r: &[u8] = &wire;
+        assert!(
+            matches!(read_frame(&mut r, 1 << 20), Err(Error::Corrupt(_))),
+            "corrupt fault reports a CRC failure"
+        );
+        assert_eq!(r.len(), 0, "corrupt fault consumed the whole frame");
+        assert_eq!(
+            read_frame(&mut &wire[..], 1 << 20).unwrap(),
+            b"payload",
+            "faults are transient: the next read is clean"
+        );
+        let mut out = Vec::new();
+        write_frame(&mut out, b"x").unwrap();
+        assert!(
+            out.is_empty(),
+            "dropped write reported success, sent nothing"
+        );
+        assert!(write_frame(&mut out, b"x").is_err(), "broken pipe");
+        assert_eq!(netfault::fired(), 5);
+        netfault::clear();
+    }
+
     #[test]
     fn io_roundtrip_and_rejection() {
+        // serialize against tests that arm the process-global FaultNet
+        let _g = crate::netfault::test_lock()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let mut wire = Vec::new();
         write_frame(&mut wire, b"hello").unwrap();
         write_frame(&mut wire, b"").unwrap();

@@ -16,7 +16,9 @@
 pub mod error;
 pub mod framing;
 pub mod native;
+pub mod netfault;
 pub mod oid;
+pub mod retry;
 pub mod schema;
 pub mod trace;
 pub mod value;
@@ -25,6 +27,7 @@ pub use error::{Error, Result};
 pub use framing::crc32;
 pub use native::NativeType;
 pub use oid::{Oid, OID_NIL};
+pub use retry::{Backoff, RetryPolicy};
 pub use schema::{ColumnDef, TableSchema};
 pub use trace::{
     validate_trace, validate_trace_line, EventKind, FlushGuard, ProfiledRun, TraceEvent, TRACE_ENV,

@@ -1,0 +1,263 @@
+//! The unified retry/timeout/backoff policy.
+//!
+//! Before this module existed the repo had three hand-rolled copies of
+//! "sleep a bit and try again": the client's reconnect loop, the shard
+//! coordinator's redial, and the replica puller's reconnect. They agreed
+//! on the shape (capped exponential backoff, deterministic jitter) but
+//! not on the details, which is exactly how retry storms are born. This
+//! is the one implementation all of them now share.
+//!
+//! Design points:
+//!
+//! * **Capped exponential** — delays double from `base_delay` up to
+//!   `max_delay` and stay there; an unreachable peer costs a bounded,
+//!   predictable amount of waiting per attempt.
+//! * **Seeded jitter** — each delay is scaled by a factor in [0.5, 1.0)
+//!   drawn from a SplitMix64 stream seeded by the policy, so a fleet of
+//!   reconnecting replicas does not stampede in sync, yet a test can
+//!   replay the exact schedule. The generator is local (no `rand`
+//!   dependency): this crate stays std-only.
+//! * **Deadline budgets** — a [`Backoff`] can carry a deadline; once the
+//!   next sleep would land past it, the iterator ends. Retries that run
+//!   inside a statement's deadline (the coordinator's redial) use this so
+//!   backoff can never spend more than the statement is allowed to.
+
+use std::time::{Duration, Instant};
+
+/// Reconnect discipline: bounded attempts, capped exponential backoff,
+/// deterministic jitter. Retryability itself is the caller's judgment —
+/// the policy paces retries, it does not classify errors.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (>= 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry up to `max_delay`.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream — deterministic so tests can replay a
+    /// schedule. Each delay is scaled by a factor in [0.5, 1.0).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay sequence this policy paces retries with. The
+    /// iterator is infinite (the *attempts* bound lives in [`RetryPolicy::run`];
+    /// long-lived reconnect loops like the replica puller deliberately
+    /// outlive it) unless a deadline is attached.
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            delay: self.base_delay,
+            max: self.max_delay,
+            rng: splitmix_seed(self.seed),
+            deadline: None,
+        }
+    }
+
+    /// Like [`RetryPolicy::backoff`], but the sequence ends once the next
+    /// sleep would finish after `deadline`.
+    pub fn backoff_until(&self, deadline: Instant) -> Backoff {
+        let mut b = self.backoff();
+        b.deadline = Some(deadline);
+        b
+    }
+
+    /// Run `op` up to `attempts` times, sleeping a jittered backoff delay
+    /// between tries. Only errors `retryable` approves are retried;
+    /// anything else surfaces immediately. `op` receives the 0-based
+    /// attempt index.
+    pub fn run<T, E>(
+        &self,
+        retryable: impl Fn(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_paced(self.backoff(), retryable, &mut op)
+    }
+
+    /// Like [`RetryPolicy::run`], additionally bounded by a wall-clock
+    /// budget measured from now: no retry sleep may extend past it. The
+    /// attempt in flight is not interrupted — the budget bounds *waiting*,
+    /// the same way the statement timeout bounds queueing.
+    pub fn run_with_deadline<T, E>(
+        &self,
+        budget: Duration,
+        retryable: impl Fn(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_paced(
+            self.backoff_until(Instant::now() + budget),
+            retryable,
+            &mut op,
+        )
+    }
+
+    fn run_paced<T, E>(
+        &self,
+        mut backoff: Backoff,
+        retryable: impl Fn(&E) -> bool,
+        op: &mut impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let attempts = self.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                match backoff.next() {
+                    Some(d) => std::thread::sleep(d),
+                    // Deadline exhausted: report the newest failure.
+                    None => break,
+                }
+            }
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if retryable(&e) && attempt + 1 < attempts => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt was made"))
+    }
+}
+
+/// The jittered capped-exponential delay sequence of a [`RetryPolicy`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    delay: Duration,
+    max: Duration,
+    rng: u64,
+    deadline: Option<Instant>,
+}
+
+impl Iterator for Backoff {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        let jittered = self.delay.mul_f64(jitter_frac(&mut self.rng));
+        if let Some(deadline) = self.deadline {
+            if Instant::now() + jittered > deadline {
+                return None;
+            }
+        }
+        self.delay = (self.delay * 2).min(self.max);
+        Some(jittered)
+    }
+}
+
+/// SplitMix64: the minimal statistically-decent generator, used only for
+/// jitter. Seeds are decorated so seed 0 still produces a useful stream.
+fn splitmix_seed(seed: u64) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15
+}
+
+pub(crate) fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fraction in [0.5, 1.0) from the top 53 bits of the next draw.
+fn jitter_frac(state: &mut u64) -> f64 {
+    let x = splitmix_next(state);
+    0.5 + (x >> 11) as f64 / (1u64 << 53) as f64 * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+            seed: 7,
+        };
+        let a: Vec<Duration> = p.backoff().take(6).collect();
+        let b: Vec<Duration> = p.backoff().take(6).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let nominal = Duration::from_millis(10 * (1 << i.min(2)) as u64);
+            assert!(*d >= nominal / 2 && *d < nominal, "delay {i} = {d:?}");
+        }
+        let c: Vec<Duration> = RetryPolicy { seed: 8, ..p }.backoff().take(6).collect();
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn run_bounds_attempts_and_respects_retryability() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            seed: 0,
+        };
+        let mut calls = 0;
+        let out: Result<(), &str> = p.run(
+            |_| true,
+            |_| {
+                calls += 1;
+                Err("nope")
+            },
+        );
+        assert_eq!(out, Err("nope"));
+        assert_eq!(calls, 4, "attempts includes the first try");
+
+        let mut calls = 0;
+        let out: Result<(), &str> = p.run(
+            |e| *e != "fatal",
+            |_| {
+                calls += 1;
+                Err("fatal")
+            },
+        );
+        assert_eq!(out, Err("fatal"));
+        assert_eq!(calls, 1, "non-retryable errors surface immediately");
+
+        let mut calls = 0;
+        let out: Result<u32, &str> = p.run(
+            |_| true,
+            |attempt| {
+                calls += 1;
+                if attempt == 2 {
+                    Ok(attempt)
+                } else {
+                    Err("later")
+                }
+            },
+        );
+        assert_eq!(out, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn deadline_budget_stops_the_backoff() {
+        let p = RetryPolicy {
+            attempts: 1000,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(20),
+            seed: 3,
+        };
+        let t0 = Instant::now();
+        let out: Result<(), &str> =
+            p.run_with_deadline(Duration::from_millis(60), |_| true, |_| Err("down"));
+        assert_eq!(out, Err("down"));
+        // ~3 sleeps fit in the budget; 1000 attempts would take 20 s.
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -77,6 +77,17 @@ pub enum EventKind {
     ShardRoute,
     /// A scatter leg failed (dead shard, deadline) — `SHARD_UNAVAILABLE`.
     ShardUnavailable,
+    /// A heartbeat probe failed; the shard is suspect but not yet written
+    /// off (consecutive failures below the degrade threshold).
+    HaSuspect,
+    /// Consecutive probe failures crossed the threshold: the shard primary
+    /// is considered dead, reads degrade to its replica (`SHARD_DEGRADED`).
+    HaDegraded,
+    /// The coordinator sent `PROMOTE` to a degraded shard's replica.
+    HaPromote,
+    /// Promotion confirmed: the replica reports `role=primary` and the
+    /// shard's address was swapped — the cluster is healthy again.
+    HaRecovered,
 }
 
 impl EventKind {
@@ -108,6 +119,10 @@ impl EventKind {
             EventKind::ShardGather => "shard.gather",
             EventKind::ShardRoute => "shard.route",
             EventKind::ShardUnavailable => "shard.unavailable",
+            EventKind::HaSuspect => "ha.suspect",
+            EventKind::HaDegraded => "ha.degraded",
+            EventKind::HaPromote => "ha.promote",
+            EventKind::HaRecovered => "ha.recovered",
         }
     }
 
@@ -139,6 +154,10 @@ impl EventKind {
             "shard.gather" => EventKind::ShardGather,
             "shard.route" => EventKind::ShardRoute,
             "shard.unavailable" => EventKind::ShardUnavailable,
+            "ha.suspect" => EventKind::HaSuspect,
+            "ha.degraded" => EventKind::HaDegraded,
+            "ha.promote" => EventKind::HaPromote,
+            "ha.recovered" => EventKind::HaRecovered,
             _ => return None,
         })
     }
@@ -809,6 +828,10 @@ mod tests {
             EventKind::ShardGather,
             EventKind::ShardRoute,
             EventKind::ShardUnavailable,
+            EventKind::HaSuspect,
+            EventKind::HaDegraded,
+            EventKind::HaPromote,
+            EventKind::HaRecovered,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

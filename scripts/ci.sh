@@ -187,6 +187,127 @@ trap - EXIT
 cargo run -q -p mammoth-types --bin tracecheck -- "$shd_trace"
 rm -f "$shd_trace" "$coord_pf"
 
+echo "==> chaos matrix: seeded network-fault schedules over the cluster tier"
+for seed in 1 2 3 4; do
+    echo "    MAMMOTH_NET_FAULT_SEED=$seed"
+    MAMMOTH_NET_FAULT_SEED=$seed cargo test -q --test chaos
+done
+
+echo "==> ha smoke: 3 shards + replicas, primary killed mid-workload, reads continue, promotion restores writes"
+ha_trace=$(mktemp -u /tmp/mammoth_ha_trace.XXXXXX.jsonl)
+ha_pids=()
+ha_rpids=()
+ha_addrs=()
+ha_raddrs=()
+ha_dirs=()
+for i in 0 1 2; do
+    ha_pdir=$(mktemp -d /tmp/mammoth_ha_pdir.XXXXXX)
+    ha_rdir=$(mktemp -d /tmp/mammoth_ha_rdir.XXXXXX)
+    ha_dirs+=("$ha_pdir" "$ha_rdir")
+    ha_pf=$(mktemp -u /tmp/mammoth_ha_port.XXXXXX)
+    ./target/release/mammoth-server --addr 127.0.0.1:0 --data "$ha_pdir" \
+        --port-file "$ha_pf" &
+    ha_pids+=($!)
+    # shellcheck disable=SC2064
+    trap "kill ${ha_pids[*]} ${ha_rpids[*]:-} 2>/dev/null || true" EXIT
+    for _ in $(seq 1 100); do [ -s "$ha_pf" ] && break; sleep 0.05; done
+    ha_addrs+=("$(cat "$ha_pf")")
+    rm -f "$ha_pf"
+    ha_rpf=$(mktemp -u /tmp/mammoth_ha_rport.XXXXXX)
+    ./target/release/mammoth-replica --primary "${ha_addrs[$i]}" \
+        --data "$ha_rdir" --primary-data "$ha_pdir" --poll-ms 5 \
+        --port-file "$ha_rpf" &
+    ha_rpids+=($!)
+    # shellcheck disable=SC2064
+    trap "kill ${ha_pids[*]} ${ha_rpids[*]} 2>/dev/null || true" EXIT
+    for _ in $(seq 1 100); do [ -s "$ha_rpf" ] && break; sleep 0.05; done
+    ha_raddrs+=("$(cat "$ha_rpf")")
+    rm -f "$ha_rpf"
+done
+ha_cpf=$(mktemp -u /tmp/mammoth_ha_cport.XXXXXX)
+MAMMOTH_TRACE=$ha_trace ./target/release/mammoth-shardd \
+    --addr 127.0.0.1:0 --port-file "$ha_cpf" \
+    --shard "${ha_addrs[0]}" --shard "${ha_addrs[1]}" --shard "${ha_addrs[2]}" \
+    --replica "0=${ha_raddrs[0]}" --replica "1=${ha_raddrs[1]}" \
+    --replica "2=${ha_raddrs[2]}" \
+    --probe-ms 50 --suspect-after 2 --promote-timeout-ms 10000 &
+ha_cpid=$!
+# shellcheck disable=SC2064
+trap "kill $ha_cpid ${ha_pids[*]} ${ha_rpids[*]} 2>/dev/null || true" EXIT
+for _ in $(seq 1 100); do [ -s "$ha_cpf" ] && break; sleep 0.05; done
+ha_caddr=$(cat "$ha_cpf")
+./target/release/mammoth-cli --addr "$ha_caddr" \
+    -c "CREATE TABLE smoke (id BIGINT NOT NULL, v BIGINT)" \
+    -c "INSERT INTO smoke VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (6, 60)" \
+    >/dev/null
+# Let every replica mirror its primary's acked rows before the crash,
+# so the degraded read below has an exact answer to hit.
+for i in 0 1 2; do
+    want=$(./target/release/mammoth-cli --addr "${ha_addrs[$i]}" \
+        -c "SELECT COUNT(*) FROM smoke" | tail -1)
+    caught=""
+    for _ in $(seq 1 200); do
+        rc=$(./target/release/mammoth-cli --addr "${ha_raddrs[$i]}" \
+            -c "SELECT COUNT(*) FROM smoke" 2>/dev/null | tail -1 || true)
+        if [ "$rc" = "$want" ]; then caught=yes; break; fi
+        sleep 0.05
+    done
+    [ -n "$caught" ] \
+        || { echo "ha smoke: replica $i never caught up ($rc != $want)"; exit 1; }
+done
+# Kill shard 1's primary hard, mid-workload.
+kill -9 "${ha_pids[1]}"
+wait "${ha_pids[1]}" 2>/dev/null || true
+# Read continuity: fan-out SELECTs must come back (degraded to the
+# replica, then the promoted primary) and must not lose or invent rows.
+ha_read=""
+for _ in $(seq 1 200); do
+    out=$(./target/release/mammoth-cli --addr "$ha_caddr" \
+        -c "SELECT COUNT(*) FROM smoke" 2>/dev/null || true)
+    if echo "$out" | grep -q "^6"; then ha_read=yes; break; fi
+    sleep 0.05
+done
+[ -n "$ha_read" ] || { echo "ha smoke: reads never flowed during the outage"; exit 1; }
+# Promotion: the cluster must report all-healthy with the replica
+# swapped in as shard 1's primary, and writes must flow again.
+ha_healthy=""
+for _ in $(seq 1 400); do
+    placement=$(./target/release/mammoth-cli --addr "$ha_caddr" \
+        -c "EXPLAIN SHARDING" 2>/dev/null || true)
+    if [ "$(echo "$placement" | grep -c healthy)" -eq 3 ]; then ha_healthy=yes; break; fi
+    sleep 0.05
+done
+[ -n "$ha_healthy" ] || { echo "ha smoke: cluster never converged healthy: $placement"; exit 1; }
+echo "$placement" | grep -q "${ha_raddrs[1]}" \
+    || { echo "ha smoke: promoted replica not serving as primary: $placement"; exit 1; }
+post_out=$(./target/release/mammoth-cli --addr "$ha_caddr" \
+    -c "INSERT INTO smoke VALUES (101, 1), (102, 2), (103, 3), (104, 4), (105, 5), (106, 6)" \
+    -c "SELECT COUNT(*) FROM smoke")
+echo "$post_out" | grep -q "^6" \
+    || { echo "ha smoke: post-promotion write failed: $post_out"; exit 1; }
+post_count=$(echo "$post_out" | tail -1)
+[ "$post_count" -ge 12 ] 2>/dev/null \
+    || { echo "ha smoke: post-promotion count wrong: $post_out"; exit 1; }
+# Graceful shutdown everywhere; the coordinator's trace must carry the
+# failover events and validate.
+./target/release/mammoth-cli --addr "$ha_caddr" -c "SHUTDOWN" >/dev/null
+wait $ha_cpid || { echo "ha smoke: coordinator exited non-zero"; exit 1; }
+for i in 0 1 2; do
+    ./target/release/mammoth-cli --addr "${ha_raddrs[$i]}" -c "SHUTDOWN" >/dev/null
+    wait "${ha_rpids[$i]}" || { echo "ha smoke: replica $i exited non-zero"; exit 1; }
+done
+for i in 0 2; do
+    ./target/release/mammoth-cli --addr "${ha_addrs[$i]}" -c "SHUTDOWN" >/dev/null
+    wait "${ha_pids[$i]}" || { echo "ha smoke: shard $i exited non-zero"; exit 1; }
+done
+trap - EXIT
+for ev in ha.suspect ha.degraded ha.promote ha.recovered; do
+    grep -q "\"$ev\"" "$ha_trace" \
+        || { echo "ha smoke: trace missing $ev event"; exit 1; }
+done
+cargo run -q -p mammoth-types --bin tracecheck -- "$ha_trace"
+rm -rf "$ha_trace" "$ha_cpf" "${ha_dirs[@]}"
+
 echo "==> malcheck: well-formed plans must verify (profiler must not interfere)"
 good=$(ls examples/plans/*.mal | grep -v '/bad_')
 # shellcheck disable=SC2086

@@ -285,8 +285,20 @@ fn explain_sharding_accounts_for_every_row() {
         QueryOutput::Table { columns, rows } => {
             assert_eq!(
                 columns,
-                vec!["table", "key_column", "shard", "addr", "rows"]
+                vec![
+                    "table",
+                    "key_column",
+                    "shard",
+                    "addr",
+                    "rows",
+                    "health",
+                    "replica"
+                ]
             );
+            for r in &rows {
+                assert_eq!(r[5], Value::Str("healthy".into()), "no monitor, no faults");
+                assert_eq!(r[6], Value::Str(String::new()), "no replicas configured");
+            }
             assert_eq!(rows.len(), NSHARDS, "one report row per shard");
             let total: i64 = rows
                 .iter()
