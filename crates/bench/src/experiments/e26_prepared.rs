@@ -1,0 +1,237 @@
+//! E26 — prepared statements vs ad-hoc SQL (mammoth-planner extension).
+//!
+//! The prepared-statement claim: once `PREPARE` has compiled a statement,
+//! every `EXECUTE` skips parse → bind → typecheck → optimize and replays
+//! the cached MAL program with the parameters substituted as constants.
+//! Ad-hoc statements pay the whole pipeline every time (session-level
+//! ad-hoc SELECTs are deliberately not plan-cached — caching belongs to
+//! the statements the client *named*).
+//!
+//! Two measurements:
+//! * **in-process**: one `Session`, the same parameterized point query
+//!   driven ad-hoc (fresh literal text each round) and via
+//!   `EXECUTE` (warm cache). The speedup is the compile pipeline's share
+//!   of statement cost; the acceptance bar is ≥ 2x.
+//! * **over the wire**: the same pair through a real TCP server using the
+//!   protocol-v4 `Prepare`/`ExecutePrepared` frames. Round-trip overhead
+//!   dilutes the ratio, so this coda is reported, not gated.
+
+use crate::table::TextTable;
+use crate::{record_metric, Metric, Scale};
+use mammoth_server::{Client, Server, ServerConfig};
+use mammoth_sql::{QueryOutput, Session};
+use mammoth_types::Value;
+use std::time::Instant;
+
+/// The workload table: `k` cycles a small domain (point predicate),
+/// `v` spreads wide (range predicate), `s` pads the row.
+fn seed(s: &mut Session, rows: usize) {
+    s.execute("CREATE TABLE bench (k INT, v INT, s TEXT)")
+        .unwrap();
+    let mut chunk = Vec::with_capacity(512);
+    for i in 0..rows {
+        chunk.push(format!(
+            "({}, {}, 'pad{}')",
+            i % 100,
+            (i * 37) % 10_000,
+            i % 7
+        ));
+        if chunk.len() == 512 || i + 1 == rows {
+            s.execute(&format!("INSERT INTO bench VALUES {}", chunk.join(", ")))
+                .unwrap();
+            chunk.clear();
+        }
+    }
+}
+
+/// One bound instance of the workload query, for the ad-hoc side.
+fn adhoc_sql(p: usize) -> String {
+    format!(
+        "SELECT COUNT(*), MIN(v), MAX(v), SUM(v) FROM bench \
+         WHERE k = {p} AND v >= 100 AND v < 9900"
+    )
+}
+
+const PREPARE_SQL: &str = "PREPARE q AS SELECT COUNT(*), MIN(v), MAX(v), SUM(v) FROM bench \
+     WHERE k = ? AND v >= ? AND v < 9900";
+
+fn rows_of(out: QueryOutput) -> usize {
+    match out {
+        QueryOutput::Table { rows, .. } => rows.len(),
+        other => panic!("expected a table, got {other:?}"),
+    }
+}
+
+pub fn run(scale: Scale) -> String {
+    let rows = scale.pick(1 << 9, 1 << 10);
+    let iters = scale.pick(400, 4_000);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E26  prepared statements vs ad-hoc: {rows} rows, {iters} executions each\n"
+    ));
+    out.push_str("filtered four-way aggregate; ad-hoc recompiles per statement, EXECUTE\n");
+    out.push_str("replays the session plan cache with params bound as MAL constants\n\n");
+
+    // --- in-process: the compile pipeline's share of statement cost ------
+    let mut s = Session::new();
+    seed(&mut s, rows);
+
+    // Warm both paths outside the timed region (first EXECUTE may compile).
+    for p in 0..4 {
+        rows_of(s.execute(&adhoc_sql(p)).unwrap());
+    }
+    s.execute(PREPARE_SQL).unwrap();
+    for p in 0..4 {
+        rows_of(s.execute(&format!("EXECUTE q ({p}, 100)")).unwrap());
+    }
+
+    let t0 = Instant::now();
+    let mut adhoc_rows = 0usize;
+    for i in 0..iters {
+        adhoc_rows += rows_of(s.execute(&adhoc_sql(i % 100)).unwrap());
+    }
+    let adhoc_secs = t0.elapsed().as_secs_f64();
+
+    let (hits_before, compiles_before) = s.plan_cache_stats();
+    let t0 = Instant::now();
+    let mut prep_rows = 0usize;
+    for i in 0..iters {
+        prep_rows += rows_of(s.execute(&format!("EXECUTE q ({}, 100)", i % 100)).unwrap());
+    }
+    let prep_secs = t0.elapsed().as_secs_f64();
+    let (hits_after, compiles_after) = s.plan_cache_stats();
+
+    assert_eq!(
+        adhoc_rows, prep_rows,
+        "the two paths must return the same rows"
+    );
+    assert_eq!(
+        compiles_after, compiles_before,
+        "warm EXECUTE must never recompile"
+    );
+    assert!(
+        hits_after - hits_before >= iters as u64,
+        "every warm EXECUTE must be a plan-cache hit"
+    );
+
+    let adhoc_tput = iters as f64 / adhoc_secs.max(1e-9);
+    let prep_tput = iters as f64 / prep_secs.max(1e-9);
+    let speedup = adhoc_secs / prep_secs.max(1e-9);
+
+    let mut t = TextTable::new(vec!["path", "statements/s", "speedup"]);
+    t.row(vec![
+        "ad-hoc (in-process)".into(),
+        format!("{adhoc_tput:.0}"),
+        "1.0x".into(),
+    ]);
+    t.row(vec![
+        "EXECUTE (in-process)".into(),
+        format!("{prep_tput:.0}"),
+        format!("{speedup:.1}x"),
+    ]);
+    record_metric(Metric {
+        experiment: "e26",
+        name: "in_process".into(),
+        params: vec![
+            ("rows".into(), rows.to_string()),
+            ("iters".into(), iters.to_string()),
+            ("adhoc_stmts_per_s".into(), format!("{adhoc_tput:.0}")),
+            ("prepared_stmts_per_s".into(), format!("{prep_tput:.0}")),
+            ("speedup".into(), format!("{speedup:.2}")),
+        ],
+        wall_secs: adhoc_secs + prep_secs,
+        simulated_misses: None,
+    });
+    assert!(
+        speedup >= 2.0,
+        "prepared must beat ad-hoc by ≥2x warm-cache (got {speedup:.2}x)"
+    );
+
+    // --- wire coda: the same pair over TCP with protocol-v4 frames -------
+    let srv = Server::start(ServerConfig::default()).expect("server start");
+    let addr = srv.local_addr().to_string();
+    let mut c = Client::connect(&addr, "e26", "").unwrap();
+    c.query("CREATE TABLE bench (k INT, v INT, s TEXT)")
+        .unwrap();
+    let mut chunk = Vec::with_capacity(512);
+    for i in 0..rows {
+        chunk.push(format!(
+            "({}, {}, 'pad{}')",
+            i % 100,
+            (i * 37) % 10_000,
+            i % 7
+        ));
+        if chunk.len() == 512 || i + 1 == rows {
+            c.query(&format!("INSERT INTO bench VALUES {}", chunk.join(", ")))
+                .unwrap();
+            chunk.clear();
+        }
+    }
+    let nparams = c
+        .prepare(
+            "q",
+            "SELECT COUNT(*), MIN(v), MAX(v), SUM(v) FROM bench \
+             WHERE k = ? AND v >= ? AND v < 9900",
+        )
+        .unwrap();
+    assert_eq!(nparams, 2, "the wire PREPARE must report both placeholders");
+    for p in 0..4i32 {
+        c.query(&adhoc_sql(p as usize)).unwrap();
+        c.execute_prepared("q", &[Value::I32(p), Value::I32(100)])
+            .unwrap();
+    }
+
+    let wire_iters = iters / 2;
+    let t0 = Instant::now();
+    for i in 0..wire_iters {
+        c.query(&adhoc_sql(i % 100)).unwrap();
+    }
+    let wire_adhoc = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for i in 0..wire_iters {
+        c.execute_prepared("q", &[Value::I32((i % 100) as i32), Value::I32(100)])
+            .unwrap();
+    }
+    let wire_prep = t0.elapsed().as_secs_f64();
+    c.deallocate("q").unwrap();
+    c.quit().unwrap();
+    srv.shutdown().expect("graceful shutdown");
+
+    let wire_adhoc_tput = wire_iters as f64 / wire_adhoc.max(1e-9);
+    let wire_prep_tput = wire_iters as f64 / wire_prep.max(1e-9);
+    let wire_speedup = wire_adhoc / wire_prep.max(1e-9);
+    t.row(vec![
+        "ad-hoc (TCP)".into(),
+        format!("{wire_adhoc_tput:.0}"),
+        "1.0x".into(),
+    ]);
+    t.row(vec![
+        "ExecutePrepared (TCP)".into(),
+        format!("{wire_prep_tput:.0}"),
+        format!("{wire_speedup:.1}x"),
+    ]);
+    record_metric(Metric {
+        experiment: "e26",
+        name: "over_wire".into(),
+        params: vec![
+            ("iters".into(), wire_iters.to_string()),
+            ("adhoc_stmts_per_s".into(), format!("{wire_adhoc_tput:.0}")),
+            (
+                "prepared_stmts_per_s".into(),
+                format!("{wire_prep_tput:.0}"),
+            ),
+            ("speedup".into(), format!("{wire_speedup:.2}")),
+        ],
+        wall_secs: wire_adhoc + wire_prep,
+        simulated_misses: None,
+    });
+
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nwarm plan cache over the timed region: {} hits, {} compiles\n",
+        hits_after - hits_before,
+        compiles_after - compiles_before
+    ));
+    out
+}

@@ -34,6 +34,7 @@ pub mod experiments {
     pub mod e23_replication;
     pub mod e24_sharding;
     pub mod e25_failover;
+    pub mod e26_prepared;
 }
 
 /// Workload scale for the harness: `Quick` for smoke runs and CI,
@@ -185,6 +186,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e25",
             "extension - shard-replica failover: time to detect/degrade/promote, zero acked loss",
             e25_failover::run,
+        ),
+        (
+            "e26",
+            "extension - prepared statements: warm plan-cache EXECUTE vs ad-hoc recompile",
+            e26_prepared::run,
         ),
     ]
 }

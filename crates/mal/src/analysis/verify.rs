@@ -317,7 +317,7 @@ impl Verifier<'_> {
                         Arg::Var(v) => {
                             self.arg_ty(idx, instr, k, *v, state)?;
                         }
-                        Arg::Const(_) => {
+                        Arg::Const(_) | Arg::Param(_) => {
                             return Err(err(VerifyErrorKind::VarArgExpected { arg: k }))
                         }
                     }
@@ -335,7 +335,9 @@ impl Verifier<'_> {
                     Arg::Var(v) => {
                         self.arg_ty(idx, instr, 0, *v, state)?;
                     }
-                    Arg::Const(_) => return Err(err(VerifyErrorKind::VarArgExpected { arg: 0 })),
+                    Arg::Const(_) | Arg::Param(_) => {
+                        return Err(err(VerifyErrorKind::VarArgExpected { arg: 0 }))
+                    }
                 }
                 return Ok(vec![]);
             }
@@ -430,7 +432,7 @@ impl Verifier<'_> {
                                 detail: format!("expected a string constant, found {other:?}"),
                             }))
                         }
-                        Arg::Var(_) => {
+                        Arg::Var(_) | Arg::Param(_) => {
                             return Err(err(VerifyErrorKind::ConstArgExpected { arg: k }))
                         }
                     }
@@ -571,7 +573,7 @@ impl Verifier<'_> {
                 let mut vals = [0i64; 2];
                 for (slot, k) in (1..=2).enumerate() {
                     match &instr.args[k] {
-                        Arg::Var(_) => {
+                        Arg::Var(_) | Arg::Param(_) => {
                             return Err(err(VerifyErrorKind::ConstArgExpected { arg: k }))
                         }
                         Arg::Const(c) => match (c.logical_type(), c.as_i64()) {
@@ -645,6 +647,9 @@ impl Verifier<'_> {
         match &instr.args[argno] {
             Arg::Const(c) => Ok(VarTy::Scalar(c.logical_type())),
             Arg::Var(v) => self.arg_ty(idx, instr, argno, *v, state),
+            // a parameter slot is a scalar of (statically) unknown type;
+            // EXECUTE substitutes a concrete constant before execution
+            Arg::Param(_) => Ok(VarTy::Scalar(None)),
         }
     }
 

@@ -299,6 +299,9 @@ impl<'a> Interpreter<'a> {
                 .get(*v)
                 .and_then(|x| x.clone())
                 .ok_or_else(|| Error::Internal(format!("use of unbound variable x{v}"))),
+            Arg::Param(n) => Err(Error::Internal(format!(
+                "use of unbound parameter ?{n}: plan executed without EXECUTE bindings"
+            ))),
         }
     }
 
@@ -316,6 +319,8 @@ impl<'a> Interpreter<'a> {
             match a {
                 Arg::Const(c) => s.push_str(&format!("{c:?}")),
                 Arg::Var(v) => s.push_str(sigs.get(*v)?.as_deref()?),
+                // parameter slots have no provenance — never recycle them
+                Arg::Param(_) => return None,
             }
         }
         s.push(')');
@@ -385,7 +390,7 @@ fn bat_rows_in(instr: &Instr, vars: &[Option<MalValue>]) -> u64 {
                 .and_then(|x| x.as_ref())
                 .and_then(|m| m.as_bat())
                 .map(|b| b.len() as u64),
-            Arg::Const(_) => None,
+            Arg::Const(_) | Arg::Param(_) => None,
         })
         .sum()
 }

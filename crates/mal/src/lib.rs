@@ -52,8 +52,8 @@ pub use mitosis::{
     column_types, parallel_pipeline, parallel_pipeline_with_props, ColumnTypes, Mergetable, Mitosis,
 };
 pub use optimizer::{
-    default_pipeline, default_pipeline_with_props, GarbageCollect, OptimizerPass, PassError,
-    Pipeline, SelectElimination, SortedSelect,
+    default_pipeline, default_pipeline_with_props, CommonSubexpr, ConstantFold, DeadCode,
+    GarbageCollect, OptimizerPass, PassError, Pipeline, SelectElimination, SortedSelect,
 };
 pub use parser::parse_program;
 pub use program::{Arg, Instr, MalValue, OpCode, Program, VarId};

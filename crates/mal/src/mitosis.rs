@@ -394,6 +394,9 @@ impl Rewriter<'_> {
         let (a_parts, a_ty, a_lineage) = (ga.parts.clone(), ga.ty, ga.lineage.clone());
         let other = match instr.args.get(1) {
             Some(Arg::Const(c)) => Some((None, c.logical_type())),
+            // a parameter slot is a scalar operand of unknown type; it is
+            // fragment-invariant like any other scalar
+            Some(Arg::Param(_)) => Some((None, None)),
             Some(Arg::Var(b)) => match self.groups.get(b) {
                 // a fragmented second operand must be row-aligned with the
                 // first; different lineages would mix selections

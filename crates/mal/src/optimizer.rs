@@ -415,7 +415,9 @@ impl SelectElimination {
 fn consts_coerce(f: &BatFacts, preds: &[Arg]) -> bool {
     let consts = preds.iter().map(|a| match a {
         Arg::Const(c) => Some(c),
-        Arg::Var(_) => None,
+        // a parameter's value (and thus coercibility) is unknown until
+        // EXECUTE binds it — treat like a variable: not provably safe
+        Arg::Var(_) | Arg::Param(_) => None,
     });
     let bty = f
         .props

@@ -68,7 +68,7 @@ impl<'a> Lexer<'a> {
         }
         let c = self.src[self.pos];
         match c {
-            b'(' | b')' | b',' | b';' | b'[' | b']' => {
+            b'(' | b')' | b',' | b';' | b'[' | b']' | b'?' => {
                 self.pos += 1;
                 Ok(Tok::Sym(c as char))
             }
@@ -322,6 +322,11 @@ fn parse_stmt(
                 }),
                 Tok::Float(f) => Arg::Const(Value::F64(f)),
                 Tok::Str(s) => Arg::Const(Value::Str(s)),
+                // `?N` — a prepared-statement parameter slot
+                Tok::Sym('?') => match lex.next()? {
+                    Tok::Int(n) if n >= 0 => Arg::Param(n as usize),
+                    t => return Err(lex.err_at(format!("expected parameter index, got {t:?}"))),
+                },
                 t => return Err(lex.err_at(format!("bad argument {t:?}"))),
             };
             args.push(a);

@@ -38,6 +38,10 @@ impl MalValue {
 pub enum Arg {
     Var(VarId),
     Const(Value),
+    /// A prepared-statement parameter slot (`?N`), substituted to a
+    /// [`Arg::Const`] by the plan cache before execution. The interpreter
+    /// rejects plans that still carry one.
+    Param(usize),
 }
 
 /// The zero-degrees-of-freedom instruction set.
@@ -196,6 +200,7 @@ impl Instr {
                 Arg::Var(v) => out.push_str(&format!("x{v}")),
                 Arg::Const(Value::Str(s)) => out.push_str(&format!("{s:?}")),
                 Arg::Const(c) => out.push_str(&format!("{c}")),
+                Arg::Param(n) => out.push_str(&format!("?{n}")),
             }
         }
         out
@@ -257,7 +262,7 @@ impl Program {
             .flat_map(|i| {
                 i.args.iter().filter_map(|a| match a {
                     Arg::Var(v) => Some(*v),
-                    Arg::Const(_) => None,
+                    Arg::Const(_) | Arg::Param(_) => None,
                 })
             })
             .collect()

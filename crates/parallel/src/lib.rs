@@ -130,6 +130,9 @@ impl State {
                 .get(*v)
                 .and_then(|x| x.clone())
                 .ok_or_else(|| Error::Internal(format!("use of unbound variable x{v}"))),
+            Arg::Param(n) => Err(Error::Internal(format!(
+                "unbound parameter ?{n} reached the dataflow engine"
+            ))),
         }
     }
 }

@@ -1,0 +1,396 @@
+//! The cost model: predicate selectivity from the statistics, per-
+//! instruction cardinality/cost estimates over a MAL program, and the
+//! small decision procedures the SQL session consults (select-algorithm
+//! gating, mitosis piece count).
+//!
+//! Estimates are heuristic and advisory — classic System-R style
+//! independence assumptions, refined by the equi-depth histograms when a
+//! column has them. `EXPLAIN` prints them next to each instruction and
+//! `TRACE` diffs them against the measured row counts (`est_rows` vs
+//! `rows`), so estimation error is observable, not silent.
+
+use crate::stats::StatsCatalog;
+use mammoth_algebra::CmpOp;
+use mammoth_mal::{Arg, OpCode, Program, VarId};
+use mammoth_types::Value;
+use std::collections::HashMap;
+
+/// Default selectivity for a range predicate whose bound is unknown
+/// (a `?N` parameter, or no histogram).
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Row-count threshold below which binary-search range selection
+/// (`SortedSelect`) is not worth the setup over a plain scan.
+pub const SORTED_SELECT_MIN_ROWS: u64 = 256;
+
+/// Target rows per mitosis fragment: fragments smaller than this lose
+/// more to per-piece overhead than they gain from parallelism.
+const MITOSIS_TARGET_ROWS: u64 = 8192;
+
+/// Estimated output cardinality and cost of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrEstimate {
+    /// Estimated rows in the (first) result BAT; scalar results are 1.
+    pub rows: u64,
+    /// Estimated work in row-touch units (sum of input cardinalities).
+    pub cost: u64,
+}
+
+/// Estimated fraction of a column's rows satisfying `col op value`.
+/// `value == None` means the bound is statically unknown (a parameter).
+/// Falls back to fixed defaults when the column has no statistics.
+pub fn selectivity(
+    stats: &StatsCatalog,
+    table: &str,
+    column: &str,
+    op: CmpOp,
+    value: Option<&Value>,
+) -> f64 {
+    // comparison with NULL selects nothing in SQL semantics
+    if matches!(value, Some(v) if v.is_null()) {
+        return 0.0;
+    }
+    let Some(cs) = stats.column(table, column) else {
+        return match op {
+            CmpOp::Eq => 0.1,
+            CmpOp::Ne => 0.9,
+            _ => DEFAULT_RANGE_SELECTIVITY,
+        };
+    };
+    let live = (cs.rows - cs.nulls.min(cs.rows)).max(1) as f64;
+    let uniq = 1.0 / cs.ndv_clamped() as f64;
+    match op {
+        CmpOp::Eq => match (value.and_then(|v| v.as_f64()), &cs.histogram) {
+            // histogram refinement: equality is zero outside the
+            // recorded value range, else the uniform 1/ndv share
+            (Some(x), Some(h)) if h.total > 0 => {
+                if x < h.lo || h.bounds.last().is_some_and(|&hi| x > hi) {
+                    0.0
+                } else {
+                    uniq
+                }
+            }
+            _ => uniq,
+        },
+        CmpOp::Ne => (1.0 - uniq).max(0.0),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let Some(x) = value.and_then(|v| v.as_f64()) else {
+                return DEFAULT_RANGE_SELECTIVITY;
+            };
+            let Some(h) = &cs.histogram else {
+                return DEFAULT_RANGE_SELECTIVITY;
+            };
+            if h.total == 0 {
+                return DEFAULT_RANGE_SELECTIVITY;
+            }
+            let below = h.cdf(x);
+            let point = 1.0 / live; // half-open adjustment for one value
+            match op {
+                CmpOp::Le => below,
+                CmpOp::Lt => (below - point).max(0.0),
+                CmpOp::Gt => (1.0 - below).max(0.0),
+                CmpOp::Ge => (1.0 - below + point).min(1.0),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Per-instruction cardinality/cost estimates for a whole program,
+/// aligned index-for-index with `prog.instrs`.
+///
+/// Column provenance is threaded through projections so selections over
+/// a fetched column still consult that column's statistics.
+pub fn estimate_program(prog: &Program, stats: &StatsCatalog) -> Vec<InstrEstimate> {
+    let mut rows: HashMap<VarId, f64> = HashMap::new();
+    let mut origin: HashMap<VarId, (String, String)> = HashMap::new();
+    let mut out = Vec::with_capacity(prog.instrs.len());
+
+    let arg_rows = |rows: &HashMap<VarId, f64>, a: &Arg| -> Option<f64> {
+        match a {
+            Arg::Var(v) => rows.get(v).copied(),
+            _ => None,
+        }
+    };
+
+    for instr in &prog.instrs {
+        let in_rows: f64 = instr.args.iter().filter_map(|a| arg_rows(&rows, a)).sum();
+        let est: f64 = match &instr.op {
+            OpCode::Bind => {
+                let (t, c) = match (instr.args.first(), instr.args.get(1)) {
+                    (Some(Arg::Const(Value::Str(t))), Some(Arg::Const(Value::Str(c)))) => {
+                        (t.clone(), c.clone())
+                    }
+                    _ => (String::new(), String::new()),
+                };
+                let n = stats.table(&t).map(|ts| ts.rows as f64).unwrap_or(1000.0);
+                if let Some(r) = instr.results.first() {
+                    origin.insert(*r, (t, c));
+                }
+                n
+            }
+            OpCode::ThetaSelect(op) => {
+                let input = instr.args.first();
+                let base = input.and_then(|a| arg_rows(&rows, a)).unwrap_or(1000.0);
+                let value = match instr.args.get(1) {
+                    Some(Arg::Const(v)) => Some(v),
+                    _ => None, // Arg::Param or variable bound: unknown
+                };
+                let sel = input
+                    .and_then(|a| match a {
+                        Arg::Var(v) => origin.get(v),
+                        _ => None,
+                    })
+                    .map(|(t, c)| selectivity(stats, t, c, *op, value))
+                    .unwrap_or(match op {
+                        CmpOp::Eq => 0.1,
+                        CmpOp::Ne => 0.9,
+                        _ => DEFAULT_RANGE_SELECTIVITY,
+                    });
+                base * sel
+            }
+            OpCode::RangeSelect { .. } => {
+                let base = instr
+                    .args
+                    .first()
+                    .and_then(|a| arg_rows(&rows, a))
+                    .unwrap_or(1000.0);
+                let sel = instr
+                    .args
+                    .first()
+                    .and_then(|a| match a {
+                        Arg::Var(v) => origin.get(v),
+                        _ => None,
+                    })
+                    .map(|(t, c)| {
+                        let lo = match instr.args.get(1) {
+                            Some(Arg::Const(v)) if !v.is_null() => Some(v),
+                            _ => None,
+                        };
+                        let hi = match instr.args.get(2) {
+                            Some(Arg::Const(v)) if !v.is_null() => Some(v),
+                            _ => None,
+                        };
+                        let s_lo = lo
+                            .map(|v| selectivity(stats, t, c, CmpOp::Ge, Some(v)))
+                            .unwrap_or(1.0);
+                        let s_hi = hi
+                            .map(|v| selectivity(stats, t, c, CmpOp::Le, Some(v)))
+                            .unwrap_or(1.0);
+                        (s_lo + s_hi - 1.0).clamp(0.0, 1.0)
+                    })
+                    .unwrap_or(DEFAULT_RANGE_SELECTIVITY);
+                base * sel
+            }
+            OpCode::Projection => {
+                // rows follow the candidate list; provenance follows the
+                // projected base column
+                let cand = instr
+                    .args
+                    .first()
+                    .and_then(|a| arg_rows(&rows, a))
+                    .unwrap_or(0.0);
+                if let (Some(Arg::Var(b)), Some(r)) = (instr.args.get(1), instr.results.first()) {
+                    if let Some(o) = origin.get(b).cloned() {
+                        origin.insert(*r, o);
+                    }
+                }
+                cand
+            }
+            OpCode::Join => {
+                let ra = instr
+                    .args
+                    .first()
+                    .and_then(|a| arg_rows(&rows, a))
+                    .unwrap_or(1.0);
+                let rb = instr
+                    .args
+                    .get(1)
+                    .and_then(|a| arg_rows(&rows, a))
+                    .unwrap_or(1.0);
+                let ndv = |k: usize| -> Option<f64> {
+                    instr.args.get(k).and_then(|a| match a {
+                        Arg::Var(v) => origin
+                            .get(v)
+                            .and_then(|(t, c)| stats.column(t, c))
+                            .map(|cs| cs.ndv_clamped() as f64),
+                        _ => None,
+                    })
+                };
+                // classic equi-join estimate: |A|·|B| / max(ndv(a), ndv(b))
+                let d = ndv(0).unwrap_or(ra).max(ndv(1).unwrap_or(rb)).max(1.0);
+                (ra * rb / d).min(ra * rb)
+            }
+            OpCode::Group | OpCode::GroupRefine => {
+                // group count bounded by input ndv when known
+                let base = instr
+                    .args
+                    .iter()
+                    .filter_map(|a| arg_rows(&rows, a))
+                    .fold(0.0f64, f64::max);
+                instr
+                    .args
+                    .iter()
+                    .find_map(|a| match a {
+                        Arg::Var(v) => origin
+                            .get(v)
+                            .and_then(|(t, c)| stats.column(t, c))
+                            .map(|cs| (cs.ndv_clamped() as f64).min(base.max(1.0))),
+                        _ => None,
+                    })
+                    .unwrap_or(base)
+            }
+            OpCode::Aggr(_) | OpCode::Count | OpCode::PackSum => 1.0,
+            OpCode::AggrGrouped(_) => instr
+                .args
+                .get(2)
+                .and_then(|a| arg_rows(&rows, a))
+                .unwrap_or(1.0),
+            OpCode::Calc(_) | OpCode::SetProps | OpCode::Mirror | OpCode::Sort { .. } => {
+                // element-wise / order-only: cardinality preserved; so is
+                // provenance for the identity-ish ops
+                if let (Some(Arg::Var(v)), Some(r)) = (instr.args.first(), instr.results.first()) {
+                    if matches!(instr.op, OpCode::SetProps | OpCode::Sort { .. }) {
+                        if let Some(o) = origin.get(v).cloned() {
+                            origin.insert(*r, o);
+                        }
+                    }
+                }
+                instr
+                    .args
+                    .iter()
+                    .filter_map(|a| arg_rows(&rows, a))
+                    .fold(0.0f64, f64::max)
+            }
+            OpCode::Slice => {
+                let base = instr
+                    .args
+                    .first()
+                    .and_then(|a| arg_rows(&rows, a))
+                    .unwrap_or(0.0);
+                let lo = const_i64(instr.args.get(1)).unwrap_or(0).max(0) as f64;
+                let hi = const_i64(instr.args.get(2)).map(|h| h.max(0) as f64);
+                match hi {
+                    Some(h) => (h - lo).max(0.0).min(base),
+                    None => base,
+                }
+            }
+            OpCode::PartSlice => {
+                let base = instr
+                    .args
+                    .first()
+                    .and_then(|a| arg_rows(&rows, a))
+                    .unwrap_or(0.0);
+                let k = const_i64(instr.args.get(2)).unwrap_or(1).max(1) as f64;
+                base / k
+            }
+            OpCode::Pack => in_rows,
+            OpCode::Result | OpCode::Free => 0.0,
+        };
+        for r in &instr.results {
+            rows.insert(*r, est);
+        }
+        out.push(InstrEstimate {
+            rows: est.round().max(0.0) as u64,
+            cost: in_rows.round().max(0.0) as u64,
+        });
+    }
+    out
+}
+
+fn const_i64(a: Option<&Arg>) -> Option<i64> {
+    match a {
+        Some(Arg::Const(v)) => v.as_i64(),
+        _ => None,
+    }
+}
+
+/// Whether binary-search range selection over a sorted column is worth
+/// it at this cardinality. Below [`SORTED_SELECT_MIN_ROWS`] the scan's
+/// sequential sweep wins on setup cost.
+pub fn use_sorted_select(estimated_rows: u64) -> bool {
+    estimated_rows >= SORTED_SELECT_MIN_ROWS
+}
+
+/// Mitosis piece count for a table of `rows` rows, capped at
+/// `max_pieces` (the session's configured parallelism). Scales down for
+/// small tables so fragments stay at least [`MITOSIS_TARGET_ROWS`] rows.
+pub fn choose_pieces(rows: u64, max_pieces: usize) -> usize {
+    if max_pieces <= 1 || rows == 0 {
+        return max_pieces.max(1);
+    }
+    let by_size = rows.div_ceil(MITOSIS_TARGET_ROWS) as usize;
+    by_size.clamp(1, max_pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsCatalog;
+    use mammoth_types::LogicalType;
+
+    fn catalog_with_t() -> StatsCatalog {
+        let mut sc = StatsCatalog::new();
+        let vals: Vec<Value> = (0..1000).map(|i| Value::I64(i % 100)).collect();
+        sc.rebuild_table("t", vec![("a".into(), LogicalType::I64, vals)]);
+        sc
+    }
+
+    #[test]
+    fn selectivity_uses_ndv_and_histogram() {
+        let sc = catalog_with_t();
+        let eq = selectivity(&sc, "t", "a", CmpOp::Eq, Some(&Value::I64(50)));
+        assert!((eq - 0.01).abs() < 0.005, "1/ndv for eq, got {eq}");
+        let lt = selectivity(&sc, "t", "a", CmpOp::Lt, Some(&Value::I64(50)));
+        assert!((lt - 0.5).abs() < 0.1, "cdf for range, got {lt}");
+        // out-of-range equality is (near) zero
+        let miss = selectivity(&sc, "t", "a", CmpOp::Eq, Some(&Value::I64(5000)));
+        assert_eq!(miss, 0.0);
+        // NULL bound selects nothing
+        assert_eq!(
+            selectivity(&sc, "t", "a", CmpOp::Eq, Some(&Value::Null)),
+            0.0
+        );
+        // unknown bound falls back to the default
+        assert_eq!(
+            selectivity(&sc, "t", "a", CmpOp::Lt, None),
+            DEFAULT_RANGE_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn estimate_program_threads_provenance() {
+        let sc = catalog_with_t();
+        let mut p = Program::new();
+        let b = p.push(
+            OpCode::Bind,
+            vec![
+                Arg::Const(Value::Str("t".into())),
+                Arg::Const(Value::Str("a".into())),
+            ],
+        )[0];
+        let s = p.push(
+            OpCode::ThetaSelect(CmpOp::Eq),
+            vec![Arg::Var(b), Arg::Const(Value::I64(7))],
+        )[0];
+        let f = p.push(OpCode::Projection, vec![Arg::Var(s), Arg::Var(b)])[0];
+        p.push_result(&[f]);
+        let est = estimate_program(&p, &sc);
+        assert_eq!(est.len(), 4);
+        assert_eq!(est[0].rows, 1000, "bind = table rows");
+        assert_eq!(est[1].rows, 10, "1000/ndv(100) for equality");
+        assert_eq!(est[2].rows, 10, "projection follows candidates");
+        assert_eq!(est[1].cost, 1000, "select sweeps its input");
+    }
+
+    #[test]
+    fn sorted_select_gate_and_pieces() {
+        assert!(!use_sorted_select(SORTED_SELECT_MIN_ROWS - 1));
+        assert!(use_sorted_select(SORTED_SELECT_MIN_ROWS));
+        assert_eq!(choose_pieces(0, 8), 8, "unknown/empty keeps the default");
+        assert_eq!(choose_pieces(100, 8), 1, "tiny table: one piece");
+        assert_eq!(choose_pieces(20_000, 8), 3);
+        assert_eq!(choose_pieces(1_000_000, 8), 8, "capped at max");
+        assert_eq!(choose_pieces(100, 1), 1);
+    }
+}

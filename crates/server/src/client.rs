@@ -309,6 +309,80 @@ impl Client {
         }
     }
 
+    /// Compile and cache `sql` under `name` in the server session
+    /// (protocol v4) — the wire form of `PREPARE name AS sql`. Returns
+    /// the number of `?` placeholders the statement takes, which is how
+    /// many arguments [`Client::execute_prepared`] must supply.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<u32, ClientError> {
+        if self.negotiated < 4 {
+            return Err(ClientError::Protocol(format!(
+                "Prepare requires protocol v4; negotiated v{}",
+                self.negotiated
+            )));
+        }
+        self.ensure_usable()?;
+        self.send(&ClientMsg::Prepare {
+            name: name.into(),
+            sql: sql.into(),
+        })?;
+        match self.read_msg()? {
+            ServerMsg::Prepared { nparams } => Ok(nparams),
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Run the statement prepared under `name` (protocol v4), binding its
+    /// placeholders to `args` left-to-right. Arguments travel as typed
+    /// values, so no literal quoting or re-parsing happens on the way in.
+    pub fn execute_prepared(
+        &mut self,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Response, ClientError> {
+        if self.negotiated < 4 {
+            return Err(ClientError::Protocol(format!(
+                "ExecutePrepared requires protocol v4; negotiated v{}",
+                self.negotiated
+            )));
+        }
+        self.ensure_usable()?;
+        self.send(&ClientMsg::ExecutePrepared {
+            name: name.into(),
+            args: args.to_vec(),
+        })?;
+        match self.read_msg()? {
+            ServerMsg::Table { columns, rows } => Ok(Response::Table { columns, rows }),
+            ServerMsg::Affected { n } => Ok(Response::Affected(n)),
+            ServerMsg::Ok => Ok(Response::Ok),
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop the statement prepared under `name` (protocol v4).
+    pub fn deallocate(&mut self, name: &str) -> Result<(), ClientError> {
+        if self.negotiated < 4 {
+            return Err(ClientError::Protocol(format!(
+                "Deallocate requires protocol v4; negotiated v{}",
+                self.negotiated
+            )));
+        }
+        self.ensure_usable()?;
+        self.send(&ClientMsg::Deallocate { name: name.into() })?;
+        match self.read_msg()? {
+            ServerMsg::Ok => Ok(()),
+            ServerMsg::Err { code, message } => Err(refusal(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
     /// Orderly disconnect. Dropping the client without calling this is
     /// fine too — the server treats EOF as a quit.
     pub fn quit(mut self) -> Result<(), ClientError> {

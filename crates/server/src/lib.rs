@@ -470,6 +470,166 @@ mod tests {
         srv.shutdown().unwrap();
     }
 
+    /// The whole v4 wire lifecycle: Prepare answers with the placeholder
+    /// count, ExecutePrepared binds typed arguments for both reads and
+    /// writes, arity and unknown-name mistakes come back as typed SQL
+    /// errors, and Deallocate really removes the statement.
+    #[test]
+    fn prepared_statements_over_the_wire() {
+        use mammoth_types::Value;
+        let (srv, addr) = start(ServerConfig::default());
+        let mut c = Client::connect(&addr, "prep", "").unwrap();
+        assert_eq!(c.protocol_version(), PROTO_VERSION);
+        c.query("CREATE TABLE t (a INT, s TEXT)").unwrap();
+        c.query("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+            .unwrap();
+
+        // A prepared read: placeholder count comes back from Prepare.
+        let nparams = c.prepare("q1", "SELECT a, s FROM t WHERE a >= ?").unwrap();
+        assert_eq!(nparams, 1);
+        match c.execute_prepared("q1", &[Value::I32(2)]).unwrap() {
+            Response::Table { columns, rows } => {
+                assert_eq!(columns, vec!["a", "s"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+        // Same statement, different binding — no re-prepare needed.
+        match c.execute_prepared("q1", &[Value::I32(3)]).unwrap() {
+            Response::Table { rows, .. } => {
+                assert_eq!(rows, vec![vec![Value::I32(3), Value::Str("three".into())]])
+            }
+            other => panic!("expected table, got {other:?}"),
+        }
+
+        // A prepared write executes on the exclusive path transparently.
+        let n = c.prepare("ins", "INSERT INTO t VALUES (?, ?)").unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            c.execute_prepared("ins", &[Value::I32(4), Value::Str("four".into())])
+                .unwrap(),
+            Response::Affected(1)
+        );
+        match c.query("SELECT COUNT(*) FROM t").unwrap() {
+            Response::Table { rows, .. } => assert_eq!(rows[0][0], Value::I64(4)),
+            other => panic!("expected table, got {other:?}"),
+        }
+
+        // Arity and name mistakes are typed SQL errors, not hangs.
+        assert!(matches!(
+            c.execute_prepared("q1", &[]),
+            Err(ClientError::Server {
+                code: ErrorCode::Sql,
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.execute_prepared("nope", &[]),
+            Err(ClientError::Server {
+                code: ErrorCode::Sql,
+                ..
+            })
+        ));
+
+        // Deallocate removes the statement for real.
+        c.deallocate("q1").unwrap();
+        assert!(matches!(
+            c.execute_prepared("q1", &[Value::I32(1)]),
+            Err(ClientError::Server {
+                code: ErrorCode::Sql,
+                ..
+            })
+        ));
+        drop(c);
+        srv.shutdown().unwrap();
+    }
+
+    /// A v3 client on a v4 server keeps working, and the v4-only verbs
+    /// are refused on its connection — same compatibility story the v1
+    /// test tells for Subscribe.
+    #[test]
+    fn v3_client_served_but_refused_prepared_verbs() {
+        let (srv, addr) = start(ServerConfig::default());
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        frame::read_frame(&mut stream).unwrap(); // Hello
+        let login = ClientMsg::Login {
+            version: 3,
+            client: "lastyear".into(),
+            token: String::new(),
+        };
+        frame::write_frame(&mut stream, &login.encode()).unwrap();
+        assert!(matches!(
+            ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap(),
+            ServerMsg::Ready
+        ));
+        let q = ClientMsg::Query {
+            sql: "CREATE TABLE t (a INT)".into(),
+        };
+        frame::write_frame(&mut stream, &q.encode()).unwrap();
+        assert!(matches!(
+            ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap(),
+            ServerMsg::Ok
+        ));
+        let p = ClientMsg::Prepare {
+            name: "q".into(),
+            sql: "SELECT a FROM t".into(),
+        };
+        frame::write_frame(&mut stream, &p.encode()).unwrap();
+        match ServerMsg::decode(&frame::read_frame(&mut stream).unwrap()).unwrap() {
+            ServerMsg::Err { code, message } => {
+                assert_eq!(code, ErrorCode::Protocol);
+                assert!(message.contains("version 4"), "{message}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        srv.shutdown().unwrap();
+    }
+
+    /// `EXECUTE` is read-only *syntax*, so a prepared write on a replica
+    /// passes the textual gate — the engine's NeedsWrite bounce must then
+    /// surface as READ_ONLY, not tunnel onto the write path.
+    #[test]
+    fn read_only_replica_refuses_prepared_writes() {
+        use mammoth_types::Value;
+        let dir = std::env::temp_dir().join(format!("mammoth-ro-prep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (rw, addr) = start(ServerConfig {
+            spec: SessionSpec::durable(&dir),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(&addr, "seed", "").unwrap();
+        c.query("CREATE TABLE t (a INT)").unwrap();
+        c.query("INSERT INTO t VALUES (5)").unwrap();
+        drop(c);
+        rw.shutdown().unwrap();
+        let (ro, addr) = start(ServerConfig {
+            read_only: true,
+            spec: SessionSpec::durable(&dir),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(&addr, "reader", "").unwrap();
+        // Preparing the write is fine (it only compiles); running it is not.
+        assert_eq!(c.prepare("ins", "INSERT INTO t VALUES (?)").unwrap(), 1);
+        match c.execute_prepared("ins", &[Value::I32(6)]) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ReadOnly),
+            other => panic!("expected READ_ONLY, got {other:?}"),
+        }
+        // Prepared reads still flow on the replica.
+        assert_eq!(c.prepare("rd", "SELECT a FROM t WHERE a = ?").unwrap(), 1);
+        match c.execute_prepared("rd", &[Value::I32(5)]).unwrap() {
+            Response::Table { rows, .. } => assert_eq!(rows, vec![vec![Value::I32(5)]]),
+            other => panic!("expected table, got {other:?}"),
+        }
+        // The write never happened.
+        match c.execute_prepared("rd", &[Value::I32(6)]).unwrap() {
+            Response::Table { rows, .. } => assert!(rows.is_empty()),
+            other => panic!("expected table, got {other:?}"),
+        }
+        drop(c);
+        ro.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn poisoned_statement_reported_and_survivable() {
         let (srv, addr) = start(ServerConfig {

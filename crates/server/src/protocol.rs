@@ -26,16 +26,20 @@ use std::fmt;
 /// query protocol; version 2 adds the replication messages
 /// ([`ClientMsg::Subscribe`], [`ServerMsg::WalChunk`] and friends);
 /// version 3 adds the sharding fragment messages
-/// ([`ClientMsg::Fragment`] / [`ServerMsg::FragmentResult`]).
+/// ([`ClientMsg::Fragment`] / [`ServerMsg::FragmentResult`]); version 4
+/// adds the prepared-statement messages ([`ClientMsg::Prepare`] /
+/// [`ClientMsg::ExecutePrepared`] / [`ClientMsg::Deallocate`] /
+/// [`ServerMsg::Prepared`]), which ship `EXECUTE` arguments as typed
+/// values instead of re-parsed literals.
 ///
 /// Negotiation: [`ServerMsg::Hello`] advertises the server's newest
 /// version, the client replies in [`ClientMsg::Login`] with
 /// `min(its newest, server's)`, and the server accepts any version in
 /// `MIN_PROTO_VERSION..=PROTO_VERSION`. A v1 client therefore logs in with
-/// version 1 exactly as before, and a v2/v3 client downgrades itself
+/// version 1 exactly as before, and a v2/v3/v4 client downgrades itself
 /// against an older server (a v1 server still hard-rejects anything
 /// but 1).
-pub const PROTO_VERSION: u16 = 3;
+pub const PROTO_VERSION: u16 = 4;
 
 /// Oldest protocol version the server still accepts in `Login`.
 pub const MIN_PROTO_VERSION: u16 = 1;
@@ -144,6 +148,19 @@ pub enum ClientMsg {
     /// `is_read_only_statement`; writes travel as plain [`ClientMsg::Query`]
     /// so they take the shard's normal WAL-durable commit path.
     Fragment { id: u64, sql: String },
+    /// (v4) Compile and cache `sql` under `name` in this session, exactly
+    /// like the SQL `PREPARE name AS sql` statement. The statement may
+    /// contain `?` placeholders; the server answers with
+    /// [`ServerMsg::Prepared`] carrying the placeholder count.
+    Prepare { name: String, sql: String },
+    /// (v4) Run the statement prepared under `name`, binding its `?`
+    /// placeholders to `args` left-to-right. Arguments travel as typed
+    /// [`Value`]s — no literal re-parsing on the server. Answered like a
+    /// plain query: [`ServerMsg::Table`] / [`ServerMsg::Affected`] /
+    /// [`ServerMsg::Ok`] / [`ServerMsg::Err`].
+    ExecutePrepared { name: String, args: Vec<Value> },
+    /// (v4) Drop the statement prepared under `name` from this session.
+    Deallocate { name: String },
 }
 
 const T_LOGIN: u8 = 0x01;
@@ -152,6 +169,9 @@ const T_QUIT: u8 = 0x03;
 const T_SHUTDOWN: u8 = 0x04;
 const T_SUBSCRIBE: u8 = 0x05;
 const T_FRAGMENT: u8 = 0x06;
+const T_PREPARE: u8 = 0x07;
+const T_EXECPREP: u8 = 0x08;
+const T_DEALLOC: u8 = 0x09;
 
 const T_HELLO: u8 = 0x80;
 const T_READY: u8 = 0x81;
@@ -163,6 +183,7 @@ const T_WALCHUNK: u8 = 0x86;
 const T_IMAGE: u8 = 0x87;
 const T_CAUGHTUP: u8 = 0x88;
 const T_FRAGRESULT: u8 = 0x89;
+const T_PREPARED: u8 = 0x8a;
 
 impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
@@ -194,6 +215,23 @@ impl ClientMsg {
                 put_u64(*id, &mut out);
                 put_str(sql, &mut out);
             }
+            ClientMsg::Prepare { name, sql } => {
+                out.push(T_PREPARE);
+                put_str(name, &mut out);
+                put_str(sql, &mut out);
+            }
+            ClientMsg::ExecutePrepared { name, args } => {
+                out.push(T_EXECPREP);
+                put_str(name, &mut out);
+                put_u32(args.len() as u32, &mut out);
+                for v in args {
+                    put_value(v, &mut out);
+                }
+            }
+            ClientMsg::Deallocate { name } => {
+                out.push(T_DEALLOC);
+                put_str(name, &mut out);
+            }
         }
         out
     }
@@ -217,6 +255,25 @@ impl ClientMsg {
                 id: r.u64()?,
                 sql: r.str()?,
             },
+            T_PREPARE => ClientMsg::Prepare {
+                name: r.str()?,
+                sql: r.str()?,
+            },
+            T_EXECPREP => {
+                let name = r.str()?;
+                let nargs = r.u32()? as usize;
+                // Every argument consumes at least one byte; reject a count
+                // that overruns the payload before allocating for it.
+                if nargs > r.remaining() {
+                    return Err(Error::Corrupt("argument count overruns payload".into()));
+                }
+                let mut args = Vec::with_capacity(nargs);
+                for _ in 0..nargs {
+                    args.push(r.value()?);
+                }
+                ClientMsg::ExecutePrepared { name, args }
+            }
+            T_DEALLOC => ClientMsg::Deallocate { name: r.str()? },
             t => return Err(Error::Corrupt(format!("unknown client message tag {t}"))),
         };
         if !r.done() {
@@ -276,6 +333,9 @@ pub enum ServerMsg {
         columns: Vec<String>,
         rows: Vec<Vec<Value>>,
     },
+    /// (v4) [`ClientMsg::Prepare`] succeeded; the statement takes
+    /// `nparams` placeholder argument(s).
+    Prepared { nparams: u32 },
 }
 
 impl ServerMsg {
@@ -353,6 +413,10 @@ impl ServerMsg {
                         put_value(v, &mut out);
                     }
                 }
+            }
+            ServerMsg::Prepared { nparams } => {
+                out.push(T_PREPARED);
+                put_u32(*nparams, &mut out);
             }
         }
         out
@@ -451,6 +515,7 @@ impl ServerMsg {
                 }
                 ServerMsg::FragmentResult { id, columns, rows }
             }
+            T_PREPARED => ServerMsg::Prepared { nparams: r.u32()? },
             t => return Err(Error::Corrupt(format!("unknown server message tag {t}"))),
         };
         if !r.done() {
@@ -494,6 +559,19 @@ mod tests {
                 id: 42,
                 sql: "SELECT COUNT(*) FROM t".into(),
             },
+            ClientMsg::Prepare {
+                name: "q1".into(),
+                sql: "SELECT a FROM t WHERE a > ?".into(),
+            },
+            ClientMsg::ExecutePrepared {
+                name: "q1".into(),
+                args: vec![Value::I64(7), Value::Str("naïve".into()), Value::Null],
+            },
+            ClientMsg::ExecutePrepared {
+                name: "noargs".into(),
+                args: vec![],
+            },
+            ClientMsg::Deallocate { name: "q1".into() },
         ] {
             assert_eq!(ClientMsg::decode(&msg.encode()).unwrap(), msg);
         }
@@ -555,6 +633,8 @@ mod tests {
                 columns: vec![],
                 rows: vec![],
             },
+            ServerMsg::Prepared { nparams: 0 },
+            ServerMsg::Prepared { nparams: 3 },
         ] {
             assert_eq!(ServerMsg::decode(&msg.encode()).unwrap(), msg);
         }
@@ -675,6 +755,65 @@ mod tests {
                         T_FRAGRESULT
                     };
                 }
+            }
+            let _ = ClientMsg::decode(&buf);
+            let _ = ServerMsg::decode(&buf);
+        }
+    }
+
+    /// The v4 prepared-statement frames get the same decode hardening as
+    /// the fragments: truncations, bit flips, allocation bombs, and seeded
+    /// byte soup must never panic or allocate unboundedly.
+    #[test]
+    fn prepared_frames_survive_fuzzing() {
+        use rand::{RngCore, RngExt, SeedableRng};
+
+        let samples: Vec<Vec<u8>> = vec![
+            ClientMsg::Prepare {
+                name: "q1".into(),
+                sql: "SELECT a FROM t WHERE a BETWEEN ? AND ?".into(),
+            }
+            .encode(),
+            ClientMsg::ExecutePrepared {
+                name: "q1".into(),
+                args: vec![Value::I64(-3), Value::Str("naïve".into()), Value::Null],
+            }
+            .encode(),
+            ClientMsg::Deallocate { name: "q1".into() }.encode(),
+            ServerMsg::Prepared { nparams: 2 }.encode(),
+        ];
+        for enc in &samples {
+            for cut in 0..enc.len() {
+                let _ = ClientMsg::decode(&enc[..cut]);
+                let _ = ServerMsg::decode(&enc[..cut]);
+            }
+            for byte in 0..enc.len() {
+                for bit in 0..8 {
+                    let mut m = enc.clone();
+                    m[byte] ^= 1 << bit;
+                    let _ = ClientMsg::decode(&m);
+                    let _ = ServerMsg::decode(&m);
+                }
+            }
+        }
+        // An absurd argument count must be rejected before allocating.
+        let mut bomb = vec![T_EXECPREP];
+        bomb.extend_from_slice(&1u32.to_le_bytes()); // name len 1
+        bomb.push(b'q');
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd arg count
+        assert!(ClientMsg::decode(&bomb).is_err());
+        // Seeded random byte soup biased onto the new tags.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a4e);
+        for _ in 0..2000 {
+            let n = rng.random_range(0usize..128);
+            let mut buf = vec![0u8; n];
+            for b in buf.iter_mut() {
+                *b = (rng.next_u64() & 0xff) as u8;
+            }
+            if !buf.is_empty() && rng.random_bool(0.5) {
+                buf[0] = *[T_PREPARE, T_EXECPREP, T_DEALLOC, T_PREPARED]
+                    .get(rng.random_range(0usize..4))
+                    .unwrap();
             }
             let _ = ClientMsg::decode(&buf);
             let _ = ServerMsg::decode(&buf);

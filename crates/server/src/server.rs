@@ -665,6 +665,85 @@ fn serve_connection(inner: &Inner, widx: usize, mut stream: TcpStream) -> Result
                 );
                 send(&mut stream, &resp)?;
             }
+            Ok(ClientMsg::Prepare { name, sql }) => {
+                if proto < 4 {
+                    refuse(
+                        &mut stream,
+                        ErrorCode::Protocol,
+                        "Prepare requires protocol version 4",
+                    );
+                    return Ok(());
+                }
+                // The wire verb is sugar over the SQL statement, so the
+                // whole prepared-statement life cycle (naming, the plan
+                // cache, invalidation) lives in one place: the session.
+                let text = format!("PREPARE {name} AS {sql}");
+                let started = Instant::now();
+                let (resp, rows) = run_statement(inner, &text);
+                let resp = match resp {
+                    ServerMsg::Ok => {
+                        let nparams = mammoth_sql::parse_sql(&text)
+                            .map(|s| s.param_count() as u32)
+                            .unwrap_or(0);
+                        ServerMsg::Prepared { nparams }
+                    }
+                    other => other,
+                };
+                inner.trace(
+                    EventKind::ServerStatement,
+                    widx,
+                    format!("PREPARE {name}"),
+                    started,
+                    rows,
+                );
+                send(&mut stream, &resp)?;
+            }
+            Ok(ClientMsg::ExecutePrepared { name, args }) => {
+                if proto < 4 {
+                    refuse(
+                        &mut stream,
+                        ErrorCode::Protocol,
+                        "ExecutePrepared requires protocol version 4",
+                    );
+                    return Ok(());
+                }
+                let lits: Vec<String> = args.iter().map(mammoth_sql::sql_literal).collect();
+                let text = if lits.is_empty() {
+                    format!("EXECUTE {name}")
+                } else {
+                    format!("EXECUTE {name} ({})", lits.join(", "))
+                };
+                let started = Instant::now();
+                let (resp, rows) = run_statement(inner, &text);
+                inner.trace(
+                    EventKind::ServerStatement,
+                    widx,
+                    format!("EXECUTE {name}"),
+                    started,
+                    rows,
+                );
+                send(&mut stream, &resp)?;
+            }
+            Ok(ClientMsg::Deallocate { name }) => {
+                if proto < 4 {
+                    refuse(
+                        &mut stream,
+                        ErrorCode::Protocol,
+                        "Deallocate requires protocol version 4",
+                    );
+                    return Ok(());
+                }
+                let started = Instant::now();
+                let (resp, rows) = run_statement(inner, &format!("DEALLOCATE {name}"));
+                inner.trace(
+                    EventKind::ServerStatement,
+                    widx,
+                    format!("DEALLOCATE {name}"),
+                    started,
+                    rows,
+                );
+                send(&mut stream, &resp)?;
+            }
             Ok(ClientMsg::Login { .. }) => {
                 refuse(&mut stream, ErrorCode::Protocol, "already logged in");
                 return Ok(());
@@ -701,7 +780,8 @@ fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
             ),
         };
     }
-    if inner.read_only.load(Ordering::SeqCst) && !is_read_only_statement(sql) {
+    let read_only = inner.read_only.load(Ordering::SeqCst);
+    if read_only && !is_read_only_statement(sql) {
         return (
             ServerMsg::Err {
                 code: ErrorCode::ReadOnly,
@@ -710,7 +790,16 @@ fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
             0,
         );
     }
-    match inner.shared.execute(sql) {
+    // On a replica, `EXECUTE` of a prepared DML statement passes the
+    // textual gate above (EXECUTE is read-only *syntax*), so the
+    // write-escalation retry must stay off: the engine's NeedsWrite
+    // bounce surfaces here and is answered as READ_ONLY instead.
+    let result = if read_only {
+        inner.shared.execute_no_write_escalation(sql)
+    } else {
+        inner.shared.execute(sql)
+    };
+    match result {
         Ok(out) => {
             let msg = ServerMsg::from_output(out);
             let rows = match &msg {
@@ -740,6 +829,13 @@ fn run_statement(inner: &Inner, sql: &str) -> (ServerMsg, u64) {
                 0,
             )
         }
+        Err(ExecError::Engine(Error::NeedsWrite)) => (
+            ServerMsg::Err {
+                code: ErrorCode::ReadOnly,
+                message: "prepared statement writes; send EXECUTE to the primary".into(),
+            },
+            0,
+        ),
         Err(ExecError::Engine(e)) => {
             inner.stats.sql_errors.fetch_add(1, Ordering::Relaxed);
             (

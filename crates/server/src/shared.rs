@@ -277,10 +277,34 @@ impl SharedSession {
     }
 
     /// Execute one statement with admission control, timeout, and poison
-    /// recovery. Read-only statements (`SELECT`/`EXPLAIN`) run concurrently;
-    /// everything else is exclusive.
+    /// recovery. Read-only statements (`SELECT`/`EXPLAIN` and the
+    /// prepared-statement verbs) run concurrently; everything else is
+    /// exclusive. `EXECUTE` of a prepared DML statement starts on the
+    /// read path, comes back as [`Error::NeedsWrite`], and is retried
+    /// once with the session held exclusively.
     pub fn execute(&self, sql: &str) -> std::result::Result<QueryOutput, ExecError> {
         let write = !is_read_only_statement(sql);
+        match self.execute_as(sql, write) {
+            Err(ExecError::Engine(Error::NeedsWrite)) if !write => self.execute_as(sql, true),
+            other => other,
+        }
+    }
+
+    /// Like [`SharedSession::execute`], but *without* the
+    /// [`Error::NeedsWrite`] escalation: an `EXECUTE` of a prepared DML
+    /// statement fails with that error instead of retrying on the write
+    /// path. Read-only replicas route statements through here so a
+    /// prepared write cannot tunnel past their textual read-only gate —
+    /// the server maps the surfaced `NeedsWrite` to its `READ_ONLY`
+    /// wire error.
+    pub fn execute_no_write_escalation(
+        &self,
+        sql: &str,
+    ) -> std::result::Result<QueryOutput, ExecError> {
+        self.execute_as(sql, !is_read_only_statement(sql))
+    }
+
+    fn execute_as(&self, sql: &str, write: bool) -> std::result::Result<QueryOutput, ExecError> {
         let deadline = self.stmt_timeout.map(|t| Instant::now() + t);
         self.admit(write, deadline)?;
 

@@ -49,6 +49,7 @@
 //! `EXPLAIN SHARDING` surfaces the whole state machine in its `health`
 //! and `replica` columns.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -60,10 +61,11 @@ use mammoth_mal::{
     partial_column, shard_partials_table, shard_table_name, verify_with_catalog, GatherColumn,
     Interpreter, MalValue, PartialMerge, Program,
 };
+use mammoth_planner::normalize_sql;
 use mammoth_server::{Client, ClientError, ErrorCode, Response, RetryPolicy};
 use mammoth_sql::{
-    classify, compile_select, insert_sql, parse_sql, render_outputs, wants_sharding_status,
-    GatherTable, Predicate, QueryOutput, ScatterPlan, SelectStmt, Statement,
+    classify, compile_select, delete_sql, insert_sql, parse_sql, render_outputs, select_sql,
+    wants_sharding_status, GatherTable, Predicate, QueryOutput, ScatterPlan, SelectStmt, Statement,
 };
 use mammoth_storage::{Bat, Catalog, Table};
 use mammoth_types::{
@@ -211,10 +213,34 @@ pub struct Coordinator {
     /// Schemas only — zero rows. Compilation and verification target.
     planning: Mutex<Catalog>,
     parts: Mutex<PartitionMap>,
+    /// Compiled-and-verified scatter plans keyed by normalized statement
+    /// text. A repeated statement — ad-hoc or `EXECUTE`d — compiles once
+    /// per coordinator lifetime. No per-column premises are needed here:
+    /// the planning catalog holds schemas only, so it changes exactly on
+    /// DDL, which clears the cache wholesale.
+    plans: Mutex<HashMap<String, Arc<PlannedSelect>>>,
+    /// `PREPARE`d statements by lowercased name.
+    prepared: Mutex<HashMap<String, PreparedStmt>>,
     next_frag: AtomicU64,
     events: Mutex<Vec<TraceEvent>>,
     t0: Instant,
     stmts: AtomicU64,
+}
+
+/// One cached scatter compilation: the verified single-node program, its
+/// output names, the scatter strategy and the referenced table schemas.
+struct PlannedSelect {
+    prog: Program,
+    names: Vec<String>,
+    plan: ScatterPlan,
+    schemas: Vec<TableSchema>,
+}
+
+/// A coordinator-side prepared statement.
+#[derive(Debug, Clone)]
+struct PreparedStmt {
+    stmt: Statement,
+    nparams: usize,
 }
 
 impl Coordinator {
@@ -242,6 +268,8 @@ impl Coordinator {
             stop: Arc::new(AtomicBool::new(false)),
             planning: Mutex::new(Catalog::new()),
             parts: Mutex::new(PartitionMap::default()),
+            plans: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(HashMap::new()),
             next_frag: AtomicU64::new(1),
             events: Mutex::new(Vec::new()),
             t0: Instant::now(),
@@ -489,6 +517,7 @@ impl Coordinator {
                 return Err(CoordError::Sql(e));
             }
         }
+        self.invalidate_plans();
         self.broadcast(sql)?;
         Ok(QueryOutput::Ok)
     }
@@ -503,8 +532,15 @@ impl Coordinator {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove_table(name);
+        self.invalidate_plans();
         self.broadcast(sql)?;
         Ok(QueryOutput::Ok)
+    }
+
+    /// DDL changed the planning catalog: every cached plan's premises are
+    /// void, so the whole cache goes.
+    fn invalidate_plans(&self) {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     // ---------------------------------------------------------------- DML
@@ -558,19 +594,24 @@ impl Coordinator {
         let spec = self.spec_for(table)?;
         let n = self.nshards();
         let started = Instant::now();
-        // A predicate that pins the partition key to one value means only
-        // the owning shard can hold matching rows.
-        let pinned = where_.iter().find(|p| {
-            p.op == CmpOp::Eq
+        // A predicate that pins the partition key to one literal means
+        // only the owning shard can hold matching rows.
+        let pinned = where_.iter().find_map(|p| {
+            if p.op == CmpOp::Eq
                 && p.col.column.eq_ignore_ascii_case(&spec.key_column)
                 && p.col
                     .table
                     .as_ref()
                     .is_none_or(|t| t.eq_ignore_ascii_case(table))
+            {
+                p.value.as_lit()
+            } else {
+                None
+            }
         });
         let (total, routed) = match pinned {
-            Some(p) => {
-                let target = shard_of(&p.value, n);
+            Some(v) => {
+                let target = shard_of(v, n);
                 let resp = self.with_shard(target, |c| c.query(sql))?;
                 match resp {
                     Response::Affected(k) => (k, format!("shard={target}")),
@@ -835,9 +876,41 @@ impl Coordinator {
     // ------------------------------------------------------------- SELECT
 
     fn select(&self, sel: &SelectStmt) -> Result<QueryOutput, CoordError> {
-        // Compile once, verify, classify — all against the planning
-        // catalog, with the lock released before any network hop.
-        let (prog, names, plan, schemas) = {
+        let planned = self.planned_select(sel)?;
+        match &planned.plan {
+            ScatterPlan::Aggregates {
+                fragment_sql,
+                merges,
+            } => self.select_aggregates(planned.names.clone(), fragment_sql, merges),
+            ScatterPlan::Gather { tables } => self.select_gather(
+                planned.prog.clone(),
+                planned.names.clone(),
+                tables,
+                &planned.schemas,
+            ),
+        }
+    }
+
+    /// Fetch or build the scatter compilation for `sel`. A hit skips
+    /// parse-free recompilation *and* re-verification; a miss compiles,
+    /// verifies and classifies against the planning catalog with the lock
+    /// released before any network hop. Both outcomes trace
+    /// (`plan.cache_hit` / `plan.compile`) so the one-compile-per-
+    /// coordinator-lifetime property is testable from the outside.
+    fn planned_select(&self, sel: &SelectStmt) -> Result<Arc<PlannedSelect>, CoordError> {
+        let key = normalize_sql(&select_sql(sel));
+        let started = Instant::now();
+        let hit = self
+            .plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned();
+        if let Some(p) = hit {
+            self.trace(EventKind::PlanCacheHit, format!("stmt={key}"), started, 0);
+            return Ok(p);
+        }
+        let planned = {
             let planning = self.planning.lock().unwrap_or_else(|e| e.into_inner());
             let (prog, names) = compile_select(&planning, sel).map_err(CoordError::Sql)?;
             verify_with_catalog(&prog, &planning)
@@ -851,15 +924,19 @@ impl Coordinator {
                     .map_err(CoordError::Sql)?,
                 ScatterPlan::Aggregates { .. } => Vec::new(),
             };
-            (prog, names, plan, schemas)
+            Arc::new(PlannedSelect {
+                prog,
+                names,
+                plan,
+                schemas,
+            })
         };
-        match plan {
-            ScatterPlan::Aggregates {
-                fragment_sql,
-                merges,
-            } => self.select_aggregates(names, &fragment_sql, &merges),
-            ScatterPlan::Gather { tables } => self.select_gather(prog, names, &tables, &schemas),
-        }
+        self.plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.clone(), Arc::clone(&planned));
+        self.trace(EventKind::PlanCompile, format!("stmt={key}"), started, 0);
+        Ok(planned)
     }
 
     /// Lossless scalar aggregates: ship the statement whole, merge the
@@ -1110,11 +1187,16 @@ impl Coordinator {
         if wants_sharding_status(sql) {
             return self.explain_sharding();
         }
-        match parse_sql(sql).map_err(CoordError::Sql)? {
+        let stmt = parse_sql(sql).map_err(CoordError::Sql)?;
+        if !matches!(stmt, Statement::Prepare { .. }) && stmt.param_count() > 0 {
+            return Err(CoordError::Sql(Error::Bind(
+                "placeholders (?) are only allowed inside PREPARE; supply values with EXECUTE"
+                    .into(),
+            )));
+        }
+        match stmt {
             Statement::CreateTable { name, columns } => self.create_table(sql, &name, &columns),
             Statement::DropTable { name } => self.drop_table(sql, &name),
-            Statement::Insert { table, rows } => self.insert(&table, rows),
-            Statement::Delete { table, where_ } => self.delete(sql, &table, &where_),
             Statement::Checkpoint => {
                 self.broadcast(sql)?;
                 Ok(QueryOutput::Ok)
@@ -1123,8 +1205,104 @@ impl Coordinator {
                 "TRACE profiles a single node; connect to a shard directly".into(),
             ))),
             Statement::Explain(sel) => self.explain(&sel),
-            Statement::Select(sel) => self.select(&sel),
+            other => self.dispatch(other),
         }
+    }
+
+    /// Route a parsed (and, for `EXECUTE`, parameter-bound) statement.
+    /// The statements reachable here are exactly the ones that do not
+    /// need the original text verbatim: `INSERT`/`DELETE` are re-rendered
+    /// per shard anyway, and `SELECT` scatters compiled fragments.
+    fn dispatch(&self, stmt: Statement) -> Result<QueryOutput, CoordError> {
+        match stmt {
+            Statement::Select(sel) => self.select(&sel),
+            Statement::Insert { table, rows } => {
+                let rows: Vec<Vec<Value>> = rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|s| s.bind(&[])).collect())
+                    .collect::<mammoth_types::Result<_>>()
+                    .map_err(CoordError::Sql)?;
+                self.insert(&table, rows)
+            }
+            Statement::Delete { table, where_ } => {
+                let sql = delete_sql(&table, &where_);
+                self.delete(&sql, &table, &where_)
+            }
+            Statement::Prepare { name, stmt } => self.prepare_statement(name, *stmt),
+            Statement::Execute { name, args } => {
+                let p = self
+                    .prepared
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get(&name.to_lowercase())
+                    .cloned()
+                    .ok_or(CoordError::Sql(Error::NotFound {
+                        kind: "prepared statement",
+                        name: name.clone(),
+                    }))?;
+                if args.len() != p.nparams {
+                    return Err(CoordError::Sql(Error::Bind(format!(
+                        "prepared statement {name} takes {} argument(s), EXECUTE supplies {}",
+                        p.nparams,
+                        args.len()
+                    ))));
+                }
+                let bound = p.stmt.bind_params(&args).map_err(CoordError::Sql)?;
+                self.dispatch(bound)
+            }
+            Statement::Deallocate { name } => {
+                match self
+                    .prepared
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&name.to_lowercase())
+                {
+                    Some(_) => Ok(QueryOutput::Ok),
+                    None => Err(CoordError::Sql(Error::NotFound {
+                        kind: "prepared statement",
+                        name,
+                    })),
+                }
+            }
+            other => Err(CoordError::Sql(Error::Unsupported(format!(
+                "the coordinator cannot route {other:?} through EXECUTE"
+            )))),
+        }
+    }
+
+    /// Register a coordinator-side prepared statement. Fully-bound
+    /// SELECTs warm the scatter-plan cache at `PREPARE` time, so the
+    /// first `EXECUTE` is already a `plan.cache_hit`.
+    fn prepare_statement(&self, name: String, stmt: Statement) -> Result<QueryOutput, CoordError> {
+        let key = name.to_lowercase();
+        if self
+            .prepared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
+        {
+            return Err(CoordError::Sql(Error::AlreadyExists {
+                kind: "prepared statement",
+                name,
+            }));
+        }
+        if !matches!(
+            stmt,
+            Statement::Select(_) | Statement::Insert { .. } | Statement::Delete { .. }
+        ) {
+            return Err(CoordError::Sql(Error::Unsupported(
+                "the coordinator prepares SELECT, INSERT and DELETE statements".into(),
+            )));
+        }
+        let nparams = stmt.param_count();
+        if let (Statement::Select(sel), 0) = (&stmt, nparams) {
+            self.planned_select(sel)?;
+        }
+        self.prepared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, PreparedStmt { stmt, nparams });
+        Ok(QueryOutput::Ok)
     }
 }
 

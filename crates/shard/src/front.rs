@@ -341,6 +341,36 @@ fn serve_connection(inner: &Inner, mut stream: TcpStream) -> Result<()> {
                     );
                 }
             }
+            // The v4 prepared-statement verbs are sugar over the SQL
+            // forms, so the coordinator's own prepared registry (see
+            // `Coordinator::dispatch`) serves wire clients too.
+            Ok(ClientMsg::Prepare { name, sql }) => {
+                let text = format!("PREPARE {name} AS {sql}");
+                let msg = match response_frame(inner.coordinator.execute(&text)) {
+                    ServerMsg::Ok => {
+                        let nparams = mammoth_sql::parse_sql(&text)
+                            .map(|s| s.param_count() as u32)
+                            .unwrap_or(0);
+                        ServerMsg::Prepared { nparams }
+                    }
+                    other => other,
+                };
+                send(&mut stream, &msg)?;
+            }
+            Ok(ClientMsg::ExecutePrepared { name, args }) => {
+                let lits: Vec<String> = args.iter().map(mammoth_sql::sql_literal).collect();
+                let text = if lits.is_empty() {
+                    format!("EXECUTE {name}")
+                } else {
+                    format!("EXECUTE {name} ({})", lits.join(", "))
+                };
+                let msg = response_frame(inner.coordinator.execute(&text));
+                send(&mut stream, &msg)?;
+            }
+            Ok(ClientMsg::Deallocate { name }) => {
+                let msg = response_frame(inner.coordinator.execute(&format!("DEALLOCATE {name}")));
+                send(&mut stream, &msg)?;
+            }
             Ok(ClientMsg::Fragment { .. }) => {
                 refuse(
                     &mut stream,

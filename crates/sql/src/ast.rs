@@ -1,7 +1,7 @@
 //! The SQL abstract syntax tree.
 
 use mammoth_algebra::{AggKind, CmpOp};
-use mammoth_types::{LogicalType, Value};
+use mammoth_types::{Error, LogicalType, Result, Value};
 
 /// A (possibly table-qualified) column reference.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,12 +30,52 @@ pub enum SelectItem {
     Agg(AggKind, ColumnRef),
 }
 
-/// A conjunct of the WHERE clause: `col op literal`.
+/// A literal value or a `?` parameter placeholder. Placeholders are
+/// numbered left-to-right (0-based) across the whole statement; they are
+/// legal only inside `PREPARE` — executing a statement that still carries
+/// one is a bind error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    Lit(Value),
+    Param(usize),
+}
+
+impl Scalar {
+    /// The literal value, if this is not a placeholder.
+    pub fn as_lit(&self) -> Option<&Value> {
+        match self {
+            Scalar::Lit(v) => Some(v),
+            Scalar::Param(_) => None,
+        }
+    }
+
+    /// Resolve against EXECUTE bindings: a literal passes through, a
+    /// placeholder takes `args[n]`.
+    pub fn bind(&self, args: &[Value]) -> Result<Value> {
+        match self {
+            Scalar::Lit(v) => Ok(v.clone()),
+            Scalar::Param(n) => args.get(*n).cloned().ok_or_else(|| {
+                Error::Bind(format!(
+                    "EXECUTE supplies {} argument(s) but the statement uses ?{n}",
+                    args.len()
+                ))
+            }),
+        }
+    }
+}
+
+impl From<Value> for Scalar {
+    fn from(v: Value) -> Scalar {
+        Scalar::Lit(v)
+    }
+}
+
+/// A conjunct of the WHERE clause: `col op literal-or-param`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
     pub col: ColumnRef,
     pub op: CmpOp,
-    pub value: Value,
+    pub value: Scalar,
 }
 
 /// An inner equi-join: `JOIN <table> ON <left col> = <right col>`.
@@ -72,7 +112,7 @@ pub enum Statement {
     },
     Insert {
         table: String,
-        rows: Vec<Vec<Value>>,
+        rows: Vec<Vec<Scalar>>,
     },
     Delete {
         table: String,
@@ -86,6 +126,99 @@ pub enum Statement {
     /// `CHECKPOINT` — fold the WAL into a fresh atomic checkpoint
     /// (durable sessions only).
     Checkpoint,
+    /// `PREPARE name AS <stmt>` — register a (possibly parameterized)
+    /// statement under a handle.
+    Prepare {
+        name: String,
+        stmt: Box<Statement>,
+    },
+    /// `EXECUTE name (args)` — run a prepared statement with bindings.
+    Execute {
+        name: String,
+        args: Vec<Value>,
+    },
+    /// `DEALLOCATE [PREPARE] name` — drop a prepared statement.
+    Deallocate {
+        name: String,
+    },
+}
+
+impl Statement {
+    /// The number of `?` placeholder slots this statement uses
+    /// (`max index + 1`; placeholders are numbered densely by the parser).
+    pub fn param_count(&self) -> usize {
+        fn scan_preds(preds: &[Predicate], max: &mut Option<usize>) {
+            for p in preds {
+                if let Scalar::Param(n) = &p.value {
+                    *max = Some(max.map_or(*n, |m: usize| m.max(*n)));
+                }
+            }
+        }
+        let mut max: Option<usize> = None;
+        match self {
+            Statement::Select(s) | Statement::Explain(s) | Statement::Trace(s) => {
+                scan_preds(&s.where_, &mut max)
+            }
+            Statement::Delete { where_, .. } => scan_preds(where_, &mut max),
+            Statement::Insert { rows, .. } => {
+                for row in rows {
+                    for v in row {
+                        if let Scalar::Param(n) = v {
+                            max = Some(max.map_or(*n, |m| m.max(*n)));
+                        }
+                    }
+                }
+            }
+            Statement::Prepare { stmt, .. } => return stmt.param_count(),
+            _ => {}
+        }
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// Substitute every `?` placeholder from `args`, producing a fully
+    /// concrete statement. Errors when `args` is too short; extra
+    /// arguments are rejected by the caller (which knows the handle name).
+    pub fn bind_params(&self, args: &[Value]) -> Result<Statement> {
+        fn bind_preds(preds: &[Predicate], args: &[Value]) -> Result<Vec<Predicate>> {
+            preds
+                .iter()
+                .map(|p| {
+                    Ok(Predicate {
+                        col: p.col.clone(),
+                        op: p.op,
+                        value: Scalar::Lit(p.value.bind(args)?),
+                    })
+                })
+                .collect()
+        }
+        Ok(match self {
+            Statement::Select(s) | Statement::Explain(s) | Statement::Trace(s) => {
+                let mut bound = s.clone();
+                bound.where_ = bind_preds(&s.where_, args)?;
+                match self {
+                    Statement::Explain(_) => Statement::Explain(bound),
+                    Statement::Trace(_) => Statement::Trace(bound),
+                    _ => Statement::Select(bound),
+                }
+            }
+            Statement::Delete { table, where_ } => Statement::Delete {
+                table: table.clone(),
+                where_: bind_preds(where_, args)?,
+            },
+            Statement::Insert { table, rows } => Statement::Insert {
+                table: table.clone(),
+                rows: rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|v| v.bind(args).map(Scalar::Lit))
+                            .collect::<Result<Vec<Scalar>>>()
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            other => other.clone(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! `group.group` / `group.refine` / `aggr.sub*` triple; ORDER BY sorts one
 //! output column and re-fetches the others through the order index.
 
-use crate::ast::{ColumnRef, JoinClause, Predicate, SelectItem, SelectStmt};
+use crate::ast::{ColumnRef, JoinClause, Predicate, Scalar, SelectItem, SelectStmt};
 use mammoth_algebra::AggKind;
 use mammoth_mal::{Arg, OpCode, Program, VarId};
 use mammoth_storage::Catalog;
@@ -319,10 +319,13 @@ impl Compiler<'_> {
     fn apply_predicate(&mut self, pred: &Predicate) -> Result<()> {
         let side = self.side_of(&pred.col)?;
         let fetched = self.fetch_column(&pred.col)?;
-        let sel = self.prog.push(
-            OpCode::ThetaSelect(pred.op),
-            vec![Arg::Var(fetched), Arg::Const(pred.value.clone())],
-        )[0];
+        let value = match &pred.value {
+            Scalar::Lit(v) => Arg::Const(v.clone()),
+            Scalar::Param(n) => Arg::Param(*n),
+        };
+        let sel = self
+            .prog
+            .push(OpCode::ThetaSelect(pred.op), vec![Arg::Var(fetched), value])[0];
         // `sel` holds positions into `fetched`; compose with prior cands
         let new_cands = match self.cands[side as usize] {
             None => sel,

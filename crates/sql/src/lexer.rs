@@ -17,6 +17,8 @@ pub enum Token {
     Dot,
     Star,
     Semi,
+    /// `?` — a prepared-statement parameter placeholder.
+    Question,
     Eof,
 }
 
@@ -85,6 +87,10 @@ impl<'a> SqlLexer<'a> {
             b';' => {
                 self.pos += 1;
                 Token::Semi
+            }
+            b'?' => {
+                self.pos += 1;
+                Token::Question
             }
             b'=' => {
                 self.pos += 1;

@@ -23,11 +23,11 @@ pub mod routing;
 pub mod session;
 
 pub use ast::{ColumnRef, JoinClause};
-pub use ast::{Predicate, SelectItem, SelectStmt, Statement};
+pub use ast::{Predicate, Scalar, SelectItem, SelectStmt, Statement};
 pub use compile::compile_select;
 pub use parser::parse_sql;
 pub use routing::{
-    classify, insert_sql, select_sql, sql_literal, wants_promotion, wants_sharding_status,
-    GatherTable, ScatterPlan,
+    classify, delete_sql, insert_sql, select_sql, sql_literal, wants_promotion,
+    wants_sharding_status, GatherTable, ScatterPlan,
 };
 pub use session::{is_read_only_statement, render_outputs, QueryOutput, Session, StatusProvider};

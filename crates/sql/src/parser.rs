@@ -9,6 +9,7 @@ use mammoth_types::{LogicalType, Result, Value};
 pub fn parse_sql(src: &str) -> Result<Statement> {
     let mut p = Parser {
         lex: SqlLexer::new(src),
+        nparams: 0,
     };
     let stmt = p.statement()?;
     // allow trailing semicolon and require EOF
@@ -23,6 +24,8 @@ pub fn parse_sql(src: &str) -> Result<Statement> {
 
 struct Parser<'a> {
     lex: SqlLexer<'a>,
+    /// `?` placeholders seen so far — they number left-to-right.
+    nparams: usize,
 }
 
 impl Parser<'_> {
@@ -85,9 +88,59 @@ impl Parser<'_> {
         } else if is_kw(&t, "CHECKPOINT") {
             self.lex.next()?;
             Ok(Statement::Checkpoint)
+        } else if is_kw(&t, "PREPARE") {
+            self.prepare()
+        } else if is_kw(&t, "EXECUTE") {
+            self.execute()
+        } else if is_kw(&t, "DEALLOCATE") {
+            self.lex.next()?;
+            let _ = self.accept_kw("PREPARE")?;
+            Ok(Statement::Deallocate {
+                name: self.ident()?,
+            })
         } else {
             Err(self.lex.err(format!("expected a statement, got {t:?}")))
         }
+    }
+
+    fn prepare(&mut self) -> Result<Statement> {
+        self.expect_kw("PREPARE")?;
+        let name = self.ident()?;
+        self.expect_kw("AS")?;
+        let stmt = self.statement()?;
+        match stmt {
+            Statement::Prepare { .. }
+            | Statement::Execute { .. }
+            | Statement::Deallocate { .. } => Err(self
+                .lex
+                .err("PREPARE cannot wrap PREPARE/EXECUTE/DEALLOCATE")),
+            s => Ok(Statement::Prepare {
+                name,
+                stmt: Box::new(s),
+            }),
+        }
+    }
+
+    fn execute(&mut self) -> Result<Statement> {
+        self.expect_kw("EXECUTE")?;
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if self.lex.peek()? == Token::LParen {
+            self.lex.next()?;
+            if self.lex.peek()? == Token::RParen {
+                self.lex.next()?;
+            } else {
+                loop {
+                    args.push(self.literal()?);
+                    match self.lex.next()? {
+                        Token::Comma => continue,
+                        Token::RParen => break,
+                        t => return Err(self.lex.err(format!("expected ',' or ')', got {t:?}"))),
+                    }
+                }
+            }
+        }
+        Ok(Statement::Execute { name, args })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -134,6 +187,17 @@ impl Parser<'_> {
         })
     }
 
+    /// A literal or a `?` placeholder (numbered in occurrence order).
+    fn scalar(&mut self) -> Result<Scalar> {
+        if self.lex.peek()? == Token::Question {
+            self.lex.next()?;
+            let n = self.nparams;
+            self.nparams += 1;
+            return Ok(Scalar::Param(n));
+        }
+        Ok(Scalar::Lit(self.literal()?))
+    }
+
     fn insert(&mut self) -> Result<Statement> {
         self.expect_kw("INSERT")?;
         self.expect_kw("INTO")?;
@@ -144,7 +208,7 @@ impl Parser<'_> {
             self.expect(Token::LParen)?;
             let mut row = Vec::new();
             loop {
-                row.push(self.literal()?);
+                row.push(self.scalar()?);
                 match self.lex.next()? {
                     Token::Comma => continue,
                     Token::RParen => break,
@@ -195,9 +259,9 @@ impl Parser<'_> {
         loop {
             let col = self.column_ref()?;
             if self.accept_kw("BETWEEN")? {
-                let lo = self.literal()?;
+                let lo = self.scalar()?;
                 self.expect_kw("AND")?;
-                let hi = self.literal()?;
+                let hi = self.scalar()?;
                 out.push(Predicate {
                     col: col.clone(),
                     op: CmpOp::Ge,
@@ -221,7 +285,7 @@ impl Parser<'_> {
                     },
                     t => return Err(self.lex.err(format!("expected operator, got {t:?}"))),
                 };
-                let value = self.literal()?;
+                let value = self.scalar()?;
                 out.push(Predicate { col, op, value });
             }
             if self.accept_kw("AND")? {
@@ -401,7 +465,7 @@ mod tests {
         assert_eq!(s.where_.len(), 3);
         assert_eq!(s.where_[0].op, CmpOp::Ge);
         assert_eq!(s.where_[1].op, CmpOp::Le);
-        assert_eq!(s.where_[2].value, Value::Str("x".into()));
+        assert_eq!(s.where_[2].value, Scalar::Lit(Value::Str("x".into())));
     }
 
     #[test]
@@ -434,7 +498,7 @@ mod tests {
             panic!()
         };
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[1][1], Value::Null);
+        assert_eq!(rows[1][1], Scalar::Lit(Value::Null));
 
         let s = parse_sql("DELETE FROM t WHERE a < 5").unwrap();
         assert!(matches!(s, Statement::Delete { .. }));
@@ -449,6 +513,92 @@ mod tests {
         assert!(parse_sql("SELECT a FROM t WHERE a ~ 3").is_err());
         assert!(parse_sql("SELECT a FROM t extra").is_err());
         assert!(parse_sql("CREATE TABLE t (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn parses_prepare_execute_deallocate() {
+        let s =
+            parse_sql("PREPARE q1 AS SELECT name FROM people WHERE age = ? AND name <> ?").unwrap();
+        let Statement::Prepare { name, stmt } = s else {
+            panic!()
+        };
+        assert_eq!(name, "q1");
+        assert_eq!(stmt.param_count(), 2);
+        let Statement::Select(inner) = *stmt else {
+            panic!()
+        };
+        assert_eq!(inner.where_[0].value, Scalar::Param(0));
+        assert_eq!(inner.where_[1].value, Scalar::Param(1));
+
+        let s = parse_sql("EXECUTE q1 (1927, 'x');").unwrap();
+        let Statement::Execute { name, args } = s else {
+            panic!()
+        };
+        assert_eq!(name, "q1");
+        assert_eq!(args, vec![Value::I32(1927), Value::Str("x".into())]);
+        // zero-arg spellings, with and without parens
+        assert!(matches!(
+            parse_sql("EXECUTE q2").unwrap(),
+            Statement::Execute { args, .. } if args.is_empty()
+        ));
+        assert!(matches!(
+            parse_sql("EXECUTE q2 ()").unwrap(),
+            Statement::Execute { args, .. } if args.is_empty()
+        ));
+        assert!(matches!(
+            parse_sql("DEALLOCATE q1").unwrap(),
+            Statement::Deallocate { name } if name == "q1"
+        ));
+        assert!(matches!(
+            parse_sql("DEALLOCATE PREPARE q1").unwrap(),
+            Statement::Deallocate { name } if name == "q1"
+        ));
+    }
+
+    #[test]
+    fn params_number_left_to_right_across_clauses() {
+        let s = parse_sql("PREPARE ins AS INSERT INTO t VALUES (?, 'a', ?), (3, ?, ?)").unwrap();
+        let Statement::Prepare { stmt, .. } = s else {
+            panic!()
+        };
+        assert_eq!(stmt.param_count(), 4);
+        let Statement::Insert { rows, .. } = *stmt else {
+            panic!()
+        };
+        assert_eq!(rows[0][0], Scalar::Param(0));
+        assert_eq!(rows[0][2], Scalar::Param(1));
+        assert_eq!(rows[1][1], Scalar::Param(2));
+        assert_eq!(rows[1][2], Scalar::Param(3));
+        // BETWEEN expands with params too
+        let s = parse_sql("PREPARE r AS SELECT a FROM t WHERE a BETWEEN ? AND ?").unwrap();
+        assert_eq!(s.param_count(), 2);
+    }
+
+    #[test]
+    fn prepare_rejects_nesting_and_execute_rejects_placeholders() {
+        assert!(parse_sql("PREPARE a AS PREPARE b AS SELECT 1 FROM t").is_err());
+        assert!(parse_sql("PREPARE a AS EXECUTE b").is_err());
+        assert!(parse_sql("PREPARE a AS DEALLOCATE b").is_err());
+        // EXECUTE arguments are literals, never placeholders
+        assert!(parse_sql("EXECUTE q (?)").is_err());
+    }
+
+    #[test]
+    fn bind_params_substitutes_and_checks_arity() {
+        let Statement::Prepare { stmt, .. } =
+            parse_sql("PREPARE q AS SELECT a FROM t WHERE a > ? AND b = ?").unwrap()
+        else {
+            panic!()
+        };
+        let bound = stmt
+            .bind_params(&[Value::I32(5), Value::Str("x".into())])
+            .unwrap();
+        let Statement::Select(s) = bound else {
+            panic!()
+        };
+        assert_eq!(s.where_[0].value, Scalar::Lit(Value::I32(5)));
+        assert_eq!(s.where_[1].value, Scalar::Lit(Value::Str("x".into())));
+        assert!(stmt.bind_params(&[Value::I32(5)]).is_err(), "too few args");
     }
 
     #[test]

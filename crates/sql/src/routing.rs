@@ -79,12 +79,11 @@ fn cmp_sql(op: CmpOp) -> &'static str {
 }
 
 fn predicate_sql(p: &Predicate) -> String {
-    format!(
-        "{} {} {}",
-        col_sql(&p.col),
-        cmp_sql(p.op),
-        sql_literal(&p.value)
-    )
+    let value = match &p.value {
+        crate::ast::Scalar::Lit(v) => sql_literal(v),
+        crate::ast::Scalar::Param(_) => "?".to_string(),
+    };
+    format!("{} {} {}", col_sql(&p.col), cmp_sql(p.op), value)
 }
 
 fn item_sql(item: &SelectItem) -> String {
@@ -146,6 +145,24 @@ pub fn select_sql(s: &SelectStmt) -> String {
     }
     if let Some(n) = s.limit {
         out.push_str(&format!(" LIMIT {n}"));
+    }
+    out
+}
+
+/// Render a DELETE back to SQL the parser accepts (the shard coordinator
+/// ships bound prepared DELETEs as text; unbound `?` renders as `?` and
+/// is rejected by the receiving session).
+pub fn delete_sql(table: &str, where_: &[Predicate]) -> String {
+    let mut out = format!("DELETE FROM {table}");
+    if !where_.is_empty() {
+        out.push_str(" WHERE ");
+        out.push_str(
+            &where_
+                .iter()
+                .map(predicate_sql)
+                .collect::<Vec<_>>()
+                .join(" AND "),
+        );
     }
     out
 }

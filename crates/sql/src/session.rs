@@ -1,18 +1,34 @@
 //! The SQL session: parse → compile → optimize → interpret.
+//!
+//! Since the planner tier, compilation is *statistics-fed*: the session
+//! maintains a [`StatsCatalog`] (incremental on DML, folded at
+//! CHECKPOINT, persisted as a checkpoint sidecar), consults it for
+//! predicate ordering, select-algorithm gating and mitosis piece counts,
+//! and serves `PREPARE`d statements from a premise-checked [`PlanCache`].
 
 use crate::ast::{Predicate, SelectStmt, Statement};
 use crate::compile::compile_select;
 use crate::parser::parse_sql;
+use crate::routing::select_sql;
 use mammoth_mal::{
     analyze_props, column_facts, column_types, default_pipeline_with_props,
-    parallel_pipeline_with_props, EventKind, Interpreter, MalValue, Pipeline, PlanExecutor,
-    ProfiledRun, Program, TraceEvent, TRACE_ENV,
+    parallel_pipeline_with_props, Arg, CommonSubexpr, ConstantFold, DeadCode, EventKind,
+    Interpreter, MalValue, OpCode, Pipeline, PlanExecutor, ProfiledRun, Program, SelectElimination,
+    TraceEvent, TRACE_ENV,
+};
+use mammoth_planner::{
+    bind_program, choose_pieces, estimate_program, normalize_sql, referenced_columns, selectivity,
+    use_sorted_select, CachedPlan, PlanCache, StatsCatalog,
 };
 use mammoth_recycler::{EvictPolicy, Recycler};
 use mammoth_storage::{persist, Catalog, RealFs, Table, VersionedColumn, Vfs, Wal, WalRecord};
-use mammoth_types::{ColumnDef, Error, Oid, Result, TableSchema, Value};
+use mammoth_types::{ColumnDef, Error, LogicalType, Oid, Result, TableSchema, Value};
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// File name of the statistics sidecar inside a checkpoint directory.
+const STATS_SIDECAR: &str = "stats.mstats";
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +119,23 @@ pub struct Session {
     last_profile: Option<ProfiledRun>,
     /// Replication status callback for `EXPLAIN REPLICATION`.
     status_provider: Option<StatusProvider>,
+    /// Prepared-statement registry: lowercased name → statement. Mutex'd
+    /// so `PREPARE`/`DEALLOCATE` can run on the concurrent-reader path
+    /// (`&self`) — they mutate session bookkeeping, never data.
+    prepared: Mutex<HashMap<String, PreparedStmt>>,
+    /// Compiled/verified/optimized plans of prepared SELECTs, keyed by
+    /// normalized statement text. Cleared on DDL and recovery; premise
+    /// mismatches (column properties drifted under DML) evict per-entry.
+    plan_cache: Mutex<PlanCache>,
+    /// Per-column statistics feeding the cost model.
+    stats: Mutex<StatsCatalog>,
+}
+
+/// A registered prepared statement.
+#[derive(Debug, Clone)]
+struct PreparedStmt {
+    stmt: Statement,
+    nparams: usize,
 }
 
 impl Default for Session {
@@ -122,6 +155,9 @@ impl Session {
             merge_threshold: 64 * 1024,
             last_profile: None,
             status_provider: None,
+            prepared: Mutex::new(HashMap::new()),
+            plan_cache: Mutex::new(PlanCache::new()),
+            stats: Mutex::new(StatsCatalog::new()),
         }
     }
 
@@ -154,6 +190,19 @@ impl Session {
         if let Some(r) = &mut self.recycler {
             r.clear();
         }
+        // compiled plans were proven against the pre-recovery catalog
+        self.plan_cache.lock().unwrap().clear();
+        // restore the statistics sidecar of the committed checkpoint and
+        // self-heal: the sidecar describes the image, not the WAL tail
+        // replayed on top of it, so any replayed records (or a missing /
+        // unreadable sidecar) force a rebuild from the live columns
+        let loaded = persist::read_sidecar(fs.as_ref(), &root, STATS_SIDECAR)
+            .ok()
+            .flatten()
+            .and_then(|bytes| StatsCatalog::deserialize(&bytes).ok())
+            .unwrap_or_default();
+        *self.stats.lock().unwrap() = loaded;
+        self.sync_stats_with_catalog(rec.wal_records > 0);
         self.durable = Some(Durability { fs, root, wal });
         if tracing {
             self.export_durability_events(vec![TraceEvent {
@@ -206,13 +255,26 @@ impl Session {
     /// new (empty) WAL generation. The flip is atomic: a crash at any point
     /// leaves the store wholly on the old generation or wholly on the new.
     pub fn checkpoint(&mut self) -> Result<()> {
-        let Some(d) = &mut self.durable else {
+        if self.durable.is_none() {
             return Err(Error::Unsupported(
                 "CHECKPOINT requires a durable session (Session::open_durable)".into(),
             ));
-        };
+        }
+        // fold the statistics: a deterministic rebuild from the live
+        // columns squashes the approximation drift the incremental DML
+        // maintenance accumulated, and the serialized catalog rides the
+        // checkpoint image as a sidecar (committing — and replicating —
+        // atomically with the data it describes)
+        self.sync_stats_with_catalog(true);
+        let sidecar = self.stats.lock().unwrap().serialize();
+        let d = self.durable.as_mut().unwrap();
         d.wal.commit()?;
-        let (gen, wal_path) = persist::checkpoint_catalog(d.fs.as_ref(), &self.catalog, &d.root)?;
+        let (gen, wal_path) = persist::checkpoint_catalog_with(
+            d.fs.as_ref(),
+            &self.catalog,
+            &d.root,
+            &[(STATS_SIDECAR.to_string(), sidecar)],
+        )?;
         let mut wal = Wal::open(Arc::clone(&d.fs), wal_path)?;
         let tracing = trace_env_on();
         wal.set_tracing(tracing);
@@ -355,7 +417,21 @@ impl Session {
         if wants_replication_status(sql) {
             return Ok(self.replication_status());
         }
-        match parse_sql(sql)? {
+        let stmt = parse_sql(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a parsed statement — the write path body of
+    /// [`Session::execute`], re-entered by `EXECUTE` of a prepared DML
+    /// statement after parameter substitution.
+    fn execute_statement(&mut self, stmt: Statement) -> Result<QueryOutput> {
+        if !matches!(stmt, Statement::Prepare { .. }) && stmt.param_count() > 0 {
+            return Err(Error::Bind(
+                "placeholders (?) are only allowed inside PREPARE; supply values with EXECUTE"
+                    .into(),
+            ));
+        }
+        match stmt {
             Statement::CreateTable { name, columns } => {
                 let defs: Vec<ColumnDef> = columns
                     .into_iter()
@@ -375,7 +451,18 @@ impl Session {
                 self.wal_write(vec![WalRecord::CreateTable {
                     schema: table.schema.clone(),
                 }])?;
+                let colnames: Vec<String> = table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                let tname = table.schema.name.clone();
                 self.catalog.create_table(table)?;
+                self.stats.lock().unwrap().create_table(&tname, &colnames);
+                // DDL invalidates wholesale: a cached plan may bind a
+                // same-named column of the old table
+                self.plan_cache.lock().unwrap().clear();
                 self.wal_commit_statement()?;
                 Ok(QueryOutput::Ok)
             }
@@ -384,10 +471,18 @@ impl Session {
                 self.wal_write(vec![WalRecord::DropTable { name: name.clone() }])?;
                 let t = self.catalog.drop_table(&name)?;
                 self.invalidate_table(&t);
+                self.stats.lock().unwrap().drop_table(&name);
+                self.plan_cache.lock().unwrap().clear();
                 self.wal_commit_statement()?;
                 Ok(QueryOutput::Ok)
             }
             Statement::Insert { table, rows } => {
+                // placeholders were rejected above, so every scalar is a
+                // literal and binding against no arguments cannot fail
+                let rows: Vec<Vec<Value>> = rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|s| s.bind(&[])).collect())
+                    .collect::<Result<_>>()?;
                 let n = rows.len();
                 {
                     // full validation up front: after the WAL records are
@@ -421,12 +516,31 @@ impl Session {
                 }
                 let t = self.catalog.table(&table)?.clone();
                 self.invalidate_table(&t);
+                let colnames: Vec<String> =
+                    t.schema.columns.iter().map(|c| c.name.clone()).collect();
+                self.stats
+                    .lock()
+                    .unwrap()
+                    .on_insert(&table, &colnames, &rows);
                 self.wal_commit_statement()?;
                 Ok(QueryOutput::Affected(n))
             }
             Statement::Delete { table, where_ } => {
                 let victims = self.matching_positions(&table, &where_)?;
                 let n = victims.len();
+                // capture the doomed rows for the statistics before the
+                // positions are gone
+                let deleted: Vec<Vec<Value>> = {
+                    let t = self.catalog.table(&table)?;
+                    victims
+                        .iter()
+                        .map(|&pos| {
+                            (0..t.schema.columns.len())
+                                .map(|i| t.column(i).get(pos).unwrap_or(Value::Null))
+                                .collect()
+                        })
+                        .collect()
+                };
                 self.wal_write(
                     victims
                         .iter()
@@ -450,6 +564,12 @@ impl Session {
                 }
                 let t = self.catalog.table(&table)?.clone();
                 self.invalidate_table(&t);
+                let colnames: Vec<String> =
+                    t.schema.columns.iter().map(|c| c.name.clone()).collect();
+                self.stats
+                    .lock()
+                    .unwrap()
+                    .on_delete(&table, &colnames, &deleted);
                 self.wal_commit_statement()?;
                 Ok(QueryOutput::Affected(n))
             }
@@ -466,13 +586,11 @@ impl Session {
                     self.last_profile = Some(run);
                     return Ok(out);
                 }
-                let (prog, names) = compile_select(&self.catalog, &stmt)?;
+                let (prog, names) = self.compile_optimized(&stmt)?;
                 if let Some(ex) = &self.executor {
-                    let prog = self.rewrite_parallel(prog)?;
                     let outputs = ex.run_plan(&self.catalog, &prog)?;
                     return render_outputs(names, outputs);
                 }
-                let prog = self.serial_pipeline().optimize(prog);
                 let outputs = match &mut self.recycler {
                     Some(r) => {
                         let mut interp = Interpreter::with_recycler(&self.catalog, r);
@@ -486,12 +604,7 @@ impl Session {
                 render_outputs(names, outputs)
             }
             Statement::Explain(stmt) => {
-                let (prog, _) = compile_select(&self.catalog, &stmt)?;
-                let prog = if self.executor.is_some() {
-                    self.rewrite_parallel(prog)?
-                } else {
-                    self.serial_pipeline().optimize(prog)
-                };
+                let (prog, _) = self.compile_optimized(&stmt)?;
                 Ok(self.explain_table(&prog))
             }
             Statement::Trace(stmt) => {
@@ -501,6 +614,18 @@ impl Session {
                 self.last_profile = Some(run);
                 Ok(table)
             }
+            Statement::Prepare { name, stmt } => self.prepare_statement(name, *stmt),
+            Statement::Execute { name, args } => {
+                let p = self.lookup_prepared(&name, args.len())?;
+                match &p.stmt {
+                    Statement::Select(s) => self.run_prepared_select(s, &args),
+                    other => {
+                        let bound = other.bind_params(&args)?;
+                        self.execute_statement(bound)
+                    }
+                }
+            }
+            Statement::Deallocate { name } => self.deallocate(&name),
         }
     }
 
@@ -513,55 +638,276 @@ impl Session {
     /// and are bypassed here — both are transparent to results, and the
     /// server layer emits its own `server.statement` trace events instead.
     ///
-    /// Statements that mutate anything (DML, DDL, `CHECKPOINT`, `TRACE` —
+    /// Statements that mutate data (DML, DDL, `CHECKPOINT`, `TRACE` —
     /// which records [`Session::last_profile`]) return
     /// [`Error::Unsupported`]; route them through [`Session::execute`].
+    /// `PREPARE`/`DEALLOCATE` are served here (they mutate only the
+    /// Mutex-guarded session registry), and so is `EXECUTE` of a prepared
+    /// SELECT; `EXECUTE` of prepared DML returns [`Error::NeedsWrite`],
+    /// the typed signal for "retry me on the write path".
     pub fn execute_read(&self, sql: &str) -> Result<QueryOutput> {
         if wants_replication_status(sql) {
             return Ok(self.replication_status());
         }
         match parse_sql(sql)? {
             Statement::Select(stmt) => {
-                let (prog, names) = compile_select(&self.catalog, &stmt)?;
+                let (prog, names) = self.compile_optimized(&stmt)?;
                 if let Some(ex) = &self.executor {
-                    let prog = self.rewrite_parallel(prog)?;
                     let outputs = ex.run_plan(&self.catalog, &prog)?;
                     return render_outputs(names, outputs);
                 }
-                let prog = self.serial_pipeline().optimize(prog);
                 let mut interp = Interpreter::new(&self.catalog);
                 let outputs = interp.run(&prog)?;
                 render_outputs(names, outputs)
             }
             Statement::Explain(stmt) => {
-                let (prog, _) = compile_select(&self.catalog, &stmt)?;
-                let prog = if self.executor.is_some() {
-                    self.rewrite_parallel(prog)?
-                } else {
-                    self.serial_pipeline().optimize(prog)
-                };
+                let (prog, _) = self.compile_optimized(&stmt)?;
                 Ok(self.explain_table(&prog))
             }
+            Statement::Prepare { name, stmt } => self.prepare_statement(name, *stmt),
+            Statement::Execute { name, args } => {
+                let p = self.lookup_prepared(&name, args.len())?;
+                match &p.stmt {
+                    Statement::Select(s) => self.run_prepared_select(s, &args),
+                    _ => Err(Error::NeedsWrite),
+                }
+            }
+            Statement::Deallocate { name } => self.deallocate(&name),
             _ => Err(Error::Unsupported(
-                "execute_read handles only SELECT/EXPLAIN; use execute for mutating statements"
+                "execute_read handles only SELECT/EXPLAIN and prepared statements; \
+                 use execute for mutating statements"
                     .into(),
             )),
         }
     }
 
-    /// The serial optimizer pipeline, rebuilt per statement so the
-    /// property-driven passes ([`mammoth_mal::SelectElimination`],
-    /// [`mammoth_mal::SortedSelect`]) prove their rewrites against column
-    /// statistics of the catalog state the plan executes under.
-    fn serial_pipeline(&self) -> Pipeline {
-        default_pipeline_with_props(column_facts(&self.catalog))
+    // -- the planner tier -------------------------------------------------
+
+    /// Register a prepared statement and eagerly warm the plan cache for
+    /// SELECTs (so the first `EXECUTE` already hits).
+    fn prepare_statement(&self, name: String, stmt: Statement) -> Result<QueryOutput> {
+        let key = name.to_lowercase();
+        if self.prepared.lock().unwrap().contains_key(&key) {
+            return Err(Error::AlreadyExists {
+                kind: "prepared statement",
+                name,
+            });
+        }
+        if let Statement::Select(s) = &stmt {
+            self.cached_plan_for(s)?;
+        }
+        let nparams = stmt.param_count();
+        self.prepared
+            .lock()
+            .unwrap()
+            .insert(key, PreparedStmt { stmt, nparams });
+        Ok(QueryOutput::Ok)
+    }
+
+    /// Fetch a prepared statement and check the `EXECUTE` argument count.
+    fn lookup_prepared(&self, name: &str, nargs: usize) -> Result<PreparedStmt> {
+        let p = self
+            .prepared
+            .lock()
+            .unwrap()
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::NotFound {
+                kind: "prepared statement",
+                name: name.to_string(),
+            })?;
+        if nargs != p.nparams {
+            return Err(Error::Bind(format!(
+                "prepared statement {name} takes {} argument(s), EXECUTE supplies {nargs}",
+                p.nparams
+            )));
+        }
+        Ok(p)
+    }
+
+    /// Drop a prepared statement; its cached plan stays until DDL or
+    /// premise drift evicts it (another PREPARE of the same text reuses
+    /// it).
+    fn deallocate(&self, name: &str) -> Result<QueryOutput> {
+        match self.prepared.lock().unwrap().remove(&name.to_lowercase()) {
+            Some(_) => Ok(QueryOutput::Ok),
+            None => Err(Error::NotFound {
+                kind: "prepared statement",
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Execute a prepared SELECT: cached plan + parameter substitution,
+    /// skipping parse/compile/verify/optimize entirely on a cache hit.
+    fn run_prepared_select(&self, stmt: &SelectStmt, args: &[Value]) -> Result<QueryOutput> {
+        let plan = self.cached_plan_for(stmt)?;
+        let prog = bind_program(&plan.prog, args)?;
+        let outputs = if let Some(ex) = &self.executor {
+            ex.run_plan(&self.catalog, &prog)?
+        } else {
+            Interpreter::new(&self.catalog).run(&prog)?
+        };
+        render_outputs(plan.names, outputs)
+    }
+
+    /// The plan-cache lookup/compile path for a prepared SELECT.
+    ///
+    /// A hit requires every premise to re-check: the live properties of
+    /// each column the plan binds must equal the snapshot the optimizer
+    /// proved its rewrites against. DML that changes a premise (cardinality,
+    /// bounds, sortedness) misses here and recompiles — correctness never
+    /// rests on the cache.
+    fn cached_plan_for(&self, stmt: &SelectStmt) -> Result<CachedPlan> {
+        let key = normalize_sql(&select_sql(stmt));
+        let facts = column_facts(&self.catalog);
+        {
+            let mut cache = self.plan_cache.lock().unwrap();
+            if let Some(plan) = cache.lookup(&key, |t, c| {
+                facts.get(&(t.to_lowercase(), c.to_lowercase())).cloned()
+            }) {
+                export_plan_event(EventKind::PlanCacheHit, &key, plan.est_rows);
+                return Ok(plan);
+            }
+        }
+        let (prog, names) = self.compile_optimized(stmt)?;
+        let premises = referenced_columns(&prog)
+            .into_iter()
+            .filter_map(|(t, c)| {
+                let k = (t.to_lowercase(), c.to_lowercase());
+                facts.get(&k).cloned().map(|p| (k, p))
+            })
+            .collect();
+        let est_rows = {
+            let stats = self.stats.lock().unwrap();
+            output_rows_estimate(&prog, &stats)
+        };
+        let plan = CachedPlan {
+            prog,
+            names,
+            nparams: Statement::Select(stmt.clone()).param_count(),
+            premises,
+            parallel: self.executor.is_some(),
+            est_rows,
+        };
+        self.plan_cache
+            .lock()
+            .unwrap()
+            .insert(key.clone(), plan.clone());
+        export_plan_event(EventKind::PlanCompile, &key, est_rows);
+        Ok(plan)
+    }
+
+    /// Compile and optimize a SELECT with the cost model in the loop:
+    /// predicates reordered most-selective-first, the select-algorithm
+    /// rewrite gated by estimated cardinality, and the mitosis piece
+    /// count scaled to the table.
+    fn compile_optimized(&self, stmt: &SelectStmt) -> Result<(Program, Vec<String>)> {
+        let stmt = self.reorder_predicates(stmt.clone());
+        let (prog, names) = compile_select(&self.catalog, &stmt)?;
+        let prog = if self.executor.is_some() {
+            let pieces = {
+                let stats = self.stats.lock().unwrap();
+                match stats.table(&stmt.from).map(|t| t.rows) {
+                    Some(rows) if rows > 0 => choose_pieces(rows, self.pieces),
+                    _ => self.pieces,
+                }
+            };
+            self.rewrite_parallel_sized(prog, pieces)?
+        } else {
+            let est = self.stats.lock().unwrap().table(&stmt.from).map(|t| t.rows);
+            self.serial_pipeline_for(est)
+                .try_optimize(prog)
+                .map_err(|e| Error::Internal(format!("serial pipeline rejected plan: {e}")))?
+        };
+        Ok((prog, names))
+    }
+
+    /// Reorder AND-ed predicates by ascending estimated selectivity, so
+    /// the cheapest (most selective) select narrows the candidates first.
+    /// Sound: candidate composition of an AND chain is order-independent
+    /// (the result — ascending positions satisfying every predicate — is
+    /// the same set in the same order); the sort is stable so equal
+    /// estimates keep statement order and plans stay deterministic.
+    fn reorder_predicates(&self, mut stmt: SelectStmt) -> SelectStmt {
+        if stmt.where_.len() > 1 {
+            let stats = self.stats.lock().unwrap();
+            let from = stmt.from.clone();
+            stmt.where_.sort_by(|a, b| {
+                let sel = |p: &Predicate| {
+                    let table = p.col.table.as_deref().unwrap_or(&from);
+                    selectivity(&stats, table, &p.col.column, p.op, p.value.as_lit())
+                };
+                sel(a)
+                    .partial_cmp(&sel(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        stmt
+    }
+
+    /// The serial pipeline, with the binary-search select rewrite gated
+    /// by estimated input cardinality: below
+    /// [`mammoth_planner::SORTED_SELECT_MIN_ROWS`] a scan's sequential
+    /// sweep beats the rewrite's setup, so the pass is left out.
+    fn serial_pipeline_for(&self, est_rows: Option<u64>) -> Pipeline {
+        let facts = column_facts(&self.catalog);
+        match est_rows {
+            Some(n) if !use_sorted_select(n) => Pipeline::new()
+                .with(ConstantFold)
+                .with(CommonSubexpr)
+                .with(SelectElimination::new(facts))
+                .with(DeadCode)
+                .checked(),
+            _ => default_pipeline_with_props(facts),
+        }
+    }
+
+    /// Plan-cache hit/compile counters `(hits, compiles)` — what the
+    /// regression tests assert one-compile-per-statement against.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        let c = self.plan_cache.lock().unwrap();
+        (c.hits(), c.compiles())
+    }
+
+    /// A snapshot of the planner's statistics catalog (it is small:
+    /// histograms and scalars, no data).
+    pub fn stats_catalog(&self) -> StatsCatalog {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// Reconcile the statistics catalog with the live tables: drop stats
+    /// of vanished tables and (re)build any table whose stats are absent,
+    /// stale by row count, or — when `force` — unconditionally.
+    fn sync_stats_with_catalog(&mut self, force: bool) {
+        let mut stats = self.stats.lock().unwrap();
+        let live: Vec<String> = self.catalog.table_names().map(str::to_string).collect();
+        let known: Vec<String> = stats.table_names().map(str::to_string).collect();
+        for k in known {
+            if !live.iter().any(|n| n.eq_ignore_ascii_case(&k)) {
+                stats.drop_table(&k);
+            }
+        }
+        for name in live {
+            let Ok(t) = self.catalog.table(&name) else {
+                continue;
+            };
+            let rows = live_row_count(t);
+            let fresh = !force && stats.table(&name).is_some_and(|ts| ts.rows == rows);
+            if !fresh {
+                stats.rebuild_table(&name, table_column_values(t));
+            }
+        }
     }
 
     /// Rewrite a plan through the mitosis/mergetable pipeline (extended
-    /// with the property-driven passes) for the attached executor.
-    fn rewrite_parallel(&self, prog: Program) -> Result<Program> {
+    /// with the property-driven passes) with an explicit piece count — the
+    /// cost model scales pieces down for small tables
+    /// ([`mammoth_planner::choose_pieces`]) so fragments stay worth their
+    /// scheduling overhead.
+    fn rewrite_parallel_sized(&self, prog: Program, pieces: usize) -> Result<Program> {
         let pipeline = parallel_pipeline_with_props(
-            self.pieces,
+            pieces,
             column_types(&self.catalog),
             column_facts(&self.catalog),
         );
@@ -571,59 +917,88 @@ impl Session {
     }
 
     /// Render an optimized plan as the `EXPLAIN` result: one row per
-    /// instruction, the MAL text beside the properties the abstract
-    /// interpretation inferred for its results.
+    /// instruction — the MAL text, the properties the abstract
+    /// interpretation inferred for its results, and the cost model's
+    /// cardinality/cost estimates for the instruction.
     fn explain_table(&self, prog: &Program) -> QueryOutput {
         let analysis = analyze_props(prog, &self.catalog).ok();
+        let estimates = {
+            let stats = self.stats.lock().unwrap();
+            estimate_program(prog, &stats)
+        };
         let text = prog.to_string();
         let rows = text
             .lines()
             .zip(&prog.instrs)
-            .map(|(l, i)| {
+            .zip(&estimates)
+            .map(|((l, i), e)| {
                 let props = analysis
                     .as_ref()
                     .map(|a| a.describe_instr(i))
                     .unwrap_or_default();
-                vec![Value::Str(l.to_string()), Value::Str(props)]
+                vec![
+                    Value::Str(l.to_string()),
+                    Value::Str(props),
+                    Value::I64(e.rows as i64),
+                    Value::I64(e.cost as i64),
+                ]
             })
             .collect();
         QueryOutput::Table {
-            columns: vec!["mal".to_string(), "props".to_string()],
+            columns: vec![
+                "mal".to_string(),
+                "props".to_string(),
+                "est_rows".to_string(),
+                "est_cost".to_string(),
+            ],
             rows,
         }
     }
 
     /// Compile, optimize and execute a SELECT with the per-instruction
     /// profiler on, on whichever engine the session is configured for.
+    /// Every instruction event carries the cost model's `est_rows`, so
+    /// `TRACE` output diffs estimated against measured cardinality.
     fn run_select_profiled(&mut self, stmt: &SelectStmt) -> Result<(QueryOutput, ProfiledRun)> {
-        let (prog, names) = compile_select(&self.catalog, stmt)?;
-        if let Some(ex) = &self.executor {
-            let prog = self.rewrite_parallel(prog)?;
+        let (prog, names) = self.compile_optimized(stmt)?;
+        let mut out = if let Some(ex) = &self.executor {
             let (outputs, run) = ex.run_plan_profiled(&self.catalog, &prog)?;
-            return Ok((render_outputs(names, outputs)?, run));
-        }
-        let prog = self.serial_pipeline().optimize(prog);
-        match &mut self.recycler {
-            Some(r) => {
-                r.set_tracing(true);
-                let mut interp = Interpreter::with_recycler(&self.catalog, r).profiled(true);
-                let res = interp.run(&prog);
-                let mut run = interp.profiled_run("serial+recycler");
-                drop(interp);
-                // cache decisions ride along in the same run
-                run.events.extend(r.take_events());
-                r.set_tracing(false);
-                let outputs = res?;
-                Ok((render_outputs(names, outputs)?, run))
+            (render_outputs(names, outputs)?, run)
+        } else {
+            match &mut self.recycler {
+                Some(r) => {
+                    r.set_tracing(true);
+                    let mut interp = Interpreter::with_recycler(&self.catalog, r).profiled(true);
+                    let res = interp.run(&prog);
+                    let mut run = interp.profiled_run("serial+recycler");
+                    drop(interp);
+                    // cache decisions ride along in the same run
+                    run.events.extend(r.take_events());
+                    r.set_tracing(false);
+                    let outputs = res?;
+                    (render_outputs(names, outputs)?, run)
+                }
+                None => {
+                    let mut interp = Interpreter::new(&self.catalog).profiled(true);
+                    let res = interp.run(&prog);
+                    let run = interp.profiled_run("serial");
+                    let outputs = res?;
+                    (render_outputs(names, outputs)?, run)
+                }
             }
-            None => {
-                let mut interp = Interpreter::new(&self.catalog).profiled(true);
-                let res = interp.run(&prog);
-                let run = interp.profiled_run("serial");
-                let outputs = res?;
-                Ok((render_outputs(names, outputs)?, run))
+        };
+        let estimates = {
+            let stats = self.stats.lock().unwrap();
+            estimate_program(&prog, &stats)
+        };
+        for e in &mut out.1.events {
+            if e.kind == EventKind::Instr && e.instr >= 0 {
+                if let Some(est) = estimates.get(e.instr as usize) {
+                    e.est_rows = est.rows as i64;
+                }
             }
         }
+        Ok(out)
     }
 
     /// Drop recycled intermediates that depend on any column of `t`.
@@ -641,8 +1016,8 @@ impl Session {
     /// not the hot path in this engine.
     fn matching_positions(&self, table: &str, preds: &[Predicate]) -> Result<Vec<Oid>> {
         let t = self.catalog.table(table)?;
-        // resolve predicate columns up-front
-        let mut resolved: Vec<(&VersionedColumn, &Predicate)> = Vec::new();
+        // resolve predicate columns and literal bounds up-front
+        let mut resolved: Vec<(&VersionedColumn, &Predicate, &Value)> = Vec::new();
         for p in preds {
             if let Some(pt) = &p.col.table {
                 if !pt.eq_ignore_ascii_case(table) {
@@ -651,16 +1026,19 @@ impl Session {
                     )));
                 }
             }
-            resolved.push((t.column_by_name(&p.col.column)?, p));
+            let lit = p.value.as_lit().ok_or_else(|| {
+                Error::Bind("DELETE predicate has an unbound placeholder (?)".into())
+            })?;
+            resolved.push((t.column_by_name(&p.col.column)?, p, lit));
         }
         let mut out = Vec::new();
         'rows: for pos in 0..t.total_len() as Oid {
             if !t.column(0).is_live(pos) {
                 continue;
             }
-            for (col, p) in &resolved {
+            for (col, p, lit) in &resolved {
                 let v = col.get(pos).unwrap_or(Value::Null);
-                let keep = match v.sql_cmp(&p.value) {
+                let keep = match v.sql_cmp(lit) {
                     None => false,
                     Some(ord) => match p.op {
                         mammoth_algebra::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
@@ -682,9 +1060,13 @@ impl Session {
 }
 
 /// Whether `sql` is a statement [`Session::execute_read`] can run — i.e.
-/// its first keyword is `SELECT` or `EXPLAIN`. The grammar is keyword-led,
-/// so this textual test agrees with the parser on every valid statement
+/// its first keyword is `SELECT`, `EXPLAIN`, or one of the prepared-
+/// statement verbs (`PREPARE`/`EXECUTE`/`DEALLOCATE`, which only touch
+/// the Mutex-guarded session registry). The grammar is keyword-led, so
+/// this textual test agrees with the parser on every valid statement
 /// (`TRACE` counts as non-read: it records the session's last profile).
+/// `EXECUTE` of prepared DML starts on the read path and bounces back
+/// with [`Error::NeedsWrite`]; callers retry it through `execute`.
 /// Invalid statements classify as non-read and fail in `execute` instead.
 pub fn is_read_only_statement(sql: &str) -> bool {
     let first = sql
@@ -692,7 +1074,9 @@ pub fn is_read_only_statement(sql: &str) -> bool {
         .split(|c: char| !c.is_ascii_alphabetic())
         .next()
         .unwrap_or("");
-    first.eq_ignore_ascii_case("SELECT") || first.eq_ignore_ascii_case("EXPLAIN")
+    ["SELECT", "EXPLAIN", "PREPARE", "EXECUTE", "DEALLOCATE"]
+        .iter()
+        .any(|k| first.eq_ignore_ascii_case(k))
 }
 
 /// Whether `sql` is the `EXPLAIN REPLICATION` status statement, handled
@@ -707,6 +1091,82 @@ fn wants_replication_status(sql: &str) -> bool {
 /// Whether `MAMMOTH_TRACE` names a trace sink.
 fn trace_env_on() -> bool {
     std::env::var(TRACE_ENV).is_ok_and(|p| !p.is_empty())
+}
+
+/// Number of live (not deleted) rows in a table.
+fn live_row_count(t: &Table) -> u64 {
+    if t.schema.columns.is_empty() {
+        return 0;
+    }
+    let col = t.column(0);
+    (0..t.total_len() as Oid)
+        .filter(|&p| col.is_live(p))
+        .count() as u64
+}
+
+/// Materialize every column's live values — the input to a statistics
+/// (re)build. Bounded by table size; runs only at attach/CHECKPOINT or
+/// when a table's stats have drifted out of sync.
+fn table_column_values(t: &Table) -> Vec<(String, LogicalType, Vec<Value>)> {
+    let live: Vec<Oid> = if t.schema.columns.is_empty() {
+        Vec::new()
+    } else {
+        let c0 = t.column(0);
+        (0..t.total_len() as Oid)
+            .filter(|&p| c0.is_live(p))
+            .collect()
+    };
+    t.schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, def)| {
+            let col = t.column(i);
+            let vals = live
+                .iter()
+                .map(|&p| col.get(p).unwrap_or(Value::Null))
+                .collect();
+            (def.name.clone(), def.ty, vals)
+        })
+        .collect()
+}
+
+/// Export a `plan.compile` / `plan.cache_hit` event to the `MAMMOTH_TRACE`
+/// sink (no-op when unset): one single-event run labelled `planner`, the
+/// normalized statement text as the event's args and the plan's estimated
+/// result cardinality as `est_rows`.
+fn export_plan_event(kind: EventKind, key: &str, est_rows: Option<u64>) {
+    if !trace_env_on() {
+        return;
+    }
+    let mut run = ProfiledRun::new("planner", 1);
+    run.events.push(TraceEvent {
+        kind,
+        op: "plan".to_string(),
+        args: key.to_string(),
+        est_rows: est_rows.map_or(-1, |n| n as i64),
+        ..TraceEvent::default()
+    });
+    export_profile(&run);
+}
+
+/// The cost model's estimate of a plan's result cardinality: the row
+/// estimate of the instruction producing the first `Result` operand.
+fn output_rows_estimate(prog: &Program, stats: &StatsCatalog) -> Option<u64> {
+    let est = estimate_program(prog, stats);
+    let result = prog
+        .instrs
+        .iter()
+        .find(|i| matches!(i.op, OpCode::Result))?;
+    let var = result.args.iter().find_map(|a| match a {
+        Arg::Var(v) => Some(*v),
+        _ => None,
+    })?;
+    prog.instrs
+        .iter()
+        .position(|i| i.results.contains(&var))
+        .and_then(|idx| est.get(idx))
+        .map(|e| e.rows)
 }
 
 /// Append the run to the `MAMMOTH_TRACE` file (no-op when unset). An
@@ -732,6 +1192,7 @@ fn profile_table(run: &ProfiledRun) -> QueryOutput {
         "rows_out".to_string(),
         "bytes_out".to_string(),
         "recycled".to_string(),
+        "est_rows".to_string(),
     ];
     let rows = run
         .events
@@ -749,6 +1210,7 @@ fn profile_table(run: &ProfiledRun) -> QueryOutput {
                 Value::I64(e.rows_out as i64),
                 Value::I64(e.bytes_out as i64),
                 Value::Bool(e.recycled),
+                Value::I64(e.est_rows),
             ]
         })
         .collect();
@@ -964,7 +1426,15 @@ mod tests {
         let QueryOutput::Table { columns, rows } = out else {
             panic!()
         };
-        assert_eq!(columns, vec!["mal".to_string(), "props".to_string()]);
+        assert_eq!(
+            columns,
+            vec![
+                "mal".to_string(),
+                "props".to_string(),
+                "est_rows".to_string(),
+                "est_cost".to_string()
+            ]
+        );
         let text: Vec<String> = rows
             .iter()
             .map(|r| match &r[0] {
@@ -1260,5 +1730,190 @@ mod tests {
         // NOT NULL violation
         s.execute("CREATE TABLE u (a INT NOT NULL)").unwrap();
         assert!(s.execute("INSERT INTO u VALUES (NULL)").is_err());
+    }
+
+    #[test]
+    fn prepare_execute_deallocate_roundtrip() {
+        let mut s = seeded();
+        assert_eq!(
+            s.execute("PREPARE by_age AS SELECT name FROM people WHERE age = ?")
+                .unwrap(),
+            QueryOutput::Ok
+        );
+        // Same plan, two different bindings.
+        let out = s.execute("EXECUTE by_age (1927)").unwrap();
+        assert_eq!(
+            out,
+            s.execute("SELECT name FROM people WHERE age = 1927")
+                .unwrap()
+        );
+        let out = s.execute("EXECUTE by_age (1968)").unwrap();
+        let QueryOutput::Table { rows, .. } = out else {
+            panic!()
+        };
+        assert_eq!(rows, vec![vec![Value::Str("Will Smith".into())]]);
+        // Arity mismatch, unknown name, duplicate PREPARE: typed errors.
+        assert!(matches!(
+            s.execute("EXECUTE by_age (1, 2)"),
+            Err(Error::Bind(_))
+        ));
+        assert!(matches!(
+            s.execute("EXECUTE nope (1)"),
+            Err(Error::NotFound { .. })
+        ));
+        assert!(matches!(
+            s.execute("PREPARE by_age AS SELECT age FROM people"),
+            Err(Error::AlreadyExists { .. })
+        ));
+        // Deallocate removes it; a second deallocate is NotFound.
+        assert_eq!(s.execute("DEALLOCATE by_age").unwrap(), QueryOutput::Ok);
+        assert!(matches!(
+            s.execute("EXECUTE by_age (1927)"),
+            Err(Error::NotFound { .. })
+        ));
+        assert!(matches!(
+            s.execute("DEALLOCATE by_age"),
+            Err(Error::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn prepared_dml_binds_parameters() {
+        let mut s = seeded();
+        s.execute("PREPARE add AS INSERT INTO people VALUES (?, ?)")
+            .unwrap();
+        assert_eq!(
+            s.execute("EXECUTE add ('Buster Keaton', 1895)").unwrap(),
+            QueryOutput::Affected(1)
+        );
+        s.execute("PREPARE del AS DELETE FROM people WHERE age < ?")
+            .unwrap();
+        assert_eq!(
+            s.execute("EXECUTE del (1900)").unwrap(),
+            QueryOutput::Affected(1)
+        );
+        let QueryOutput::Table { rows, .. } = s.execute("SELECT COUNT(*) FROM people").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows[0][0], Value::I64(4));
+        // A bare placeholder outside PREPARE is rejected up front.
+        assert!(matches!(
+            s.execute("SELECT name FROM people WHERE age = ?"),
+            Err(Error::Bind(_))
+        ));
+    }
+
+    /// EXECUTE of a prepared SELECT hits the session plan cache: the
+    /// second run reuses the compiled MAL instead of re-optimizing.
+    #[test]
+    fn repeated_execute_hits_the_plan_cache() {
+        let mut s = seeded();
+        s.execute("PREPARE q AS SELECT name FROM people WHERE age = ?")
+            .unwrap();
+        let (_, compiles_after_prepare) = s.plan_cache_stats();
+        assert!(compiles_after_prepare >= 1, "PREPARE compiles eagerly");
+        s.execute("EXECUTE q (1927)").unwrap();
+        s.execute("EXECUTE q (1968)").unwrap();
+        s.execute("EXECUTE q (1907)").unwrap();
+        let (hits, compiles) = s.plan_cache_stats();
+        assert_eq!(
+            compiles, compiles_after_prepare,
+            "EXECUTE must not recompile a cached plan"
+        );
+        assert!(hits >= 3, "each EXECUTE is a cache hit, saw {hits}");
+    }
+
+    /// The DDL-invalidation satellite: DROP + CREATE between EXECUTEs must
+    /// recompile against the new table, never replay the stale plan.
+    #[test]
+    fn ddl_invalidates_cached_plans_between_executes() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        s.execute("PREPARE q AS SELECT a FROM t WHERE a >= ?")
+            .unwrap();
+        let QueryOutput::Table { rows, .. } = s.execute("EXECUTE q (0)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+        let (_, compiles_warm) = s.plan_cache_stats();
+        // Replace the table wholesale: same name, same column names, new
+        // contents (and a different column order to catch stale binding).
+        s.execute("DROP TABLE t").unwrap();
+        s.execute("CREATE TABLE t (b INT, a INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (100, 7)").unwrap();
+        let QueryOutput::Table { rows, .. } = s.execute("EXECUTE q (0)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows, vec![vec![Value::I32(7)]], "stale plan replayed");
+        let (_, compiles_after_ddl) = s.plan_cache_stats();
+        assert!(
+            compiles_after_ddl > compiles_warm,
+            "DDL must force a recompile"
+        );
+        // Dropping the table without recreating it: EXECUTE now fails
+        // cleanly instead of resurrecting the cached plan.
+        s.execute("DROP TABLE t").unwrap();
+        assert!(s.execute("EXECUTE q (0)").is_err());
+    }
+
+    /// The read path serves prepared SELECTs but bounces prepared DML with
+    /// the typed [`Error::NeedsWrite`] so the server can retry exclusively.
+    #[test]
+    fn execute_read_serves_prepared_selects_and_bounces_dml() {
+        let mut s = seeded();
+        s.execute("PREPARE rd AS SELECT name FROM people WHERE age = ?")
+            .unwrap();
+        s.execute("PREPARE wr AS DELETE FROM people WHERE age = ?")
+            .unwrap();
+        assert_eq!(
+            s.execute_read("EXECUTE rd (1927)").unwrap(),
+            s.execute("SELECT name FROM people WHERE age = 1927")
+                .unwrap()
+        );
+        assert!(matches!(
+            s.execute_read("EXECUTE wr (1927)"),
+            Err(Error::NeedsWrite)
+        ));
+        // The bounce left the table untouched; the write path applies it.
+        assert_eq!(
+            s.execute("EXECUTE wr (1927)").unwrap(),
+            QueryOutput::Affected(2)
+        );
+        // PREPARE and DEALLOCATE themselves are read-path statements.
+        s.execute_read("PREPARE rd2 AS SELECT age FROM people")
+            .unwrap();
+        s.execute_read("DEALLOCATE rd2").unwrap();
+    }
+
+    /// Statistics ride the checkpoint sidecar: a reopened durable session
+    /// sees the same per-column stats without a rebuild.
+    #[test]
+    fn durable_stats_survive_reopen_via_sidecar() {
+        let dir = std::env::temp_dir().join(format!(
+            "mammoth-stats-sidecar-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut s = Session::open_durable(dir.clone()).unwrap();
+            s.execute("CREATE TABLE t (a INT)").unwrap();
+            s.execute("INSERT INTO t VALUES (1), (2), (3), (4), (5)")
+                .unwrap();
+            s.execute("CHECKPOINT").unwrap();
+        }
+        let s = Session::open_durable(dir.clone()).unwrap();
+        let stats = s.stats_catalog();
+        let t = stats.table("t").expect("sidecar stats for t");
+        assert_eq!(t.rows, 5);
+        let col = stats.column("t", "a").expect("column stats for t.a");
+        assert_eq!(col.rows, 5);
+        assert_eq!(col.min.as_ref().and_then(Value::as_i64), Some(1));
+        assert_eq!(col.max.as_ref().and_then(Value::as_i64), Some(5));
+        assert!(col.histogram.is_some(), "histogram folded into sidecar");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,7 +40,9 @@ pub use catalog::{Catalog, Table};
 pub use delta::{DeletionMap, Snapshot, VersionedColumn};
 pub use fault::{FaultFs, FaultKind, FaultPlan, RealFs, Vfs};
 pub use heap::{FixedTail, TailHeap};
-pub use persist::{checkpoint_catalog, recover, recover_vfs, Recovered};
+pub use persist::{
+    checkpoint_catalog, checkpoint_catalog_with, read_sidecar, recover, recover_vfs, Recovered,
+};
 pub use properties::Properties;
 pub use ship::{durable_tip, export_image, read_wal_range, Tip};
 pub use strheap::StrHeap;

@@ -473,6 +473,21 @@ pub fn write_current(fs: &dyn Vfs, root: &Path, g: u64) -> Result<()> {
 /// exactly when the `CURRENT` rename lands, and the per-generation WAL
 /// naming means the old log can never be replayed on top of the new image.
 pub fn checkpoint_catalog(fs: &dyn Vfs, catalog: &Catalog, root: &Path) -> Result<(u64, PathBuf)> {
+    checkpoint_catalog_with(fs, catalog, root, &[])
+}
+
+/// [`checkpoint_catalog`] plus sealed *sidecar* files: each `(name,
+/// bytes)` pair is written into the checkpoint directory before the
+/// atomic rename, so the sidecars commit (and replicate — the image
+/// shipper enumerates every file of the generation directory) exactly
+/// with the data they describe. Used by the SQL session to persist the
+/// planner's statistics catalog.
+pub fn checkpoint_catalog_with(
+    fs: &dyn Vfs,
+    catalog: &Catalog,
+    root: &Path,
+    sidecars: &[(String, Vec<u8>)],
+) -> Result<(u64, PathBuf)> {
     fs.create_dir_all(root)?;
     let next = read_current(fs, root)?.map_or(1, |g| g + 1);
     let tmp = root.join(format!("{}.tmp", checkpoint_dir_name(next)));
@@ -482,6 +497,11 @@ pub fn checkpoint_catalog(fs: &dyn Vfs, catalog: &Catalog, root: &Path) -> Resul
     fs.remove_dir_all(&fin)?;
     fs.remove_file(&root.join(wal_file_name(next)))?;
     save_catalog_vfs(fs, catalog, &tmp, true)?;
+    for (name, bytes) in sidecars {
+        let p = tmp.join(name);
+        fs.write_file(&p, bytes)?;
+        fs.sync(&p)?;
+    }
     fs.sync_dir(&tmp)?;
     fs.rename(&tmp, &fin)?;
     fs.sync_dir(root)?;
@@ -493,6 +513,21 @@ pub fn checkpoint_catalog(fs: &dyn Vfs, catalog: &Catalog, root: &Path) -> Resul
         fs.remove_file(&root.join(wal_file_name(next - 1)))?;
     }
     Ok((next, root.join(wal_file_name(next))))
+}
+
+/// Read a sidecar file from the *committed* checkpoint generation (the
+/// one `CURRENT` names). Returns `Ok(None)` when there is no committed
+/// checkpoint or the sidecar was never written — absence is normal
+/// (pre-sidecar images, fresh stores), not corruption.
+pub fn read_sidecar(fs: &dyn Vfs, root: &Path, name: &str) -> Result<Option<Vec<u8>>> {
+    let Some(g) = read_current(fs, root)? else {
+        return Ok(None);
+    };
+    let p = root.join(checkpoint_dir_name(g)).join(name);
+    if !fs.exists(&p) {
+        return Ok(None);
+    }
+    fs.read(&p).map(Some)
 }
 
 /// The result of [`recover_vfs`].

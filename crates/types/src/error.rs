@@ -36,6 +36,11 @@ pub enum Error {
     /// referenced by the manifest is missing, or a WAL record does not
     /// apply to the checkpoint it follows).
     Recovery(String),
+    /// A statement routed down the read-only fast path turned out to
+    /// need the write path (EXECUTE of a prepared DML statement). Not a
+    /// user-visible failure: callers holding a write-capable session
+    /// catch this and retry through `execute`.
+    NeedsWrite,
     /// An internal invariant was violated: this is a bug.
     Internal(String),
 }
@@ -60,6 +65,7 @@ impl fmt::Display for Error {
             Error::Io(m) => write!(f, "i/o error: {m}"),
             Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
             Error::Recovery(m) => write!(f, "recovery failed: {m}"),
+            Error::NeedsWrite => write!(f, "statement requires the write path"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

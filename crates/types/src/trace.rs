@@ -88,6 +88,12 @@ pub enum EventKind {
     /// Promotion confirmed: the replica reports `role=primary` and the
     /// shard's address was swapped — the cluster is healthy again.
     HaRecovered,
+    /// A statement was compiled, verified and optimized into the plan
+    /// cache (a cache miss, or the first PREPARE).
+    PlanCompile,
+    /// A statement was answered from the plan cache — no recompile, the
+    /// cached program's premises re-checked sound.
+    PlanCacheHit,
 }
 
 impl EventKind {
@@ -123,6 +129,8 @@ impl EventKind {
             EventKind::HaDegraded => "ha.degraded",
             EventKind::HaPromote => "ha.promote",
             EventKind::HaRecovered => "ha.recovered",
+            EventKind::PlanCompile => "plan.compile",
+            EventKind::PlanCacheHit => "plan.cache_hit",
         }
     }
 
@@ -158,6 +166,8 @@ impl EventKind {
             "ha.degraded" => EventKind::HaDegraded,
             "ha.promote" => EventKind::HaPromote,
             "ha.recovered" => EventKind::HaRecovered,
+            "plan.compile" => EventKind::PlanCompile,
+            "plan.cache_hit" => EventKind::PlanCacheHit,
             _ => return None,
         })
     }
@@ -193,6 +203,10 @@ pub struct TraceEvent {
     pub rows_in: u64,
     /// Result BAT rows (summed over BAT-valued results).
     pub rows_out: u64,
+    /// The planner's compile-time estimate of `rows_out` (`-1` when the
+    /// instruction was not estimated — no statistics, or a non-plan
+    /// event). `TRACE` diffs this against the measured `rows_out`.
+    pub est_rows: i64,
     /// Result heap bytes (summed over BAT-valued results).
     pub bytes_out: u64,
     /// Whether the result came from the recycler instead of being computed.
@@ -211,6 +225,7 @@ impl Default for TraceEvent {
             dur_ns: 0,
             rows_in: 0,
             rows_out: 0,
+            est_rows: -1,
             bytes_out: 0,
             recycled: false,
         }
@@ -225,7 +240,7 @@ impl TraceEvent {
         format!(
             "{{\"kind\":\"{}\",\"instr\":{},\"op\":\"{}\",\"args\":\"{}\",\
              \"worker\":{},\"start_ns\":{},\"dur_ns\":{},\"rows_in\":{},\
-             \"rows_out\":{},\"bytes_out\":{},\"recycled\":{}}}",
+             \"rows_out\":{},\"est_rows\":{},\"bytes_out\":{},\"recycled\":{}}}",
             self.kind,
             self.instr,
             escape_json(&self.op),
@@ -235,6 +250,7 @@ impl TraceEvent {
             self.dur_ns,
             self.rows_in,
             self.rows_out,
+            self.est_rows,
             self.bytes_out,
             self.recycled
         )
@@ -612,6 +628,7 @@ const EVENT_KEYS: &[&str] = &[
     "dur_ns",
     "rows_in",
     "rows_out",
+    "est_rows",
     "bytes_out",
     "recycled",
 ];
@@ -658,6 +675,7 @@ pub fn validate_trace_line(line: &str) -> Result<String, String> {
         "dur_ns",
         "rows_in",
         "rows_out",
+        "est_rows",
         "bytes_out",
     ] {
         require_num(&fields, key, "event")?;
@@ -832,6 +850,8 @@ mod tests {
             EventKind::HaDegraded,
             EventKind::HaPromote,
             EventKind::HaRecovered,
+            EventKind::PlanCompile,
+            EventKind::PlanCacheHit,
         ] {
             assert_eq!(EventKind::parse(k.as_str()), Some(k));
         }

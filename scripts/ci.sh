@@ -76,6 +76,44 @@ trap - EXIT
 cargo run -q -p mammoth-types --bin tracecheck -- "$srv_trace"
 rm -f "$srv_trace" "$srv_port_file"
 
+echo "==> planner: differential tier, one-compile trace, EXPLAIN estimates golden"
+cargo test -q --test planner
+cargo test -q --test planner_trace
+cargo test -q --test explain_golden
+
+echo "==> planner smoke: v4 prepared frames + v3 compat, then PREPARE/EXECUTE over the wire"
+# The typed-frame paths (Prepare/ExecutePrepared/Deallocate, the v3
+# refusal, the read-only replica bounce, decode fuzzing) are the
+# server's own tests; re-run them here as the named gate.
+cargo test -q -p mammoth-server --lib prepared
+plnr_pf=$(mktemp -u /tmp/mammoth_plnr_port.XXXXXX)
+./target/release/mammoth-server --addr 127.0.0.1:0 --port-file "$plnr_pf" &
+plnr_pid=$!
+trap 'kill $plnr_pid 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -s "$plnr_pf" ] && break; sleep 0.05; done
+plnr_addr=$(cat "$plnr_pf")
+plnr_out=$(./target/release/mammoth-cli --addr "$plnr_addr" \
+    -c "CREATE TABLE smoke (a INT NOT NULL, b INT)" \
+    -c "INSERT INTO smoke VALUES (1, 10), (2, 20), (3, 30)" \
+    -c "PREPARE pt AS SELECT b FROM smoke WHERE a = ?" \
+    -c "EXECUTE pt (2)" \
+    -c "EXECUTE pt (3)" \
+    -c "DEALLOCATE pt")
+echo "$plnr_out" | grep -q "^20" \
+    || { echo "planner smoke: EXECUTE pt (2) wrong: $plnr_out"; exit 1; }
+echo "$plnr_out" | grep -q "^30" \
+    || { echo "planner smoke: EXECUTE pt (3) wrong: $plnr_out"; exit 1; }
+# A deallocated name must be gone.
+dealloc_out=$(./target/release/mammoth-cli --addr "$plnr_addr" \
+    -c "EXECUTE pt (1)" 2>&1) && {
+    echo "planner smoke: EXECUTE after DEALLOCATE unexpectedly succeeded"; exit 1; }
+echo "$dealloc_out" | grep -qi "prepared" \
+    || { echo "planner smoke: expected unknown-prepared error, got: $dealloc_out"; exit 1; }
+./target/release/mammoth-cli --addr "$plnr_addr" -c "SHUTDOWN" >/dev/null
+wait $plnr_pid || { echo "planner smoke: daemon exited non-zero"; exit 1; }
+trap - EXIT
+rm -f "$plnr_pf"
+
 echo "==> replication smoke: primary + replica, convergence, READ_ONLY, traced shutdown"
 repl_ptrace=$(mktemp -u /tmp/mammoth_repl_ptrace.XXXXXX.jsonl)
 repl_rtrace=$(mktemp -u /tmp/mammoth_repl_rtrace.XXXXXX.jsonl)

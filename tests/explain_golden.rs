@@ -1,0 +1,78 @@
+//! Golden-file test for `EXPLAIN`'s cost-annotated output.
+//!
+//! A fixed single-table workload is loaded, then a small set of EXPLAIN
+//! statements is rendered — MAL text, inferred properties, and the
+//! planner's per-instruction `est_rows`/`est_cost` columns. The estimates
+//! derive from the statistics catalog, which is fully deterministic for a
+//! fixed insert order, so the rendering is byte-stable.
+//!
+//! If a cost-model or optimizer change intentionally moves an estimate,
+//! regenerate with `BLESS=1 cargo test --test explain_golden` and review
+//! the diff: every number that moved is a planning decision that may have
+//! changed with it.
+
+use mammoth_sql::{QueryOutput, Session};
+
+const GOLDEN: &str = "tests/golden/explain_estimates.golden";
+
+fn seeded() -> Session {
+    let mut s = Session::new();
+    s.execute("CREATE TABLE orders (k INT, qty BIGINT)")
+        .unwrap();
+    // Deterministic skew: k cycles 0..20, qty walks a fixed LCG.
+    let mut x: i64 = 7;
+    let mut rows = Vec::new();
+    for i in 0..1000i64 {
+        x = (x.wrapping_mul(1103515245).wrapping_add(12345)) % 10_000;
+        rows.push(format!("({}, {})", i % 20, x.abs()));
+    }
+    for chunk in rows.chunks(250) {
+        s.execute(&format!("INSERT INTO orders VALUES {}", chunk.join(", ")))
+            .unwrap();
+    }
+    s
+}
+
+#[test]
+fn explain_estimates_match_golden_file() {
+    let mut s = seeded();
+    let mut got = String::new();
+    for q in [
+        "SELECT qty FROM orders WHERE k = 7",
+        "SELECT qty FROM orders WHERE qty < 2500",
+        "SELECT COUNT(*), SUM(qty) FROM orders WHERE k = 7 AND qty < 2500",
+        "SELECT k FROM orders WHERE qty >= 9000 ORDER BY k LIMIT 5",
+    ] {
+        let QueryOutput::Table { columns, rows } = s.execute(&format!("EXPLAIN {q}")).unwrap()
+        else {
+            panic!("EXPLAIN must return a table");
+        };
+        assert_eq!(columns, vec!["mal", "props", "est_rows", "est_cost"]);
+        got.push_str(&format!("-- EXPLAIN {q}\n"));
+        for row in rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    mammoth_types::Value::Str(s) => s.clone(),
+                    other => format!("{other:?}"),
+                })
+                .collect();
+            got.push_str(&cells.join(" | "));
+            got.push('\n');
+        }
+        got.push('\n');
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN} ({e}); run with BLESS=1"));
+    assert_eq!(
+        got, want,
+        "EXPLAIN estimates drifted from {GOLDEN}; if intentional, re-bless with BLESS=1"
+    );
+}
